@@ -1,0 +1,31 @@
+//! Raw exit-pipeline latency: one vm_exit round trip per reason.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iris_hv::hooks::NoHooks;
+use iris_hv::hypervisor::{ExitEvent, Hypervisor};
+use iris_vtx::exit::ExitReason;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_exit_dispatch");
+    for reason in [
+        ExitReason::Cpuid,
+        ExitReason::Rdtsc,
+        ExitReason::Vmcall,
+        ExitReason::PreemptionTimer,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(reason.figure_label()),
+            &reason,
+            |b, &reason| {
+                let mut hv = Hypervisor::new();
+                let dom = hv.create_hvm_domain(16 << 20);
+                let ev = ExitEvent::new(reason);
+                b.iter(|| hv.vm_exit(dom, &ev, &mut NoHooks));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Mutation-rule throughput: how many fuzzing inputs per second the
+//! bit-flip generator produces.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iris_bench::experiments::record_workload;
+use iris_fuzzer::mutation::{mutate, SeedArea};
+use iris_guest::workloads::Workload;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_mutation(c: &mut Criterion) {
+    let (_, trace) = record_workload(Workload::OsBoot, 100, 42);
+    let seed = trace.seeds[0].clone();
+    let mut group = c.benchmark_group("mutation");
+    group.throughput(Throughput::Elements(10_000));
+    for area in SeedArea::ALL {
+        group.bench_function(format!("bitflip_{}_x10000", area.label()), |b| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                (0..10_000)
+                    .map(|_| mutate(&seed, area, &mut rng))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutation);
+criterion_main!(benches);

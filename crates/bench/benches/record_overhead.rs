@@ -1,0 +1,33 @@
+//! Wall-clock cost of the recording callbacks relative to bare
+//! execution (the Fig. 10 comparison, measured on the real machine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iris_core::record::Recorder;
+use iris_guest::runner::{fast_forward_boot, GuestRunner};
+use iris_guest::workloads::Workload;
+use iris_hv::hooks::NoHooks;
+use iris_hv::hypervisor::Hypervisor;
+
+fn bench_record(c: &mut Criterion) {
+    let ops = Workload::CpuBound.generate(300, 42);
+    c.bench_function("execute_no_recording", |b| {
+        b.iter(|| {
+            let mut hv = Hypervisor::new();
+            let dom = hv.create_hvm_domain(16 << 20);
+            fast_forward_boot(&mut hv, dom);
+            let mut runner = GuestRunner::new(dom);
+            runner.run(&mut hv, ops.clone(), &mut NoHooks)
+        });
+    });
+    c.bench_function("execute_with_recording", |b| {
+        b.iter(|| {
+            let mut hv = Hypervisor::new();
+            let dom = hv.create_hvm_domain(16 << 20);
+            fast_forward_boot(&mut hv, dom);
+            Recorder::new().record_workload(&mut hv, dom, "bench", ops.clone())
+        });
+    });
+}
+
+criterion_group!(benches, bench_record);
+criterion_main!(benches);

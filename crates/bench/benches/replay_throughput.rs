@@ -1,0 +1,33 @@
+//! Wall-clock throughput of the IRIS replay engine (how fast the
+//! *reproduction* submits seeds, complementing the simulated-cycle
+//! numbers of Fig. 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iris_bench::experiments::record_workload;
+use iris_core::replay::ReplayEngine;
+use iris_guest::workloads::Workload;
+use iris_hv::hypervisor::Hypervisor;
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_throughput");
+    for workload in [Workload::OsBoot, Workload::CpuBound, Workload::Idle] {
+        let (_, trace) = record_workload(workload, 300, 42);
+        group.throughput(Throughput::Elements(trace.seeds.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.label()),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut hv = Hypervisor::new();
+                    let dummy = hv.create_hvm_domain(16 << 20);
+                    let mut engine = ReplayEngine::new(&mut hv, dummy);
+                    engine.replay_trace(&mut hv, trace)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

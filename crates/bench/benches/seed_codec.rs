@@ -1,0 +1,30 @@
+//! Encode/decode throughput of the 10-byte-record seed wire format.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iris_bench::experiments::record_workload;
+use iris_core::seed::VmSeed;
+use iris_guest::workloads::Workload;
+
+fn bench_codec(c: &mut Criterion) {
+    let (_, trace) = record_workload(Workload::OsBoot, 500, 42);
+    let encoded: Vec<_> = trace.seeds.iter().map(VmSeed::encode).collect();
+    let bytes: u64 = encoded.iter().map(|e| e.len() as u64).sum();
+
+    let mut group = c.benchmark_group("seed_codec");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("encode_500_seeds", |b| {
+        b.iter(|| trace.seeds.iter().map(VmSeed::encode).count())
+    });
+    group.bench_function("decode_500_seeds", |b| {
+        b.iter(|| {
+            encoded
+                .iter()
+                .map(|e| VmSeed::decode(e).expect("valid"))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

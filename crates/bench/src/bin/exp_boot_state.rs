@@ -1,0 +1,27 @@
+//! Regenerates the §VI-B boot-state experiment: replaying CPU-bound and
+//! IDLE seeds from (i) a cold VM state and (ii) a VM state reached by
+//! replaying the OS_BOOT seeds. The paper: the cold dummy VM crashes
+//! with `bad RIP for mode 0`; the warm one completes both workloads.
+
+use iris_bench::experiments::boot_state_experiment;
+use iris_guest::workloads::Workload;
+
+fn main() {
+    let exits: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    println!("§VI-B boot-state experiment ({exits} post-boot seeds)\n");
+    for w in [Workload::CpuBound, Workload::Idle] {
+        let e = boot_state_experiment(w, exits, 42);
+        println!("{}:", w.label());
+        println!(
+            "  cold dummy VM : {}/{} seeds before crash — log: \"{}\"",
+            e.cold_completed, e.total, e.cold_crash_message
+        );
+        println!(
+            "  after OS_BOOT replay: {}/{} seeds completed\n",
+            e.warm_completed, e.total
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates the §VI-D memory-overhead measurement: VMCS operations
+//! per seed and the seed payload size against the paper's 470-byte
+//! worst-case pre-allocation.
+
+use iris_bench::experiments::seed_memory;
+
+fn main() {
+    let exits: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let m = seed_memory(exits, 42);
+    println!("§VI-D seed memory ({exits} exits per workload)\n");
+    println!("max VMCS ops per seed : {} (paper worst case: 32)", m.max_vmcs_ops);
+    println!("mean VMCS ops per seed: {:.1}", m.mean_vmcs_ops);
+    println!("max seed payload      : {} bytes", m.max_seed_bytes);
+    println!("pre-allocation        : {} bytes (paper: 470)", m.prealloc_bytes);
+}

@@ -1,0 +1,37 @@
+//! The §IX coverage-guided fuzzer: AFL-style feedback over IRIS seeds.
+//! Compares blind mutation (no promotion) against the guided loop.
+
+use iris_bench::experiments::record_workload;
+use iris_fuzzer::guided::{run_guided, GuidedConfig};
+use iris_guest::workloads::Workload;
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3000);
+    let (_, trace) = record_workload(Workload::OsBoot, 800, 42);
+    let r = run_guided(
+        &trace,
+        GuidedConfig {
+            budget,
+            ..GuidedConfig::default()
+        },
+    );
+    println!("Coverage-guided fuzzing over OS BOOT seeds ({budget} executions)\n");
+    println!("baseline corpus coverage : {} lines", r.baseline_lines);
+    println!("final coverage           : {} lines (+{})", r.total_lines, r.total_lines - r.baseline_lines);
+    println!("corpus                   : {} seeds ({} promoted)", r.corpus_size, r.promotions);
+    println!(
+        "crashes                  : {} VM ({:.2}%), {} hypervisor ({:.2}%)",
+        r.failures.vm_crashes,
+        r.failures.vm_crash_percent(),
+        r.failures.hv_crashes,
+        r.failures.hv_crash_percent()
+    );
+    print!("coverage growth          :");
+    for g in &r.growth {
+        print!(" {g}");
+    }
+    println!();
+}

@@ -1,0 +1,12 @@
+//! The `iris` binary: thin wrapper over [`iris_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match iris_cli::run(&args) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

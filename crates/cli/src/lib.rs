@@ -1,0 +1,379 @@
+//! # iris-cli — the user-space command-line interface
+//!
+//! The paper's Fig. 3 shows a CLI in Dom0 driving the IRIS manager
+//! through the `xc_vmcs_fuzzing` hypercall. This crate is that tool for
+//! the simulated stack: argument parsing, the record / replay / fuzz /
+//! report subcommands, and text rendering of the results. The `iris`
+//! binary is a thin `main` over [`run`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use iris_core::manager::{IrisManager, Mode};
+use iris_core::metrics;
+use iris_core::record::RecordConfig;
+use iris_core::seed_db::SeedDb;
+use iris_fuzzer::campaign::Campaign;
+use iris_fuzzer::mutation::SeedArea;
+use iris_fuzzer::testcase::TestCase;
+use iris_guest::workloads::Workload;
+use std::path::PathBuf;
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad usage; the string is the help text to print.
+    Usage(String),
+    /// IO failure.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(s) => write!(f, "{s}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Top-level help text.
+pub const USAGE: &str = "\
+iris — record & replay framework for hardware-assisted virtualization fuzzing
+
+USAGE:
+    iris record  <workload> [--exits N] [--seed S] [--out FILE.json]
+    iris replay  <workload> [--exits N] [--seed S] [--cold] [--memory]
+    iris fuzz    <workload> [--exits N] [--mutants M] [--area vmcs|gpr] [--reason R]
+    iris guided  <workload> [--exits N] [--budget B]
+    iris report  <FILE.json>
+
+WORKLOADS: os_boot | cpu_bound | mem_bound | io_bound | idle
+";
+
+fn parse_workload(name: &str) -> Result<Workload, CliError> {
+    match name {
+        "os_boot" => Ok(Workload::OsBoot),
+        "cpu_bound" => Ok(Workload::CpuBound),
+        "mem_bound" => Ok(Workload::MemBound),
+        "io_bound" => Ok(Workload::IoBound),
+        "idle" => Ok(Workload::Idle),
+        other => Err(CliError::Usage(format!(
+            "unknown workload '{other}'\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad value for {flag}: {v}"))),
+    }
+}
+
+/// Run the CLI against `args` (without the program name). Returns the
+/// text to print.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(CliError::Usage(USAGE.to_owned()));
+    };
+    match cmd.as_str() {
+        "record" => cmd_record(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
+        "fuzz" => cmd_fuzz(&args[1..]),
+        "guided" => cmd_guided(&args[1..]),
+        "report" => cmd_report(&args[1..]),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn setup(args: &[String]) -> Result<(IrisManager, Workload, usize, u64), CliError> {
+    let w = parse_workload(
+        args.first()
+            .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?,
+    )?;
+    let exits: usize = parse_num(args, "--exits", 5000)?;
+    let seed: u64 = parse_num(args, "--seed", 42)?;
+    let mut mgr = IrisManager::new(64 << 20);
+    if w != Workload::OsBoot {
+        mgr.boot_test_vm();
+    }
+    Ok((mgr, w, exits, seed))
+}
+
+fn cmd_record(args: &[String]) -> Result<String, CliError> {
+    let (mut mgr, w, exits, seed) = setup(args)?;
+    let ops = w.generate(exits, seed);
+    let trace = mgr.record(w.label(), ops, RecordConfig::default());
+    let total = trace.len().max(1);
+    let mut out = format!(
+        "recorded {} exits of {} ({} unique lines covered, {:.2} ms wall)\n",
+        trace.len(),
+        w.label(),
+        trace.total_coverage().lines(),
+        trace.wall_time_ms()
+    );
+    let hist = trace.reason_histogram();
+    for (reason, count) in &hist {
+        out.push_str(&format!(
+            "  {:<14} {:>6}  ({:.1}%)\n",
+            reason.figure_label(),
+            count,
+            *count as f64 / total as f64 * 100.0
+        ));
+    }
+    if let Some(path) = flag_value(args, "--out") {
+        let trace = mgr.db.get(w.label()).expect("just recorded");
+        SeedDb::save_json(trace, &PathBuf::from(&path))?;
+        out.push_str(&format!("trace written to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_replay(args: &[String]) -> Result<String, CliError> {
+    let (mut mgr, w, exits, seed) = setup(args)?;
+    let cold = args.iter().any(|a| a == "--cold");
+    let with_memory = args.iter().any(|a| a == "--memory");
+    let ops = w.generate(exits, seed);
+    mgr.record(
+        w.label(),
+        ops,
+        RecordConfig {
+            record_memory: with_memory,
+            ..RecordConfig::default()
+        },
+    );
+    let recorded = mgr.db.get(w.label()).expect("recorded").clone();
+
+    let t0 = mgr.hv.tsc.now();
+    let replayed = mgr.replay(w.label(), Mode::ReplayWithMetrics, !cold);
+    let replay_ms = (mgr.hv.tsc.now() - t0) as f64 / 3.6e6;
+
+    let fit = metrics::coverage_fitting(&recorded, &replayed);
+    let eff = metrics::efficiency(&recorded, replay_ms);
+    let mut out = format!(
+        "replayed {}/{} seeds of {}{}\n",
+        replayed.metrics.len(),
+        recorded.len(),
+        w.label(),
+        if cold { " (cold dummy VM)" } else { "" }
+    );
+    out.push_str(&format!(
+        "coverage fitting: {:.1}%  (recorded {} lines, replayed {})\n",
+        fit.fitting_percent, fit.recorded_lines, fit.replayed_lines
+    ));
+    out.push_str(&format!(
+        "time: real {:.1} ms vs replay {:.1} ms  ({:.1}% decrease, {:.1}x, {:.0} exits/s)\n",
+        eff.real_ms, eff.replay_ms, eff.decrease_percent, eff.speedup, eff.replay_exits_per_sec
+    ));
+    if replayed.metrics.last().is_some_and(|m| m.crashed) {
+        let msg = mgr
+            .hv
+            .log
+            .grep("bad RIP")
+            .last()
+            .map(|l| l.message.clone())
+            .unwrap_or_else(|| "crash".to_owned());
+        out.push_str(&format!("dummy VM crashed: {msg}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
+    let (mut mgr, w, exits, seed) = setup(args)?;
+    let mutants: usize = parse_num(args, "--mutants", 500)?;
+    let area = match flag_value(args, "--area").as_deref() {
+        None | Some("vmcs") => SeedArea::Vmcs,
+        Some("gpr") => SeedArea::Gpr,
+        Some(other) => {
+            return Err(CliError::Usage(format!("bad --area {other}")));
+        }
+    };
+    let ops = w.generate(exits, seed);
+    mgr.record(w.label(), ops, RecordConfig::default());
+    let trace = mgr.db.get(w.label()).expect("recorded").clone();
+
+    let reason_filter = flag_value(args, "--reason");
+    let idx = trace
+        .seeds
+        .iter()
+        .position(|s| match &reason_filter {
+            None => true,
+            Some(r) => s.reason.figure_label().eq_ignore_ascii_case(r),
+        })
+        .ok_or_else(|| CliError::Usage("no seed matches --reason".to_owned()))?;
+
+    let tc = TestCase {
+        mutants,
+        ..TestCase::new(w, idx, trace.seeds[idx].reason, area, seed)
+    };
+    let mut campaign = Campaign::new();
+    let r = campaign.run_test_case(&trace, &tc);
+    let mut out = format!(
+        "fuzzed seed #{idx} ({}) of {} — area {}, {} mutants\n",
+        tc.reason.figure_label(),
+        w.label(),
+        area.label(),
+        mutants
+    );
+    out.push_str(&format!(
+        "new coverage: +{:.0}% ({} new lines over a {}-line baseline)\n",
+        r.coverage_increase_percent, r.new_lines, r.baseline_lines
+    ));
+    out.push_str(&format!(
+        "crashes: {} VM ({:.2}%), {} hypervisor ({:.2}%) — corpus {}\n",
+        r.failures.vm_crashes,
+        r.failures.vm_crash_percent(),
+        r.failures.hv_crashes,
+        r.failures.hv_crash_percent(),
+        campaign.corpus.len()
+    ));
+    Ok(out)
+}
+
+fn cmd_guided(args: &[String]) -> Result<String, CliError> {
+    let (mut mgr, w, exits, seed) = setup(args)?;
+    let budget: u64 = parse_num(args, "--budget", 1500)?;
+    let ops = w.generate(exits, seed);
+    mgr.record(w.label(), ops, RecordConfig::default());
+    let trace = mgr.db.get(w.label()).expect("recorded").clone();
+    let r = iris_fuzzer::guided::run_guided(
+        &trace,
+        iris_fuzzer::guided::GuidedConfig {
+            budget,
+            rng_seed: seed,
+            ..iris_fuzzer::guided::GuidedConfig::default()
+        },
+    );
+    Ok(format!(
+        "guided fuzzing over {} ({budget} executions)\n\
+         coverage: {} -> {} lines ({} promotions, corpus {})\n\
+         crashes: {} VM ({:.2}%), {} hypervisor ({:.2}%)\n",
+        w.label(),
+        r.baseline_lines,
+        r.total_lines,
+        r.promotions,
+        r.corpus_size,
+        r.failures.vm_crashes,
+        r.failures.vm_crash_percent(),
+        r.failures.hv_crashes,
+        r.failures.hv_crash_percent()
+    ))
+}
+
+fn cmd_report(args: &[String]) -> Result<String, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?;
+    let trace = SeedDb::load_json(&PathBuf::from(path))?;
+    let mut out = format!(
+        "trace '{}': {} seeds, {} metric records, {} unique lines\n",
+        trace.label,
+        trace.seeds.len(),
+        trace.metrics.len(),
+        trace.total_coverage().lines()
+    );
+    for (reason, count) in trace.reason_histogram() {
+        out.push_str(&format!("  {:<14} {count}\n", reason.figure_label()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn help_and_bad_usage() {
+        assert!(run(&args("help")).unwrap().contains("USAGE"));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args("bogus")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args("record martian")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn record_reports_histogram() {
+        let out = run(&args("record cpu_bound --exits 120 --seed 7")).unwrap();
+        assert!(out.contains("recorded 120 exits"));
+        assert!(out.contains("RDTSC"));
+    }
+
+    #[test]
+    fn replay_reports_fitting_and_speedup() {
+        let out = run(&args("replay idle --exits 80")).unwrap();
+        assert!(out.contains("coverage fitting"));
+        assert!(out.contains("decrease"));
+    }
+
+    #[test]
+    fn cold_replay_of_cpu_bound_reports_crash() {
+        let out = run(&args("replay cpu_bound --exits 50 --cold")).unwrap();
+        assert!(out.contains("dummy VM crashed"), "{out}");
+        assert!(out.contains("bad RIP"));
+    }
+
+    #[test]
+    fn fuzz_reports_coverage_and_crashes() {
+        let out = run(&args("fuzz os_boot --exits 100 --mutants 60")).unwrap();
+        assert!(out.contains("new coverage"));
+        assert!(out.contains("crashes:"));
+    }
+
+    #[test]
+    fn memory_augmented_replay_reaches_full_fitting() {
+        let out = run(&args("replay io_bound --exits 120 --memory")).unwrap();
+        assert!(out.contains("coverage fitting: 100.0%"), "{out}");
+    }
+
+    #[test]
+    fn guided_subcommand_reports_growth() {
+        let out = run(&args("guided os_boot --exits 150 --budget 200")).unwrap();
+        assert!(out.contains("guided fuzzing"), "{out}");
+        assert!(out.contains("promotions"));
+    }
+
+    #[test]
+    fn record_then_report_round_trip() {
+        let tmp = std::env::temp_dir().join("iris-cli-test.json");
+        let out = run(&[
+            "record".into(),
+            "idle".into(),
+            "--exits".into(),
+            "40".into(),
+            "--out".into(),
+            tmp.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("trace written"));
+        let rep = run(&["report".into(), tmp.to_string_lossy().into_owned()]).unwrap();
+        assert!(rep.contains("40 seeds"));
+        std::fs::remove_file(&tmp).ok();
+    }
+}

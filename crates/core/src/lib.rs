@@ -1,0 +1,49 @@
+//! # iris-core — the IRIS record and replay framework
+//!
+//! The paper's primary contribution: record (learn) sequences of inputs —
+//! *VM seeds* — from real guest execution, replay them as-is through a
+//! dummy VM to reach valid and complex VM states without executing guest
+//! workloads, and expose them as fuzzing seeds.
+//!
+//! * [`seed`] — the VM seed and its 10-byte-record wire format (§V-A).
+//! * [`record`] — the recording hooks and driver (§IV-A).
+//! * [`replay`] — the preemption-timer dummy-VM replay engine (§IV-B).
+//! * [`trace`] — recorded traces: seeds + per-seed metrics.
+//! * [`metrics`] — accuracy (coverage fitting, VMWRITE fitting, diff
+//!   clustering) and efficiency summaries (§VI).
+//! * [`snapshot`] — test-VM snapshots for unbiased comparisons.
+//! * [`seed_db`] — the VM-seed database of Fig. 3.
+//! * [`manager`] — the record/replay mode driver behind the
+//!   `xc_vmcs_fuzzing` hypercall (§IV-C).
+//!
+//! ```
+//! use iris_core::manager::{IrisManager, Mode};
+//! use iris_core::record::RecordConfig;
+//! use iris_guest::workloads::Workload;
+//!
+//! let mut mgr = IrisManager::new(16 << 20);
+//! let ops = Workload::OsBoot.generate(100, 42);
+//! mgr.record("OS BOOT", ops, RecordConfig::default());
+//! let replayed = mgr.replay("OS BOOT", Mode::ReplayWithMetrics, false);
+//! assert_eq!(replayed.metrics.len(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manager;
+pub mod metrics;
+pub mod record;
+pub mod replay;
+pub mod seed;
+pub mod seed_db;
+pub mod snapshot;
+pub mod trace;
+
+pub use manager::{IrisManager, Mode};
+pub use record::{RecordConfig, Recorder};
+pub use replay::ReplayEngine;
+pub use seed::VmSeed;
+pub use seed_db::SeedDb;
+pub use snapshot::Snapshot;
+pub use trace::{RecordedTrace, SeedMetrics};

@@ -1,0 +1,161 @@
+//! The IRIS manager (§IV-C / §V-C).
+//!
+//! The manager is the backend driver the user-space CLI talks to through
+//! the `xc_vmcs_fuzzing` hypercall: it selects the operation mode (record
+//! / replay / both), runs the test VM while recording, keeps the dummy VM
+//! ready for seed submission, and moves seeds and metrics in and out of
+//! the [`SeedDb`].
+
+use crate::record::{RecordConfig, Recorder};
+use crate::replay::ReplayEngine;
+use crate::seed::VmSeed;
+use crate::seed_db::SeedDb;
+use crate::snapshot::Snapshot;
+use crate::trace::RecordedTrace;
+use iris_guest::event::GuestOp;
+use iris_hv::hypervisor::Hypervisor;
+
+/// Operation mode (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Run the test VM and record.
+    Record,
+    /// Submit seeds to the dummy VM.
+    Replay,
+    /// Replay with metric recording on (for accuracy evaluation).
+    ReplayWithMetrics,
+}
+
+/// The IRIS manager: owns the hypervisor, the test VM, the dummy VM, and
+/// the seed database.
+#[derive(Debug)]
+pub struct IrisManager {
+    /// The hypervisor under test.
+    pub hv: Hypervisor,
+    /// The test VM's domain id.
+    pub test_vm: u16,
+    /// The dummy VM's domain id.
+    pub dummy_vm: u16,
+    /// Stored traces.
+    pub db: SeedDb,
+    /// Snapshot taken at the start of the last recording session.
+    pub baseline: Option<Snapshot>,
+    ram_bytes: u64,
+}
+
+impl IrisManager {
+    /// Boot a hypervisor with a test VM and a dummy VM (the Fig. 3
+    /// deployment: manager in Dom0, two DomUs).
+    #[must_use]
+    pub fn new(ram_bytes: u64) -> Self {
+        let mut hv = Hypervisor::new();
+        let test_vm = hv.create_hvm_domain(ram_bytes);
+        let dummy_vm = hv.create_hvm_domain(ram_bytes);
+        Self {
+            hv,
+            test_vm,
+            dummy_vm,
+            db: SeedDb::new(),
+            baseline: None,
+            ram_bytes,
+        }
+    }
+
+    /// Put the test VM in the post-boot state (for non-boot workloads).
+    pub fn boot_test_vm(&mut self) {
+        iris_guest::runner::fast_forward_boot(&mut self.hv, self.test_vm);
+    }
+
+    /// Record mode: snapshot the test VM, run `ops` on it with recording
+    /// enabled, store the trace under `label`, and return a reference to
+    /// it.
+    pub fn record<I: IntoIterator<Item = GuestOp>>(
+        &mut self,
+        label: &str,
+        ops: I,
+        config: RecordConfig,
+    ) -> &RecordedTrace {
+        self.baseline = Some(Snapshot::take(&self.hv, self.test_vm));
+        let recorder = Recorder { config };
+        let trace = recorder.record_workload(&mut self.hv, self.test_vm, label, ops);
+        self.db.insert(trace);
+        self.db.get(label).expect("just inserted")
+    }
+
+    /// Replay mode: optionally revert the dummy VM to the recording
+    /// baseline (§IV-B: *"reverting the test VM snapshot ... as a
+    /// starting point from which replaying"*), then submit the stored
+    /// trace. Returns the replay-side trace (with metrics when the mode
+    /// asks for them).
+    pub fn replay(&mut self, label: &str, mode: Mode, revert_to_baseline: bool) -> RecordedTrace {
+        assert_ne!(mode, Mode::Record, "use record() for record mode");
+        if revert_to_baseline {
+            if let Some(snap) = &self.baseline {
+                snap.revert_into(&mut self.hv, self.dummy_vm);
+            }
+        } else {
+            // Fresh dummy VM (the §VI-B cold-start configuration).
+            self.hv.rebuild_domain(self.dummy_vm, self.ram_bytes);
+        }
+        let trace = self.db.get(label).cloned().unwrap_or_default();
+        let mut engine = ReplayEngine::new(&mut self.hv, self.dummy_vm);
+        engine.replay_trace(&mut self.hv, &trace)
+    }
+
+    /// Submit one crafted seed (the fuzzer's path). The dummy VM keeps
+    /// whatever state previous submissions established.
+    pub fn submit_crafted(&mut self, seed: &VmSeed) -> crate::replay::ReplayOutcome {
+        let mut engine = ReplayEngine::new(&mut self.hv, self.dummy_vm);
+        engine.submit(&mut self.hv, seed)
+    }
+
+    /// Rebuild the dummy VM (fuzzer crash recovery).
+    pub fn reset_dummy_vm(&mut self) {
+        self.hv.rebuild_domain(self.dummy_vm, self.ram_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_guest::workloads::Workload;
+
+    #[test]
+    fn record_then_replay_through_the_manager() {
+        let mut mgr = IrisManager::new(16 << 20);
+        let ops = Workload::OsBoot.generate(300, 42);
+        let trace = mgr.record("OS BOOT", ops, RecordConfig::default());
+        assert_eq!(trace.seeds.len(), 300);
+
+        let replayed = mgr.replay("OS BOOT", Mode::ReplayWithMetrics, false);
+        assert_eq!(replayed.metrics.len(), 300);
+        let fit = crate::metrics::coverage_fitting(
+            mgr.db.get("OS BOOT").unwrap(),
+            &replayed,
+        );
+        assert!(fit.fitting_percent > 80.0, "fitting {fit:?}");
+    }
+
+    #[test]
+    fn replay_of_missing_label_is_empty() {
+        let mut mgr = IrisManager::new(16 << 20);
+        let replayed = mgr.replay("nope", Mode::Replay, false);
+        assert!(replayed.is_empty());
+    }
+
+    #[test]
+    fn baseline_revert_starts_dummy_from_test_vm_state() {
+        let mut mgr = IrisManager::new(16 << 20);
+        mgr.boot_test_vm();
+        let ops = Workload::CpuBound.generate(50, 1);
+        mgr.record("CPU-bound", ops, RecordConfig::default());
+        // With baseline revert, the dummy VM inherits the booted state
+        // and the post-boot seeds replay cleanly.
+        let replayed = mgr.replay("CPU-bound", Mode::ReplayWithMetrics, true);
+        assert_eq!(replayed.metrics.len(), 50);
+        assert!(!replayed.metrics.last().unwrap().crashed);
+        // Without it, the cold dummy VM crashes (§VI-B).
+        let cold = mgr.replay("CPU-bound", Mode::ReplayWithMetrics, false);
+        assert!(cold.metrics.len() < 50);
+    }
+}

@@ -1,0 +1,279 @@
+//! The recording component (§IV-A / §V-A).
+//!
+//! [`RecordHooks`] is the callback surface compiled into the hypervisor's
+//! `vmread()`/`vmwrite()` wrappers: for every VM exit it captures the VM
+//! seed ({field, value} read pairs + GPRs) and the metrics (the VMWRITE
+//! pairs, and — through the exit outcome — per-seed coverage and cycle
+//! timing). [`Recorder`] drives a workload through the hypervisor with
+//! those hooks attached and assembles the [`crate::trace::RecordedTrace`].
+
+use crate::seed::VmSeed;
+use crate::trace::{RecordedTrace, SeedMetrics};
+use iris_guest::event::GuestOp;
+use iris_guest::runner::GuestRunner;
+use iris_hv::costs;
+use iris_hv::hooks::VmxHooks;
+use iris_hv::hypervisor::Hypervisor;
+use iris_vtx::exit::ExitReason;
+use iris_vtx::fields::VmcsField;
+use iris_vtx::gpr::GprSet;
+
+/// What the recorder stores (§IV-C: *"the record mode can be configured
+/// to store VM seeds, metrics, or both"*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordConfig {
+    /// Capture VM seeds.
+    pub store_seeds: bool,
+    /// Capture metrics (coverage, VMWRITEs, timing).
+    pub store_metrics: bool,
+    /// §IX extension: also record the guest memory areas the workload
+    /// touches (EPT-style dirty logging), producing *memory-augmented*
+    /// seeds whose replay does not diverge on guest-memory-dependent
+    /// handler paths.
+    pub record_memory: bool,
+}
+
+impl Default for RecordConfig {
+    fn default() -> Self {
+        Self {
+            store_seeds: true,
+            store_metrics: true,
+            record_memory: false,
+        }
+    }
+}
+
+/// Per-exit capture state; implements the instrumentation callbacks.
+#[derive(Debug, Default)]
+pub struct RecordHooks {
+    reads: Vec<(VmcsField, u64)>,
+    writes: Vec<(VmcsField, u64)>,
+    gprs: GprSet,
+    cost: u64,
+    enabled: bool,
+}
+
+impl RecordHooks {
+    /// Hooks with recording enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Drain the capture into a seed + write list, resetting for the next
+    /// exit.
+    pub fn drain(&mut self, reason: ExitReason) -> (VmSeed, Vec<(VmcsField, u64)>) {
+        let mut seed = VmSeed::new(reason);
+        for (f, v) in self.reads.drain(..) {
+            seed.push_read(f, v);
+        }
+        seed.gprs = self.gprs;
+        (seed, std::mem::take(&mut self.writes))
+    }
+}
+
+impl VmxHooks for RecordHooks {
+    fn on_vmread(&mut self, field: VmcsField, real: u64) -> u64 {
+        if self.enabled {
+            self.reads.push((field, real));
+            self.cost += costs::RECORD_CALLBACK_CYCLES;
+        }
+        real
+    }
+
+    fn on_vmwrite(&mut self, field: VmcsField, value: u64) {
+        if self.enabled {
+            self.writes.push((field, value));
+            self.cost += costs::RECORD_CALLBACK_CYCLES;
+        }
+    }
+
+    fn on_handler_entry(&mut self, gprs: &GprSet) {
+        if self.enabled {
+            self.gprs = *gprs;
+            self.cost += costs::RECORD_BASE_CYCLES;
+        }
+    }
+
+    fn take_cycle_cost(&mut self) -> u64 {
+        std::mem::take(&mut self.cost)
+    }
+}
+
+/// Drives recording sessions.
+#[derive(Debug)]
+pub struct Recorder {
+    /// Configuration.
+    pub config: RecordConfig,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder storing seeds and metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            config: RecordConfig::default(),
+        }
+    }
+
+    /// Record the execution of `ops` on `domain` (the test VM). Returns
+    /// the trace of seeds + metrics, one per executed exit. Stops at a
+    /// crash, like the real system would.
+    pub fn record_workload<I: IntoIterator<Item = GuestOp>>(
+        &self,
+        hv: &mut Hypervisor,
+        domain: u16,
+        label: &str,
+        ops: I,
+    ) -> RecordedTrace {
+        hv.fuzzing_ctl.record_enabled = true;
+        if self.config.record_memory {
+            hv.domains[domain as usize]
+                .memory
+                .set_dirty_tracking(true);
+        }
+        let mut runner = GuestRunner::new(domain);
+        let mut hooks = RecordHooks::new();
+        let mut trace = RecordedTrace::new(label);
+        for op in ops {
+            let start_tsc = hv.tsc.now();
+            let outcome = runner.step(hv, &op, &mut hooks);
+            if self.config.record_memory {
+                trace
+                    .memory
+                    .push(hv.domains[domain as usize].memory.drain_dirty());
+            }
+            let reason = outcome
+                .handled_reason
+                .unwrap_or(ExitReason::PreemptionTimer);
+            let (seed, writes) = hooks.drain(reason);
+            if self.config.store_seeds {
+                trace.seeds.push(seed);
+            }
+            if self.config.store_metrics {
+                trace.metrics.push(SeedMetrics {
+                    reason,
+                    coverage: outcome.coverage.without_framework(),
+                    vmwrites: writes,
+                    handling_cycles: outcome.cycles,
+                    start_tsc,
+                    crashed: outcome.crash.is_some(),
+                });
+            }
+            if outcome.crash.is_some() {
+                break;
+            }
+        }
+        hv.fuzzing_ctl.record_enabled = false;
+        if self.config.record_memory {
+            hv.domains[domain as usize]
+                .memory
+                .set_dirty_tracking(false);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_guest::runner::fast_forward_boot;
+    use iris_guest::workloads::Workload;
+
+    fn record(workload: Workload, n: usize) -> (Hypervisor, RecordedTrace) {
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_hvm_domain(16 << 20);
+        if workload != Workload::OsBoot {
+            fast_forward_boot(&mut hv, dom);
+        }
+        let ops = workload.generate(n, 42);
+        let trace = Recorder::new().record_workload(&mut hv, dom, workload.label(), ops);
+        (hv, trace)
+    }
+
+    #[test]
+    fn recording_captures_one_seed_per_exit() {
+        let (_, trace) = record(Workload::CpuBound, 100);
+        assert_eq!(trace.seeds.len(), 100);
+        assert_eq!(trace.metrics.len(), 100);
+    }
+
+    #[test]
+    fn seeds_carry_the_pipeline_reads() {
+        let (_, trace) = record(Workload::CpuBound, 50);
+        for seed in &trace.seeds {
+            // Every exit's dispatch reads the reason and RIP.
+            assert!(seed.read_value(VmcsField::VmExitReason).is_some());
+            assert!(seed.read_value(VmcsField::GuestRip).is_some());
+        }
+    }
+
+    #[test]
+    fn seed_reasons_match_the_workload_mix() {
+        let (_, trace) = record(Workload::CpuBound, 300);
+        let rdtsc = trace
+            .seeds
+            .iter()
+            .filter(|s| s.reason == ExitReason::Rdtsc)
+            .count();
+        assert!(rdtsc > 180, "rdtsc seeds {rdtsc}");
+    }
+
+    #[test]
+    fn metrics_have_coverage_and_cycles() {
+        let (_, trace) = record(Workload::OsBoot, 100);
+        assert!(trace.metrics.iter().all(|m| m.handling_cycles > 0));
+        assert!(trace.metrics.iter().any(|m| m.coverage.lines() > 0));
+        // CR seeds produce VMWRITE metrics.
+        assert!(trace
+            .metrics
+            .iter()
+            .any(|m| m.reason == ExitReason::CrAccess && !m.vmwrites.is_empty()));
+    }
+
+    #[test]
+    fn seed_payload_respects_worst_case() {
+        let (_, trace) = record(Workload::OsBoot, 500);
+        for s in &trace.seeds {
+            assert!(s.payload_bytes() <= crate::seed::WORST_CASE_SEED_BYTES);
+        }
+    }
+
+    #[test]
+    fn recording_overhead_is_small() {
+        // Compare total handling cycles with and without recording:
+        // the paper's Fig. 10 shows 1.02%–1.25%.
+        let ops = Workload::CpuBound.generate(400, 42);
+
+        let mut hv1 = Hypervisor::new();
+        let d1 = hv1.create_hvm_domain(16 << 20);
+        fast_forward_boot(&mut hv1, d1);
+        let mut plain = 0u64;
+        let mut runner = GuestRunner::new(d1);
+        for op in &ops {
+            plain += runner.step(&mut hv1, op, &mut iris_hv::hooks::NoHooks).cycles;
+        }
+
+        let mut hv2 = Hypervisor::new();
+        let d2 = hv2.create_hvm_domain(16 << 20);
+        fast_forward_boot(&mut hv2, d2);
+        let trace = Recorder::new().record_workload(&mut hv2, d2, "cpu", ops);
+        let recorded: u64 = trace.metrics.iter().map(|m| m.handling_cycles).sum();
+
+        let overhead = recorded as f64 / plain as f64 - 1.0;
+        assert!(
+            (0.001..0.04).contains(&overhead),
+            "record overhead {:.3}%",
+            overhead * 100.0
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! The replaying component (§IV-B / §V-B).
+//!
+//! Replay submits recorded (or crafted) seeds to the hypervisor through a
+//! **dummy VM** whose VMX-preemption timer is armed with zero: every VM
+//! entry immediately exits again before any guest instruction runs. Per
+//! seed, the engine
+//!
+//! 1. copies the seed's GPRs into the hypervisor save area (*"GPR values
+//!    are simply copied to the corresponding hypervisor data
+//!    structures"*),
+//! 2. rewrites **writable** seed fields into the VMCS with `vmwrite()`,
+//! 3. loads **read-only** (VM-exit information) seed fields into the
+//!    `vmread()` interposition map (*"we modify only the return value of
+//!    the VMREADs"*),
+//! 4. triggers the preemption-timer exit and lets the full pipeline —
+//!    dispatch on the (interposed) recorded reason, handler, interrupt
+//!    assist, **VM-entry checks** — run normally.
+
+use crate::seed::VmSeed;
+use crate::trace::{RecordedTrace, SeedMetrics};
+use iris_hv::costs;
+use iris_hv::hooks::VmxHooks;
+use iris_hv::hypervisor::{ExitEvent, ExitOutcome, Hypervisor};
+use iris_vtx::exit::ExitReason;
+use iris_vtx::fields::VmcsField;
+use iris_vtx::gpr::GprSet;
+use std::collections::BTreeMap;
+
+/// Interposition state for one replayed seed.
+#[derive(Debug, Default)]
+pub struct ReplayHooks {
+    /// Read-only field substitutions (the recorded values).
+    overrides: BTreeMap<VmcsField, u64>,
+    /// VMWRITEs observed during replay (metrics for accuracy analysis).
+    writes: Vec<(VmcsField, u64)>,
+    cost: u64,
+}
+
+impl ReplayHooks {
+    /// Hooks for one seed: `ops` is the number of submitted VMCS pairs
+    /// (drives the submission cycle cost).
+    #[must_use]
+    pub fn for_seed(overrides: BTreeMap<VmcsField, u64>, ops: usize) -> Self {
+        Self {
+            overrides,
+            writes: Vec::new(),
+            cost: costs::REPLAY_BASE_CYCLES + ops as u64 * costs::REPLAY_PER_OP_CYCLES,
+        }
+    }
+
+    /// Drain the VMWRITEs captured while replaying.
+    pub fn take_writes(&mut self) -> Vec<(VmcsField, u64)> {
+        std::mem::take(&mut self.writes)
+    }
+}
+
+impl VmxHooks for ReplayHooks {
+    fn on_vmread(&mut self, field: VmcsField, real: u64) -> u64 {
+        self.overrides.get(&field).copied().unwrap_or(real)
+    }
+
+    fn on_vmwrite(&mut self, field: VmcsField, value: u64) {
+        self.writes.push((field, value));
+    }
+
+    fn take_cycle_cost(&mut self) -> u64 {
+        std::mem::take(&mut self.cost)
+    }
+}
+
+/// What one seed submission produced.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The raw exit outcome.
+    pub exit: ExitOutcome,
+    /// Metrics in the same shape the recorder produces, for accuracy
+    /// comparison.
+    pub metrics: SeedMetrics,
+}
+
+/// The replay engine bound to a dummy VM.
+#[derive(Debug)]
+pub struct ReplayEngine {
+    /// The dummy domain seeds are submitted through.
+    pub domain: u16,
+    /// Seeds submitted so far.
+    pub submitted: u64,
+}
+
+impl ReplayEngine {
+    /// Create a replay engine over an existing dummy domain, arming its
+    /// preemption timer with zero.
+    pub fn new(hv: &mut Hypervisor, domain: u16) -> Self {
+        let vcpu = &mut hv.domains[domain as usize].vcpus[0];
+        vcpu.preempt_timer.set_enabled(true);
+        vcpu.preempt_timer.load(0);
+        vcpu.vmcs.hw_write(VmcsField::GuestPreemptionTimer, 0);
+        hv.fuzzing_ctl.replay_enabled = true;
+        Self {
+            domain,
+            submitted: 0,
+        }
+    }
+
+    /// Submit one VM seed (recorded or crafted) to the hypervisor.
+    pub fn submit(&mut self, hv: &mut Hypervisor, seed: &VmSeed) -> ReplayOutcome {
+        let start_tsc = hv.tsc.now();
+
+        // (1) GPRs into the hypervisor save area, (2) writable fields into
+        // the VMCS, (3) read-only fields into the override map.
+        let mut overrides = BTreeMap::new();
+        {
+            let vcpu = &mut hv.domains[self.domain as usize].vcpus[0];
+            vcpu.gprs.copy_from(&seed.gprs);
+            for &(field, value) in &seed.reads {
+                if field.is_read_only() {
+                    overrides.insert(field, value);
+                } else {
+                    let _ = vcpu.vmcs.write(field, value);
+                }
+            }
+        }
+
+        // (4) the dummy VM's zero-armed preemption timer fires before any
+        // guest instruction; the recorded reason steers the dispatch via
+        // the interposed VM_EXIT_REASON read.
+        let ops = seed.reads.len() + GprSet::default().as_array().len();
+        let mut hooks = ReplayHooks::for_seed(overrides, ops);
+        let event = ExitEvent::new(ExitReason::PreemptionTimer);
+        let exit = hv.vm_exit(self.domain, &event, &mut hooks);
+        self.submitted += 1;
+
+        let metrics = SeedMetrics {
+            reason: exit.handled_reason.unwrap_or(seed.reason),
+            coverage: exit.coverage.without_framework(),
+            vmwrites: hooks.take_writes(),
+            handling_cycles: exit.cycles,
+            start_tsc,
+            crashed: exit.crash.is_some(),
+        };
+        ReplayOutcome { exit, metrics }
+    }
+
+    /// Replay a whole trace, producing a replay-side trace for accuracy
+    /// comparison. Stops on a crash (the dummy VM is gone).
+    ///
+    /// If the trace carries memory-augmented seeds (§IX extension), the
+    /// recorded guest-memory writes are applied to the dummy VM before
+    /// each seed, eliminating the guest-memory replay divergence.
+    pub fn replay_trace(&mut self, hv: &mut Hypervisor, trace: &RecordedTrace) -> RecordedTrace {
+        let mut out = RecordedTrace::new(&format!("{} (replay)", trace.label));
+        for (i, seed) in trace.seeds.iter().enumerate() {
+            if let Some(writes) = trace.memory.get(i) {
+                let mem = &mut hv.domains[self.domain as usize].memory;
+                for (gpa, data) in writes {
+                    let _ = mem.copy_to_guest(*gpa, data);
+                }
+            }
+            let r = self.submit(hv, seed);
+            out.seeds.push(seed.clone());
+            let stop = r.exit.crash.is_some();
+            out.metrics.push(r.metrics);
+            if stop {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Recorder;
+    use iris_guest::runner::fast_forward_boot;
+    use iris_guest::workloads::Workload;
+
+    fn record_trace(w: Workload, n: usize) -> RecordedTrace {
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_hvm_domain(16 << 20);
+        if w != Workload::OsBoot {
+            fast_forward_boot(&mut hv, dom);
+        }
+        Recorder::new().record_workload(&mut hv, dom, w.label(), w.generate(n, 42))
+    }
+
+    #[test]
+    fn replayed_seed_steers_dispatch_to_recorded_reason() {
+        let trace = record_trace(Workload::CpuBound, 20);
+        let mut hv = Hypervisor::new();
+        let dummy = hv.create_hvm_domain(16 << 20);
+        fast_forward_boot(&mut hv, dummy);
+        let mut engine = ReplayEngine::new(&mut hv, dummy);
+        let replayed = engine.replay_trace(&mut hv, &trace);
+        assert_eq!(replayed.metrics.len(), 20);
+        for (r, m) in trace.metrics.iter().zip(&replayed.metrics) {
+            assert_eq!(r.reason, m.reason, "replay followed the seed's reason");
+        }
+    }
+
+    #[test]
+    fn os_boot_replay_reaches_high_coverage_fitting() {
+        let trace = record_trace(Workload::OsBoot, 800);
+        let mut hv = Hypervisor::new();
+        let dummy = hv.create_hvm_domain(16 << 20);
+        let mut engine = ReplayEngine::new(&mut hv, dummy);
+        let replayed = engine.replay_trace(&mut hv, &trace);
+        assert_eq!(replayed.metrics.len(), 800, "no crash during boot replay");
+        let rec = trace.total_coverage().lines() as f64;
+        let rep = replayed.total_coverage().lines() as f64;
+        let fitting = rep / rec * 100.0;
+        assert!(fitting > 85.0, "OS_BOOT fitting {fitting:.1}%");
+    }
+
+    #[test]
+    fn replay_updates_hypervisor_internal_state() {
+        // Replaying the boot's CR0 seeds must walk the dummy vCPU's mode
+        // abstraction up the ladder — that is what makes the §VI-B
+        // experiment work.
+        let trace = record_trace(Workload::OsBoot, 400);
+        let mut hv = Hypervisor::new();
+        let dummy = hv.create_hvm_domain(16 << 20);
+        let mut engine = ReplayEngine::new(&mut hv, dummy);
+        engine.replay_trace(&mut hv, &trace);
+        let mode = hv.domains[dummy as usize].vcpus[0].hvm.mode;
+        assert!(
+            mode >= iris_vtx::cr::OperatingMode::Mode3,
+            "dummy VM mode after boot replay: {mode:?}"
+        );
+    }
+
+    #[test]
+    fn cold_dummy_vm_crashes_with_bad_rip_for_mode_0() {
+        // §VI-B: replaying post-boot seeds from a VM state without
+        // booting the OS crashes the dummy VM.
+        let trace = record_trace(Workload::CpuBound, 50);
+        let mut hv = Hypervisor::new();
+        let dummy = hv.create_hvm_domain(16 << 20);
+        let mut engine = ReplayEngine::new(&mut hv, dummy);
+        let replayed = engine.replay_trace(&mut hv, &trace);
+        assert!(replayed.metrics.len() < 50, "crashed early");
+        assert!(replayed.metrics.last().unwrap().crashed);
+        assert!(hv.log.grep("for mode 0").count() >= 1, "Xen's log message");
+    }
+
+    #[test]
+    fn post_boot_replay_completes_cpu_and_idle() {
+        // §VI-B continued: after replaying the OS_BOOT seeds, CPU-bound
+        // and IDLE replays complete.
+        let boot = record_trace(Workload::OsBoot, 400);
+        for w in [Workload::CpuBound, Workload::Idle] {
+            let trace = record_trace(w, 50);
+            let mut hv = Hypervisor::new();
+            let dummy = hv.create_hvm_domain(16 << 20);
+            let mut engine = ReplayEngine::new(&mut hv, dummy);
+            engine.replay_trace(&mut hv, &boot);
+            let replayed = engine.replay_trace(&mut hv, &trace);
+            assert_eq!(replayed.metrics.len(), 50, "{w:?} completed");
+            assert!(!replayed.metrics.last().unwrap().crashed);
+        }
+    }
+
+    #[test]
+    fn replay_is_faster_than_real_execution() {
+        let trace = record_trace(Workload::Idle, 200);
+        let real_ms = trace.wall_time_ms();
+        let mut hv = Hypervisor::new();
+        let dummy = hv.create_hvm_domain(16 << 20);
+        fast_forward_boot(&mut hv, dummy);
+        let mut engine = ReplayEngine::new(&mut hv, dummy);
+        let t0 = hv.tsc.now();
+        engine.replay_trace(&mut hv, &trace);
+        let replay_ms = (hv.tsc.now() - t0) as f64 / 3.6e6;
+        assert!(
+            replay_ms * 20.0 < real_ms,
+            "IDLE: replay {replay_ms:.1}ms vs real {real_ms:.1}ms"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The VM seed — the unit IRIS records, stores, mutates and replays.
+//!
+//! §IV: *"The VM seed includes the pairs of VMCS {field, value} read via
+//! VMREAD instructions, and the values of general-purpose registers (GPR),
+//! both obtained during the handling of a VM exit."*
+//!
+//! The wire format follows §V-A: an array of 10-byte records — *"i) a flag
+//! (1 byte) that indicates the kind of data; ii) the encoding (1 byte) of
+//! GPR (15 values) or VMCS fields; iii) the value (8 bytes)"* — with a
+//! worst case of 32 VMCS operations per exit, giving the paper's 470-byte
+//! pre-allocation: 32 × 10 + 15 × 10 = 470.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use iris_vtx::exit::ExitReason;
+use iris_vtx::fields::VmcsField;
+use iris_vtx::gpr::{Gpr, GprSet};
+use serde::{Deserialize, Serialize};
+
+/// Flag byte: the record carries a VMCS `{field, value}` read pair.
+pub const FLAG_VMCS: u8 = 0;
+/// Flag byte: the record carries a GPR value.
+pub const FLAG_GPR: u8 = 1;
+
+/// Maximum VMCS operations recorded per exit (§VI-D: *"In the worst case,
+/// we experimented 32 VMREAD/VMWRITE operations on the VMCS"*).
+pub const MAX_VMCS_OPS: usize = 32;
+
+/// Bytes per record entry (1 flag + 1 encoding + 8 value).
+pub const ENTRY_BYTES: usize = 10;
+
+/// The worst-case seed payload the recorder pre-allocates (§VI-D).
+pub const WORST_CASE_SEED_BYTES: usize = (MAX_VMCS_OPS + Gpr::COUNT) * ENTRY_BYTES;
+
+/// One recorded VM seed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmSeed {
+    /// The exit reason that qualifies the seed.
+    pub reason: ExitReason,
+    /// VMCS `{field, value}` pairs observed via `VMREAD`, in read order
+    /// (first occurrence per field).
+    pub reads: Vec<(VmcsField, u64)>,
+    /// The GPR save area at handler entry.
+    pub gprs: GprSet,
+}
+
+/// Errors decoding a seed from its wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedDecodeError {
+    /// Input shorter than the header or truncated mid-entry.
+    Truncated,
+    /// Unknown exit-reason number.
+    BadReason(u16),
+    /// Unknown flag byte.
+    BadFlag(u8),
+    /// Encoding byte does not name a known field/GPR.
+    BadEncoding(u8),
+}
+
+impl std::fmt::Display for SeedDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seed decode error: {self:?}")
+    }
+}
+
+impl std::error::Error for SeedDecodeError {}
+
+impl VmSeed {
+    /// An empty seed for a reason.
+    #[must_use]
+    pub fn new(reason: ExitReason) -> Self {
+        Self {
+            reason,
+            reads: Vec::new(),
+            gprs: GprSet::new(),
+        }
+    }
+
+    /// Record a read pair, keeping the first value per field and honouring
+    /// the [`MAX_VMCS_OPS`] cap.
+    pub fn push_read(&mut self, field: VmcsField, value: u64) {
+        if self.reads.len() < MAX_VMCS_OPS && !self.reads.iter().any(|(f, _)| *f == field) {
+            self.reads.push((field, value));
+        }
+    }
+
+    /// The recorded value for a field, if present.
+    #[must_use]
+    pub fn read_value(&self, field: VmcsField) -> Option<u64> {
+        self.reads.iter().find(|(f, _)| *f == field).map(|(_, v)| *v)
+    }
+
+    /// Payload size in the paper's wire format.
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        (self.reads.len() + Gpr::COUNT) * ENTRY_BYTES
+    }
+
+    /// Encode: `reason (u16 LE)` then one 10-byte record per read pair and
+    /// per GPR.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(2 + self.payload_bytes());
+        buf.put_u16_le(self.reason.number());
+        for (field, value) in &self.reads {
+            buf.put_u8(FLAG_VMCS);
+            buf.put_u8(field.compact_index());
+            buf.put_u64_le(*value);
+        }
+        for (gpr, value) in self.gprs.iter() {
+            buf.put_u8(FLAG_GPR);
+            buf.put_u8(gpr.encoding());
+            buf.put_u64_le(value);
+        }
+        buf.freeze()
+    }
+
+    /// Decode the wire format.
+    pub fn decode(mut data: &[u8]) -> Result<Self, SeedDecodeError> {
+        if data.len() < 2 {
+            return Err(SeedDecodeError::Truncated);
+        }
+        let reason_num = data.get_u16_le();
+        let reason =
+            ExitReason::from_number(reason_num).ok_or(SeedDecodeError::BadReason(reason_num))?;
+        let mut seed = VmSeed::new(reason);
+        while data.has_remaining() {
+            if data.remaining() < ENTRY_BYTES {
+                return Err(SeedDecodeError::Truncated);
+            }
+            let flag = data.get_u8();
+            let encoding = data.get_u8();
+            let value = data.get_u64_le();
+            match flag {
+                FLAG_VMCS => {
+                    let field = VmcsField::from_compact_index(encoding)
+                        .ok_or(SeedDecodeError::BadEncoding(encoding))?;
+                    seed.reads.push((field, value));
+                }
+                FLAG_GPR => {
+                    let gpr = Gpr::from_encoding(encoding)
+                        .ok_or(SeedDecodeError::BadEncoding(encoding))?;
+                    seed.gprs.set(gpr, value);
+                }
+                other => return Err(SeedDecodeError::BadFlag(other)),
+            }
+        }
+        Ok(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_seed() -> VmSeed {
+        let mut s = VmSeed::new(ExitReason::CrAccess);
+        s.push_read(VmcsField::VmExitReason, 28);
+        s.push_read(VmcsField::ExitQualification, 0x0);
+        s.push_read(VmcsField::GuestRip, 0x10_0000);
+        s.push_read(VmcsField::Cr0GuestHostMask, 0xe000_0031);
+        s.gprs.set(Gpr::Rax, 0x11);
+        s.gprs.set(Gpr::R15, 0xffff_ffff_dead_beef);
+        s
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let s = sample_seed();
+        let decoded = VmSeed::decode(&s.encode()).unwrap();
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn worst_case_is_the_papers_470_bytes() {
+        assert_eq!(WORST_CASE_SEED_BYTES, 470);
+    }
+
+    #[test]
+    fn payload_size_matches_entry_count() {
+        let s = sample_seed();
+        assert_eq!(s.payload_bytes(), (4 + 15) * 10);
+        assert_eq!(s.encode().len(), 2 + s.payload_bytes());
+    }
+
+    #[test]
+    fn push_read_dedupes_and_caps() {
+        let mut s = VmSeed::new(ExitReason::Rdtsc);
+        s.push_read(VmcsField::GuestRip, 1);
+        s.push_read(VmcsField::GuestRip, 2); // dup: first value wins
+        assert_eq!(s.read_value(VmcsField::GuestRip), Some(1));
+        for &f in VmcsField::ALL.iter().take(40) {
+            s.push_read(f, 0);
+        }
+        assert!(s.reads.len() <= MAX_VMCS_OPS);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(VmSeed::decode(&[1]), Err(SeedDecodeError::Truncated));
+        assert_eq!(
+            VmSeed::decode(&[0xff, 0xff]),
+            Err(SeedDecodeError::BadReason(0xffff))
+        );
+        let mut good = sample_seed().encode().to_vec();
+        good.truncate(good.len() - 1);
+        assert_eq!(VmSeed::decode(&good), Err(SeedDecodeError::Truncated));
+        // Bad flag byte.
+        let mut bad = sample_seed().encode().to_vec();
+        bad[2] = 9;
+        assert_eq!(VmSeed::decode(&bad), Err(SeedDecodeError::BadFlag(9)));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_field_encoding() {
+        let mut s = VmSeed::new(ExitReason::Rdtsc).encode().to_vec();
+        s.extend_from_slice(&[FLAG_VMCS, 0xf0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            VmSeed::decode(&s),
+            Err(SeedDecodeError::BadEncoding(0xf0))
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! The VM-seed database (the `VM seed DB` box of the paper's Fig. 3).
+//!
+//! Stores recorded traces keyed by label, with two persistence formats:
+//! the compact 10-byte-record binary codec for seeds (the paper's wire
+//! format) and JSON for full traces including metrics.
+
+use crate::seed::VmSeed;
+use crate::trace::RecordedTrace;
+use bytes::{Buf, BufMut, BytesMut};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// In-memory seed store with file persistence.
+#[derive(Debug, Default)]
+pub struct SeedDb {
+    traces: BTreeMap<String, RecordedTrace>,
+}
+
+impl SeedDb {
+    /// Empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a trace under its label.
+    pub fn insert(&mut self, trace: RecordedTrace) {
+        self.traces.insert(trace.label.clone(), trace);
+    }
+
+    /// Fetch a trace by label.
+    #[must_use]
+    pub fn get(&self, label: &str) -> Option<&RecordedTrace> {
+        self.traces.get(label)
+    }
+
+    /// Labels in the database.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.traces.keys().map(String::as_str)
+    }
+
+    /// Number of stored traces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the database is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Serialize one trace's seeds to the compact binary format:
+    /// `count (u32 LE)` then length-prefixed encoded seeds.
+    #[must_use]
+    pub fn encode_seeds(trace: &RecordedTrace) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(trace.seeds.len() as u32);
+        for seed in &trace.seeds {
+            let enc = seed.encode();
+            buf.put_u32_le(enc.len() as u32);
+            buf.put_slice(&enc);
+        }
+        buf.to_vec()
+    }
+
+    /// Decode seeds from the compact binary format.
+    pub fn decode_seeds(mut data: &[u8]) -> io::Result<Vec<VmSeed>> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_owned());
+        if data.remaining() < 4 {
+            return Err(bad("missing header"));
+        }
+        let count = data.get_u32_le() as usize;
+        let mut out = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            if data.remaining() < 4 {
+                return Err(bad("truncated length"));
+            }
+            let len = data.get_u32_le() as usize;
+            if data.remaining() < len {
+                return Err(bad("truncated seed"));
+            }
+            let seed = VmSeed::decode(&data[..len])
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            data.advance(len);
+            out.push(seed);
+        }
+        Ok(out)
+    }
+
+    /// Persist one trace as JSON (seeds + metrics).
+    pub fn save_json(trace: &RecordedTrace, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_vec_pretty(trace)?;
+        std::fs::write(path, json)
+    }
+
+    /// Load a JSON trace.
+    pub fn load_json(path: &Path) -> io::Result<RecordedTrace> {
+        let data = std::fs::read(path)?;
+        Ok(serde_json::from_slice(&data)?)
+    }
+
+    /// Persist one trace's seeds in the binary format.
+    pub fn save_seeds_binary(trace: &RecordedTrace, path: &Path) -> io::Result<()> {
+        std::fs::write(path, Self::encode_seeds(trace))
+    }
+
+    /// Load binary seeds as a bare trace (no metrics).
+    pub fn load_seeds_binary(label: &str, path: &Path) -> io::Result<RecordedTrace> {
+        let data = std::fs::read(path)?;
+        let mut t = RecordedTrace::new(label);
+        t.seeds = Self::decode_seeds(&data)?;
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_vtx::exit::ExitReason;
+    use iris_vtx::fields::VmcsField;
+
+    fn sample_trace() -> RecordedTrace {
+        let mut t = RecordedTrace::new("sample");
+        for i in 0..5u64 {
+            let mut s = VmSeed::new(ExitReason::Rdtsc);
+            s.push_read(VmcsField::GuestRip, 0x1000 + i);
+            s.push_read(VmcsField::TscOffset, i);
+            t.seeds.push(s);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut db = SeedDb::new();
+        db.insert(sample_trace());
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get("sample").unwrap().seeds.len(), 5);
+        assert_eq!(db.labels().collect::<Vec<_>>(), vec!["sample"]);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample_trace();
+        let enc = SeedDb::encode_seeds(&t);
+        let seeds = SeedDb::decode_seeds(&enc).unwrap();
+        assert_eq!(seeds, t.seeds);
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let t = sample_trace();
+        let enc = SeedDb::encode_seeds(&t);
+        assert!(SeedDb::decode_seeds(&enc[..enc.len() - 3]).is_err());
+        assert!(SeedDb::decode_seeds(&[1]).is_err());
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let dir = std::env::temp_dir().join("iris-seed-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = sample_trace();
+
+        let jp = dir.join("t.json");
+        SeedDb::save_json(&t, &jp).unwrap();
+        assert_eq!(SeedDb::load_json(&jp).unwrap(), t);
+
+        let bp = dir.join("t.seeds");
+        SeedDb::save_seeds_binary(&t, &bp).unwrap();
+        let back = SeedDb::load_seeds_binary("sample", &bp).unwrap();
+        assert_eq!(back.seeds, t.seeds);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,105 @@
+//! VM snapshots.
+//!
+//! §IV-B: *"IRIS allows reverting the test VM snapshot saved at the start
+//! of recording, and using it as a starting point from which replaying VM
+//! seeds via the dummy VM"* — and §VI-B uses the same snapshot to unbias
+//! the accuracy comparison. A snapshot captures the full domain (vCPU,
+//! VMCS, memory, devices, EPT) and can be reverted into any domain slot.
+
+use iris_hv::domain::Domain;
+use iris_hv::hypervisor::Hypervisor;
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time copy of one domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The captured domain state.
+    domain: Domain,
+    /// TSC value at capture time (diagnostics only; reverting does not
+    /// rewind the platform clock).
+    pub taken_at_tsc: u64,
+}
+
+impl Snapshot {
+    /// Capture a domain.
+    #[must_use]
+    pub fn take(hv: &Hypervisor, domain_id: u16) -> Snapshot {
+        Snapshot {
+            domain: hv.domains[domain_id as usize].clone(),
+            taken_at_tsc: hv.tsc.now(),
+        }
+    }
+
+    /// Revert the snapshot into a domain slot (usually the one it came
+    /// from, but the replay flow reverts the *test VM* image into the
+    /// *dummy VM* slot to start both sides from the same state).
+    pub fn revert_into(&self, hv: &mut Hypervisor, domain_id: u16) {
+        let mut d = self.domain.clone();
+        d.id = domain_id;
+        hv.domains[domain_id as usize] = d;
+    }
+
+    /// The captured domain's id.
+    #[must_use]
+    pub fn source_domain(&self) -> u16 {
+        self.domain.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_vtx::fields::VmcsField;
+
+    #[test]
+    fn snapshot_revert_round_trips_state() {
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_hvm_domain(16 << 20);
+        hv.domains[dom as usize].vcpus[0]
+            .vmcs
+            .hw_write(VmcsField::GuestRip, 0x1234);
+        hv.domains[dom as usize]
+            .memory
+            .copy_to_guest(0x100, b"state")
+            .unwrap();
+        let snap = Snapshot::take(&hv, dom);
+
+        // Mutate, then revert.
+        hv.domains[dom as usize].vcpus[0]
+            .vmcs
+            .hw_write(VmcsField::GuestRip, 0x9999);
+        hv.domains[dom as usize].memory.wipe();
+        snap.revert_into(&mut hv, dom);
+
+        assert_eq!(
+            hv.domains[dom as usize].vcpus[0]
+                .vmcs
+                .read(VmcsField::GuestRip)
+                .unwrap(),
+            0x1234
+        );
+        let mut buf = [0u8; 5];
+        hv.domains[dom as usize]
+            .memory
+            .copy_from_guest(0x100, &mut buf)
+            .unwrap();
+        assert_eq!(&buf, b"state");
+    }
+
+    #[test]
+    fn snapshot_can_seed_a_different_slot() {
+        let mut hv = Hypervisor::new();
+        let test_vm = hv.create_hvm_domain(16 << 20);
+        let dummy_vm = hv.create_hvm_domain(16 << 20);
+        hv.domains[test_vm as usize].vcpus[0]
+            .hvm
+            .update_cr0(iris_vtx::cr::cr0::PE | iris_vtx::cr::cr0::ET);
+        let snap = Snapshot::take(&hv, test_vm);
+        snap.revert_into(&mut hv, dummy_vm);
+        assert_eq!(
+            hv.domains[dummy_vm as usize].vcpus[0].hvm.mode,
+            iris_vtx::cr::OperatingMode::Mode2
+        );
+        assert_eq!(hv.domains[dummy_vm as usize].id, dummy_vm);
+    }
+}

@@ -1,0 +1,30 @@
+//! Decoder robustness: arbitrary bytes never panic the seed or seed-DB
+//! codecs (they come from disk and, in a deployment, from untrusted
+//! fuzzing corpora).
+
+use iris_core::seed::VmSeed;
+use iris_core::seed_db::SeedDb;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn seed_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = VmSeed::decode(&bytes);
+    }
+
+    #[test]
+    fn seed_db_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = SeedDb::decode_seeds(&bytes);
+    }
+
+    #[test]
+    fn valid_prefix_with_garbage_suffix_errors_cleanly(
+        garbage in proptest::collection::vec(any::<u8>(), 1..9)
+    ) {
+        let mut s = VmSeed::new(iris_vtx::exit::ExitReason::Rdtsc);
+        s.push_read(iris_vtx::fields::VmcsField::GuestRip, 7);
+        let mut bytes = s.encode().to_vec();
+        bytes.extend(&garbage); // not a multiple of the record size
+        prop_assert!(VmSeed::decode(&bytes).is_err());
+    }
+}

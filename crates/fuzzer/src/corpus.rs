@@ -1,0 +1,117 @@
+//! The crash corpus (§VII-3).
+//!
+//! *"In these cases, the test case, as well as the submitted VM seeds,
+//! are saved for further investigation with the aim of crash analysis to
+//! reveal potential bugs in the source code."*
+
+use crate::failure::FailureKind;
+use crate::mutation::AppliedMutation;
+use crate::testcase::TestCase;
+use iris_core::seed::VmSeed;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// One saved crash: everything needed to reproduce it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashRecord {
+    /// The planned test case that found it.
+    pub testcase: TestCase,
+    /// Which mutant in the sequence (0-based).
+    pub mutant_index: usize,
+    /// The mutated seed that was submitted.
+    pub seed: VmSeed,
+    /// The mutation that produced it.
+    pub mutation: Option<AppliedMutation>,
+    /// The classification.
+    pub kind: FailureKind,
+    /// The console message the crash left.
+    pub console: String,
+}
+
+/// A collection of crash records.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    /// All saved crashes, in discovery order.
+    pub crashes: Vec<CrashRecord>,
+}
+
+impl Corpus {
+    /// Empty corpus.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Save a crash.
+    pub fn push(&mut self, record: CrashRecord) {
+        self.crashes.push(record);
+    }
+
+    /// Number of saved crashes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Whether any crash was saved.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+    }
+
+    /// Crashes of one kind.
+    pub fn of_kind(&self, kind: FailureKind) -> impl Iterator<Item = &CrashRecord> {
+        self.crashes.iter().filter(move |c| c.kind == kind)
+    }
+
+    /// Persist as JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, serde_json::to_vec_pretty(self)?)
+    }
+
+    /// Load from JSON.
+    pub fn load(path: &Path) -> io::Result<Corpus> {
+        Ok(serde_json::from_slice(&std::fs::read(path)?)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::SeedArea;
+    use iris_guest::workloads::Workload;
+    use iris_vtx::exit::ExitReason;
+
+    fn record(kind: FailureKind) -> CrashRecord {
+        CrashRecord {
+            testcase: TestCase::new(
+                Workload::OsBoot,
+                1,
+                ExitReason::CrAccess,
+                SeedArea::Vmcs,
+                0,
+            ),
+            mutant_index: 42,
+            seed: VmSeed::new(ExitReason::CrAccess),
+            mutation: None,
+            kind,
+            console: "FATAL: unexpected VM exit reason 7".to_owned(),
+        }
+    }
+
+    #[test]
+    fn push_filter_and_persist() {
+        let mut c = Corpus::new();
+        c.push(record(FailureKind::VmCrash));
+        c.push(record(FailureKind::HypervisorCrash));
+        c.push(record(FailureKind::HypervisorCrash));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.of_kind(FailureKind::HypervisorCrash).count(), 2);
+
+        let p = std::env::temp_dir().join("iris-corpus-test.json");
+        c.save(&p).unwrap();
+        assert_eq!(Corpus::load(&p).unwrap(), c);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,135 @@
+//! Failure detection and classification (§VII-3).
+//!
+//! *"By using scripts that analyze hypervisor behavior and logs, the PoC
+//! fuzzer can detect failures occurring during the execution of test
+//! cases, that we classify as hypervisor or VM crashes."* The model gives
+//! us typed crash values *and* the console ring; the classifier uses the
+//! typed value and cross-checks the log, like the paper's scripts grep
+//! `xl dmesg`.
+
+use iris_hv::crash::Crash;
+use iris_hv::log::LogRing;
+use serde::{Deserialize, Serialize};
+
+/// Classified failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The dummy/test domain crashed; the hypervisor survived.
+    VmCrash,
+    /// The hypervisor itself died.
+    HypervisorCrash,
+}
+
+/// Failure counters for a fuzzing sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureStats {
+    /// Mutants submitted.
+    pub submitted: u64,
+    /// VM crashes observed.
+    pub vm_crashes: u64,
+    /// Hypervisor crashes observed.
+    pub hv_crashes: u64,
+}
+
+impl FailureStats {
+    /// Record one outcome.
+    pub fn record(&mut self, crash: Option<&Crash>) {
+        self.submitted += 1;
+        match crash {
+            None => {}
+            Some(c) if c.is_hypervisor() => self.hv_crashes += 1,
+            Some(_) => self.vm_crashes += 1,
+        }
+    }
+
+    /// VM-crash rate in percent (the paper's ≈1% for VMCS mutation).
+    #[must_use]
+    pub fn vm_crash_percent(&self) -> f64 {
+        percent(self.vm_crashes, self.submitted)
+    }
+
+    /// Hypervisor-crash rate in percent (the paper's ≈15%).
+    #[must_use]
+    pub fn hv_crash_percent(&self) -> f64 {
+        percent(self.hv_crashes, self.submitted)
+    }
+}
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+/// Classify a crash, cross-checking the console the way the paper's
+/// log-analysis scripts do. Returns `None` for no crash.
+#[must_use]
+pub fn classify(crash: Option<&Crash>, log: &LogRing) -> Option<FailureKind> {
+    match crash {
+        None => None,
+        Some(Crash::Hypervisor(_)) => {
+            debug_assert!(
+                log.grep("FATAL").next().is_some() || log.grep("Xen BUG").next().is_some(),
+                "hypervisor crash must leave a console banner"
+            );
+            Some(FailureKind::HypervisorCrash)
+        }
+        Some(Crash::Domain { .. }) => Some(FailureKind::VmCrash),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_hv::crash::{DomainCrashReason, HypervisorCrashReason};
+    use iris_hv::log::Level;
+
+    #[test]
+    fn stats_accumulate_and_percent() {
+        let mut s = FailureStats::default();
+        for _ in 0..97 {
+            s.record(None);
+        }
+        s.record(Some(&Crash::Domain {
+            domain: 2,
+            reason: DomainCrashReason::TripleFault,
+        }));
+        s.record(Some(&Crash::Hypervisor(
+            HypervisorCrashReason::UnhandledExit { reason: 5 },
+        )));
+        s.record(Some(&Crash::Hypervisor(
+            HypervisorCrashReason::UnhandledExit { reason: 6 },
+        )));
+        assert_eq!(s.submitted, 100);
+        assert!((s.vm_crash_percent() - 1.0).abs() < 1e-9);
+        assert!((s.hv_crash_percent() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classification_matches_crash_type() {
+        let mut log = LogRing::default();
+        log.push(0, Level::Crit, "FATAL: unexpected VM exit reason 5");
+        assert_eq!(
+            classify(
+                Some(&Crash::Hypervisor(HypervisorCrashReason::UnhandledExit {
+                    reason: 5
+                })),
+                &log
+            ),
+            Some(FailureKind::HypervisorCrash)
+        );
+        assert_eq!(
+            classify(
+                Some(&Crash::Domain {
+                    domain: 1,
+                    reason: DomainCrashReason::DoubleFault
+                }),
+                &log
+            ),
+            Some(FailureKind::VmCrash)
+        );
+        assert_eq!(classify(None, &log), None);
+    }
+}

@@ -1,0 +1,216 @@
+//! Coverage-guided fuzzing (§IX: *"We plan to experiment Intel PT in
+//! IRIS to make feasible an efficient coverage-guided fuzzer"*).
+//!
+//! A greybox loop on top of the replay engine: a corpus of VM seeds is
+//! scheduled round-robin; each scheduled seed is mutated with a rotating
+//! [`Strategy`]; mutants that discover coverage the campaign has never
+//! seen are promoted into the corpus (becoming future mutation bases),
+//! crashes are recorded, and the loop continues for a fixed budget —
+//! the classic AFL feedback cycle, with IRIS seeds as the input format
+//! and the hypervisor's basic-block bitmap as the feedback channel.
+
+use crate::failure::FailureStats;
+use crate::mutation::SeedArea;
+use crate::strategies::{mutate_with, Strategy};
+use iris_core::replay::ReplayEngine;
+use iris_core::seed::VmSeed;
+use iris_core::trace::RecordedTrace;
+use iris_hv::coverage::CoverageMap;
+use iris_hv::hypervisor::Hypervisor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of a guided run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuidedResult {
+    /// Mutants executed.
+    pub executions: u64,
+    /// Corpus size at the end (initial seeds + promoted mutants).
+    pub corpus_size: usize,
+    /// Mutants promoted for discovering new coverage.
+    pub promotions: u64,
+    /// Total unique lines discovered over the whole run.
+    pub total_lines: u64,
+    /// Lines the initial seeds alone covered (the baseline).
+    pub baseline_lines: u64,
+    /// Failure statistics.
+    pub failures: FailureStats,
+    /// Coverage growth: total lines after each 1/16 of the budget.
+    pub growth: Vec<u64>,
+}
+
+/// Configuration for a guided run.
+#[derive(Debug, Clone, Copy)]
+pub struct GuidedConfig {
+    /// Total mutant executions.
+    pub budget: u64,
+    /// RNG seed.
+    pub rng_seed: u64,
+    /// Dummy-VM RAM.
+    pub ram_bytes: u64,
+}
+
+impl Default for GuidedConfig {
+    fn default() -> Self {
+        Self {
+            budget: 2_000,
+            rng_seed: 42,
+            ram_bytes: 16 << 20,
+        }
+    }
+}
+
+/// Run the coverage-guided loop seeded from a recorded trace.
+///
+/// The initial corpus is a sample of the trace's seeds (one per distinct
+/// exit reason — the trace's "dictionary" of behaviours).
+#[must_use]
+pub fn run_guided(trace: &RecordedTrace, config: GuidedConfig) -> GuidedResult {
+    let mut rng = SmallRng::seed_from_u64(config.rng_seed);
+
+    // Initial corpus: first seed of each distinct reason.
+    let mut corpus: Vec<VmSeed> = Vec::new();
+    for seed in &trace.seeds {
+        if !corpus.iter().any(|s| s.reason == seed.reason) {
+            corpus.push(seed.clone());
+        }
+    }
+    if corpus.is_empty() {
+        return GuidedResult {
+            executions: 0,
+            corpus_size: 0,
+            promotions: 0,
+            total_lines: 0,
+            baseline_lines: 0,
+            failures: FailureStats::default(),
+            growth: Vec::new(),
+        };
+    }
+
+    // One long-lived stack; rebuilt on crashes.
+    let build = |_rng: &mut SmallRng| -> (Hypervisor, ReplayEngine) {
+        let mut hv = Hypervisor::new();
+        let dummy = hv.create_hvm_domain(config.ram_bytes);
+        iris_guest::runner::fast_forward_boot(&mut hv, dummy);
+        let engine = ReplayEngine::new(&mut hv, dummy);
+        (hv, engine)
+    };
+    let (mut hv, mut engine) = build(&mut rng);
+
+    // Baseline: run the initial corpus once.
+    let mut seen = CoverageMap::new();
+    for seed in &corpus {
+        let out = engine.submit(&mut hv, seed);
+        seen.merge(&out.metrics.coverage);
+        if out.exit.crash.is_some() {
+            let (h, e) = build(&mut rng);
+            hv = h;
+            engine = e;
+        }
+    }
+    let baseline_lines = seen.lines();
+
+    let mut failures = FailureStats::default();
+    let mut promotions = 0u64;
+    let mut growth = Vec::new();
+    let checkpoint = (config.budget / 16).max(1);
+
+    for i in 0..config.budget {
+        let base_idx = (i % corpus.len() as u64) as usize;
+        let strategy = Strategy::ALL[(i as usize / corpus.len()) % Strategy::ALL.len()];
+        let area = if rng.gen_bool(0.7) {
+            SeedArea::Vmcs
+        } else {
+            SeedArea::Gpr
+        };
+        let donor_idx = rng.gen_range(0..corpus.len());
+        let mutant = {
+            let base = &corpus[base_idx];
+            let donor = &corpus[donor_idx];
+            mutate_with(base, area, strategy, Some(donor), &mut rng)
+        };
+
+        let out = engine.submit(&mut hv, &mutant);
+        failures.record(out.exit.crash.as_ref());
+
+        let new_lines = seen.new_lines_from(&out.metrics.coverage);
+        if new_lines > 0 {
+            seen.merge(&out.metrics.coverage);
+            // Feedback: interesting mutants join the corpus.
+            corpus.push(mutant);
+            promotions += 1;
+        }
+
+        if out.exit.crash.is_some() {
+            let (h, e) = build(&mut rng);
+            hv = h;
+            engine = e;
+        }
+        if (i + 1) % checkpoint == 0 {
+            growth.push(seen.lines());
+        }
+    }
+
+    GuidedResult {
+        executions: config.budget,
+        corpus_size: corpus.len(),
+        promotions,
+        total_lines: seen.lines(),
+        baseline_lines,
+        failures,
+        growth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_core::record::Recorder;
+    use iris_guest::workloads::Workload;
+
+    fn boot_trace() -> RecordedTrace {
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_hvm_domain(16 << 20);
+        Recorder::new().record_workload(&mut hv, dom, "OS BOOT", Workload::OsBoot.generate(250, 42))
+    }
+
+    #[test]
+    fn guided_loop_discovers_and_promotes() {
+        let trace = boot_trace();
+        let r = run_guided(
+            &trace,
+            GuidedConfig {
+                budget: 400,
+                ..GuidedConfig::default()
+            },
+        );
+        assert_eq!(r.executions, 400);
+        assert!(r.total_lines > r.baseline_lines, "{r:?}");
+        assert!(r.promotions > 0, "feedback must promote mutants");
+        assert!(r.corpus_size > 5);
+        // Growth curve is monotone.
+        assert!(r.growth.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn guided_loop_is_deterministic() {
+        let trace = boot_trace();
+        let cfg = GuidedConfig {
+            budget: 150,
+            ..GuidedConfig::default()
+        };
+        let a = run_guided(&trace, cfg);
+        let b = run_guided(&trace, cfg);
+        assert_eq!(a.total_lines, b.total_lines);
+        assert_eq!(a.promotions, b.promotions);
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn empty_trace_is_a_no_op() {
+        let r = run_guided(&RecordedTrace::new("empty"), GuidedConfig::default());
+        assert_eq!(r.executions, 0);
+        assert_eq!(r.corpus_size, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # iris-fuzzer — the IRIS-based fuzzer prototype (§VII)
+//!
+//! The paper's proof of concept: use IRIS replay to move the hypervisor
+//! into a valid VM state by replaying recorded seeds, pick a target
+//! `VM_seed_R`, generate `M` single-bit-flip mutants of its VMCS or GPR
+//! area, submit them as a *fuzzing sequence*, and observe new coverage
+//! and crashes.
+//!
+//! * [`mutation`] — the bit-flip rules over the two seed areas.
+//! * [`strategies`] — extended greybox mutations (havoc, arith,
+//!   interesting values, splice) per the paper's §IX future work.
+//! * [`guided`] — a coverage-guided feedback loop over the replay
+//!   engine, also from §IX.
+//! * [`testcase`] — `(W, VM_seed_R, A, M)` test-case planning.
+//! * [`campaign`] — replay-to-state, baseline, sequence, recovery.
+//! * [`failure`] — VM-crash vs hypervisor-crash classification.
+//! * [`corpus`] — reproducible crash records.
+//! * [`table1`] — assembly of the paper's Table I.
+//!
+//! ```
+//! use iris_core::record::Recorder;
+//! use iris_fuzzer::campaign::Campaign;
+//! use iris_fuzzer::mutation::SeedArea;
+//! use iris_fuzzer::testcase::TestCase;
+//! use iris_guest::workloads::Workload;
+//! use iris_hv::hypervisor::Hypervisor;
+//! use iris_vtx::exit::ExitReason;
+//!
+//! let mut hv = Hypervisor::new();
+//! let dom = hv.create_hvm_domain(16 << 20);
+//! let trace = Recorder::new().record_workload(
+//!     &mut hv, dom, "OS BOOT", Workload::OsBoot.generate(80, 42));
+//! let idx = trace.seeds.iter().position(|s| s.reason == ExitReason::CrAccess).unwrap();
+//! let tc = TestCase { mutants: 25, ..TestCase::new(
+//!     Workload::OsBoot, idx, ExitReason::CrAccess, SeedArea::Vmcs, 7) };
+//! let result = Campaign::new().run_test_case(&trace, &tc);
+//! assert!(result.baseline_lines > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod corpus;
+pub mod failure;
+pub mod guided;
+pub mod mutation;
+pub mod strategies;
+pub mod table1;
+pub mod testcase;
+
+pub use campaign::{Campaign, TestCaseResult};
+pub use guided::{run_guided, GuidedConfig, GuidedResult};
+pub use corpus::{Corpus, CrashRecord};
+pub use failure::{FailureKind, FailureStats};
+pub use mutation::{mutate, AppliedMutation, SeedArea};
+pub use strategies::{mutate_with, Strategy};
+pub use table1::Table1;
+pub use testcase::TestCase;

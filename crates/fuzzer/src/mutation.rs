@@ -1,0 +1,133 @@
+//! Mutation rules (§VII-2).
+//!
+//! The PoC fuzzer's rule is deliberately naive: *"a single bit-flip in
+//! the VM seed area. Specifically, the fuzzer randomly selects a VMCS
+//! field or a general-purpose register and then bit-flips the value."*
+
+use iris_core::seed::VmSeed;
+use iris_vtx::gpr::Gpr;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which area of the seed to mutate (the paper's `A = {VMCS, GPR}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeedArea {
+    /// The VMCS `{field, value}` read pairs.
+    Vmcs,
+    /// The general-purpose register block.
+    Gpr,
+}
+
+impl SeedArea {
+    /// Both areas, in the paper's column order.
+    pub const ALL: [SeedArea; 2] = [SeedArea::Vmcs, SeedArea::Gpr];
+
+    /// Table label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SeedArea::Vmcs => "VMCS",
+            SeedArea::Gpr => "GPR",
+        }
+    }
+}
+
+/// A concrete mutation that was applied (for crash reproduction).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppliedMutation {
+    /// Bit `bit` of the value of VMCS read pair `index` was flipped.
+    VmcsBitFlip {
+        /// Index into `seed.reads`.
+        index: usize,
+        /// Flipped bit position.
+        bit: u8,
+    },
+    /// Bit `bit` of GPR `gpr` was flipped.
+    GprBitFlip {
+        /// The register.
+        gpr: Gpr,
+        /// Flipped bit position.
+        bit: u8,
+    },
+}
+
+/// Apply one single-bit-flip mutation to a copy of `seed`, in `area`.
+/// Returns the mutant and a description of what changed. Returns the
+/// seed unchanged (with no mutation) only when the area is empty.
+pub fn mutate<R: Rng>(seed: &VmSeed, area: SeedArea, rng: &mut R) -> (VmSeed, Option<AppliedMutation>) {
+    let mut mutant = seed.clone();
+    match area {
+        SeedArea::Vmcs => {
+            if mutant.reads.is_empty() {
+                return (mutant, None);
+            }
+            let index = rng.gen_range(0..mutant.reads.len());
+            let bit = rng.gen_range(0..64u8);
+            mutant.reads[index].1 ^= 1u64 << bit;
+            (mutant, Some(AppliedMutation::VmcsBitFlip { index, bit }))
+        }
+        SeedArea::Gpr => {
+            let gpr = Gpr::ALL[rng.gen_range(0..Gpr::COUNT)];
+            let bit = rng.gen_range(0..64u8);
+            let v = mutant.gprs.get(gpr) ^ (1u64 << bit);
+            mutant.gprs.set(gpr, v);
+            (mutant, Some(AppliedMutation::GprBitFlip { gpr, bit }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_vtx::exit::ExitReason;
+    use iris_vtx::fields::VmcsField;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn seed() -> VmSeed {
+        let mut s = VmSeed::new(ExitReason::CrAccess);
+        s.push_read(VmcsField::VmExitReason, 28);
+        s.push_read(VmcsField::ExitQualification, 0x10);
+        s.gprs.set(Gpr::Rax, 0x31);
+        s
+    }
+
+    #[test]
+    fn vmcs_mutation_flips_exactly_one_bit() {
+        let s = seed();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (m, applied) = mutate(&s, SeedArea::Vmcs, &mut rng);
+        let Some(AppliedMutation::VmcsBitFlip { index, bit }) = applied else {
+            panic!("expected a VMCS flip");
+        };
+        assert_eq!(m.reads[index].1 ^ s.reads[index].1, 1u64 << bit);
+        assert_eq!(m.gprs, s.gprs, "GPRs untouched");
+    }
+
+    #[test]
+    fn gpr_mutation_leaves_vmcs_alone() {
+        let s = seed();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (m, applied) = mutate(&s, SeedArea::Gpr, &mut rng);
+        assert!(matches!(applied, Some(AppliedMutation::GprBitFlip { .. })));
+        assert_eq!(m.reads, s.reads);
+        assert_ne!(m.gprs, s.gprs);
+    }
+
+    #[test]
+    fn empty_vmcs_area_yields_no_mutation() {
+        let s = VmSeed::new(ExitReason::Rdtsc);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (m, applied) = mutate(&s, SeedArea::Vmcs, &mut rng);
+        assert_eq!(applied, None);
+        assert_eq!(m, s);
+    }
+
+    #[test]
+    fn deterministic_under_seeded_rng() {
+        let s = seed();
+        let a = mutate(&s, SeedArea::Vmcs, &mut SmallRng::seed_from_u64(9));
+        let b = mutate(&s, SeedArea::Vmcs, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

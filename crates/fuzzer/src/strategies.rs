@@ -1,0 +1,247 @@
+//! Extended mutation strategies (§IX: *"the simpler mutation rules
+//! adopted do not cover the complex fuzzing logic that is adopted by
+//! current state-of-the-art fuzzers"* — this module adds that logic).
+//!
+//! Beyond the PoC's single bit-flip, the standard greybox repertoire:
+//! multi-bit havoc, AFL-style arithmetic deltas, interesting-value
+//! substitution (architectural magic numbers), byte swaps, and
+//! cross-seed splicing. Every strategy preserves seed well-formedness
+//! (the wire format still round-trips), so mutants remain submittable.
+
+use crate::mutation::SeedArea;
+use iris_core::seed::VmSeed;
+use iris_vtx::gpr::Gpr;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The available strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// The PoC's single bit-flip.
+    BitFlip,
+    /// 2–8 bit-flips spread over the area (AFL "havoc"-lite).
+    Havoc,
+    /// Add/subtract a small delta (1..=35) to a value.
+    Arith,
+    /// Replace a value with an architectural "interesting" constant.
+    InterestingValue,
+    /// Swap two byte lanes within a value.
+    ByteSwap,
+    /// Splice: copy one field value from a donor seed.
+    Splice,
+}
+
+impl Strategy {
+    /// All strategies.
+    pub const ALL: [Strategy; 6] = [
+        Strategy::BitFlip,
+        Strategy::Havoc,
+        Strategy::Arith,
+        Strategy::InterestingValue,
+        Strategy::ByteSwap,
+        Strategy::Splice,
+    ];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::BitFlip => "bitflip",
+            Strategy::Havoc => "havoc",
+            Strategy::Arith => "arith",
+            Strategy::InterestingValue => "interesting",
+            Strategy::ByteSwap => "byteswap",
+            Strategy::Splice => "splice",
+        }
+    }
+}
+
+/// Architectural magic values that historically break hypervisors:
+/// mode-bit soup, canonical-boundary addresses, selector edge cases.
+pub const INTERESTING: &[u64] = &[
+    0,
+    1,
+    0x8000_0000,
+    0xffff_ffff,
+    0x8000_0000_0000_0000,
+    u64::MAX,
+    0x0000_8000_0000_0000, // first non-canonical address
+    0xffff_7fff_ffff_ffff, // last non-canonical address
+    0x0000_0000_8005_003b, // a plausible CR0 (PE|PG|NE|ET|AM|WP)
+    0xfee0_0000,           // APIC base
+    0x0000_0000_0000_0038, // a selector
+];
+
+/// Apply `strategy` to a copy of `seed` in `area`. `donor` feeds the
+/// splice strategy (falls back to bit-flip without one).
+pub fn mutate_with<R: Rng>(
+    seed: &VmSeed,
+    area: SeedArea,
+    strategy: Strategy,
+    donor: Option<&VmSeed>,
+    rng: &mut R,
+) -> VmSeed {
+    let mut m = seed.clone();
+    let apply = |value: u64, rng: &mut R, strategy: Strategy| -> u64 {
+        match strategy {
+            Strategy::BitFlip => value ^ (1u64 << rng.gen_range(0..64u8)),
+            Strategy::Havoc => {
+                let mut v = value;
+                for _ in 0..rng.gen_range(2..=8usize) {
+                    v ^= 1u64 << rng.gen_range(0..64u8);
+                }
+                v
+            }
+            Strategy::Arith => {
+                let delta = rng.gen_range(1..=35u64);
+                if rng.gen_bool(0.5) {
+                    value.wrapping_add(delta)
+                } else {
+                    value.wrapping_sub(delta)
+                }
+            }
+            Strategy::InterestingValue => INTERESTING[rng.gen_range(0..INTERESTING.len())],
+            Strategy::ByteSwap => {
+                let a = rng.gen_range(0..8u32);
+                let b = rng.gen_range(0..8u32);
+                let ba = (value >> (8 * a)) & 0xff;
+                let bb = (value >> (8 * b)) & 0xff;
+                let mut v = value & !(0xffu64 << (8 * a)) & !(0xffu64 << (8 * b));
+                v |= bb << (8 * a);
+                v |= ba << (8 * b);
+                v
+            }
+            Strategy::Splice => value, // handled below
+        }
+    };
+
+    match area {
+        SeedArea::Vmcs => {
+            if m.reads.is_empty() {
+                return m;
+            }
+            let i = rng.gen_range(0..m.reads.len());
+            if strategy == Strategy::Splice {
+                if let Some(d) = donor {
+                    if let Some(&(_, dv)) = d.reads.get(i % d.reads.len().max(1)) {
+                        m.reads[i].1 = dv;
+                        return m;
+                    }
+                }
+                m.reads[i].1 ^= 1u64 << rng.gen_range(0..64u8);
+                return m;
+            }
+            m.reads[i].1 = apply(m.reads[i].1, rng, strategy);
+        }
+        SeedArea::Gpr => {
+            let g = Gpr::ALL[rng.gen_range(0..Gpr::COUNT)];
+            if strategy == Strategy::Splice {
+                if let Some(d) = donor {
+                    m.gprs.set(g, d.gprs.get(g));
+                    return m;
+                }
+            }
+            let v = apply(m.gprs.get(g), rng, strategy);
+            m.gprs.set(g, v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_vtx::exit::ExitReason;
+    use iris_vtx::fields::VmcsField;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn seed() -> VmSeed {
+        let mut s = VmSeed::new(ExitReason::CrAccess);
+        s.push_read(VmcsField::VmExitReason, 28);
+        s.push_read(VmcsField::ExitQualification, 0x10);
+        s.push_read(VmcsField::GuestRip, 0x10_0000);
+        s.gprs.set(Gpr::Rax, 0x31);
+        s
+    }
+
+    #[test]
+    fn every_strategy_produces_wellformed_mutants() {
+        let s = seed();
+        let donor = {
+            let mut d = seed();
+            d.reads[2].1 = 0xffff_ffff_8123_4567;
+            d
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        for strat in Strategy::ALL {
+            for area in SeedArea::ALL {
+                let m = mutate_with(&s, area, strat, Some(&donor), &mut rng);
+                // Structure preserved, wire format intact.
+                assert_eq!(m.reads.len(), s.reads.len(), "{strat:?}");
+                assert_eq!(m.reason, s.reason);
+                let round = VmSeed::decode(&m.encode()).unwrap();
+                assert_eq!(round, m);
+            }
+        }
+    }
+
+    #[test]
+    fn interesting_values_come_from_the_table() {
+        let s = seed();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = mutate_with(&s, SeedArea::Vmcs, Strategy::InterestingValue, None, &mut rng);
+        let changed = m
+            .reads
+            .iter()
+            .zip(&s.reads)
+            .find(|(a, b)| a.1 != b.1)
+            .map(|(a, _)| a.1);
+        if let Some(v) = changed {
+            assert!(INTERESTING.contains(&v));
+        }
+    }
+
+    #[test]
+    fn splice_copies_donor_values() {
+        let s = seed();
+        let mut donor = seed();
+        donor.gprs.set(Gpr::Rax, 0xd0d0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        // GPR splice: some register now equals the donor's.
+        let m = mutate_with(&s, SeedArea::Gpr, Strategy::Splice, Some(&donor), &mut rng);
+        let differs = Gpr::ALL
+            .iter()
+            .any(|&g| m.gprs.get(g) != s.gprs.get(g) && m.gprs.get(g) == donor.gprs.get(g));
+        // (May pick a register where donor == seed; accept either, but the
+        // operation must never invent values.)
+        for &g in &Gpr::ALL {
+            assert!(m.gprs.get(g) == s.gprs.get(g) || m.gprs.get(g) == donor.gprs.get(g));
+        }
+        let _ = differs;
+    }
+
+    #[test]
+    fn byteswap_preserves_byte_multiset() {
+        let s = seed();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let m = mutate_with(&s, SeedArea::Vmcs, Strategy::ByteSwap, None, &mut rng);
+        for ((_, a), (_, b)) in m.reads.iter().zip(&s.reads) {
+            let mut ba = a.to_le_bytes();
+            let mut bb = b.to_le_bytes();
+            ba.sort_unstable();
+            bb.sort_unstable();
+            assert_eq!(ba, bb, "byte swap permutes, never invents");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_rng_seed() {
+        let s = seed();
+        for strat in Strategy::ALL {
+            let a = mutate_with(&s, SeedArea::Vmcs, strat, None, &mut SmallRng::seed_from_u64(9));
+            let b = mutate_with(&s, SeedArea::Vmcs, strat, None, &mut SmallRng::seed_from_u64(9));
+            assert_eq!(a, b, "{strat:?}");
+        }
+    }
+}

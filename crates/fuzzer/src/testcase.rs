@@ -1,0 +1,84 @@
+//! Test-case structure (§VII-1, Fig. 11).
+//!
+//! A test case is `(W, VM_seed_R, A)`: a replayed VM behavior `W`, a
+//! target seed chosen within it, and the seed area to mutate. Execution
+//! starts from the initial VM state `s0`, replays the behavior up to
+//! `VM_seed_R` (state `s1`), then submits `M` mutated versions —
+//! the *fuzzing sequence* — driving the hypervisor into unseen states.
+
+use crate::mutation::SeedArea;
+use iris_guest::workloads::Workload;
+use iris_vtx::exit::ExitReason;
+use serde::{Deserialize, Serialize};
+
+/// The paper's `M`: mutants per test case.
+pub const PAPER_M: usize = 10_000;
+
+/// One planned test case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestCase {
+    /// The replayed VM behavior (which workload's recorded trace).
+    pub workload: Workload,
+    /// Index of `VM_seed_R` within the trace.
+    pub seed_index: usize,
+    /// The exit reason of `VM_seed_R` (a Table I row).
+    pub reason: ExitReason,
+    /// Which seed area to mutate (a Table I column).
+    pub area: SeedArea,
+    /// Number of mutants to submit.
+    pub mutants: usize,
+    /// RNG seed for the mutation stream (reproducibility).
+    pub rng_seed: u64,
+}
+
+impl TestCase {
+    /// A test case with the paper's `M`.
+    #[must_use]
+    pub fn new(
+        workload: Workload,
+        seed_index: usize,
+        reason: ExitReason,
+        area: SeedArea,
+        rng_seed: u64,
+    ) -> Self {
+        Self {
+            workload,
+            seed_index,
+            reason,
+            area,
+            mutants: PAPER_M,
+            rng_seed,
+        }
+    }
+
+    /// Table I cell label, e.g. `"OS BOOT/VMCS"`.
+    #[must_use]
+    pub fn cell_label(&self) -> String {
+        format!("{}/{}", self.workload.label(), self.area.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_defaults() {
+        let tc = TestCase::new(
+            Workload::OsBoot,
+            17,
+            ExitReason::CrAccess,
+            SeedArea::Vmcs,
+            7,
+        );
+        assert_eq!(tc.mutants, 10_000);
+        assert_eq!(tc.cell_label(), "OS BOOT/VMCS");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let tc = TestCase::new(Workload::Idle, 3, ExitReason::Hlt, SeedArea::Gpr, 1);
+        let json = serde_json::to_string(&tc).unwrap();
+        assert_eq!(serde_json::from_str::<TestCase>(&json).unwrap(), tc);
+    }
+}

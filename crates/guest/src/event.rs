@@ -1,0 +1,68 @@
+//! Guest operations: the unit of workload execution.
+//!
+//! A workload is a deterministic stream of [`GuestOp`]s. Each op bundles
+//! the guest-local work done *before* the next sensitive instruction (the
+//! cycle burn), the architectural state the guest established (registers,
+//! saved guest state, memory writes — what the hardware context switch
+//! would make visible to the hypervisor), and the [`ExitEvent`] the
+//! sensitive instruction raises.
+
+use iris_hv::hypervisor::ExitEvent;
+use iris_vtx::fields::VmcsField;
+use iris_vtx::gpr::Gpr;
+use serde::{Deserialize, Serialize};
+
+/// Guest state established before an exit.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuestSetup {
+    /// GPR values at exit time (hypervisor save area contents).
+    pub gprs: Vec<(Gpr, u64)>,
+    /// Guest-state fields the hardware saves at the exit (RIP, RFLAGS,
+    /// segment state, ...).
+    pub guest_state: Vec<(VmcsField, u64)>,
+    /// Guest memory the workload wrote beforehand (instruction bytes,
+    /// I/O buffers, descriptor tables).
+    pub mem_writes: Vec<(u64, Vec<u8>)>,
+}
+
+/// One step of guest execution ending in a VM exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuestOp {
+    /// Cycles of guest-local execution before the exit (no hypervisor
+    /// involvement — this is what IRIS replay skips).
+    pub burn_cycles: u64,
+    /// State the guest established before exiting.
+    pub setup: GuestSetup,
+    /// The physical exit.
+    pub event: ExitEvent,
+    /// If the exit halts the vCPU (HLT), how long the guest then waits
+    /// for the next interrupt, in cycles.
+    pub hlt_wait_cycles: u64,
+}
+
+impl GuestOp {
+    /// A minimal op for the given event.
+    #[must_use]
+    pub fn new(event: ExitEvent) -> Self {
+        Self {
+            burn_cycles: 0,
+            setup: GuestSetup::default(),
+            event,
+            hlt_wait_cycles: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_vtx::exit::ExitReason;
+
+    #[test]
+    fn new_op_is_empty() {
+        let op = GuestOp::new(ExitEvent::new(ExitReason::Rdtsc));
+        assert_eq!(op.burn_cycles, 0);
+        assert!(op.setup.gprs.is_empty());
+        assert_eq!(op.event.reason_number, ExitReason::Rdtsc.number());
+    }
+}

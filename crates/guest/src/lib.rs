@@ -1,0 +1,36 @@
+//! # iris-guest — deterministic guest workload generation
+//!
+//! The paper's experiments characterise five guest workloads (§VI-A) by
+//! the VM-exit traces they produce. This crate generates those traces:
+//! a [`machine::GuestMachine`] tracks the architectural state a real
+//! guest OS would maintain, the [`workloads`] module builds each
+//! workload's sensitive-instruction stream, and [`runner::GuestRunner`]
+//! drives it through the `iris-hv` hypervisor — that is the *real guest
+//! execution* IRIS records.
+//!
+//! ```
+//! use iris_guest::workloads::Workload;
+//! use iris_guest::runner::GuestRunner;
+//! use iris_hv::hypervisor::Hypervisor;
+//! use iris_hv::hooks::NoHooks;
+//!
+//! let mut hv = Hypervisor::new();
+//! let dom = hv.create_hvm_domain(16 << 20);
+//! iris_guest::runner::fast_forward_boot(&mut hv, dom); // CPU-bound starts post-boot
+//! let ops = Workload::CpuBound.generate(50, 42);
+//! let outcomes = GuestRunner::new(dom).run(&mut hv, ops, &mut NoHooks);
+//! assert_eq!(outcomes.len(), 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod machine;
+pub mod runner;
+pub mod workloads;
+
+pub use event::{GuestOp, GuestSetup};
+pub use machine::GuestMachine;
+pub use runner::{fast_forward_boot, GuestRunner};
+pub use workloads::Workload;

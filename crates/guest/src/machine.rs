@@ -1,0 +1,470 @@
+//! The guest machine: architectural state a workload generator tracks,
+//! plus constructors for the common sensitive operations.
+//!
+//! The generator plays the role of the guest OS: it decides what the
+//! next sensitive instruction is, what state the vCPU is in when it
+//! executes, and what memory it touched beforehand. [`GuestMachine`]
+//! keeps that bookkeeping consistent (RIP progression, CR0 view, the
+//! long-mode segment switch) so that every emitted [`GuestOp`] passes the
+//! hypervisor's prologue and VM-entry checks — exactly like a real,
+//! correctly-written OS.
+
+use crate::event::{GuestOp, GuestSetup};
+use iris_hv::hypervisor::ExitEvent;
+use iris_vtx::cr::{cr0, efer, Cr0, OperatingMode};
+use iris_vtx::exit::{CrAccessQual, CrAccessType, ExitReason, IoDirection, IoQual};
+use iris_vtx::fields::VmcsField;
+use iris_vtx::gpr::Gpr;
+use iris_vtx::segment::{ar, Segment};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Architectural state the workload generator maintains.
+#[derive(Debug, Clone)]
+pub struct GuestMachine {
+    /// Current instruction pointer.
+    pub rip: u64,
+    /// The guest's view of CR0 (what it last wrote / would read).
+    pub cr0_view: u64,
+    /// The guest's CR4.
+    pub cr4: u64,
+    /// The guest's EFER.
+    pub efer: u64,
+    /// Guest RFLAGS (IF usually set once boot enables interrupts).
+    pub rflags: u64,
+    /// Current CS access rights (changes on the long-mode jump).
+    pub cs_ar: u64,
+    /// Where the guest's GDT lives.
+    pub gdt_base: u64,
+    /// Deterministic per-workload randomness.
+    pub rng: SmallRng,
+}
+
+impl GuestMachine {
+    /// A machine at the reset vector in real mode.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rip: 0xfff0,
+            cr0_view: cr0::ET,
+            cr4: 0,
+            efer: 0,
+            rflags: 0x2,
+            cs_ar: u64::from(ar::TYPE_CODE_ER_A | ar::S | ar::P),
+            gdt_base: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Operating mode implied by the tracked CR0 view.
+    #[must_use]
+    pub fn mode(&self) -> OperatingMode {
+        Cr0(self.cr0_view).operating_mode()
+    }
+
+    /// Advance RIP as the exiting instruction retires.
+    pub fn retire(&mut self, len: u64) {
+        self.rip = self.rip.wrapping_add(len);
+    }
+
+    /// The baseline guest-state writes every exit's hardware save
+    /// performs: RIP, RFLAGS, CS AR, and EFER (kept in sync so VM-entry
+    /// checks always see a self-consistent image).
+    fn base_state(&self) -> Vec<(VmcsField, u64)> {
+        vec![
+            (VmcsField::GuestRip, self.rip),
+            (VmcsField::GuestRflags, self.rflags),
+            (VmcsField::GuestCsArBytes, self.cs_ar),
+            (VmcsField::GuestIa32Efer, self.efer),
+            (VmcsField::GuestGdtrBase, self.gdt_base),
+        ]
+    }
+
+    fn op(&self, event: ExitEvent, gprs: Vec<(Gpr, u64)>) -> GuestOp {
+        GuestOp {
+            burn_cycles: 0,
+            setup: GuestSetup {
+                gprs,
+                guest_state: self.base_state(),
+                mem_writes: Vec::new(),
+            },
+            event,
+            hlt_wait_cycles: 0,
+        }
+    }
+
+    /// `RDTSC`.
+    pub fn rdtsc(&mut self) -> GuestOp {
+        let mut ev = ExitEvent::new(ExitReason::Rdtsc);
+        ev.instruction_len = 2;
+        let op = self.op(ev, vec![]);
+        self.retire(2);
+        op
+    }
+
+    /// `CPUID leaf, subleaf`.
+    pub fn cpuid(&mut self, leaf: u32, subleaf: u32) -> GuestOp {
+        let mut ev = ExitEvent::new(ExitReason::Cpuid);
+        ev.instruction_len = 2;
+        let op = self.op(
+            ev,
+            vec![(Gpr::Rax, u64::from(leaf)), (Gpr::Rcx, u64::from(subleaf))],
+        );
+        self.retire(2);
+        op
+    }
+
+    /// `OUT port, AL/AX/EAX`.
+    pub fn io_out(&mut self, port: u16, size: u8, value: u32) -> GuestOp {
+        let qual = IoQual {
+            size,
+            direction: IoDirection::Out,
+            string: false,
+            rep: false,
+            port,
+        };
+        let mut ev = ExitEvent::new(ExitReason::IoInstruction);
+        ev.qualification = qual.encode();
+        ev.instruction_len = 2;
+        let op = self.op(ev, vec![(Gpr::Rax, u64::from(value))]);
+        self.retire(2);
+        op
+    }
+
+    /// `IN AL/AX/EAX, port`.
+    pub fn io_in(&mut self, port: u16, size: u8) -> GuestOp {
+        let qual = IoQual {
+            size,
+            direction: IoDirection::In,
+            string: false,
+            rep: false,
+            port,
+        };
+        let mut ev = ExitEvent::new(ExitReason::IoInstruction);
+        ev.qualification = qual.encode();
+        ev.instruction_len = 2;
+        let op = self.op(ev, vec![]);
+        self.retire(2);
+        op
+    }
+
+    /// `REP OUTSB` of `data` from guest memory at `buf_gpa`.
+    pub fn io_outs(&mut self, port: u16, buf_gpa: u64, data: Vec<u8>) -> GuestOp {
+        let count = data.len() as u64;
+        let qual = IoQual {
+            size: 1,
+            direction: IoDirection::Out,
+            string: true,
+            rep: true,
+            port,
+        };
+        let mut ev = ExitEvent::new(ExitReason::IoInstruction);
+        ev.qualification = qual.encode();
+        ev.instruction_len = 2;
+        ev.io_rcx = count;
+        let mut op = self.op(
+            ev,
+            vec![(Gpr::Rsi, buf_gpa), (Gpr::Rcx, count)],
+        );
+        op.setup.mem_writes.push((buf_gpa, data));
+        self.retire(2);
+        op
+    }
+
+    /// `MOV CR0, value` (through a register).
+    pub fn write_cr0(&mut self, value: u64) -> GuestOp {
+        let qual = CrAccessQual {
+            cr: 0,
+            access: CrAccessType::MovToCr,
+            gpr: Some(Gpr::Rax),
+            lmsw_source: 0,
+        };
+        let mut ev = ExitEvent::new(ExitReason::CrAccess);
+        ev.qualification = qual.encode();
+        ev.instruction_len = 3;
+        let op = self.op(ev, vec![(Gpr::Rax, value)]);
+        self.cr0_view = value;
+        self.retire(3);
+        op
+    }
+
+    /// `MOV CR4, value`.
+    pub fn write_cr4(&mut self, value: u64) -> GuestOp {
+        let qual = CrAccessQual {
+            cr: 4,
+            access: CrAccessType::MovToCr,
+            gpr: Some(Gpr::Rbx),
+            lmsw_source: 0,
+        };
+        let mut ev = ExitEvent::new(ExitReason::CrAccess);
+        ev.qualification = qual.encode();
+        ev.instruction_len = 3;
+        let op = self.op(ev, vec![(Gpr::Rbx, value)]);
+        self.cr4 = value;
+        self.retire(3);
+        op
+    }
+
+    /// `MOV CR3, value`.
+    pub fn write_cr3(&mut self, value: u64) -> GuestOp {
+        let qual = CrAccessQual {
+            cr: 3,
+            access: CrAccessType::MovToCr,
+            gpr: Some(Gpr::Rdi),
+            lmsw_source: 0,
+        };
+        let mut ev = ExitEvent::new(ExitReason::CrAccess);
+        ev.qualification = qual.encode();
+        ev.instruction_len = 3;
+        let op = self.op(ev, vec![(Gpr::Rdi, value)]);
+        self.retire(3);
+        op
+    }
+
+    /// `MOV reg, CR0` (read).
+    pub fn read_cr0(&mut self) -> GuestOp {
+        let qual = CrAccessQual {
+            cr: 0,
+            access: CrAccessType::MovFromCr,
+            gpr: Some(Gpr::Rax),
+            lmsw_source: 0,
+        };
+        let mut ev = ExitEvent::new(ExitReason::CrAccess);
+        ev.qualification = qual.encode();
+        ev.instruction_len = 3;
+        let op = self.op(ev, vec![]);
+        self.retire(3);
+        op
+    }
+
+    /// `RDMSR msr`.
+    pub fn rdmsr(&mut self, msr: u32) -> GuestOp {
+        let mut ev = ExitEvent::new(ExitReason::MsrRead);
+        ev.instruction_len = 2;
+        let op = self.op(ev, vec![(Gpr::Rcx, u64::from(msr))]);
+        self.retire(2);
+        op
+    }
+
+    /// `WRMSR msr, value`. Tracks EFER so later state stays consistent.
+    pub fn wrmsr(&mut self, msr: u32, value: u64) -> GuestOp {
+        let mut ev = ExitEvent::new(ExitReason::MsrWrite);
+        ev.instruction_len = 2;
+        let op = self.op(
+            ev,
+            vec![
+                (Gpr::Rcx, u64::from(msr)),
+                (Gpr::Rax, value & 0xffff_ffff),
+                (Gpr::Rdx, value >> 32),
+            ],
+        );
+        if msr == iris_vtx::msr::index::IA32_EFER {
+            // Hardware CR0.PG is pinned on (shadow paging), so LME
+            // activates long mode immediately from the VMCS's viewpoint.
+            self.efer = if value & efer::LME != 0 {
+                value | efer::LMA
+            } else {
+                value
+            };
+        }
+        self.retire(2);
+        op
+    }
+
+    /// `HLT`, waiting `wait_cycles` for the next interrupt.
+    pub fn hlt(&mut self, wait_cycles: u64) -> GuestOp {
+        let mut ev = ExitEvent::new(ExitReason::Hlt);
+        ev.instruction_len = 1;
+        let mut op = self.op(ev, vec![]);
+        op.hlt_wait_cycles = wait_cycles;
+        self.retire(1);
+        op
+    }
+
+    /// A host-timer external interrupt arriving while the guest runs.
+    pub fn external_interrupt(&mut self) -> GuestOp {
+        let mut ev = ExitEvent::new(ExitReason::ExternalInterrupt);
+        ev.intr_info = 0x8000_00ef;
+        ev.instruction_len = 0;
+        self.op(ev, vec![])
+    }
+
+    /// An interrupt-window exit (the guest just ran STI with something
+    /// pending).
+    pub fn interrupt_window(&mut self) -> GuestOp {
+        let mut ev = ExitEvent::new(ExitReason::InterruptWindow);
+        ev.instruction_len = 0;
+        self.op(ev, vec![])
+    }
+
+    /// `VMCALL` hypercall.
+    pub fn vmcall(&mut self, nr: u64, a1: u64, a2: u64, a3: u64) -> GuestOp {
+        let mut ev = ExitEvent::new(ExitReason::Vmcall);
+        ev.instruction_len = 3;
+        let op = self.op(
+            ev,
+            vec![
+                (Gpr::Rax, nr),
+                (Gpr::Rdi, a1),
+                (Gpr::Rsi, a2),
+                (Gpr::Rdx, a3),
+            ],
+        );
+        self.retire(3);
+        op
+    }
+
+    /// A `console_io` hypercall with the message in guest memory.
+    pub fn console_write(&mut self, buf_gpa: u64, text: &str) -> GuestOp {
+        let mut op = self.vmcall(
+            iris_hv::handlers::vmcall::nr::CONSOLE_IO,
+            0,
+            text.len() as u64,
+            buf_gpa,
+        );
+        op.setup.mem_writes.push((buf_gpa, text.as_bytes().to_vec()));
+        op
+    }
+
+    /// An APIC-access exit (linear read/write of an xAPIC register).
+    pub fn apic_access(&mut self, offset: u32, write: bool, value: u32) -> GuestOp {
+        let mut ev = ExitEvent::new(ExitReason::ApicAccess);
+        ev.qualification = u64::from(offset) | (u64::from(write) << 12);
+        ev.instruction_len = 3;
+        let gprs = if write {
+            vec![(Gpr::Rax, u64::from(value))]
+        } else {
+            vec![]
+        };
+        let op = self.op(ev, gprs);
+        self.retire(3);
+        op
+    }
+
+    /// An EPT-violation MMIO access: plants the faulting MOV at RIP so the
+    /// hypervisor's emulator can fetch it — the guest-memory-dependent
+    /// path. `reg_value` is stored (writes) or overwritten (reads).
+    pub fn mmio_access(&mut self, gpa: u64, write: bool, reg_value: u64) -> GuestOp {
+        let qual = iris_vtx::exit::EptQual {
+            read: !write,
+            write,
+            exec: false,
+            gpa_readable: false,
+            gpa_writable: false,
+            gpa_executable: false,
+            linear_valid: true,
+        };
+        let mut ev = ExitEvent::new(ExitReason::EptViolation);
+        ev.qualification = qual.encode();
+        ev.guest_physical = gpa;
+        ev.guest_linear = gpa;
+        ev.instruction_len = 0; // fault-style: emulator advances RIP itself
+        let instr: Vec<u8> = if write {
+            vec![0x89, 0x08, 0x90, 0x90] // mov [rax], ecx
+        } else {
+            vec![0x8b, 0x10, 0x90, 0x90] // mov edx, [rax]
+        };
+        let fetch_gpa = self.rip & 0x3fff_ffff;
+        let mut op = self.op(
+            ev,
+            vec![(Gpr::Rax, gpa), (Gpr::Rcx, reg_value)],
+        );
+        op.setup.mem_writes.push((fetch_gpa, instr));
+        self.retire(2);
+        op
+    }
+
+    /// A `WBINVD`.
+    pub fn wbinvd(&mut self) -> GuestOp {
+        let mut ev = ExitEvent::new(ExitReason::Wbinvd);
+        ev.instruction_len = 2;
+        let op = self.op(ev, vec![]);
+        self.retire(2);
+        op
+    }
+
+    /// A `MOV DR7, rax`.
+    pub fn write_dr7(&mut self, value: u64) -> GuestOp {
+        let mut ev = ExitEvent::new(ExitReason::DrAccess);
+        ev.qualification = 7;
+        ev.instruction_len = 3;
+        let op = self.op(ev, vec![(Gpr::Rax, value)]);
+        self.retire(3);
+        op
+    }
+
+    /// The long-mode far jump: after enabling PG with LME set, the guest
+    /// reloads CS with a 64-bit descriptor and lands at a kernel address.
+    pub fn enter_long_mode_kernel(&mut self, kernel_rip: u64) {
+        self.cs_ar = u64::from(Segment::flat_code64(0x10).ar);
+        self.efer |= efer::LMA;
+        self.rip = kernel_rip;
+        self.rflags = 0x202; // kernel runs with interrupts on (mostly)
+    }
+
+    /// Uniform random draw in `[lo, hi)` from the machine's RNG.
+    pub fn draw(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_ops() {
+        let mut a = GuestMachine::new(7);
+        let mut b = GuestMachine::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.rdtsc(), b.rdtsc());
+            assert_eq!(a.draw(0, 100), b.draw(0, 100));
+        }
+    }
+
+    #[test]
+    fn rip_advances_per_instruction() {
+        let mut m = GuestMachine::new(0);
+        let r0 = m.rip;
+        m.rdtsc();
+        assert_eq!(m.rip, r0 + 2);
+        m.write_cr0(cr0::PE | cr0::ET);
+        assert_eq!(m.rip, r0 + 5);
+    }
+
+    #[test]
+    fn cr0_write_tracks_mode() {
+        let mut m = GuestMachine::new(0);
+        assert_eq!(m.mode(), OperatingMode::Mode1);
+        m.write_cr0(cr0::PE | cr0::ET);
+        assert_eq!(m.mode(), OperatingMode::Mode2);
+    }
+
+    #[test]
+    fn mmio_access_plants_instruction_bytes() {
+        let mut m = GuestMachine::new(0);
+        m.rip = 0x1000;
+        let op = m.mmio_access(0xfee0_00f0, true, 0x1ff);
+        assert_eq!(op.setup.mem_writes.len(), 1);
+        assert_eq!(op.setup.mem_writes[0].0, 0x1000);
+        assert_eq!(op.setup.mem_writes[0].1[0], 0x89);
+    }
+
+    #[test]
+    fn long_mode_jump_switches_cs_and_efer() {
+        let mut m = GuestMachine::new(0);
+        m.efer = efer::LME;
+        m.enter_long_mode_kernel(0xffff_ffff_8100_0000);
+        assert_ne!(m.efer & efer::LMA, 0);
+        assert_ne!(m.cs_ar & u64::from(ar::L), 0);
+        assert_eq!(m.rip, 0xffff_ffff_8100_0000);
+    }
+
+    #[test]
+    fn console_write_carries_buffer() {
+        let mut m = GuestMachine::new(0);
+        let op = m.console_write(0x2000, "hi");
+        assert_eq!(op.setup.mem_writes[0].1, b"hi");
+        assert_eq!(op.event.reason_number, ExitReason::Vmcall.number());
+    }
+}

@@ -1,0 +1,179 @@
+//! The guest runner: drives a workload's [`GuestOp`] stream through the
+//! hypervisor — the "real guest execution" side of the paper's
+//! experiments (the *Real VM* series of Fig. 9, and the execution IRIS
+//! records).
+
+use crate::event::GuestOp;
+use iris_hv::hooks::VmxHooks;
+use iris_hv::hypervisor::{ExitOutcome, Hypervisor};
+
+/// Fast-forward a freshly created HVM domain to the post-boot state the
+/// paper's non-boot workloads (CPU/MEM/IO-bound, IDLE) start from: the
+/// hypervisor-side mode abstraction in paged long mode, EFER/CR4 synced
+/// in the VMCS, and the vLAPIC enabled.
+///
+/// The §VI-B cold-replay experiment deliberately *skips* this — a fresh
+/// domain still has `mode == Mode1` and crashes with `bad RIP for mode 0`
+/// on the first post-boot seed.
+pub fn fast_forward_boot(hv: &mut Hypervisor, domain: u16) {
+    use iris_vtx::cr::{cr0, cr4, efer};
+    use iris_vtx::fields::VmcsField;
+    let vcpu = &mut hv.domains[domain as usize].vcpus[0];
+    vcpu.hvm.update_cr0(cr0::PE | cr0::PG | cr0::AM | cr0::ET);
+    vcpu.hvm.guest_cr[4] = cr4::PAE | cr4::PGE;
+    let _ = vcpu.hvm.msrs.write(
+        iris_vtx::msr::index::IA32_EFER,
+        efer::LME | efer::SCE,
+    );
+    let v = &mut vcpu.vmcs;
+    v.hw_write(VmcsField::GuestCr0, cr0::PE | cr0::PG | cr0::NE | cr0::ET);
+    v.hw_write(VmcsField::GuestCr4, cr4::PAE | cr4::PGE);
+    v.hw_write(VmcsField::GuestIa32Efer, efer::LME | efer::LMA | efer::SCE);
+    v.hw_write(VmcsField::GuestRip, crate::workloads::os_boot::KERNEL_BASE);
+    v.hw_write(VmcsField::GuestRflags, 0x202);
+    let cs = iris_vtx::segment::Segment::flat_code64(0x10);
+    v.hw_write(VmcsField::GuestCsArBytes, u64::from(cs.ar));
+    vcpu.hvm.vlapic.svr = 0x1ff;
+}
+
+/// Drives one domain through a workload.
+#[derive(Debug)]
+pub struct GuestRunner {
+    /// The domain being executed.
+    pub domain: u16,
+    /// Exits executed so far.
+    pub exits: u64,
+}
+
+impl GuestRunner {
+    /// Runner for a domain.
+    #[must_use]
+    pub fn new(domain: u16) -> Self {
+        Self { domain, exits: 0 }
+    }
+
+    /// Execute one guest op: burn guest time, make the guest's state
+    /// visible (memory writes, GPRs, hardware-saved guest state), take
+    /// the exit, and — if the vCPU halted — sleep until the next
+    /// interrupt and wake it.
+    pub fn step(
+        &mut self,
+        hv: &mut Hypervisor,
+        op: &GuestOp,
+        hooks: &mut dyn VmxHooks,
+    ) -> ExitOutcome {
+        // Guest-local execution time (skipped entirely by IRIS replay).
+        hv.tsc.advance(op.burn_cycles);
+
+        {
+            let dom = &mut hv.domains[self.domain as usize];
+            for (gpa, data) in &op.setup.mem_writes {
+                // The guest writing its own RAM cannot fail while the
+                // workload stays within the domain's memory; ignore
+                // out-of-range writes like real stores to holes.
+                let _ = dom.memory.copy_to_guest(*gpa, data);
+            }
+            let vcpu = &mut dom.vcpus[0];
+            for (reg, val) in &op.setup.gprs {
+                vcpu.gprs.set(*reg, *val);
+            }
+            for (field, val) in &op.setup.guest_state {
+                vcpu.vmcs.hw_write(*field, *val);
+            }
+        }
+
+        let outcome = hv.vm_exit(self.domain, &op.event, hooks);
+        self.exits += 1;
+
+        if outcome.halted {
+            // The idle wait: guest time passes with zero exits until the
+            // next timer interrupt, which wakes the vCPU.
+            hv.tsc.advance(op.hlt_wait_cycles.max(1));
+            hv.wake(self.domain);
+        }
+        outcome
+    }
+
+    /// Run a whole op stream, stopping early on crash. Returns one
+    /// outcome per executed exit.
+    pub fn run<I: IntoIterator<Item = GuestOp>>(
+        &mut self,
+        hv: &mut Hypervisor,
+        ops: I,
+        hooks: &mut dyn VmxHooks,
+    ) -> Vec<ExitOutcome> {
+        let mut out = Vec::new();
+        for op in ops {
+            let o = self.step(hv, &op, hooks);
+            let stop = o.crash.is_some();
+            out.push(o);
+            if stop {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::GuestMachine;
+    use iris_hv::hooks::NoHooks;
+    use iris_vtx::cr::cr0;
+
+    #[test]
+    fn runner_executes_a_short_trace() {
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_hvm_domain(16 << 20);
+        let mut m = GuestMachine::new(1);
+        let ops = vec![
+            m.cpuid(0, 0),
+            m.rdtsc(),
+            m.write_cr0(cr0::PE | cr0::ET),
+            m.rdtsc(),
+        ];
+        let mut runner = GuestRunner::new(dom);
+        let outs = runner.run(&mut hv, ops, &mut NoHooks);
+        assert_eq!(outs.len(), 4);
+        assert!(outs.iter().all(|o| o.crash.is_none()));
+        // The CR0 write moved the hypervisor's mode abstraction.
+        assert_eq!(
+            hv.domains[dom as usize].vcpus[0].hvm.mode,
+            iris_vtx::cr::OperatingMode::Mode2
+        );
+    }
+
+    #[test]
+    fn hlt_wait_advances_the_clock() {
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_hvm_domain(16 << 20);
+        let mut m = GuestMachine::new(1);
+        m.rflags = 0x202;
+        let mut op = m.hlt(1_000_000);
+        op.burn_cycles = 500;
+        let before = hv.tsc.now();
+        let mut runner = GuestRunner::new(dom);
+        let o = runner.step(&mut hv, &op, &mut NoHooks);
+        assert!(o.halted);
+        assert!(hv.tsc.now() - before >= 1_000_500);
+        // Woken afterwards.
+        assert!(hv.domains[dom as usize].vcpus[0].is_runnable());
+    }
+
+    #[test]
+    fn crash_stops_the_run() {
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_hvm_domain(16 << 20);
+        let mut m = GuestMachine::new(1);
+        // Jump to a kernel RIP while still in real mode: bad RIP crash.
+        m.rip = 0xffff_ffff_8100_0000;
+        m.efer = iris_vtx::cr::efer::LME | iris_vtx::cr::efer::LMA;
+        m.cr0_view = cr0::PE | cr0::PG | cr0::ET;
+        let ops = vec![m.rdtsc(), m.rdtsc(), m.rdtsc()];
+        let mut runner = GuestRunner::new(dom);
+        let outs = runner.run(&mut hv, ops, &mut NoHooks);
+        assert_eq!(outs.len(), 1, "run stops at the crash");
+        assert!(outs[0].crash.is_some());
+    }
+}

@@ -1,0 +1,127 @@
+//! The hvmloader/BIOS phase — the ≈10K-exit prefix visible at the start
+//! of the paper's Fig. 4, dominated by port I/O: PCI bus scan, RTC/CMOS
+//! reads, PIT programming, PIC initialization, serial setup.
+
+use crate::event::GuestOp;
+use crate::machine::GuestMachine;
+use rand::Rng;
+
+/// Generate the BIOS prefix (`count` exits, nominally ~10_000).
+#[must_use]
+pub fn generate(count: usize, seed: u64) -> Vec<GuestOp> {
+    let mut m = GuestMachine::new(seed ^ 0xb105);
+    m.rip = 0xf_0000; // BIOS segment
+    let mut ops = Vec::with_capacity(count);
+
+    // PIC init sequence first (fixed prologue).
+    for (port, val) in [
+        (0x20u16, 0x11u32),
+        (0x21, 0x08),
+        (0x21, 0x04),
+        (0x21, 0x01),
+        (0xa0, 0x11),
+        (0xa1, 0x70),
+        (0xa1, 0x02),
+        (0xa1, 0x01),
+    ] {
+        if ops.len() >= count {
+            break;
+        }
+        let mut op = m.io_out(port, 1, val);
+        op.burn_cycles = 2_000;
+        ops.push(op);
+    }
+
+    // Main BIOS loop: PCI scan + CMOS + PIT + serial probing.
+    let mut pci_dev = 0u32;
+    while ops.len() < count {
+        let roll = m.draw(0, 100);
+        let mut op = match roll {
+            // PCI configuration scan (~45% of BIOS exits).
+            0..=22 => {
+                pci_dev = (pci_dev + 1) % 1024;
+                m.io_out(0xcf8, 4, 0x8000_0000 | (pci_dev << 8))
+            }
+            23..=44 => m.io_in(0xcfc, 4),
+            // CMOS/RTC reads (~20%).
+            45..=54 => {
+                let idx = m.rng.gen_range(0u32..0x30);
+                m.io_out(0x70, 1, idx)
+            }
+            55..=64 => m.io_in(0x71, 1),
+            // PIT calibration (~10%).
+            65..=68 => m.io_out(0x43, 1, 0x34),
+            69..=72 => {
+                let v = m.rng.gen_range(0u32..256);
+                m.io_out(0x40, 1, v)
+            }
+            73..=74 => m.io_in(0x40, 1),
+            // Serial console setup/output (~10%).
+            75..=79 => {
+                let off = m.rng.gen_range(0u16..8);
+                m.io_out(0x3f8 + off, 1, 0x41)
+            }
+            80..=84 => m.io_in(0x3fd, 1),
+            // POST port (~5%).
+            85..=89 => {
+                let v = m.rng.gen_range(0u32..256);
+                m.io_out(0x80, 1, v)
+            }
+            // CPUID probing (~5%).
+            90..=94 => {
+                let pick = m.rng.gen_range(0usize..4);
+                m.cpuid([0u32, 1, 0x8000_0000, 0x8000_0001][pick], 0)
+            }
+            // Occasional CR0 cache toggles (CD) while sizing memory.
+            _ => {
+                let cd = m.rng.gen_bool(0.5);
+                let v = if cd {
+                    m.cr0_view | iris_vtx::cr::cr0::CD
+                } else {
+                    m.cr0_view & !iris_vtx::cr::cr0::CD
+                };
+                m.write_cr0(v | iris_vtx::cr::cr0::ET)
+            }
+        };
+        op.burn_cycles = m.draw(1_000, 20_000);
+        ops.push(op);
+    }
+    ops.truncate(count);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_vtx::exit::ExitReason;
+
+    #[test]
+    fn bios_is_io_dominated() {
+        let ops = generate(2000, 3);
+        let io = ops
+            .iter()
+            .filter(|o| o.event.reason_number == ExitReason::IoInstruction.number())
+            .count();
+        assert!(
+            io as f64 / ops.len() as f64 > 0.75,
+            "BIOS should be >75% I/O, got {io}/2000"
+        );
+    }
+
+    #[test]
+    fn bios_stays_in_real_mode() {
+        let ops = generate(500, 3);
+        // No PE-setting CR0 write in the BIOS phase.
+        for op in &ops {
+            if op.event.reason_number == ExitReason::CrAccess.number() {
+                let pe_bit = op
+                    .setup
+                    .gprs
+                    .iter()
+                    .find(|(g, _)| *g == iris_vtx::gpr::Gpr::Rax)
+                    .map(|(_, v)| v & iris_vtx::cr::cr0::PE);
+                assert_eq!(pe_bit.unwrap_or(0), 0);
+            }
+        }
+    }
+}

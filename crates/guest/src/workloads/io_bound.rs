@@ -1,0 +1,82 @@
+//! The IO-bound workload: generic input/output stress.
+//!
+//! RDTSC still dominates (block-layer timestamps), with a strong port-I/O
+//! and string-I/O tail (the data actually moving), interrupt traffic from
+//! completions, and console output through both the UART and the
+//! `console_io` hypercall.
+
+use crate::event::GuestOp;
+use crate::machine::GuestMachine;
+use rand::Rng;
+
+/// Generate `count` exits of IO-bound execution.
+#[must_use]
+pub fn generate(count: usize, seed: u64) -> Vec<GuestOp> {
+    let mut m = GuestMachine::new(seed ^ 0x10b0);
+    super::cpu_bound::boot_shortcut(&mut m);
+    let mut ops = Vec::with_capacity(count);
+    let mut buf_cursor = 0xa000u64;
+    while ops.len() < count {
+        let roll = m.rng.gen_range(0u32..1000);
+        let mut op = match roll {
+            0..=729 => m.rdtsc(),
+            // Port I/O to the emulated devices.
+            730..=789 => m.io_in(0x3fd, 1),
+            790..=829 => m.io_out(0x3f8, 1, u32::from(b'#')),
+            // String I/O moving buffers (guest-memory dependent).
+            830..=859 => {
+                buf_cursor = 0xa000 + (buf_cursor + 0x40) % 0x4000;
+                let len = m.rng.gen_range(8usize..48);
+                let data = vec![b'd'; len];
+                m.io_outs(0x3f8, buf_cursor, data)
+            }
+            // Completion interrupts.
+            860..=909 => m.external_interrupt(),
+            910..=934 => m.apic_access(iris_hv::vlapic::reg::EOI, true, 0),
+            // console_io hypercall (buffer from guest memory).
+            935..=959 => m.console_write(0x8800, "io: chunk complete\n"),
+            960..=979 => m.interrupt_window(),
+            _ => m.rdmsr(iris_vtx::msr::index::IA32_APIC_BASE),
+        };
+        // Waiting on emulated devices: moderate guest-side burn.
+        op.burn_cycles += m.draw(250_000, 1_000_000);
+        ops.push(op);
+    }
+    ops.truncate(count);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_vtx::exit::ExitReason;
+
+    #[test]
+    fn io_tail_is_present() {
+        let ops = generate(5000, 21);
+        let io = ops
+            .iter()
+            .filter(|o| o.event.reason_number == ExitReason::IoInstruction.number())
+            .count();
+        assert!(io > 400, "I/O tail {io}");
+        let rdtsc = ops
+            .iter()
+            .filter(|o| o.event.reason_number == ExitReason::Rdtsc.number())
+            .count();
+        assert!(rdtsc as f64 / 5000.0 > 0.65);
+    }
+
+    #[test]
+    fn string_io_ops_carry_buffers() {
+        let ops = generate(5000, 21);
+        let strings: Vec<_> = ops
+            .iter()
+            .filter(|o| {
+                o.event.reason_number == ExitReason::IoInstruction.number()
+                    && !o.setup.mem_writes.is_empty()
+            })
+            .collect();
+        assert!(!strings.is_empty());
+        assert!(strings.iter().all(|o| o.event.io_rcx > 0));
+    }
+}

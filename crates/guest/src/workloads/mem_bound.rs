@@ -1,0 +1,72 @@
+//! The MEM-bound workload: stack/heap/mmap/shared-memory stress.
+//!
+//! Still RDTSC-dominated like every non-boot workload (Fig. 5), but with
+//! a visible tail of memory-management traffic: CR3 reloads on the mmap
+//! paths, EPT violations on first-touch of new regions (populate-on-
+//! demand), INVLPG flushes, and the occasional `memory_op` hypercall.
+
+use crate::event::GuestOp;
+use crate::machine::GuestMachine;
+use iris_vtx::cr::cr0;
+use rand::Rng;
+
+/// Generate `count` exits of MEM-bound execution.
+#[must_use]
+pub fn generate(count: usize, seed: u64) -> Vec<GuestOp> {
+    let mut m = GuestMachine::new(seed ^ 0x3e30);
+    super::cpu_bound::boot_shortcut(&mut m);
+    let mut ops = Vec::with_capacity(count);
+    while ops.len() < count {
+        let roll = m.rng.gen_range(0u32..1000);
+        let mut op = match roll {
+            0..=779 => m.rdtsc(),
+            // First-touch faults on fresh mappings: EPT populate path.
+            780..=829 => {
+                let gfn = m.rng.gen_range(0x100u64..0xf00);
+                let w = m.rng.gen_bool(0.7);
+                m.mmio_access(gfn << 12, w, 0xa5)
+            }
+            // Address-space switches.
+            830..=889 => {
+                let pt = u64::from(m.rng.gen_range(0u32..128));
+                m.write_cr3(0x2000 + pt * 0x1000)
+            }
+            // Scheduler tick.
+            890..=929 => m.external_interrupt(),
+            930..=949 => m.apic_access(iris_hv::vlapic::reg::EOI, true, 0),
+            // Balloon/memory hypercalls.
+            950..=969 => m.vmcall(iris_hv::handlers::vmcall::nr::MEMORY_OP, 0, 0, 0),
+            970..=984 => {
+                let ts = m.rng.gen_bool(0.5);
+                m.write_cr0(
+                    cr0::PE | cr0::PG | cr0::AM | cr0::ET | if ts { cr0::TS } else { 0 },
+                )
+            }
+            _ => m.interrupt_window(),
+        };
+        // memcpy/memset stretches: long, but shorter than pure compute.
+        op.burn_cycles += m.draw(300_000, 1_200_000);
+        ops.push(op);
+    }
+    ops.truncate(count);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_vtx::exit::ExitReason;
+
+    #[test]
+    fn rdtsc_dominates_with_memory_tail() {
+        let ops = generate(5000, 9);
+        let count = |r: ExitReason| {
+            ops.iter()
+                .filter(|o| o.event.reason_number == r.number())
+                .count()
+        };
+        assert!(count(ExitReason::Rdtsc) as f64 / 5000.0 > 0.7);
+        assert!(count(ExitReason::EptViolation) > 100);
+        assert!(count(ExitReason::CrAccess) > 200);
+    }
+}

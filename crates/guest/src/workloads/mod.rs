@@ -1,0 +1,101 @@
+//! The paper's five target workloads (§VI-A).
+//!
+//! Each generator is a deterministic function of its seed and produces the
+//! *architecturally visible* guest behaviour: sensitive instructions (→
+//! VM exits with operands) interleaved with guest-local cycle burn. The
+//! generators are calibrated against the paper's published
+//! characterisation: the exit-reason distributions of Fig. 5, the boot
+//! phase structure of Fig. 4 (BIOS prefix, then kernel), the CR0 mode
+//! ladder of Fig. 8, and the real-execution times of Fig. 9.
+
+use crate::event::GuestOp;
+
+pub mod bios;
+pub mod cpu_bound;
+pub mod idle;
+pub mod io_bound;
+pub mod mem_bound;
+pub mod os_boot;
+
+/// The five workloads of §VI-A.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Workload {
+    /// Booting the Linux kernel (≈520K exits end-to-end).
+    OsBoot,
+    /// CPU-intensive operations (Fibonacci, matrix ops).
+    CpuBound,
+    /// Memory-intensive operations (stack, heap, mmap, shm).
+    MemBound,
+    /// Generic input/output.
+    IoBound,
+    /// The OS idle loop.
+    Idle,
+}
+
+impl Workload {
+    /// All workloads, in the paper's order.
+    pub const ALL: [Workload; 5] = [
+        Workload::OsBoot,
+        Workload::CpuBound,
+        Workload::MemBound,
+        Workload::IoBound,
+        Workload::Idle,
+    ];
+
+    /// The label the paper's figures use.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::OsBoot => "OS BOOT",
+            Workload::CpuBound => "CPU-bound",
+            Workload::MemBound => "MEM-bound",
+            Workload::IoBound => "IO-bound",
+            Workload::Idle => "IDLE",
+        }
+    }
+
+    /// Build the generator for `count` exits.
+    ///
+    /// For [`Workload::OsBoot`] the stream starts *after* the BIOS prefix
+    /// (the paper: *"our OS BOOT trace of 5000 VM exits starts after the
+    /// last BIOS VM exit"*) — use [`bios::generate`] +
+    /// [`os_boot::generate_full`] for the Fig. 4 end-to-end timeline.
+    #[must_use]
+    pub fn generate(self, count: usize, seed: u64) -> Vec<GuestOp> {
+        match self {
+            Workload::OsBoot => os_boot::generate_kernel(count, seed),
+            Workload::CpuBound => cpu_bound::generate(count, seed),
+            Workload::MemBound => mem_bound::generate(count, seed),
+            Workload::IoBound => io_bound::generate(count, seed),
+            Workload::Idle => idle::generate(count, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_generate_requested_counts() {
+        for w in Workload::ALL {
+            let ops = w.generate(200, 42);
+            assert_eq!(ops.len(), 200, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for w in Workload::ALL {
+            assert_eq!(w.generate(100, 7), w.generate(100, 7), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Workload::OsBoot.label(), "OS BOOT");
+        assert_eq!(Workload::Idle.label(), "IDLE");
+    }
+}

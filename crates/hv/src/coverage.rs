@@ -1,0 +1,362 @@
+//! Basic-block coverage instrumentation — the model's `gcov`.
+//!
+//! The paper compiles selected Xen components with gcov and reads basic-
+//! block coverage out of a shared bitmap (§V-A): *"The hypervisor codebase
+//! should not be instrumented as a whole ... We selectively instrument
+//! hypervisor components crucial for VM exit handling."*
+//!
+//! Here every handler marks its basic blocks through [`CovSink::hit`]
+//! (usually via the `cov!` macro). A block is identified by
+//! `(Component, block id)` and carries a LOC weight, so "code coverage" is
+//! reported in *lines*, the unit of the paper's Fig. 6/7. Components can be
+//! selectively enabled, mirroring selective instrumentation, and hits made
+//! by the record/replay machinery itself are attributed to
+//! [`Component::IrisFramework`] so they can be *"cleaned up by removing
+//! hits due to the execution of our record and replay components"*.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Instrumentable hypervisor components (the model's source files).
+///
+/// The names match the Xen components the paper talks about:
+/// `vmx.c`, `intr.c`, `emulate.c`, `vlapic.c`, `irq.c`, `vpt.c`, plus the
+/// vCPU/HVM abstractions and the remaining handler families.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum Component {
+    /// `vmx.c` — VM-exit dispatch and VMX-specific handling.
+    Vmx,
+    /// `intr.c` — interrupt-assist on the VM-entry path.
+    Intr,
+    /// `emulate.c` — the HVM instruction emulator.
+    Emulate,
+    /// `vlapic.c` — the virtual local APIC.
+    Vlapic,
+    /// `irq.c` — IRQ handling.
+    Irq,
+    /// `vpt.c` — the virtual platform timer.
+    Vpt,
+    /// `hvm.c` — HVM domain-generic helpers (CR handling, MSR handling).
+    Hvm,
+    /// `vcpu.c` — the vCPU abstraction.
+    Vcpu,
+    /// `io.c` + device models — port I/O dispatch.
+    Io,
+    /// `p2m.c` — physical-to-machine (EPT) management.
+    P2m,
+    /// `hypercall.c` — the hypercall table.
+    Hypercall,
+    /// IRIS's own record/replay code: filtered out of reported coverage.
+    IrisFramework,
+}
+
+impl Component {
+    /// All real hypervisor components (excludes [`Component::IrisFramework`]).
+    pub const HYPERVISOR: &'static [Component] = &[
+        Component::Vmx,
+        Component::Intr,
+        Component::Emulate,
+        Component::Vlapic,
+        Component::Irq,
+        Component::Vpt,
+        Component::Hvm,
+        Component::Vcpu,
+        Component::Io,
+        Component::P2m,
+        Component::Hypercall,
+    ];
+
+    /// The source-file name the component models (for reports and logs).
+    #[must_use]
+    pub fn file_name(self) -> &'static str {
+        match self {
+            Component::Vmx => "vmx.c",
+            Component::Intr => "intr.c",
+            Component::Emulate => "emulate.c",
+            Component::Vlapic => "vlapic.c",
+            Component::Irq => "irq.c",
+            Component::Vpt => "vpt.c",
+            Component::Hvm => "hvm.c",
+            Component::Vcpu => "vcpu.c",
+            Component::Io => "io.c",
+            Component::P2m => "p2m.c",
+            Component::Hypercall => "hypercall.c",
+            Component::IrisFramework => "iris.c",
+        }
+    }
+}
+
+/// A basic block: component plus a block id unique within it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Block {
+    /// Which component the block lives in.
+    pub component: Component,
+    /// Block id within the component.
+    pub id: u16,
+}
+
+impl Block {
+    /// Construct a block id.
+    #[must_use]
+    pub fn new(component: Component, id: u16) -> Self {
+        Self { component, id }
+    }
+}
+
+/// A set of hit blocks with their LOC weights — the "bitmap ... exported as
+/// a shared memory area" of §V-A, at block granularity.
+///
+/// Serializes as a list of `(block, loc)` pairs so JSON (string-keyed
+/// maps only) can carry it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    blocks: BTreeMap<Block, u32>,
+}
+
+impl Serialize for CoverageMap {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.blocks.iter().map(|(b, l)| (*b, *l)))
+    }
+}
+
+impl<'de> Deserialize<'de> for CoverageMap {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let pairs = Vec::<(Block, u32)>::deserialize(deserializer)?;
+        Ok(CoverageMap {
+            blocks: pairs.into_iter().collect(),
+        })
+    }
+}
+
+impl CoverageMap {
+    /// Empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a hit of `block` weighing `loc` lines. Re-hits keep the
+    /// first weight (block weights are static properties of the code).
+    pub fn hit(&mut self, block: Block, loc: u32) {
+        self.blocks.entry(block).or_insert(loc);
+    }
+
+    /// Number of distinct blocks hit.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total unique lines covered — the paper's coverage unit.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.blocks.values().map(|&l| u64::from(l)).sum()
+    }
+
+    /// Unique lines covered within one component.
+    #[must_use]
+    pub fn lines_in(&self, component: Component) -> u64 {
+        self.blocks
+            .iter()
+            .filter(|(b, _)| b.component == component)
+            .map(|(_, &l)| u64::from(l))
+            .sum()
+    }
+
+    /// Whether a block was hit.
+    #[must_use]
+    pub fn contains(&self, block: Block) -> bool {
+        self.blocks.contains_key(&block)
+    }
+
+    /// Iterate hit blocks with weights.
+    pub fn iter(&self) -> impl Iterator<Item = (Block, u32)> + '_ {
+        self.blocks.iter().map(|(b, l)| (*b, *l))
+    }
+
+    /// Merge another map into this one (cumulative coverage).
+    pub fn merge(&mut self, other: &CoverageMap) {
+        for (b, l) in other.iter() {
+            self.hit(b, l);
+        }
+    }
+
+    /// New lines `other` would add on top of `self`.
+    #[must_use]
+    pub fn new_lines_from(&self, other: &CoverageMap) -> u64 {
+        other
+            .iter()
+            .filter(|(b, _)| !self.contains(*b))
+            .map(|(_, l)| u64::from(l))
+            .sum()
+    }
+
+    /// Lines covered by `self` but not by `other`, per component —
+    /// the paper's Fig. 7 "code coverage differences" clustering.
+    #[must_use]
+    pub fn diff_lines_by_component(&self, other: &CoverageMap) -> BTreeMap<Component, u64> {
+        let mut out = BTreeMap::new();
+        for (b, l) in self.iter() {
+            if !other.contains(b) {
+                *out.entry(b.component).or_insert(0) += u64::from(l);
+            }
+        }
+        out
+    }
+
+    /// Symmetric difference in lines (both directions), total.
+    #[must_use]
+    pub fn symmetric_diff_lines(&self, other: &CoverageMap) -> u64 {
+        self.new_lines_from(other) + other.new_lines_from(self)
+    }
+
+    /// Drop [`Component::IrisFramework`] hits — the paper's
+    /// *"code coverage is cleaned up by removing hits due to the execution
+    /// of our record and replay components"*.
+    #[must_use]
+    pub fn without_framework(&self) -> CoverageMap {
+        CoverageMap {
+            blocks: self
+                .blocks
+                .iter()
+                .filter(|(b, _)| b.component != Component::IrisFramework)
+                .map(|(b, l)| (*b, *l))
+                .collect(),
+        }
+    }
+
+    /// Remove everything (fresh recording session).
+    pub fn reset(&mut self) {
+        self.blocks.clear();
+    }
+}
+
+/// Where instrumentation hits go during one VM exit: the cumulative map
+/// plus the per-exit (per-seed) map IRIS attaches to metrics.
+#[derive(Debug)]
+pub struct CovSink<'a> {
+    global: &'a mut CoverageMap,
+    per_exit: &'a mut CoverageMap,
+    /// Cycles burned per covered line (couples coverage to handler time).
+    pub cycles_per_line: u64,
+    /// Cycles accumulated by hits in this exit.
+    pub cycles: u64,
+    enabled: bool,
+}
+
+impl<'a> CovSink<'a> {
+    /// Create a sink writing to a global and a per-exit map.
+    pub fn new(global: &'a mut CoverageMap, per_exit: &'a mut CoverageMap) -> Self {
+        Self {
+            global,
+            per_exit,
+            cycles_per_line: crate::costs::CYCLES_PER_LINE,
+            cycles: 0,
+            enabled: true,
+        }
+    }
+
+    /// Enable/disable instrumentation (un-instrumented build).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Record a hit. Always burns cycles (the code runs whether or not
+    /// it is instrumented); records coverage only when enabled.
+    pub fn hit(&mut self, component: Component, id: u16, loc: u32) {
+        self.cycles += u64::from(loc) * self.cycles_per_line;
+        if self.enabled {
+            let b = Block::new(component, id);
+            self.global.hit(b, loc);
+            self.per_exit.hit(b, loc);
+        }
+    }
+}
+
+/// Mark a basic block: `cov!(ctx, Vmx, 12, 3)` hits block 12 of `vmx.c`
+/// weighing 3 lines.
+#[macro_export]
+macro_rules! cov {
+    ($ctx:expr, $comp:ident, $id:expr, $loc:expr) => {
+        $ctx.cov.hit($crate::coverage::Component::$comp, $id, $loc)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(c: Component, id: u16) -> Block {
+        Block::new(c, id)
+    }
+
+    #[test]
+    fn lines_sum_unique_blocks_only() {
+        let mut m = CoverageMap::new();
+        m.hit(b(Component::Vmx, 1), 5);
+        m.hit(b(Component::Vmx, 1), 5); // re-hit: no double count
+        m.hit(b(Component::Vmx, 2), 3);
+        assert_eq!(m.lines(), 8);
+        assert_eq!(m.block_count(), 2);
+        assert_eq!(m.lines_in(Component::Vmx), 8);
+        assert_eq!(m.lines_in(Component::Irq), 0);
+    }
+
+    #[test]
+    fn merge_and_new_lines() {
+        let mut a = CoverageMap::new();
+        a.hit(b(Component::Vmx, 1), 5);
+        let mut c = CoverageMap::new();
+        c.hit(b(Component::Vmx, 1), 5);
+        c.hit(b(Component::Irq, 7), 2);
+        assert_eq!(a.new_lines_from(&c), 2);
+        a.merge(&c);
+        assert_eq!(a.lines(), 7);
+        assert_eq!(a.new_lines_from(&c), 0);
+    }
+
+    #[test]
+    fn diff_clusters_by_component() {
+        let mut rec = CoverageMap::new();
+        rec.hit(b(Component::Vlapic, 1), 4);
+        rec.hit(b(Component::Emulate, 9), 40);
+        rec.hit(b(Component::Vmx, 3), 6);
+        let mut rep = CoverageMap::new();
+        rep.hit(b(Component::Vmx, 3), 6);
+        let d = rec.diff_lines_by_component(&rep);
+        assert_eq!(d.get(&Component::Vlapic), Some(&4));
+        assert_eq!(d.get(&Component::Emulate), Some(&40));
+        assert_eq!(d.get(&Component::Vmx), None);
+        assert_eq!(rec.symmetric_diff_lines(&rep), 44);
+    }
+
+    #[test]
+    fn framework_hits_are_filtered() {
+        let mut m = CoverageMap::new();
+        m.hit(b(Component::IrisFramework, 1), 100);
+        m.hit(b(Component::Vmx, 1), 5);
+        assert_eq!(m.without_framework().lines(), 5);
+    }
+
+    #[test]
+    fn sink_burns_cycles_even_when_disabled() {
+        let mut g = CoverageMap::new();
+        let mut p = CoverageMap::new();
+        let mut s = CovSink::new(&mut g, &mut p);
+        s.set_enabled(false);
+        s.hit(Component::Vmx, 1, 10);
+        let burned = s.cycles;
+        assert!(burned > 0);
+        assert_eq!(g.block_count(), 0);
+        let mut s2 = CovSink::new(&mut g, &mut p);
+        s2.hit(Component::Vmx, 1, 10);
+        assert_eq!(s2.cycles, burned);
+        assert_eq!(g.block_count(), 1);
+        assert_eq!(p.block_count(), 1);
+    }
+}

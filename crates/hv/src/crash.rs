@@ -1,0 +1,178 @@
+//! Failure taxonomy.
+//!
+//! The paper's PoC fuzzer classifies anomalies into **VM crashes** (the
+//! guest domain is destroyed; Xen and the other domains keep running) and
+//! **hypervisor crashes** (a BUG/panic in root mode takes down the host and
+//! every VM). Both carry a reason mirroring the paper's examples: double
+//! faults, invalid operations, page faults, and the `bad RIP for mode 0`
+//! message from the boot-state experiment of §VI-B.
+
+use iris_vtx::cr::OperatingMode;
+use iris_vtx::entry_checks::EntryCheckFailure;
+use serde::{Deserialize, Serialize};
+
+/// Why a guest domain was crashed (`domain_crash()` in Xen terms).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainCrashReason {
+    /// Triple fault in the guest.
+    TripleFault,
+    /// The guest RIP is impossible for the vCPU's current operating mode —
+    /// Xen logs `bad RIP for mode <n>`; this is what the cold-replay
+    /// experiment of §VI-B triggers.
+    BadRipForMode {
+        /// The vCPU operating mode at the time (mode index is 0-based,
+        /// matching the Xen log).
+        mode: OperatingMode,
+        /// The offending RIP.
+        rip: u64,
+    },
+    /// VM entry failed the §26.3 guest-state checks and the state is
+    /// unrecoverable.
+    EntryFailure(EntryCheckFailure),
+    /// The instruction emulator could not handle the instruction and the
+    /// failure was not injectable.
+    EmulationFailed {
+        /// Short description of the failed operation.
+        what: String,
+    },
+    /// An I/O or MMIO emulation reached an unrecoverable inconsistency.
+    IoError {
+        /// Port or address involved.
+        detail: String,
+    },
+    /// Double fault while delivering an exception.
+    DoubleFault,
+}
+
+impl DomainCrashReason {
+    /// The console message Xen would print.
+    #[must_use]
+    pub fn console_message(&self) -> String {
+        match self {
+            DomainCrashReason::TripleFault => "domain crash: triple fault".to_owned(),
+            DomainCrashReason::BadRipForMode { mode, rip } => {
+                format!("bad RIP {rip:#x} for mode {}", mode.index())
+            }
+            DomainCrashReason::EntryFailure(f) => {
+                format!("domain crash: VM entry failure: {f:?}")
+            }
+            DomainCrashReason::EmulationFailed { what } => {
+                format!("domain crash: emulation failed: {what}")
+            }
+            DomainCrashReason::IoError { detail } => {
+                format!("domain crash: I/O error: {detail}")
+            }
+            DomainCrashReason::DoubleFault => "domain crash: double fault".to_owned(),
+        }
+    }
+}
+
+/// Why the hypervisor itself died (BUG()/panic in root mode).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HypervisorCrashReason {
+    /// A BUG_ON assertion fired.
+    BugOn {
+        /// The component containing the assertion.
+        component: String,
+        /// The condition that fired.
+        condition: String,
+    },
+    /// Page fault in root mode (dereferencing a guest-controlled pointer).
+    HostPageFault {
+        /// Faulting (virtual) address.
+        addr: u64,
+        /// What was being done.
+        context: String,
+    },
+    /// Invalid opcode in root mode (corrupted function pointer paths).
+    InvalidOp {
+        /// What was being done.
+        context: String,
+    },
+    /// Unreachable VM-exit dispatch state.
+    UnhandledExit {
+        /// Raw basic exit reason number.
+        reason: u16,
+    },
+}
+
+impl HypervisorCrashReason {
+    /// The panic banner Xen would print.
+    #[must_use]
+    pub fn console_message(&self) -> String {
+        match self {
+            HypervisorCrashReason::BugOn {
+                component,
+                condition,
+            } => format!("Xen BUG at {component}: {condition}"),
+            HypervisorCrashReason::HostPageFault { addr, context } => {
+                format!("FATAL PAGE FAULT at {addr:#x} ({context})")
+            }
+            HypervisorCrashReason::InvalidOp { context } => {
+                format!("FATAL TRAP: invalid opcode ({context})")
+            }
+            HypervisorCrashReason::UnhandledExit { reason } => {
+                format!("FATAL: unexpected VM exit reason {reason}")
+            }
+        }
+    }
+}
+
+/// Any crash the system can experience — the fuzzer's failure modes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Crash {
+    /// One domain died; the hypervisor survives.
+    Domain {
+        /// The crashed domain.
+        domain: u16,
+        /// Why.
+        reason: DomainCrashReason,
+    },
+    /// The hypervisor died, taking every domain with it.
+    Hypervisor(HypervisorCrashReason),
+}
+
+impl Crash {
+    /// Whether this is a hypervisor (host-fatal) crash.
+    #[must_use]
+    pub fn is_hypervisor(&self) -> bool {
+        matches!(self, Crash::Hypervisor(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_rip_message_matches_xen_format() {
+        let r = DomainCrashReason::BadRipForMode {
+            mode: OperatingMode::Mode1,
+            rip: 0xffff_ffff_8100_0000,
+        };
+        // The §VI-B experiment's log: "bad RIP for mode 0".
+        assert!(r.console_message().contains("for mode 0"));
+    }
+
+    #[test]
+    fn crash_classification() {
+        let d = Crash::Domain {
+            domain: 2,
+            reason: DomainCrashReason::TripleFault,
+        };
+        assert!(!d.is_hypervisor());
+        let h = Crash::Hypervisor(HypervisorCrashReason::UnhandledExit { reason: 77 });
+        assert!(h.is_hypervisor());
+        assert!(h
+            .console_message_contains("unexpected VM exit reason 77"));
+    }
+
+    impl Crash {
+        fn console_message_contains(&self, s: &str) -> bool {
+            match self {
+                Crash::Domain { reason, .. } => reason.console_message().contains(s),
+                Crash::Hypervisor(r) => r.console_message().contains(s),
+            }
+        }
+    }
+}

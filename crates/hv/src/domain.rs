@@ -1,0 +1,113 @@
+//! Domains: the unit of isolation Xen schedules and the fuzzer crashes.
+
+use crate::crash::DomainCrashReason;
+use crate::devices::IoBus;
+use crate::irq::HvmIrq;
+use crate::mm::GuestMemory;
+use crate::vcpu::{HvVcpu, RunState};
+use crate::vpt::Vpt;
+use iris_vtx::ept::Ept;
+use serde::{Deserialize, Serialize};
+
+/// Domain flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainKind {
+    /// The privileged control domain (Dom0) — runs the IRIS CLI.
+    Control,
+    /// An HVM guest (DomU) — the test VM or the dummy VM.
+    Hvm,
+}
+
+/// One domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Domain {
+    /// Domain id (0 = Dom0).
+    pub id: u16,
+    /// Flavour.
+    pub kind: DomainKind,
+    /// The domain's vCPUs (experiments use one, pinned — §VI).
+    pub vcpus: Vec<HvVcpu>,
+    /// Guest-physical memory.
+    pub memory: GuestMemory,
+    /// Extended page tables.
+    pub ept: Ept,
+    /// Emulated platform devices.
+    pub iobus: IoBus,
+    /// Per-domain IRQ routing.
+    pub irq: HvmIrq,
+    /// Virtual platform timers.
+    pub vpt: Vpt,
+    /// Crash record, if the domain died.
+    pub crashed: Option<DomainCrashReason>,
+}
+
+impl Domain {
+    /// Build a domain with one vCPU and `ram_bytes` of RAM mapped 1:1
+    /// into the EPT (the paper's DomUs have 1 GiB; tests use less).
+    #[must_use]
+    pub fn new(id: u16, kind: DomainKind, ram_bytes: u64) -> Self {
+        let mut ept = Ept::new();
+        let pages = ram_bytes >> iris_vtx::ept::PAGE_SHIFT;
+        ept.map_ram(0, u64::from(id) << 20, pages);
+        // The xAPIC page is MMIO.
+        ept.map_mmio(0xfee00);
+        Self {
+            id,
+            kind,
+            vcpus: vec![HvVcpu::new(0, 0x10000 + (u64::from(id) << 16))],
+            memory: GuestMemory::new(ram_bytes),
+            ept,
+            iobus: IoBus::new(),
+            irq: HvmIrq::new(),
+            vpt: Vpt::new(),
+            crashed: None,
+        }
+    }
+
+    /// Whether the domain is alive.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.crashed.is_none()
+    }
+
+    /// Crash the domain (`domain_crash()`): record the reason and stop
+    /// every vCPU.
+    pub fn crash(&mut self, reason: DomainCrashReason) {
+        if self.crashed.is_none() {
+            self.crashed = Some(reason);
+        }
+        for v in &mut self.vcpus {
+            v.runstate = RunState::Crashed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iris_vtx::ept::{Access, Translation};
+
+    #[test]
+    fn new_domain_has_mapped_ram_and_apic_mmio() {
+        let d = Domain::new(1, DomainKind::Hvm, 1 << 20);
+        assert!(matches!(
+            d.ept.translate(0x1000, Access::Read),
+            Translation::Ok(_)
+        ));
+        assert!(matches!(
+            d.ept.translate(0xfee0_0000, Access::Write),
+            Translation::Violation(_)
+        ));
+        assert_eq!(d.vcpus.len(), 1);
+        assert!(d.is_alive());
+    }
+
+    #[test]
+    fn crash_is_sticky_and_stops_vcpus() {
+        let mut d = Domain::new(1, DomainKind::Hvm, 1 << 20);
+        d.crash(DomainCrashReason::TripleFault);
+        d.crash(DomainCrashReason::DoubleFault); // second reason ignored
+        assert_eq!(d.crashed, Some(DomainCrashReason::TripleFault));
+        assert!(!d.vcpus[0].is_runnable());
+    }
+}

@@ -1,0 +1,62 @@
+//! Interposition hooks on the hypervisor's VMCS accessors.
+//!
+//! The paper instruments Xen's `vmread()`/`vmwrite()` wrappers with
+//! *callback functions* (§V-A): recording captures every `{field, value}`
+//! pair; replaying substitutes seed values into `vmread()` returns for
+//! read-only fields. [`VmxHooks`] is that callback surface. The hypervisor
+//! calls it from [`crate::ctx::ExitCtx::vmread`] /
+//! [`crate::ctx::ExitCtx::vmwrite`]; `iris-core` provides the recording
+//! and replaying implementations.
+
+use iris_vtx::fields::VmcsField;
+use iris_vtx::gpr::GprSet;
+
+/// Callbacks woven into the VM-exit handling path.
+pub trait VmxHooks {
+    /// Called on every `vmread()`. `real` is the value the VMCS holds;
+    /// the return value is what the handler sees. Recording returns
+    /// `real` unchanged (and stores the pair); replay may substitute.
+    fn on_vmread(&mut self, field: VmcsField, real: u64) -> u64 {
+        let _ = field;
+        real
+    }
+
+    /// Called on every `vmwrite()` with the value being written.
+    fn on_vmwrite(&mut self, field: VmcsField, value: u64) {
+        let _ = (field, value);
+    }
+
+    /// Called once at handler entry with the guest GPRs the hypervisor
+    /// saved on the exit path.
+    fn on_handler_entry(&mut self, gprs: &GprSet) {
+        let _ = gprs;
+    }
+
+    /// Cycle cost the hook implementation accumulated during this exit
+    /// (recording callbacks, replay submission). Drained by the exit
+    /// pipeline and added to the virtual TSC.
+    fn take_cycle_cost(&mut self) -> u64 {
+        0
+    }
+}
+
+/// No interposition — plain guest execution with recording off
+/// (the "No Recording" baseline of the paper's Fig. 10).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl VmxHooks for NoHooks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_hooks_is_transparent() {
+        let mut h = NoHooks;
+        assert_eq!(h.on_vmread(VmcsField::GuestRip, 42), 42);
+        h.on_vmwrite(VmcsField::GuestRip, 1);
+        h.on_handler_entry(&GprSet::new());
+        assert_eq!(h.take_cycle_cost(), 0);
+    }
+}

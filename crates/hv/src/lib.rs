@@ -1,0 +1,60 @@
+//! # iris-hv — a Xen-shaped hardware-assisted hypervisor model
+//!
+//! This crate is the *system under test* of the IRIS reproduction: a
+//! hypervisor whose VM-exit handling has the structural properties the
+//! paper's experiments measure —
+//!
+//! * handler control flow depends on **VMCS reads** and the **GPR save
+//!   area** (so interposing on them steers execution — the basis of IRIS
+//!   replay);
+//! * some paths additionally dereference **guest memory** (instruction
+//!   emulation, string I/O, descriptor loads, hypercall buffers) — the
+//!   paths that diverge when IRIS replays seeds into a cold dummy VM;
+//! * asynchronous components (**vLAPIC, IRQ routing, virtual timers**)
+//!   run on the exit path depending on timing — the paper's 1–30 LOC
+//!   coverage noise;
+//! * handlers update **internal per-vCPU state** (cached CRs, the
+//!   operating-mode abstraction) whose absence in a cold dummy VM causes
+//!   the `bad RIP for mode 0` crash of §VI-B;
+//! * everything is instrumented with gcov-like **basic-block coverage**
+//!   ([`coverage`]), selectively enabled per component.
+//!
+//! Entry point: [`hypervisor::Hypervisor`] and its
+//! [`hypervisor::Hypervisor::vm_exit`] pipeline.
+//!
+//! ```
+//! use iris_hv::hypervisor::{ExitEvent, Hypervisor};
+//! use iris_hv::hooks::NoHooks;
+//! use iris_vtx::exit::ExitReason;
+//!
+//! let mut hv = Hypervisor::new();
+//! let dom = hv.create_hvm_domain(16 << 20);
+//! let out = hv.vm_exit(dom, &ExitEvent::new(ExitReason::Cpuid), &mut NoHooks);
+//! assert!(out.crash.is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod coverage;
+pub mod crash;
+pub mod ctx;
+pub mod devices;
+pub mod domain;
+pub mod emulate;
+pub mod handlers;
+pub mod hooks;
+pub mod hypervisor;
+pub mod intr;
+pub mod irq;
+pub mod log;
+pub mod mm;
+pub mod vcpu;
+pub mod vlapic;
+pub mod vpt;
+
+pub use coverage::{Component, CoverageMap};
+pub use crash::{Crash, DomainCrashReason, HypervisorCrashReason};
+pub use hooks::{NoHooks, VmxHooks};
+pub use hypervisor::{ExitEvent, ExitOutcome, Hypervisor};

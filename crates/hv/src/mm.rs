@@ -1,0 +1,227 @@
+//! Guest memory and the `hvm_copy` accessors.
+//!
+//! A [`GuestMemory`] is a sparse, page-granular store of guest-physical
+//! memory. Handlers never touch it directly — they go through
+//! [`GuestMemory::copy_from_guest`] / [`GuestMemory::copy_to_guest`]
+//! (the analogs of Xen's `hvm_copy_from_guest_phys` /
+//! `hvm_copy_to_guest_phys`), which fail on unpopulated frames.
+//!
+//! This failure path is deliberately load-bearing: IRIS *"deliberately
+//! avoids recording the test VM memory"* (§IV-A), so during replay the
+//! dummy VM's memory lacks the test VM's contents and guest-memory-
+//! dependent emulator paths diverge — the exact inaccuracy source the
+//! paper analyses in Fig. 7 and §IX.
+
+use iris_vtx::ept::{PAGE_SHIFT, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Failure of a guest memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuestMemError {
+    /// The guest frame is not populated (hvm_copy returns HVMTRANS_bad_gfn).
+    BadGfn {
+        /// The unpopulated guest frame number.
+        gfn: u64,
+    },
+}
+
+impl std::fmt::Display for GuestMemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuestMemError::BadGfn { gfn } => write!(f, "bad gfn {gfn:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for GuestMemError {}
+
+/// Sparse guest-physical memory for one domain.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuestMemory {
+    pages: BTreeMap<u64, Vec<u8>>,
+    ram_pages: u64,
+    /// EPT-style dirty tracking (§IX of the paper: record touched memory
+    /// via the EPT): when enabled, every `copy_to_guest` is logged.
+    #[serde(skip)]
+    dirty_log: Option<Vec<(u64, Vec<u8>)>>,
+}
+
+impl GuestMemory {
+    /// Empty memory with a nominal RAM size (pages are populated lazily
+    /// on first write within the RAM range).
+    #[must_use]
+    pub fn new(ram_bytes: u64) -> Self {
+        Self {
+            pages: BTreeMap::new(),
+            ram_pages: ram_bytes >> PAGE_SHIFT,
+            dirty_log: None,
+        }
+    }
+
+    /// Nominal RAM size in bytes.
+    #[must_use]
+    pub fn ram_bytes(&self) -> u64 {
+        self.ram_pages << PAGE_SHIFT
+    }
+
+    /// Number of actually populated pages.
+    #[must_use]
+    pub fn populated_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn in_ram(&self, gfn: u64) -> bool {
+        gfn < self.ram_pages
+    }
+
+    /// Enable/disable EPT-style dirty logging (the §IX extension: record
+    /// the guest memory areas touched during workload execution).
+    pub fn set_dirty_tracking(&mut self, enabled: bool) {
+        self.dirty_log = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Drain the dirty log accumulated since the last drain.
+    #[must_use]
+    pub fn drain_dirty(&mut self) -> Vec<(u64, Vec<u8>)> {
+        match &mut self.dirty_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// `copy_to_guest`: write `data` at guest-physical `gpa`, populating
+    /// RAM pages on demand.
+    ///
+    /// # Errors
+    /// [`GuestMemError::BadGfn`] if the range leaves nominal RAM.
+    pub fn copy_to_guest(&mut self, gpa: u64, data: &[u8]) -> Result<(), GuestMemError> {
+        if let Some(log) = &mut self.dirty_log {
+            log.push((gpa, data.to_vec()));
+        }
+        let mut off = 0usize;
+        while off < data.len() {
+            let addr = gpa + off as u64;
+            let gfn = addr >> PAGE_SHIFT;
+            if !self.in_ram(gfn) {
+                return Err(GuestMemError::BadGfn { gfn });
+            }
+            let page = self
+                .pages
+                .entry(gfn)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize]);
+            let page_off = (addr & (PAGE_SIZE - 1)) as usize;
+            let n = (PAGE_SIZE as usize - page_off).min(data.len() - off);
+            page[page_off..page_off + n].copy_from_slice(&data[off..off + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// `copy_from_guest`: read `buf.len()` bytes at guest-physical `gpa`.
+    ///
+    /// Reads from *populated* pages succeed; reads from never-written RAM
+    /// fail with [`GuestMemError::BadGfn`] — this models the dummy VM's
+    /// cold memory during IRIS replay (a fresh HVM domain has no
+    /// meaningful content where the test VM had its GDT, instruction
+    /// bytes, DMA buffers...).
+    pub fn copy_from_guest(&self, gpa: u64, buf: &mut [u8]) -> Result<(), GuestMemError> {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let addr = gpa + off as u64;
+            let gfn = addr >> PAGE_SHIFT;
+            let Some(page) = self.pages.get(&gfn) else {
+                return Err(GuestMemError::BadGfn { gfn });
+            };
+            let page_off = (addr & (PAGE_SIZE - 1)) as usize;
+            let n = (PAGE_SIZE as usize - page_off).min(buf.len() - off);
+            buf[off..off + n].copy_from_slice(&page[page_off..page_off + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Convenience: read a little-endian u64.
+    pub fn read_u64(&self, gpa: u64) -> Result<u64, GuestMemError> {
+        let mut b = [0u8; 8];
+        self.copy_from_guest(gpa, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Convenience: write a little-endian u64.
+    pub fn write_u64(&mut self, gpa: u64, v: u64) -> Result<(), GuestMemError> {
+        self.copy_to_guest(gpa, &v.to_le_bytes())
+    }
+
+    /// Drop every populated page (fresh domain).
+    pub fn wipe(&mut self) {
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut m = GuestMemory::new(1 << 20);
+        m.copy_to_guest(0x1ffe, &[1, 2, 3, 4]).unwrap(); // spans a page boundary
+        let mut b = [0u8; 4];
+        m.copy_from_guest(0x1ffe, &mut b).unwrap();
+        assert_eq!(b, [1, 2, 3, 4]);
+        assert_eq!(m.populated_pages(), 2);
+    }
+
+    #[test]
+    fn cold_reads_fail_like_a_fresh_dummy_vm() {
+        let m = GuestMemory::new(1 << 20);
+        let mut b = [0u8; 8];
+        assert_eq!(
+            m.copy_from_guest(0x5000, &mut b),
+            Err(GuestMemError::BadGfn { gfn: 5 })
+        );
+    }
+
+    #[test]
+    fn writes_outside_ram_fail() {
+        let mut m = GuestMemory::new(0x2000); // 2 pages of RAM
+        assert!(m.copy_to_guest(0x1fff, &[0]).is_ok());
+        assert_eq!(
+            m.copy_to_guest(0x2000, &[0]),
+            Err(GuestMemError::BadGfn { gfn: 2 })
+        );
+    }
+
+    #[test]
+    fn u64_helpers() {
+        let mut m = GuestMemory::new(1 << 16);
+        m.write_u64(0x100, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.read_u64(0x100).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn dirty_tracking_logs_writes() {
+        let mut m = GuestMemory::new(1 << 16);
+        m.write_u64(0, 1).unwrap(); // untracked
+        m.set_dirty_tracking(true);
+        m.write_u64(0x100, 2).unwrap();
+        m.copy_to_guest(0x200, b"xyz").unwrap();
+        let log = m.drain_dirty();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[1], (0x200, b"xyz".to_vec()));
+        assert!(m.drain_dirty().is_empty(), "drain resets");
+        m.set_dirty_tracking(false);
+        m.write_u64(0x300, 3).unwrap();
+        assert!(m.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn wipe_returns_memory_to_cold_state() {
+        let mut m = GuestMemory::new(1 << 16);
+        m.write_u64(0, 7).unwrap();
+        m.wipe();
+        assert!(m.read_u64(0).is_err());
+        assert_eq!(m.populated_pages(), 0);
+    }
+}

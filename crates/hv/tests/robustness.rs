@@ -1,0 +1,79 @@
+//! Panic-freedom: the hypervisor must survive *any* exit event — every
+//! failure is a modeled crash (domain or hypervisor), never a Rust
+//! panic. This is exactly the property the IRIS fuzzer leans on (and the
+//! property whose violation it once found: a forged I/O qualification
+//! used to overflow the string-I/O element buffer).
+
+use iris_hv::hooks::NoHooks;
+use iris_hv::hypervisor::{ExitEvent, Hypervisor};
+use iris_vtx::gpr::{Gpr, GprSet};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = ExitEvent> {
+    (
+        0u16..70,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        0u64..16,
+        any::<u64>(),
+        any::<u64>(),
+        0u64..10_000,
+    )
+        .prop_map(
+            |(reason, qual, gpa, lin, len, info, err, rcx)| ExitEvent {
+                reason_number: reason,
+                qualification: qual,
+                guest_physical: gpa,
+                guest_linear: lin,
+                instruction_len: len,
+                intr_info: info,
+                intr_error: err,
+                io_rcx: rcx,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hypervisor_never_panics_on_arbitrary_exits(
+        events in proptest::collection::vec(arb_event(), 1..24),
+        gprs in proptest::collection::vec(any::<u64>(), 15),
+    ) {
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_hvm_domain(8 << 20);
+        {
+            let mut set = GprSet::new();
+            for (g, v) in Gpr::ALL.iter().zip(&gprs) {
+                set.set(*g, *v);
+            }
+            hv.domains[dom as usize].vcpus[0].gprs = set;
+        }
+        for ev in &events {
+            let out = hv.vm_exit(dom, ev, &mut NoHooks);
+            // Once the hypervisor crashed, it stays crashed.
+            if out.crash.as_ref().is_some_and(|c| c.is_hypervisor()) {
+                prop_assert!(!hv.is_alive());
+                let out2 = hv.vm_exit(dom, ev, &mut NoHooks);
+                prop_assert!(out2.crash.is_some());
+                break;
+            }
+            // Crashed domains never magically resurrect.
+            if !hv.domains[dom as usize].is_alive() {
+                prop_assert!(hv.domains[dom as usize].crashed.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn clock_is_monotone_across_any_exit(ev in arb_event()) {
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_hvm_domain(8 << 20);
+        let before = hv.tsc.now();
+        let out = hv.vm_exit(dom, &ev, &mut NoHooks);
+        prop_assert!(hv.tsc.now() >= before);
+        prop_assert_eq!(out.cycles, hv.tsc.now() - before);
+    }
+}

@@ -1,0 +1,259 @@
+//! Extended Page Tables — the second-level address translation VT-x uses
+//! to virtualize guest memory.
+//!
+//! The model keeps a page-granular map from guest-physical frame to an
+//! entry with permissions and a memory type. Translation faults produce
+//! either an **EPT violation** (reason 48, with a qualification describing
+//! the access) or an **EPT misconfiguration** (reason 49) exactly as the
+//! hypervisor's `ept_violation`/`ept_misconfig` handlers expect. MMIO
+//! regions are represented as *not present* mappings with a device tag, so
+//! guest accesses to them fault into the instruction emulator — the same
+//! path real Xen HVM uses for emulated devices.
+
+use crate::exit::EptQual;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Page size used throughout the model.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Shift for page frame numbers.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// EPT memory types (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryType {
+    /// Uncacheable — typical for MMIO.
+    Uncacheable,
+    /// Write-back — typical for RAM.
+    WriteBack,
+}
+
+/// What a guest-physical page maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageKind {
+    /// Ordinary RAM backed by the domain's memory.
+    Ram,
+    /// An MMIO page belonging to an emulated device; accesses always
+    /// fault to the emulator.
+    Mmio,
+}
+
+/// One EPT entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EptEntry {
+    /// Host frame number the guest frame maps to.
+    pub host_pfn: u64,
+    /// Read permission.
+    pub read: bool,
+    /// Write permission.
+    pub write: bool,
+    /// Execute permission.
+    pub exec: bool,
+    /// Memory type.
+    pub mem_type: MemoryType,
+    /// RAM or MMIO.
+    pub kind: PageKind,
+    /// Misconfigured entry (reserved bits set) — causes EPT_MISCONFIG.
+    pub misconfigured: bool,
+}
+
+/// Kind of access being translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+/// Outcome of an EPT translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Translation {
+    /// Success: host physical address.
+    Ok(u64),
+    /// EPT violation with the qualification the hardware would report.
+    Violation(EptQual),
+    /// EPT misconfiguration.
+    Misconfig,
+}
+
+/// A per-domain EPT.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ept {
+    entries: BTreeMap<u64, EptEntry>,
+}
+
+impl Ept {
+    /// Empty EPT — every access violates.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map `pages` contiguous RAM pages starting at guest frame `gfn`
+    /// to host frames starting at `host_pfn`, read/write/execute.
+    pub fn map_ram(&mut self, gfn: u64, host_pfn: u64, pages: u64) {
+        for i in 0..pages {
+            self.entries.insert(
+                gfn + i,
+                EptEntry {
+                    host_pfn: host_pfn + i,
+                    read: true,
+                    write: true,
+                    exec: true,
+                    mem_type: MemoryType::WriteBack,
+                    kind: PageKind::Ram,
+                    misconfigured: false,
+                },
+            );
+        }
+    }
+
+    /// Register an MMIO page at guest frame `gfn`: present in the p2m but
+    /// with no access permissions, so every touch faults to the emulator.
+    pub fn map_mmio(&mut self, gfn: u64) {
+        self.entries.insert(
+            gfn,
+            EptEntry {
+                host_pfn: 0,
+                read: false,
+                write: false,
+                exec: false,
+                mem_type: MemoryType::Uncacheable,
+                kind: PageKind::Mmio,
+                misconfigured: false,
+            },
+        );
+    }
+
+    /// Corrupt an entry's reserved bits (fuzzing hook) so the next access
+    /// reports EPT_MISCONFIG.
+    pub fn misconfigure(&mut self, gfn: u64) {
+        if let Some(e) = self.entries.get_mut(&gfn) {
+            e.misconfigured = true;
+        }
+    }
+
+    /// Remove a mapping entirely.
+    pub fn unmap(&mut self, gfn: u64) {
+        self.entries.remove(&gfn);
+    }
+
+    /// Look up the entry for a guest frame.
+    #[must_use]
+    pub fn entry(&self, gfn: u64) -> Option<&EptEntry> {
+        self.entries.get(&gfn)
+    }
+
+    /// Number of mapped frames.
+    #[must_use]
+    pub fn mapped_frames(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Translate a guest-physical address for the given access.
+    #[must_use]
+    pub fn translate(&self, gpa: u64, access: Access) -> Translation {
+        let gfn = gpa >> PAGE_SHIFT;
+        match self.entries.get(&gfn) {
+            None => Translation::Violation(Self::violation_qual(access, None)),
+            Some(e) if e.misconfigured => Translation::Misconfig,
+            Some(e) => {
+                let allowed = match access {
+                    Access::Read => e.read,
+                    Access::Write => e.write,
+                    Access::Fetch => e.exec,
+                };
+                if allowed {
+                    Translation::Ok((e.host_pfn << PAGE_SHIFT) | (gpa & (PAGE_SIZE - 1)))
+                } else {
+                    Translation::Violation(Self::violation_qual(access, Some(e)))
+                }
+            }
+        }
+    }
+
+    fn violation_qual(access: Access, entry: Option<&EptEntry>) -> EptQual {
+        EptQual {
+            read: matches!(access, Access::Read),
+            write: matches!(access, Access::Write),
+            exec: matches!(access, Access::Fetch),
+            gpa_readable: entry.is_some_and(|e| e.read),
+            gpa_writable: entry.is_some_and(|e| e.write),
+            gpa_executable: entry.is_some_and(|e| e.exec),
+            linear_valid: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_access_violates() {
+        let ept = Ept::new();
+        match ept.translate(0x1000, Access::Read) {
+            Translation::Violation(q) => {
+                assert!(q.read);
+                assert!(!q.gpa_readable);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ram_translation_preserves_offset() {
+        let mut ept = Ept::new();
+        ept.map_ram(0x10, 0x100, 4);
+        assert_eq!(
+            ept.translate(0x10_123, Access::Read),
+            Translation::Ok(0x100_123)
+        );
+        assert_eq!(
+            ept.translate(0x13_fff, Access::Write),
+            Translation::Ok(0x103_fff)
+        );
+        assert!(matches!(
+            ept.translate(0x14_000, Access::Read),
+            Translation::Violation(_)
+        ));
+    }
+
+    #[test]
+    fn mmio_pages_always_fault_with_permissions_in_qual() {
+        let mut ept = Ept::new();
+        ept.map_mmio(0xfee00); // APIC page gfn
+        match ept.translate(0xfee0_0030, Access::Write) {
+            Translation::Violation(q) => {
+                assert!(q.write);
+                assert!(!q.gpa_writable);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+        assert_eq!(ept.entry(0xfee00).unwrap().kind, PageKind::Mmio);
+    }
+
+    #[test]
+    fn misconfigured_entries_report_misconfig() {
+        let mut ept = Ept::new();
+        ept.map_ram(0, 0, 1);
+        ept.misconfigure(0);
+        assert_eq!(ept.translate(0x10, Access::Read), Translation::Misconfig);
+    }
+
+    #[test]
+    fn unmap_removes() {
+        let mut ept = Ept::new();
+        ept.map_ram(0, 0, 1);
+        ept.unmap(0);
+        assert!(matches!(
+            ept.translate(0, Access::Read),
+            Translation::Violation(_)
+        ));
+        assert_eq!(ept.mapped_frames(), 0);
+    }
+}

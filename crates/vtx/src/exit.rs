@@ -1,0 +1,504 @@
+//! VM-exit reasons and exit-qualification encodings.
+//!
+//! [`ExitReason`] follows the basic exit reason numbering of SDM Vol. 3D
+//! Appendix C. The 15 reasons the paper's Fig. 4 observes during an OS
+//! boot (`APIC ACCESS`, `CPUID`, `CR ACCESS`, `DR ACCESS`, `EPT MISC.`,
+//! `EPT VIOL.`, `EXT. INT.`, `HLT`, `I/O INST.`, `INT. WI.`, `MSR READ`,
+//! `MSR WRITE`, `RDTSC`, `VMCALL`, `WBINVD`) are all present, plus the
+//! reasons the substrate itself needs (triple fault, preemption timer,
+//! entry failures, ...).
+//!
+//! The qualification decoders ([`CrAccessQual`], [`IoQual`], [`EptQual`])
+//! implement the bit layouts of SDM Vol. 3C Table 27-3/27-5 and §27.2.1,
+//! because both the Xen-shaped handlers and the IRIS fuzzer manipulate raw
+//! qualification words.
+
+use crate::gpr::Gpr;
+use serde::{Deserialize, Serialize};
+
+/// Basic VM-exit reasons (SDM Vol. 3D Appendix C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u16)]
+#[allow(missing_docs)]
+pub enum ExitReason {
+    ExceptionNmi = 0,
+    ExternalInterrupt = 1,
+    TripleFault = 2,
+    InitSignal = 3,
+    Sipi = 4,
+    InterruptWindow = 7,
+    NmiWindow = 8,
+    TaskSwitch = 9,
+    Cpuid = 10,
+    Getsec = 11,
+    Hlt = 12,
+    Invd = 13,
+    Invlpg = 14,
+    Rdpmc = 15,
+    Rdtsc = 16,
+    Rsm = 17,
+    Vmcall = 18,
+    Vmclear = 19,
+    Vmlaunch = 20,
+    Vmptrld = 21,
+    Vmptrst = 22,
+    Vmread = 23,
+    Vmresume = 24,
+    Vmwrite = 25,
+    Vmxoff = 26,
+    Vmxon = 27,
+    CrAccess = 28,
+    DrAccess = 29,
+    IoInstruction = 30,
+    MsrRead = 31,
+    MsrWrite = 32,
+    EntryFailureGuestState = 33,
+    EntryFailureMsrLoad = 34,
+    Mwait = 36,
+    MonitorTrapFlag = 37,
+    Monitor = 39,
+    Pause = 40,
+    EntryFailureMachineCheck = 41,
+    TprBelowThreshold = 43,
+    ApicAccess = 44,
+    VirtualizedEoi = 45,
+    GdtrIdtrAccess = 46,
+    LdtrTrAccess = 47,
+    EptViolation = 48,
+    EptMisconfig = 49,
+    Invept = 50,
+    Rdtscp = 51,
+    PreemptionTimer = 52,
+    Invvpid = 53,
+    Wbinvd = 54,
+    Xsetbv = 55,
+    ApicWrite = 56,
+}
+
+impl ExitReason {
+    /// Reasons that appear in the paper's workload characterisation
+    /// (Fig. 4 / Fig. 5 axes), in the order the figures list them.
+    pub const FIGURE_REASONS: &'static [ExitReason] = &[
+        ExitReason::ApicAccess,
+        ExitReason::Cpuid,
+        ExitReason::CrAccess,
+        ExitReason::DrAccess,
+        ExitReason::EptMisconfig,
+        ExitReason::EptViolation,
+        ExitReason::ExternalInterrupt,
+        ExitReason::Hlt,
+        ExitReason::IoInstruction,
+        ExitReason::InterruptWindow,
+        ExitReason::MsrRead,
+        ExitReason::MsrWrite,
+        ExitReason::Rdtsc,
+        ExitReason::Vmcall,
+        ExitReason::Wbinvd,
+    ];
+
+    /// Basic exit-reason number (the low 16 bits of the `VM_EXIT_REASON`
+    /// VMCS field).
+    #[must_use]
+    pub fn number(self) -> u16 {
+        self as u16
+    }
+
+    /// Decode a basic exit-reason number.
+    #[must_use]
+    pub fn from_number(n: u16) -> Option<ExitReason> {
+        use ExitReason::*;
+        const TABLE: &[ExitReason] = &[
+            ExceptionNmi,
+            ExternalInterrupt,
+            TripleFault,
+            InitSignal,
+            Sipi,
+            InterruptWindow,
+            NmiWindow,
+            TaskSwitch,
+            Cpuid,
+            Getsec,
+            Hlt,
+            Invd,
+            Invlpg,
+            Rdpmc,
+            Rdtsc,
+            Rsm,
+            Vmcall,
+            Vmclear,
+            Vmlaunch,
+            Vmptrld,
+            Vmptrst,
+            Vmread,
+            Vmresume,
+            Vmwrite,
+            Vmxoff,
+            Vmxon,
+            CrAccess,
+            DrAccess,
+            IoInstruction,
+            MsrRead,
+            MsrWrite,
+            EntryFailureGuestState,
+            EntryFailureMsrLoad,
+            Mwait,
+            MonitorTrapFlag,
+            Monitor,
+            Pause,
+            EntryFailureMachineCheck,
+            TprBelowThreshold,
+            ApicAccess,
+            VirtualizedEoi,
+            GdtrIdtrAccess,
+            LdtrTrAccess,
+            EptViolation,
+            EptMisconfig,
+            Invept,
+            Rdtscp,
+            PreemptionTimer,
+            Invvpid,
+            Wbinvd,
+            Xsetbv,
+            ApicWrite,
+        ];
+        TABLE.iter().copied().find(|r| r.number() == n)
+    }
+
+    /// Short label matching the paper's figure axes (e.g. `"CR ACCESS"`,
+    /// `"I/O INST."`).
+    #[must_use]
+    pub fn figure_label(self) -> &'static str {
+        match self {
+            ExitReason::ApicAccess => "APIC ACCESS",
+            ExitReason::Cpuid => "CPUID",
+            ExitReason::CrAccess => "CR ACCESS",
+            ExitReason::DrAccess => "DR ACCESS",
+            ExitReason::EptMisconfig => "EPT MISC.",
+            ExitReason::EptViolation => "EPT VIOL.",
+            ExitReason::ExternalInterrupt => "EXT. INT.",
+            ExitReason::Hlt => "HLT",
+            ExitReason::IoInstruction => "I/O INST.",
+            ExitReason::InterruptWindow => "INT. WI.",
+            ExitReason::MsrRead => "MSR READ",
+            ExitReason::MsrWrite => "MSR WRITE",
+            ExitReason::Rdtsc => "RDTSC",
+            ExitReason::Vmcall => "VMCALL",
+            ExitReason::Wbinvd => "WBINVD",
+            ExitReason::PreemptionTimer => "PREEMPT. TIMER",
+            ExitReason::TripleFault => "TRIPLE FAULT",
+            other => {
+                // Fall back to the debug name for reasons outside the figures.
+                match other {
+                    ExitReason::ExceptionNmi => "EXC/NMI",
+                    ExitReason::Invlpg => "INVLPG",
+                    ExitReason::Rdtscp => "RDTSCP",
+                    ExitReason::Xsetbv => "XSETBV",
+                    ExitReason::Pause => "PAUSE",
+                    _ => "OTHER",
+                }
+            }
+        }
+    }
+}
+
+/// Access type in a control-register-access exit qualification
+/// (SDM Table 27-3, bits 5:4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrAccessType {
+    /// `MOV CRx, reg`
+    MovToCr,
+    /// `MOV reg, CRx`
+    MovFromCr,
+    /// `CLTS`
+    Clts,
+    /// `LMSW src`
+    Lmsw,
+}
+
+/// Decoded exit qualification for `CR ACCESS` exits (SDM Table 27-3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrAccessQual {
+    /// Which control register (0, 3, 4, 8).
+    pub cr: u8,
+    /// What kind of access.
+    pub access: CrAccessType,
+    /// Register operand of MOV-CR accesses (`None` for RSP or non-MOV).
+    pub gpr: Option<Gpr>,
+    /// LMSW source data (bits 31:16) for `Lmsw` accesses.
+    pub lmsw_source: u16,
+}
+
+impl CrAccessQual {
+    /// Encode into the architectural qualification word.
+    #[must_use]
+    pub fn encode(&self) -> u64 {
+        let ty = match self.access {
+            CrAccessType::MovToCr => 0u64,
+            CrAccessType::MovFromCr => 1,
+            CrAccessType::Clts => 2,
+            CrAccessType::Lmsw => 3,
+        };
+        let gpr_bits = self.gpr.map_or(4u64, |g| {
+            // Invert Gpr::from_mov_cr_operand: encodings >= 4 shift up by 1.
+            let e = g.encoding() as u64;
+            if e >= 4 {
+                e + 1
+            } else {
+                e
+            }
+        });
+        u64::from(self.cr & 0xf)
+            | (ty << 4)
+            | (gpr_bits << 8)
+            | (u64::from(self.lmsw_source) << 16)
+    }
+
+    /// Decode from the architectural qualification word.
+    #[must_use]
+    pub fn decode(qual: u64) -> Self {
+        let access = match (qual >> 4) & 0x3 {
+            0 => CrAccessType::MovToCr,
+            1 => CrAccessType::MovFromCr,
+            2 => CrAccessType::Clts,
+            _ => CrAccessType::Lmsw,
+        };
+        Self {
+            cr: (qual & 0xf) as u8,
+            access,
+            gpr: Gpr::from_mov_cr_operand(((qual >> 8) & 0xf) as u8),
+            lmsw_source: ((qual >> 16) & 0xffff) as u16,
+        }
+    }
+}
+
+/// Direction of an I/O instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoDirection {
+    /// `OUT` — guest writes to the port.
+    Out,
+    /// `IN` — guest reads from the port.
+    In,
+}
+
+/// Decoded exit qualification for `I/O INSTRUCTION` exits (SDM Table 27-5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoQual {
+    /// Access size in bytes (1, 2 or 4).
+    pub size: u8,
+    /// IN or OUT.
+    pub direction: IoDirection,
+    /// String instruction (`INS`/`OUTS`).
+    pub string: bool,
+    /// REP prefixed.
+    pub rep: bool,
+    /// Port number.
+    pub port: u16,
+}
+
+impl IoQual {
+    /// Encode into the architectural qualification word.
+    #[must_use]
+    pub fn encode(&self) -> u64 {
+        let size_bits = u64::from(self.size - 1) & 0x7;
+        size_bits
+            | (u64::from(matches!(self.direction, IoDirection::In)) << 3)
+            | (u64::from(self.string) << 4)
+            | (u64::from(self.rep) << 5)
+            | (u64::from(self.port) << 16)
+    }
+
+    /// Decode from the architectural qualification word.
+    #[must_use]
+    pub fn decode(qual: u64) -> Self {
+        Self {
+            size: ((qual & 0x7) + 1) as u8,
+            direction: if qual & 0x8 != 0 {
+                IoDirection::In
+            } else {
+                IoDirection::Out
+            },
+            string: qual & 0x10 != 0,
+            rep: qual & 0x20 != 0,
+            port: ((qual >> 16) & 0xffff) as u16,
+        }
+    }
+}
+
+/// Decoded exit qualification for EPT violations (SDM §27.2.1, Table 27-7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EptQual {
+    /// The access was a data read.
+    pub read: bool,
+    /// The access was a data write.
+    pub write: bool,
+    /// The access was an instruction fetch.
+    pub exec: bool,
+    /// The guest-physical address was readable under EPT.
+    pub gpa_readable: bool,
+    /// The guest-physical address was writable under EPT.
+    pub gpa_writable: bool,
+    /// The guest-physical address was executable under EPT.
+    pub gpa_executable: bool,
+    /// A valid guest-linear address is available.
+    pub linear_valid: bool,
+}
+
+impl EptQual {
+    /// Encode into the architectural qualification word.
+    #[must_use]
+    pub fn encode(&self) -> u64 {
+        u64::from(self.read)
+            | (u64::from(self.write) << 1)
+            | (u64::from(self.exec) << 2)
+            | (u64::from(self.gpa_readable) << 3)
+            | (u64::from(self.gpa_writable) << 4)
+            | (u64::from(self.gpa_executable) << 5)
+            | (u64::from(self.linear_valid) << 7)
+    }
+
+    /// Decode from the architectural qualification word.
+    #[must_use]
+    pub fn decode(qual: u64) -> Self {
+        Self {
+            read: qual & 1 != 0,
+            write: qual & 2 != 0,
+            exec: qual & 4 != 0,
+            gpa_readable: qual & 8 != 0,
+            gpa_writable: qual & 0x10 != 0,
+            gpa_executable: qual & 0x20 != 0,
+            linear_valid: qual & 0x80 != 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reason_numbers_match_sdm() {
+        assert_eq!(ExitReason::ExternalInterrupt.number(), 1);
+        assert_eq!(ExitReason::Cpuid.number(), 10);
+        assert_eq!(ExitReason::Hlt.number(), 12);
+        assert_eq!(ExitReason::Rdtsc.number(), 16);
+        assert_eq!(ExitReason::Vmcall.number(), 18);
+        assert_eq!(ExitReason::CrAccess.number(), 28);
+        assert_eq!(ExitReason::IoInstruction.number(), 30);
+        assert_eq!(ExitReason::MsrRead.number(), 31);
+        assert_eq!(ExitReason::MsrWrite.number(), 32);
+        assert_eq!(ExitReason::ApicAccess.number(), 44);
+        assert_eq!(ExitReason::EptViolation.number(), 48);
+        assert_eq!(ExitReason::EptMisconfig.number(), 49);
+        assert_eq!(ExitReason::PreemptionTimer.number(), 52);
+        assert_eq!(ExitReason::Wbinvd.number(), 54);
+    }
+
+    #[test]
+    fn reason_number_round_trips() {
+        for &r in ExitReason::FIGURE_REASONS {
+            assert_eq!(ExitReason::from_number(r.number()), Some(r));
+        }
+        assert_eq!(ExitReason::from_number(5), None); // unused number
+        assert_eq!(ExitReason::from_number(999), None);
+    }
+
+    #[test]
+    fn figure_reasons_are_the_papers_fifteen() {
+        assert_eq!(ExitReason::FIGURE_REASONS.len(), 15);
+        let labels: Vec<_> = ExitReason::FIGURE_REASONS
+            .iter()
+            .map(|r| r.figure_label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "APIC ACCESS",
+                "CPUID",
+                "CR ACCESS",
+                "DR ACCESS",
+                "EPT MISC.",
+                "EPT VIOL.",
+                "EXT. INT.",
+                "HLT",
+                "I/O INST.",
+                "INT. WI.",
+                "MSR READ",
+                "MSR WRITE",
+                "RDTSC",
+                "VMCALL",
+                "WBINVD",
+            ]
+        );
+    }
+
+    #[test]
+    fn cr_qual_round_trips() {
+        let q = CrAccessQual {
+            cr: 0,
+            access: CrAccessType::MovToCr,
+            gpr: Some(Gpr::Rax),
+            lmsw_source: 0,
+        };
+        assert_eq!(CrAccessQual::decode(q.encode()), q);
+
+        let q = CrAccessQual {
+            cr: 4,
+            access: CrAccessType::MovFromCr,
+            gpr: Some(Gpr::R12),
+            lmsw_source: 0,
+        };
+        assert_eq!(CrAccessQual::decode(q.encode()), q);
+
+        let q = CrAccessQual {
+            cr: 0,
+            access: CrAccessType::Lmsw,
+            gpr: None,
+            lmsw_source: 0xfff1,
+        };
+        let d = CrAccessQual::decode(q.encode());
+        assert_eq!(d.access, CrAccessType::Lmsw);
+        assert_eq!(d.lmsw_source, 0xfff1);
+    }
+
+    #[test]
+    fn io_qual_round_trips() {
+        for &(size, dir, string, rep, port) in &[
+            (1u8, IoDirection::Out, false, false, 0x70u16),
+            (2, IoDirection::In, false, false, 0x1f0),
+            (4, IoDirection::Out, true, true, 0x3f8),
+        ] {
+            let q = IoQual {
+                size,
+                direction: dir,
+                string,
+                rep,
+                port,
+            };
+            assert_eq!(IoQual::decode(q.encode()), q);
+        }
+    }
+
+    #[test]
+    fn ept_qual_round_trips() {
+        let q = EptQual {
+            read: true,
+            write: false,
+            exec: false,
+            gpa_readable: false,
+            gpa_writable: false,
+            gpa_executable: false,
+            linear_valid: true,
+        };
+        assert_eq!(EptQual::decode(q.encode()), q);
+        let q2 = EptQual {
+            read: false,
+            write: true,
+            exec: false,
+            gpa_readable: true,
+            gpa_writable: false,
+            gpa_executable: true,
+            linear_valid: false,
+        };
+        assert_eq!(EptQual::decode(q2.encode()), q2);
+    }
+}

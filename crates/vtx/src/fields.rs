@@ -1,0 +1,421 @@
+//! VMCS field encodings.
+//!
+//! Intel encodes every VMCS field as a 32-bit value whose bits select the
+//! access type (bit 0: "high" access for 64-bit fields), the *index*
+//! (bits 9:1), the *type* (bits 11:10 — control, VM-exit information
+//! a.k.a. read-only data, guest state, host state) and the *width*
+//! (bits 14:13 — 16-bit, 64-bit, 32-bit, natural).
+//!
+//! This module enumerates the fields actually used by the Xen-shaped
+//! hypervisor model and the IRIS framework — 100+ fields covering all four
+//! areas — and exposes the classification helpers the framework relies on:
+//! [`VmcsField::width`], [`VmcsField::area`] and [`VmcsField::is_read_only`]
+//! (VM-exit information fields cannot be written with `VMWRITE` unless the
+//! "VMCS shadowing" capability is present; Xen on the paper's testbed does
+//! not write them, and IRIS *interposes* on reads instead — see
+//! `iris_core::replay`).
+
+use serde::{Deserialize, Serialize};
+
+/// Width class of a VMCS field (SDM Vol. 3C Table 24-19).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldWidth {
+    /// 16-bit fields (selectors, VPID, ...).
+    Bits16,
+    /// 64-bit fields (full physical addresses, EPT pointer, ...).
+    Bits64,
+    /// 32-bit fields (execution controls, AR bytes, ...).
+    Bits32,
+    /// Natural-width fields (64-bit on x86-64: RIP, RSP, CRn, ...).
+    Natural,
+}
+
+/// Logical area of the VMCS a field belongs to (SDM Vol. 3C §24.3/24.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldArea {
+    /// Guest-state area — processor state saved at VM exit and loaded at
+    /// VM entry.
+    GuestState,
+    /// Host-state area — processor state loaded at VM exit.
+    HostState,
+    /// VM-execution / VM-exit / VM-entry control fields.
+    Control,
+    /// VM-exit information fields (read-only data area).
+    ExitInfo,
+}
+
+macro_rules! vmcs_fields {
+    ($( $(#[$doc:meta])* $name:ident = $enc:expr, $width:ident, $area:ident ;)+) => {
+        /// A VMCS field, identified by its architectural encoding.
+        ///
+        /// The discriminant of each variant *is* the SDM encoding, so
+        /// `field as u32` yields the value a real `VMREAD` would take in its
+        /// register operand.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[repr(u32)]
+        #[allow(missing_docs)]
+        pub enum VmcsField {
+            $( $(#[$doc])* $name = $enc, )+
+        }
+
+        impl VmcsField {
+            /// Every field known to the model, in encoding order.
+            pub const ALL: &'static [VmcsField] = &[ $(VmcsField::$name,)+ ];
+
+            /// Width class of the field.
+            #[must_use]
+            pub fn width(self) -> FieldWidth {
+                match self { $( VmcsField::$name => FieldWidth::$width, )+ }
+            }
+
+            /// Logical VMCS area the field belongs to.
+            #[must_use]
+            pub fn area(self) -> FieldArea {
+                match self { $( VmcsField::$name => FieldArea::$area, )+ }
+            }
+
+            /// Decode an architectural encoding back into a field.
+            ///
+            /// Returns `None` for encodings not modelled (a real CPU would
+            /// raise VMfailValid(12) — *unsupported VMCS component*).
+            #[must_use]
+            pub fn from_encoding(enc: u32) -> Option<VmcsField> {
+                match enc {
+                    $( $enc => Some(VmcsField::$name), )+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+vmcs_fields! {
+    // ------------------------------------------------------------------
+    // 16-bit control fields (0x0000xxxx)
+    // ------------------------------------------------------------------
+    /// Virtual-processor identifier.
+    VirtualProcessorId = 0x0000, Bits16, Control;
+    /// Posted-interrupt notification vector.
+    PostedIntrNotificationVector = 0x0002, Bits16, Control;
+    /// EPTP index (for EPTP switching).
+    EptpIndex = 0x0004, Bits16, Control;
+
+    // 16-bit guest-state fields (0x0800+)
+    GuestEsSelector = 0x0800, Bits16, GuestState;
+    GuestCsSelector = 0x0802, Bits16, GuestState;
+    GuestSsSelector = 0x0804, Bits16, GuestState;
+    GuestDsSelector = 0x0806, Bits16, GuestState;
+    GuestFsSelector = 0x0808, Bits16, GuestState;
+    GuestGsSelector = 0x080a, Bits16, GuestState;
+    GuestLdtrSelector = 0x080c, Bits16, GuestState;
+    GuestTrSelector = 0x080e, Bits16, GuestState;
+    GuestInterruptStatus = 0x0810, Bits16, GuestState;
+    GuestPmlIndex = 0x0812, Bits16, GuestState;
+
+    // 16-bit host-state fields (0x0c00+)
+    HostEsSelector = 0x0c00, Bits16, HostState;
+    HostCsSelector = 0x0c02, Bits16, HostState;
+    HostSsSelector = 0x0c04, Bits16, HostState;
+    HostDsSelector = 0x0c06, Bits16, HostState;
+    HostFsSelector = 0x0c08, Bits16, HostState;
+    HostGsSelector = 0x0c0a, Bits16, HostState;
+    HostTrSelector = 0x0c0c, Bits16, HostState;
+
+    // ------------------------------------------------------------------
+    // 64-bit control fields (0x2000+)
+    // ------------------------------------------------------------------
+    IoBitmapA = 0x2000, Bits64, Control;
+    IoBitmapB = 0x2002, Bits64, Control;
+    MsrBitmap = 0x2004, Bits64, Control;
+    VmExitMsrStoreAddr = 0x2006, Bits64, Control;
+    VmExitMsrLoadAddr = 0x2008, Bits64, Control;
+    VmEntryMsrLoadAddr = 0x200a, Bits64, Control;
+    ExecutiveVmcsPointer = 0x200c, Bits64, Control;
+    PmlAddress = 0x200e, Bits64, Control;
+    /// TSC offset applied to guest RDTSC/RDTSCP/RDMSR(IA32_TIME_STAMP_COUNTER).
+    TscOffset = 0x2010, Bits64, Control;
+    VirtualApicPageAddr = 0x2012, Bits64, Control;
+    ApicAccessAddr = 0x2014, Bits64, Control;
+    PostedIntrDescAddr = 0x2016, Bits64, Control;
+    VmFunctionControls = 0x2018, Bits64, Control;
+    /// Extended-page-table pointer.
+    EptPointer = 0x201a, Bits64, Control;
+    EoiExitBitmap0 = 0x201c, Bits64, Control;
+    EoiExitBitmap1 = 0x201e, Bits64, Control;
+    EoiExitBitmap2 = 0x2020, Bits64, Control;
+    EoiExitBitmap3 = 0x2022, Bits64, Control;
+    EptpListAddress = 0x2024, Bits64, Control;
+    VmreadBitmap = 0x2026, Bits64, Control;
+    VmwriteBitmap = 0x2028, Bits64, Control;
+    TscMultiplier = 0x2032, Bits64, Control;
+
+    // 64-bit read-only data fields (0x2400+)
+    /// Guest-physical address of the access causing an EPT violation.
+    GuestPhysicalAddress = 0x2400, Bits64, ExitInfo;
+
+    // 64-bit guest-state fields (0x2800+)
+    /// VMCS link pointer; must be ~0u64 unless VMCS shadowing is in use
+    /// (checked at VM entry — SDM §26.3.1.5).
+    VmcsLinkPointer = 0x2800, Bits64, GuestState;
+    GuestIa32Debugctl = 0x2802, Bits64, GuestState;
+    GuestIa32Pat = 0x2804, Bits64, GuestState;
+    GuestIa32Efer = 0x2806, Bits64, GuestState;
+    GuestIa32PerfGlobalCtrl = 0x2808, Bits64, GuestState;
+    GuestPdpte0 = 0x280a, Bits64, GuestState;
+    GuestPdpte1 = 0x280c, Bits64, GuestState;
+    GuestPdpte2 = 0x280e, Bits64, GuestState;
+    GuestPdpte3 = 0x2810, Bits64, GuestState;
+    GuestBndcfgs = 0x2812, Bits64, GuestState;
+
+    // 64-bit host-state fields (0x2c00+)
+    HostIa32Pat = 0x2c00, Bits64, HostState;
+    HostIa32Efer = 0x2c02, Bits64, HostState;
+    HostIa32PerfGlobalCtrl = 0x2c04, Bits64, HostState;
+
+    // ------------------------------------------------------------------
+    // 32-bit control fields (0x4000+)
+    // ------------------------------------------------------------------
+    PinBasedVmExecControl = 0x4000, Bits32, Control;
+    CpuBasedVmExecControl = 0x4002, Bits32, Control;
+    ExceptionBitmap = 0x4004, Bits32, Control;
+    PageFaultErrorCodeMask = 0x4006, Bits32, Control;
+    PageFaultErrorCodeMatch = 0x4008, Bits32, Control;
+    Cr3TargetCount = 0x400a, Bits32, Control;
+    VmExitControls = 0x400c, Bits32, Control;
+    VmExitMsrStoreCount = 0x400e, Bits32, Control;
+    VmExitMsrLoadCount = 0x4010, Bits32, Control;
+    VmEntryControls = 0x4012, Bits32, Control;
+    VmEntryMsrLoadCount = 0x4014, Bits32, Control;
+    VmEntryIntrInfoField = 0x4016, Bits32, Control;
+    VmEntryExceptionErrorCode = 0x4018, Bits32, Control;
+    VmEntryInstructionLen = 0x401a, Bits32, Control;
+    TprThreshold = 0x401c, Bits32, Control;
+    SecondaryVmExecControl = 0x401e, Bits32, Control;
+    PleGap = 0x4020, Bits32, Control;
+    PleWindow = 0x4022, Bits32, Control;
+
+    // 32-bit read-only data fields (0x4400+)
+    /// VM-instruction error (SDM Vol. 3C §30.4).
+    VmInstructionError = 0x4400, Bits32, ExitInfo;
+    /// Basic exit reason (low 16 bits) plus flags.
+    VmExitReason = 0x4402, Bits32, ExitInfo;
+    VmExitIntrInfo = 0x4404, Bits32, ExitInfo;
+    VmExitIntrErrorCode = 0x4406, Bits32, ExitInfo;
+    IdtVectoringInfoField = 0x4408, Bits32, ExitInfo;
+    IdtVectoringErrorCode = 0x440a, Bits32, ExitInfo;
+    VmExitInstructionLen = 0x440c, Bits32, ExitInfo;
+    VmxInstructionInfo = 0x440e, Bits32, ExitInfo;
+
+    // 32-bit guest-state fields (0x4800+)
+    GuestEsLimit = 0x4800, Bits32, GuestState;
+    GuestCsLimit = 0x4802, Bits32, GuestState;
+    GuestSsLimit = 0x4804, Bits32, GuestState;
+    GuestDsLimit = 0x4806, Bits32, GuestState;
+    GuestFsLimit = 0x4808, Bits32, GuestState;
+    GuestGsLimit = 0x480a, Bits32, GuestState;
+    GuestLdtrLimit = 0x480c, Bits32, GuestState;
+    GuestTrLimit = 0x480e, Bits32, GuestState;
+    GuestGdtrLimit = 0x4810, Bits32, GuestState;
+    GuestIdtrLimit = 0x4812, Bits32, GuestState;
+    GuestEsArBytes = 0x4814, Bits32, GuestState;
+    GuestCsArBytes = 0x4816, Bits32, GuestState;
+    GuestSsArBytes = 0x4818, Bits32, GuestState;
+    GuestDsArBytes = 0x481a, Bits32, GuestState;
+    GuestFsArBytes = 0x481c, Bits32, GuestState;
+    GuestGsArBytes = 0x481e, Bits32, GuestState;
+    GuestLdtrArBytes = 0x4820, Bits32, GuestState;
+    GuestTrArBytes = 0x4822, Bits32, GuestState;
+    GuestInterruptibilityInfo = 0x4824, Bits32, GuestState;
+    GuestActivityState = 0x4826, Bits32, GuestState;
+    GuestSmbase = 0x4828, Bits32, GuestState;
+    GuestSysenterCs = 0x482a, Bits32, GuestState;
+    /// VMX-preemption timer current value (counts down in non-root mode).
+    GuestPreemptionTimer = 0x482e, Bits32, GuestState;
+
+    // 32-bit host-state fields (0x4c00+)
+    HostSysenterCs = 0x4c00, Bits32, HostState;
+
+    // ------------------------------------------------------------------
+    // Natural-width control fields (0x6000+)
+    // ------------------------------------------------------------------
+    /// CR0 guest/host mask: bits owned by the host (reads hit the shadow,
+    /// writes to them cause a VM exit).
+    Cr0GuestHostMask = 0x6000, Natural, Control;
+    /// CR4 guest/host mask.
+    Cr4GuestHostMask = 0x6002, Natural, Control;
+    /// CR0 read shadow: what the guest observes for host-owned CR0 bits.
+    Cr0ReadShadow = 0x6004, Natural, Control;
+    /// CR4 read shadow.
+    Cr4ReadShadow = 0x6006, Natural, Control;
+    Cr3TargetValue0 = 0x6008, Natural, Control;
+    Cr3TargetValue1 = 0x600a, Natural, Control;
+    Cr3TargetValue2 = 0x600c, Natural, Control;
+    Cr3TargetValue3 = 0x600e, Natural, Control;
+
+    // Natural-width read-only data fields (0x6400+)
+    /// Exit qualification (meaning depends on the exit reason).
+    ExitQualification = 0x6400, Natural, ExitInfo;
+    IoRcx = 0x6402, Natural, ExitInfo;
+    IoRsi = 0x6404, Natural, ExitInfo;
+    IoRdi = 0x6406, Natural, ExitInfo;
+    IoRip = 0x6408, Natural, ExitInfo;
+    /// Guest-linear address (EPT violations, some others).
+    GuestLinearAddress = 0x640a, Natural, ExitInfo;
+
+    // Natural-width guest-state fields (0x6800+)
+    GuestCr0 = 0x6800, Natural, GuestState;
+    GuestCr3 = 0x6802, Natural, GuestState;
+    GuestCr4 = 0x6804, Natural, GuestState;
+    GuestEsBase = 0x6806, Natural, GuestState;
+    GuestCsBase = 0x6808, Natural, GuestState;
+    GuestSsBase = 0x680a, Natural, GuestState;
+    GuestDsBase = 0x680c, Natural, GuestState;
+    GuestFsBase = 0x680e, Natural, GuestState;
+    GuestGsBase = 0x6810, Natural, GuestState;
+    GuestLdtrBase = 0x6812, Natural, GuestState;
+    GuestTrBase = 0x6814, Natural, GuestState;
+    GuestGdtrBase = 0x6816, Natural, GuestState;
+    GuestIdtrBase = 0x6818, Natural, GuestState;
+    GuestDr7 = 0x681a, Natural, GuestState;
+    GuestRsp = 0x681c, Natural, GuestState;
+    GuestRip = 0x681e, Natural, GuestState;
+    GuestRflags = 0x6820, Natural, GuestState;
+    GuestPendingDbgExceptions = 0x6822, Natural, GuestState;
+    GuestSysenterEsp = 0x6824, Natural, GuestState;
+    GuestSysenterEip = 0x6826, Natural, GuestState;
+
+    // Natural-width host-state fields (0x6c00+)
+    HostCr0 = 0x6c00, Natural, HostState;
+    HostCr3 = 0x6c02, Natural, HostState;
+    HostCr4 = 0x6c04, Natural, HostState;
+    HostFsBase = 0x6c06, Natural, HostState;
+    HostGsBase = 0x6c08, Natural, HostState;
+    HostTrBase = 0x6c0a, Natural, HostState;
+    HostGdtrBase = 0x6c0c, Natural, HostState;
+    HostIdtrBase = 0x6c0e, Natural, HostState;
+    HostSysenterEsp = 0x6c10, Natural, HostState;
+    HostSysenterEip = 0x6c12, Natural, HostState;
+    HostRsp = 0x6c14, Natural, HostState;
+    /// Host RIP: loaded at VM exit — this is the VM-exit handler entry point.
+    HostRip = 0x6c16, Natural, HostState;
+}
+
+impl VmcsField {
+    /// Architectural encoding of the field (what `VMREAD` takes).
+    #[must_use]
+    pub fn encoding(self) -> u32 {
+        self as u32
+    }
+
+    /// Whether `VMWRITE` to this field fails with VMfailValid(13)
+    /// (*VMWRITE to read-only VMCS component*).
+    ///
+    /// All VM-exit information fields are read-only on processors without
+    /// the "VMWRITE any field" capability; the paper's testbed (Haswell
+    /// Xeon) does not have it, which is exactly why IRIS must interpose on
+    /// `vmread()` return values for these fields during replay.
+    #[must_use]
+    pub fn is_read_only(self) -> bool {
+        self.area() == FieldArea::ExitInfo
+    }
+
+    /// Mask of bits that the field can actually hold, given its width.
+    #[must_use]
+    pub fn value_mask(self) -> u64 {
+        match self.width() {
+            FieldWidth::Bits16 => 0xffff,
+            FieldWidth::Bits32 => 0xffff_ffff,
+            FieldWidth::Bits64 | FieldWidth::Natural => u64::MAX,
+        }
+    }
+
+    /// A compact, stable, 1-byte index for this field used by the IRIS
+    /// seed codec (the paper stores field encodings in one byte; there are
+    /// "147 values" in its table — our model covers the subset Xen-shaped
+    /// handlers touch).
+    #[must_use]
+    pub fn compact_index(self) -> u8 {
+        // Position in `ALL` is stable because the macro preserves order.
+        Self::ALL
+            .iter()
+            .position(|f| *f == self)
+            .map(|p| p as u8)
+            .unwrap_or(u8::MAX)
+    }
+
+    /// Inverse of [`VmcsField::compact_index`].
+    #[must_use]
+    pub fn from_compact_index(idx: u8) -> Option<VmcsField> {
+        Self::ALL.get(idx as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodings_round_trip() {
+        for &f in VmcsField::ALL {
+            assert_eq!(VmcsField::from_encoding(f.encoding()), Some(f));
+        }
+    }
+
+    #[test]
+    fn compact_indices_round_trip_and_fit_in_a_byte() {
+        assert!(VmcsField::ALL.len() <= 256, "paper's 1-byte encoding");
+        for &f in VmcsField::ALL {
+            assert_eq!(VmcsField::from_compact_index(f.compact_index()), Some(f));
+        }
+    }
+
+    #[test]
+    fn exit_info_fields_are_read_only() {
+        assert!(VmcsField::VmExitReason.is_read_only());
+        assert!(VmcsField::ExitQualification.is_read_only());
+        assert!(VmcsField::GuestPhysicalAddress.is_read_only());
+        assert!(!VmcsField::GuestCr0.is_read_only());
+        assert!(!VmcsField::Cr0ReadShadow.is_read_only());
+    }
+
+    #[test]
+    fn width_classes_match_encoding_bits() {
+        for &f in VmcsField::ALL {
+            let enc = f.encoding();
+            let expect = match (enc >> 13) & 0b11 {
+                0b00 => FieldWidth::Bits16,
+                0b01 => FieldWidth::Bits64,
+                0b10 => FieldWidth::Bits32,
+                _ => FieldWidth::Natural,
+            };
+            assert_eq!(f.width(), expect, "{f:?} encoding {enc:#x}");
+        }
+    }
+
+    #[test]
+    fn area_matches_encoding_type_bits() {
+        for &f in VmcsField::ALL {
+            let enc = f.encoding();
+            let expect = match (enc >> 10) & 0b11 {
+                0b00 => FieldArea::Control,
+                0b01 => FieldArea::ExitInfo,
+                0b10 => FieldArea::GuestState,
+                _ => FieldArea::HostState,
+            };
+            assert_eq!(f.area(), expect, "{f:?} encoding {enc:#x}");
+        }
+    }
+
+    #[test]
+    fn value_mask_truncates_by_width() {
+        assert_eq!(VmcsField::GuestCsSelector.value_mask(), 0xffff);
+        assert_eq!(VmcsField::GuestCsLimit.value_mask(), 0xffff_ffff);
+        assert_eq!(VmcsField::GuestRip.value_mask(), u64::MAX);
+    }
+
+    #[test]
+    fn unknown_encoding_decodes_to_none() {
+        assert_eq!(VmcsField::from_encoding(0xdead_beef), None);
+        assert_eq!(VmcsField::from_compact_index(250), None);
+    }
+}

@@ -1,0 +1,426 @@
+//! VMX instruction semantics: the operations a hypervisor issues in VMX
+//! root mode, with the SDM's three-way success/failure convention.
+//!
+//! [`VmxPort`] models one logical processor's VMX state: whether VMX is on
+//! (`VMXON`), the *current* VMCS pointer, and the set of VMCS regions it
+//! can address. The paper's Fig. 1 workflow — `VMCLEAR` →
+//! `VMPTRLD` → setup → `VMLAUNCH` → exits/`VMRESUME` — maps 1:1 onto the
+//! methods here, and the launch-state machine errors (`VMLAUNCH` on a
+//! non-clear VMCS = error 10, `VMRESUME` on a non-launched VMCS = error 11)
+//! are enforced so that IRIS and the fuzzer observe real failure modes.
+
+use crate::fields::VmcsField;
+use crate::vmcs::{LaunchState, Vmcs, VmcsAccessError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// VM-instruction error numbers (SDM Vol. 3C §30.4), reported through
+/// the `VM_INSTRUCTION_ERROR` VMCS field on VMfailValid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u32)]
+pub enum VmxInstructionError {
+    /// 1: VMCALL executed in VMX root operation.
+    VmcallInRoot = 1,
+    /// 2: VMCLEAR with invalid physical address.
+    VmclearInvalidAddress = 2,
+    /// 3: VMCLEAR with VMXON pointer.
+    VmclearVmxonPointer = 3,
+    /// 4: VMLAUNCH with non-clear VMCS.
+    VmlaunchNonClearVmcs = 4,
+    /// 5: VMRESUME with non-launched VMCS.
+    VmresumeNonLaunchedVmcs = 5,
+    /// 7: VM entry with invalid control field(s).
+    EntryInvalidControlFields = 7,
+    /// 8: VM entry with invalid host-state field(s).
+    EntryInvalidHostState = 8,
+    /// 9: VMPTRLD with invalid physical address.
+    VmptrldInvalidAddress = 9,
+    /// 10: VMPTRLD with VMXON pointer.
+    VmptrldVmxonPointer = 10,
+    /// 11: VMPTRLD with incorrect VMCS revision identifier.
+    VmptrldWrongRevision = 11,
+    /// 12: VMREAD/VMWRITE from/to unsupported VMCS component.
+    UnsupportedComponent = 12,
+    /// 13: VMWRITE to read-only VMCS component.
+    WriteReadOnlyComponent = 13,
+}
+
+impl VmxInstructionError {
+    /// The numeric error code stored in `VM_INSTRUCTION_ERROR`.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        self as u32
+    }
+}
+
+/// Outcome of a VMX instruction, mirroring the SDM's convention:
+/// *VMsucceed*, *VMfailValid(error number)* (a current VMCS exists to hold
+/// the error) or *VMfailInvalid*.
+pub type VmxResult<T = ()> = Result<T, VmxFailure>;
+
+/// The failure half of [`VmxResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmxFailure {
+    /// VMfailValid: a current VMCS recorded this error number.
+    Valid(VmxInstructionError),
+    /// VMfailInvalid: no current VMCS (or VMX off).
+    Invalid,
+}
+
+impl std::fmt::Display for VmxFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmxFailure::Valid(e) => write!(f, "VMfailValid({}: {e:?})", e.code()),
+            VmxFailure::Invalid => write!(f, "VMfailInvalid"),
+        }
+    }
+}
+
+impl std::error::Error for VmxFailure {}
+
+/// One logical processor's VMX port: VMXON state, current-VMCS tracking,
+/// and the addressable VMCS regions.
+///
+/// # Example
+///
+/// ```
+/// use iris_vtx::instr::VmxPort;
+/// use iris_vtx::vmcs::Vmcs;
+/// use iris_vtx::fields::VmcsField;
+///
+/// let mut port = VmxPort::new();
+/// port.vmxon(0x1000).unwrap();
+/// port.register_region(Vmcs::new(0x2000));
+/// port.vmclear(0x2000).unwrap();
+/// port.vmptrld(0x2000).unwrap();
+/// port.vmwrite(VmcsField::GuestRip, 0xfff0).unwrap();
+/// port.vmlaunch().unwrap();
+/// assert_eq!(port.vmread(VmcsField::GuestRip).unwrap(), 0xfff0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VmxPort {
+    vmx_on: bool,
+    vmxon_region: u64,
+    current: Option<u64>,
+    regions: BTreeMap<u64, Vmcs>,
+    last_error: Option<VmxInstructionError>,
+}
+
+impl Default for VmxPort {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VmxPort {
+    /// A port with VMX off and no regions.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            vmx_on: false,
+            vmxon_region: 0,
+            current: None,
+            regions: BTreeMap::new(),
+            last_error: None,
+        }
+    }
+
+    /// `VMXON`: enter VMX root operation with the given VMXON region.
+    pub fn vmxon(&mut self, vmxon_region: u64) -> VmxResult {
+        if vmxon_region & 0xfff != 0 {
+            return Err(VmxFailure::Invalid);
+        }
+        self.vmx_on = true;
+        self.vmxon_region = vmxon_region;
+        Ok(())
+    }
+
+    /// `VMXOFF`: leave VMX operation.
+    pub fn vmxoff(&mut self) {
+        self.vmx_on = false;
+        self.current = None;
+    }
+
+    /// Whether VMX root operation is active.
+    #[must_use]
+    pub fn is_vmx_on(&self) -> bool {
+        self.vmx_on
+    }
+
+    /// Make a VMCS region addressable to this port (models allocating the
+    /// 4 KiB region in hypervisor memory).
+    pub fn register_region(&mut self, vmcs: Vmcs) {
+        self.regions.insert(vmcs.addr(), vmcs);
+    }
+
+    /// Address of the current VMCS, if any.
+    #[must_use]
+    pub fn current_addr(&self) -> Option<u64> {
+        self.current
+    }
+
+    /// Borrow the current VMCS.
+    #[must_use]
+    pub fn current_vmcs(&self) -> Option<&Vmcs> {
+        self.current.and_then(|a| self.regions.get(&a))
+    }
+
+    /// Mutably borrow the current VMCS.
+    pub fn current_vmcs_mut(&mut self) -> Option<&mut Vmcs> {
+        let addr = self.current?;
+        self.regions.get_mut(&addr)
+    }
+
+    /// Borrow a region by address (e.g. for snapshotting).
+    #[must_use]
+    pub fn region(&self, addr: u64) -> Option<&Vmcs> {
+        self.regions.get(&addr)
+    }
+
+    /// Mutably borrow a region by address.
+    pub fn region_mut(&mut self, addr: u64) -> Option<&mut Vmcs> {
+        self.regions.get_mut(&addr)
+    }
+
+    /// Error code from the most recent VMfailValid, as `VMREAD` of
+    /// `VM_INSTRUCTION_ERROR` would return it.
+    #[must_use]
+    pub fn last_error(&self) -> Option<VmxInstructionError> {
+        self.last_error
+    }
+
+    fn fail(&mut self, e: VmxInstructionError) -> VmxFailure {
+        self.last_error = Some(e);
+        if let Some(v) = self.current_vmcs_mut() {
+            v.hw_write(VmcsField::VmInstructionError, u64::from(e.code()));
+        }
+        VmxFailure::Valid(e)
+    }
+
+    /// `VMCLEAR addr` — step 1 of the paper's Fig. 1.
+    pub fn vmclear(&mut self, addr: u64) -> VmxResult {
+        if !self.vmx_on {
+            return Err(VmxFailure::Invalid);
+        }
+        if addr & 0xfff != 0 {
+            return Err(self.fail(VmxInstructionError::VmclearInvalidAddress));
+        }
+        if addr == self.vmxon_region {
+            return Err(self.fail(VmxInstructionError::VmclearVmxonPointer));
+        }
+        let Some(vmcs) = self.regions.get_mut(&addr) else {
+            return Err(self.fail(VmxInstructionError::VmclearInvalidAddress));
+        };
+        vmcs.clear();
+        // VMCLEAR of the current VMCS makes it no longer current.
+        if self.current == Some(addr) {
+            self.current = None;
+        }
+        Ok(())
+    }
+
+    /// `VMPTRLD addr` — step 2 of Fig. 1: the region becomes
+    /// *Active, Current*.
+    pub fn vmptrld(&mut self, addr: u64) -> VmxResult {
+        if !self.vmx_on {
+            return Err(VmxFailure::Invalid);
+        }
+        if addr & 0xfff != 0 {
+            return Err(self.fail(VmxInstructionError::VmptrldInvalidAddress));
+        }
+        if addr == self.vmxon_region {
+            return Err(self.fail(VmxInstructionError::VmptrldVmxonPointer));
+        }
+        match self.regions.get(&addr) {
+            None => Err(self.fail(VmxInstructionError::VmptrldInvalidAddress)),
+            Some(v) if v.revision_id() != crate::vmcs::VMCS_REVISION_ID => {
+                Err(self.fail(VmxInstructionError::VmptrldWrongRevision))
+            }
+            Some(_) => {
+                self.current = Some(addr);
+                Ok(())
+            }
+        }
+    }
+
+    /// `VMREAD field` on the current VMCS.
+    pub fn vmread(&mut self, field: VmcsField) -> VmxResult<u64> {
+        let Some(vmcs) = self.current_vmcs() else {
+            return Err(VmxFailure::Invalid);
+        };
+        match vmcs.read(field) {
+            Ok(v) => Ok(v),
+            Err(VmcsAccessError::UnsupportedField(_)) => {
+                Err(self.fail(VmxInstructionError::UnsupportedComponent))
+            }
+            Err(VmcsAccessError::ReadOnlyField(_)) => unreachable!("reads never hit this"),
+        }
+    }
+
+    /// `VMWRITE field, value` on the current VMCS.
+    pub fn vmwrite(&mut self, field: VmcsField, value: u64) -> VmxResult {
+        if self.current.is_none() {
+            return Err(VmxFailure::Invalid);
+        }
+        let res = self
+            .current_vmcs_mut()
+            .expect("current checked above")
+            .write(field, value);
+        match res {
+            Ok(()) => Ok(()),
+            Err(VmcsAccessError::ReadOnlyField(_)) => {
+                Err(self.fail(VmxInstructionError::WriteReadOnlyComponent))
+            }
+            Err(VmcsAccessError::UnsupportedField(_)) => {
+                Err(self.fail(VmxInstructionError::UnsupportedComponent))
+            }
+        }
+    }
+
+    /// `VMLAUNCH` — step 3 of Fig. 1. Requires a *Clear* current VMCS;
+    /// transitions it to *Launched*. Control/host-state checks are the
+    /// caller's job (see [`crate::entry_checks`]); this enforces only the
+    /// launch-state machine.
+    pub fn vmlaunch(&mut self) -> VmxResult {
+        let Some(vmcs) = self.current_vmcs() else {
+            return Err(VmxFailure::Invalid);
+        };
+        if vmcs.launch_state() != LaunchState::Clear {
+            return Err(self.fail(VmxInstructionError::VmlaunchNonClearVmcs));
+        }
+        self.current_vmcs_mut()
+            .expect("current checked above")
+            .mark_launched();
+        Ok(())
+    }
+
+    /// `VMRESUME` — step 5 of Fig. 1. Requires a *Launched* current VMCS.
+    pub fn vmresume(&mut self) -> VmxResult {
+        let Some(vmcs) = self.current_vmcs() else {
+            return Err(VmxFailure::Invalid);
+        };
+        if vmcs.launch_state() != LaunchState::Launched {
+            return Err(self.fail(VmxInstructionError::VmresumeNonLaunchedVmcs));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on_port_with_region(addr: u64) -> VmxPort {
+        let mut p = VmxPort::new();
+        p.vmxon(0x1000).unwrap();
+        p.register_region(Vmcs::new(addr));
+        p
+    }
+
+    #[test]
+    fn fig1_lifecycle_happy_path() {
+        let mut p = on_port_with_region(0x2000);
+        p.vmclear(0x2000).unwrap(); // (1)
+        p.vmptrld(0x2000).unwrap(); // (2)
+        p.vmwrite(VmcsField::GuestRip, 0x7c00).unwrap(); // setup
+        p.vmlaunch().unwrap(); // (3)
+        assert_eq!(p.vmread(VmcsField::GuestRip).unwrap(), 0x7c00); // (4)
+        p.vmresume().unwrap(); // (5)
+    }
+
+    #[test]
+    fn instructions_fail_invalid_without_vmxon() {
+        let mut p = VmxPort::new();
+        p.register_region(Vmcs::new(0x2000));
+        assert_eq!(p.vmclear(0x2000), Err(VmxFailure::Invalid));
+        assert_eq!(p.vmptrld(0x2000), Err(VmxFailure::Invalid));
+    }
+
+    #[test]
+    fn vmread_without_current_fails_invalid() {
+        let mut p = on_port_with_region(0x2000);
+        assert_eq!(p.vmread(VmcsField::GuestRip), Err(VmxFailure::Invalid));
+    }
+
+    #[test]
+    fn vmlaunch_requires_clear_vmcs() {
+        let mut p = on_port_with_region(0x2000);
+        p.vmptrld(0x2000).unwrap();
+        p.vmlaunch().unwrap();
+        // Second launch without VMCLEAR: error 4.
+        assert_eq!(
+            p.vmlaunch(),
+            Err(VmxFailure::Valid(VmxInstructionError::VmlaunchNonClearVmcs))
+        );
+        assert_eq!(
+            p.last_error(),
+            Some(VmxInstructionError::VmlaunchNonClearVmcs)
+        );
+        // VMRESUME works now.
+        p.vmresume().unwrap();
+    }
+
+    #[test]
+    fn vmresume_requires_launched_vmcs() {
+        let mut p = on_port_with_region(0x2000);
+        p.vmptrld(0x2000).unwrap();
+        assert_eq!(
+            p.vmresume(),
+            Err(VmxFailure::Valid(
+                VmxInstructionError::VmresumeNonLaunchedVmcs
+            ))
+        );
+    }
+
+    #[test]
+    fn vmclear_of_current_clears_currency() {
+        let mut p = on_port_with_region(0x2000);
+        p.vmptrld(0x2000).unwrap();
+        assert_eq!(p.current_addr(), Some(0x2000));
+        p.vmclear(0x2000).unwrap();
+        assert_eq!(p.current_addr(), None);
+    }
+
+    #[test]
+    fn vmptrld_rejects_vmxon_pointer_and_bad_revision() {
+        let mut p = on_port_with_region(0x2000);
+        assert_eq!(
+            p.vmptrld(0x1000),
+            Err(VmxFailure::Valid(VmxInstructionError::VmptrldVmxonPointer))
+        );
+        p.region_mut(0x2000).unwrap().set_revision_id(0xbad);
+        assert_eq!(
+            p.vmptrld(0x2000),
+            Err(VmxFailure::Valid(VmxInstructionError::VmptrldWrongRevision))
+        );
+    }
+
+    #[test]
+    fn vmwrite_read_only_reports_error_13() {
+        let mut p = on_port_with_region(0x2000);
+        p.vmptrld(0x2000).unwrap();
+        assert_eq!(
+            p.vmwrite(VmcsField::VmExitReason, 1),
+            Err(VmxFailure::Valid(
+                VmxInstructionError::WriteReadOnlyComponent
+            ))
+        );
+        // The error is also visible through the VMCS field, like hardware.
+        assert_eq!(
+            p.vmread(VmcsField::VmInstructionError).unwrap(),
+            u64::from(VmxInstructionError::WriteReadOnlyComponent.code())
+        );
+    }
+
+    #[test]
+    fn two_regions_switch_currency() {
+        let mut p = on_port_with_region(0x2000);
+        p.register_region(Vmcs::new(0x3000));
+        p.vmptrld(0x2000).unwrap();
+        p.vmwrite(VmcsField::GuestRip, 1).unwrap();
+        p.vmptrld(0x3000).unwrap();
+        p.vmwrite(VmcsField::GuestRip, 2).unwrap();
+        p.vmptrld(0x2000).unwrap();
+        assert_eq!(p.vmread(VmcsField::GuestRip).unwrap(), 1);
+    }
+}

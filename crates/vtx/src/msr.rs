@@ -1,0 +1,214 @@
+//! Model-specific registers.
+//!
+//! `RDMSR`/`WRMSR` are sensitive instructions — both cause unconditional VM
+//! exits in our configuration (no MSR bitmap), and `MSR READ` / `MSR WRITE`
+//! are two of the fifteen reasons the paper's workload characterisation
+//! observes. The [`MsrFile`] is the per-vCPU MSR state the Xen-shaped
+//! handlers consult.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Architectural MSR indices used by the model.
+pub mod index {
+    /// IA32_TIME_STAMP_COUNTER.
+    pub const IA32_TSC: u32 = 0x10;
+    /// IA32_APIC_BASE.
+    pub const IA32_APIC_BASE: u32 = 0x1b;
+    /// IA32_FEATURE_CONTROL.
+    pub const IA32_FEATURE_CONTROL: u32 = 0x3a;
+    /// IA32_BIOS_SIGN_ID (microcode revision).
+    pub const IA32_BIOS_SIGN_ID: u32 = 0x8b;
+    /// IA32_MTRRCAP.
+    pub const IA32_MTRRCAP: u32 = 0xfe;
+    /// IA32_SYSENTER_CS.
+    pub const IA32_SYSENTER_CS: u32 = 0x174;
+    /// IA32_SYSENTER_ESP.
+    pub const IA32_SYSENTER_ESP: u32 = 0x175;
+    /// IA32_SYSENTER_EIP.
+    pub const IA32_SYSENTER_EIP: u32 = 0x176;
+    /// IA32_MISC_ENABLE.
+    pub const IA32_MISC_ENABLE: u32 = 0x1a0;
+    /// IA32_PAT.
+    pub const IA32_PAT: u32 = 0x277;
+    /// IA32_MTRR_DEF_TYPE.
+    pub const IA32_MTRR_DEF_TYPE: u32 = 0x2ff;
+    /// IA32_EFER.
+    pub const IA32_EFER: u32 = 0xc000_0080;
+    /// IA32_STAR.
+    pub const IA32_STAR: u32 = 0xc000_0081;
+    /// IA32_LSTAR.
+    pub const IA32_LSTAR: u32 = 0xc000_0082;
+    /// IA32_FMASK.
+    pub const IA32_FMASK: u32 = 0xc000_0084;
+    /// IA32_FS_BASE.
+    pub const IA32_FS_BASE: u32 = 0xc000_0100;
+    /// IA32_GS_BASE.
+    pub const IA32_GS_BASE: u32 = 0xc000_0101;
+    /// IA32_KERNEL_GS_BASE.
+    pub const IA32_KERNEL_GS_BASE: u32 = 0xc000_0102;
+    /// IA32_TSC_AUX.
+    pub const IA32_TSC_AUX: u32 = 0xc000_0103;
+    /// First Xen synthetic MSR (hypervisor leaf area).
+    pub const XEN_BASE: u32 = 0x4000_0000;
+}
+
+/// Default IA32_APIC_BASE: xAPIC enabled, BSP, at the architectural
+/// 0xfee00000.
+pub const APIC_BASE_DEFAULT: u64 = 0xfee0_0900;
+
+/// Result of an MSR access against the [`MsrFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsrOutcome {
+    /// The access succeeded with this value (reads) / took effect (writes).
+    Ok(u64),
+    /// The MSR does not exist → the handler must inject #GP(0).
+    GpFault,
+}
+
+/// Per-vCPU MSR state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MsrFile {
+    values: BTreeMap<u32, u64>,
+}
+
+impl Default for MsrFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MsrFile {
+    /// MSR file with architectural reset defaults.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut values = BTreeMap::new();
+        values.insert(index::IA32_APIC_BASE, APIC_BASE_DEFAULT);
+        values.insert(index::IA32_PAT, 0x0007_0406_0007_0406);
+        values.insert(index::IA32_MISC_ENABLE, 1); // fast-strings enable
+        values.insert(index::IA32_MTRRCAP, 0x508);
+        values.insert(index::IA32_MTRR_DEF_TYPE, 0xc06);
+        values.insert(index::IA32_EFER, 0);
+        values.insert(index::IA32_FEATURE_CONTROL, 0x5); // locked, VMX on
+        Self { values }
+    }
+
+    /// Whether this MSR index is implemented.
+    #[must_use]
+    pub fn exists(&self, msr: u32) -> bool {
+        if self.values.contains_key(&msr) {
+            return true;
+        }
+        matches!(
+            msr,
+            index::IA32_TSC
+                | index::IA32_SYSENTER_CS..=index::IA32_SYSENTER_EIP
+                | index::IA32_BIOS_SIGN_ID
+                | index::IA32_STAR
+                | index::IA32_LSTAR
+                | index::IA32_FMASK
+                | index::IA32_FS_BASE..=index::IA32_TSC_AUX
+        ) || (index::XEN_BASE..index::XEN_BASE + 0x100).contains(&msr)
+    }
+
+    /// Read an MSR. `tsc_now` supplies the value for IA32_TSC.
+    #[must_use]
+    pub fn read(&self, msr: u32, tsc_now: u64) -> MsrOutcome {
+        if msr == index::IA32_TSC {
+            return MsrOutcome::Ok(tsc_now);
+        }
+        if !self.exists(msr) {
+            return MsrOutcome::GpFault;
+        }
+        MsrOutcome::Ok(self.values.get(&msr).copied().unwrap_or(0))
+    }
+
+    /// Write an MSR with basic architectural validation.
+    #[must_use]
+    pub fn write(&mut self, msr: u32, value: u64) -> MsrOutcome {
+        if !self.exists(msr) {
+            return MsrOutcome::GpFault;
+        }
+        // EFER: reserved bits and LMA are not writable by the guest.
+        if msr == index::IA32_EFER {
+            let allowed = super::cr::efer::SCE | super::cr::efer::LME | super::cr::efer::NXE;
+            if value & !allowed != 0 {
+                return MsrOutcome::GpFault;
+            }
+        }
+        // APIC base must stay canonical and page-aligned.
+        if msr == index::IA32_APIC_BASE && value & 0xfff & !0x900 != 0 {
+            return MsrOutcome::GpFault;
+        }
+        self.values.insert(msr, value);
+        MsrOutcome::Ok(value)
+    }
+
+    /// Raw read of internal state (no TSC synthesis), for snapshots.
+    #[must_use]
+    pub fn raw(&self, msr: u32) -> Option<u64> {
+        self.values.get(&msr).copied()
+    }
+
+    /// Force a value (hardware/loader path; bypasses validation).
+    pub fn force(&mut self, msr: u32, value: u64) {
+        self.values.insert(msr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_defaults() {
+        let f = MsrFile::new();
+        assert_eq!(f.raw(index::IA32_APIC_BASE), Some(APIC_BASE_DEFAULT));
+        assert_eq!(f.read(index::IA32_EFER, 0), MsrOutcome::Ok(0));
+    }
+
+    #[test]
+    fn tsc_read_is_synthesised() {
+        let f = MsrFile::new();
+        assert_eq!(f.read(index::IA32_TSC, 1234), MsrOutcome::Ok(1234));
+    }
+
+    #[test]
+    fn unknown_msr_faults() {
+        let mut f = MsrFile::new();
+        assert_eq!(f.read(0xdead, 0), MsrOutcome::GpFault);
+        assert_eq!(f.write(0xdead, 1), MsrOutcome::GpFault);
+    }
+
+    #[test]
+    fn efer_reserved_bits_fault() {
+        let mut f = MsrFile::new();
+        assert_eq!(f.write(index::IA32_EFER, 1 << 20), MsrOutcome::GpFault);
+        assert!(matches!(
+            f.write(index::IA32_EFER, crate::cr::efer::LME),
+            MsrOutcome::Ok(_)
+        ));
+    }
+
+    #[test]
+    fn sysenter_msrs_exist_and_default_zero() {
+        let mut f = MsrFile::new();
+        assert_eq!(f.read(index::IA32_SYSENTER_EIP, 0), MsrOutcome::Ok(0));
+        assert!(matches!(
+            f.write(index::IA32_SYSENTER_EIP, 0xffff_8000_0000_1000),
+            MsrOutcome::Ok(_)
+        ));
+        assert_eq!(
+            f.read(index::IA32_SYSENTER_EIP, 0),
+            MsrOutcome::Ok(0xffff_8000_0000_1000)
+        );
+    }
+
+    #[test]
+    fn xen_synthetic_range_exists() {
+        let f = MsrFile::new();
+        assert!(f.exists(index::XEN_BASE));
+        assert!(f.exists(index::XEN_BASE + 0x40));
+        assert!(!f.exists(index::XEN_BASE + 0x100));
+    }
+}

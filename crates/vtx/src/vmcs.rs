@@ -1,0 +1,296 @@
+//! The Virtual Machine Control Structure.
+//!
+//! A [`Vmcs`] models one VMCS region: its revision identifier, its
+//! launch-state machine (*Clear* vs *Launched* — SDM Vol. 3C §24.1), and
+//! the field store. Field access goes through [`Vmcs::read`] /
+//! [`Vmcs::write`], which enforce width truncation and the read-only rule
+//! for VM-exit information fields; the "first eight bytes" (revision id +
+//! abort indicator) are ordinary memory, as in the SDM.
+//!
+//! The *Active / Current* tracking lives in [`crate::instr::VmxPort`],
+//! because it is a property of the logical processor (which VMCS is
+//! current), not of the region itself.
+
+use crate::fields::{FieldArea, VmcsField};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Launch state of a VMCS (SDM Vol. 3C §24.11.3).
+///
+/// `VMLAUNCH` requires `Clear`; `VMRESUME` requires `Launched`;
+/// `VMCLEAR` resets to `Clear`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaunchState {
+    /// The VMCS has been `VMCLEAR`ed and not yet launched.
+    Clear,
+    /// A `VMLAUNCH` has completed on this VMCS.
+    Launched,
+}
+
+/// Errors from direct VMCS field access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmcsAccessError {
+    /// The encoding does not name a field supported by this model
+    /// (a real CPU reports VM-instruction error 12).
+    UnsupportedField(u32),
+    /// `VMWRITE` attempted on a read-only (VM-exit information) field
+    /// (VM-instruction error 13).
+    ReadOnlyField(VmcsField),
+}
+
+impl std::fmt::Display for VmcsAccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnsupportedField(enc) => {
+                write!(f, "unsupported VMCS component encoding {enc:#x}")
+            }
+            Self::ReadOnlyField(field) => {
+                write!(f, "VMWRITE to read-only VMCS component {field:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmcsAccessError {}
+
+/// The VMCS revision identifier our virtual CPU reports in
+/// `IA32_VMX_BASIC`. Arbitrary but stable.
+pub const VMCS_REVISION_ID: u32 = 0x0000_4952; // "IR"
+
+/// One VMCS region.
+///
+/// Cloning a `Vmcs` clones the full field store — this is what IRIS
+/// snapshots rely on (`iris_core::snapshot`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vmcs {
+    /// Guest-physical address of the backing region; identifies the VMCS
+    /// to `VMPTRLD`/`VMCLEAR` and must be 4 KiB-aligned.
+    addr: u64,
+    revision_id: u32,
+    abort_indicator: u32,
+    launch_state: LaunchState,
+    fields: BTreeMap<VmcsField, u64>,
+}
+
+impl Vmcs {
+    /// Create a VMCS region at the given (4 KiB-aligned) address with the
+    /// processor's revision id, in the `Clear` launch state, all fields
+    /// zero.
+    ///
+    /// # Panics
+    /// Panics if `addr` is not 4 KiB-aligned, mirroring the architectural
+    /// requirement that software must respect before `VMPTRLD`.
+    #[must_use]
+    pub fn new(addr: u64) -> Self {
+        assert_eq!(addr & 0xfff, 0, "VMCS region must be 4KiB-aligned");
+        Self {
+            addr,
+            revision_id: VMCS_REVISION_ID,
+            abort_indicator: 0,
+            launch_state: LaunchState::Clear,
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Region address (identity for `VMPTRLD`).
+    #[must_use]
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Revision identifier in the first four bytes of the region.
+    #[must_use]
+    pub fn revision_id(&self) -> u32 {
+        self.revision_id
+    }
+
+    /// Corrupt the revision id (used by fuzzing tests to exercise
+    /// `VMPTRLD` failure paths).
+    pub fn set_revision_id(&mut self, id: u32) {
+        self.revision_id = id;
+    }
+
+    /// VMX-abort indicator (second four bytes of the region).
+    #[must_use]
+    pub fn abort_indicator(&self) -> u32 {
+        self.abort_indicator
+    }
+
+    /// Record a VMX abort.
+    pub fn set_abort_indicator(&mut self, code: u32) {
+        self.abort_indicator = code;
+    }
+
+    /// Current launch state.
+    #[must_use]
+    pub fn launch_state(&self) -> LaunchState {
+        self.launch_state
+    }
+
+    /// `VMCLEAR` effect on the region: launch state becomes `Clear`.
+    /// Field contents are preserved (the architectural VMCLEAR writes any
+    /// cached state back to memory; it does not zero the region).
+    pub fn clear(&mut self) {
+        self.launch_state = LaunchState::Clear;
+    }
+
+    /// Mark launched (performed by a successful `VMLAUNCH`).
+    pub fn mark_launched(&mut self) {
+        self.launch_state = LaunchState::Launched;
+    }
+
+    /// Read a field. Unset fields read as zero, like freshly cleared
+    /// VMCS memory.
+    ///
+    /// # Errors
+    /// Never fails for fields in [`VmcsField`]; the `Result` mirrors the
+    /// instruction-level interface where unsupported encodings fail.
+    pub fn read(&self, field: VmcsField) -> Result<u64, VmcsAccessError> {
+        Ok(self.fields.get(&field).copied().unwrap_or(0))
+    }
+
+    /// Read by raw encoding, failing like `VMREAD` does on unsupported
+    /// components.
+    pub fn read_encoding(&self, enc: u32) -> Result<u64, VmcsAccessError> {
+        let field = VmcsField::from_encoding(enc).ok_or(VmcsAccessError::UnsupportedField(enc))?;
+        self.read(field)
+    }
+
+    /// Write a field, truncating to the field width.
+    ///
+    /// # Errors
+    /// [`VmcsAccessError::ReadOnlyField`] for VM-exit information fields —
+    /// the processor on the paper's testbed cannot `VMWRITE` those, which
+    /// is why IRIS interposes on reads instead.
+    pub fn write(&mut self, field: VmcsField, value: u64) -> Result<(), VmcsAccessError> {
+        if field.is_read_only() {
+            return Err(VmcsAccessError::ReadOnlyField(field));
+        }
+        self.fields.insert(field, value & field.value_mask());
+        Ok(())
+    }
+
+    /// Write by raw encoding (`VMWRITE` semantics).
+    pub fn write_encoding(&mut self, enc: u32, value: u64) -> Result<(), VmcsAccessError> {
+        let field = VmcsField::from_encoding(enc).ok_or(VmcsAccessError::UnsupportedField(enc))?;
+        self.write(field, value)
+    }
+
+    /// Hardware-internal write: used by the VM-exit microcode path to fill
+    /// VM-exit information fields and save guest state. Not reachable from
+    /// `VMWRITE`.
+    pub fn hw_write(&mut self, field: VmcsField, value: u64) {
+        self.fields.insert(field, value & field.value_mask());
+    }
+
+    /// Number of distinct fields ever written (diagnostics).
+    #[must_use]
+    pub fn populated_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Iterate `(field, value)` pairs of a given area, in encoding order.
+    pub fn area_fields(
+        &self,
+        area: FieldArea,
+    ) -> impl Iterator<Item = (VmcsField, u64)> + '_ {
+        self.fields
+            .iter()
+            .filter(move |(f, _)| f.area() == area)
+            .map(|(f, v)| (*f, *v))
+    }
+
+    /// Initialize the fields every sane hypervisor sets before launch:
+    /// the VMCS link pointer (must be all-ones — checked at VM entry) and
+    /// RFLAGS bit 1 (always-one architecturally).
+    pub fn init_architectural_defaults(&mut self) {
+        self.hw_write(VmcsField::VmcsLinkPointer, u64::MAX);
+        self.hw_write(VmcsField::GuestRflags, 0x2);
+        self.hw_write(VmcsField::GuestActivityState, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_vmcs_is_clear_and_zeroed() {
+        let v = Vmcs::new(0x7000);
+        assert_eq!(v.launch_state(), LaunchState::Clear);
+        assert_eq!(v.read(VmcsField::GuestRip).unwrap(), 0);
+        assert_eq!(v.populated_fields(), 0);
+        assert_eq!(v.revision_id(), VMCS_REVISION_ID);
+    }
+
+    #[test]
+    #[should_panic(expected = "4KiB-aligned")]
+    fn misaligned_region_panics() {
+        let _ = Vmcs::new(0x7001);
+    }
+
+    #[test]
+    fn write_read_round_trip_with_width_truncation() {
+        let mut v = Vmcs::new(0);
+        v.write(VmcsField::GuestCsSelector, 0x12345).unwrap();
+        assert_eq!(v.read(VmcsField::GuestCsSelector).unwrap(), 0x2345);
+        v.write(VmcsField::GuestCsLimit, 0x1_0000_0001).unwrap();
+        assert_eq!(v.read(VmcsField::GuestCsLimit).unwrap(), 1);
+        v.write(VmcsField::GuestRip, u64::MAX).unwrap();
+        assert_eq!(v.read(VmcsField::GuestRip).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn vmwrite_to_read_only_field_fails() {
+        let mut v = Vmcs::new(0);
+        let err = v.write(VmcsField::VmExitReason, 1).unwrap_err();
+        assert_eq!(err, VmcsAccessError::ReadOnlyField(VmcsField::VmExitReason));
+        // ... but the hardware path can fill it.
+        v.hw_write(VmcsField::VmExitReason, 28);
+        assert_eq!(v.read(VmcsField::VmExitReason).unwrap(), 28);
+    }
+
+    #[test]
+    fn encoding_access_rejects_unknown_components() {
+        let mut v = Vmcs::new(0);
+        assert!(matches!(
+            v.read_encoding(0xffff),
+            Err(VmcsAccessError::UnsupportedField(0xffff))
+        ));
+        assert!(matches!(
+            v.write_encoding(0xffff, 0),
+            Err(VmcsAccessError::UnsupportedField(0xffff))
+        ));
+    }
+
+    #[test]
+    fn clear_resets_launch_state_but_not_fields() {
+        let mut v = Vmcs::new(0);
+        v.write(VmcsField::GuestRip, 0x1234).unwrap();
+        v.mark_launched();
+        assert_eq!(v.launch_state(), LaunchState::Launched);
+        v.clear();
+        assert_eq!(v.launch_state(), LaunchState::Clear);
+        assert_eq!(v.read(VmcsField::GuestRip).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn architectural_defaults() {
+        let mut v = Vmcs::new(0);
+        v.init_architectural_defaults();
+        assert_eq!(v.read(VmcsField::VmcsLinkPointer).unwrap(), u64::MAX);
+        assert_eq!(v.read(VmcsField::GuestRflags).unwrap() & 0x2, 0x2);
+    }
+
+    #[test]
+    fn area_iteration_filters() {
+        let mut v = Vmcs::new(0);
+        v.write(VmcsField::GuestRip, 1).unwrap();
+        v.write(VmcsField::HostRip, 2).unwrap();
+        v.hw_write(VmcsField::VmExitReason, 3);
+        let guest: Vec<_> = v.area_fields(FieldArea::GuestState).collect();
+        assert_eq!(guest, vec![(VmcsField::GuestRip, 1)]);
+        let info: Vec<_> = v.area_fields(FieldArea::ExitInfo).collect();
+        assert_eq!(info, vec![(VmcsField::VmExitReason, 3)]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests on the VMX instruction state machine: arbitrary
+//! instruction sequences never panic and never violate the
+//! current/launch-state invariants.
+
+use iris_vtx::fields::VmcsField;
+use iris_vtx::instr::VmxPort;
+use iris_vtx::vmcs::{LaunchState, Vmcs};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Vmxon(u64),
+    Vmxoff,
+    Vmclear(u64),
+    Vmptrld(u64),
+    Vmlaunch,
+    Vmresume,
+    Vmwrite(usize, u64),
+    Vmread(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let addr = prop_oneof![Just(0x1000u64), Just(0x2000), Just(0x3000), Just(0x2001)];
+    prop_oneof![
+        addr.clone().prop_map(Op::Vmxon),
+        Just(Op::Vmxoff),
+        addr.clone().prop_map(Op::Vmclear),
+        addr.prop_map(Op::Vmptrld),
+        Just(Op::Vmlaunch),
+        Just(Op::Vmresume),
+        ((0..VmcsField::ALL.len()), any::<u64>()).prop_map(|(i, v)| Op::Vmwrite(i, v)),
+        (0..VmcsField::ALL.len()).prop_map(Op::Vmread),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_instruction_sequences_never_panic(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut port = VmxPort::new();
+        port.register_region(Vmcs::new(0x2000));
+        port.register_region(Vmcs::new(0x3000));
+        for op in ops {
+            match op {
+                Op::Vmxon(a) => { let _ = port.vmxon(a); }
+                Op::Vmxoff => port.vmxoff(),
+                Op::Vmclear(a) => { let _ = port.vmclear(a); }
+                Op::Vmptrld(a) => { let _ = port.vmptrld(a); }
+                Op::Vmlaunch => { let _ = port.vmlaunch(); }
+                Op::Vmresume => { let _ = port.vmresume(); }
+                Op::Vmwrite(i, v) => { let _ = port.vmwrite(VmcsField::ALL[i], v); }
+                Op::Vmread(i) => { let _ = port.vmread(VmcsField::ALL[i]); }
+            }
+            // Invariants: a current VMCS, if any, is a registered region;
+            // VMRESUME only ever succeeds on a launched VMCS.
+            if let Some(addr) = port.current_addr() {
+                prop_assert!(port.region(addr).is_some());
+            }
+            if port.vmresume().is_ok() {
+                let cur = port.current_vmcs().expect("resume implies current");
+                prop_assert_eq!(cur.launch_state(), LaunchState::Launched);
+            }
+        }
+    }
+
+    #[test]
+    fn vmlaunch_then_vmlaunch_always_fails(addr in prop_oneof![Just(0x2000u64), Just(0x3000)]) {
+        let mut port = VmxPort::new();
+        port.vmxon(0x1000).unwrap();
+        port.register_region(Vmcs::new(addr));
+        port.vmptrld(addr).unwrap();
+        port.vmlaunch().unwrap();
+        prop_assert!(port.vmlaunch().is_err());
+    }
+}

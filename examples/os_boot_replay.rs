@@ -1,0 +1,86 @@
+//! The §VI-B boot-state scenario end to end: record an OS boot, watch
+//! the CR0 mode ladder, then show that post-boot seeds crash a cold
+//! dummy VM (`bad RIP for mode 0`) but replay cleanly after the boot
+//! seeds re-established the hypervisor state.
+//!
+//! ```sh
+//! cargo run --example os_boot_replay
+//! ```
+
+use iris_core::metrics;
+use iris_core::record::Recorder;
+use iris_core::replay::ReplayEngine;
+use iris_guest::runner::fast_forward_boot;
+use iris_guest::workloads::Workload;
+use iris_hv::hypervisor::Hypervisor;
+
+fn main() {
+    // --- Record an OS boot on the test VM. ---------------------------
+    let mut hv = Hypervisor::new();
+    let test_vm = hv.create_hvm_domain(64 << 20);
+    let boot = Recorder::new().record_workload(
+        &mut hv,
+        test_vm,
+        "OS BOOT",
+        Workload::OsBoot.generate(2000, 42),
+    );
+    let ladder = metrics::mode_ladder(&boot);
+    let mut seen = Vec::new();
+    for m in &ladder {
+        if !seen.contains(m) {
+            seen.push(*m);
+        }
+    }
+    println!(
+        "boot recorded: {} seeds; CR0 mode ladder: {}",
+        boot.len(),
+        seen.iter()
+            .map(|m| m.figure_label())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+
+    // --- Record a post-boot CPU-bound slice. --------------------------
+    let mut hv2 = Hypervisor::new();
+    let d2 = hv2.create_hvm_domain(64 << 20);
+    fast_forward_boot(&mut hv2, d2);
+    let cpu = Recorder::new().record_workload(
+        &mut hv2,
+        d2,
+        "CPU-bound",
+        Workload::CpuBound.generate(300, 42),
+    );
+
+    // --- Cold replay: fresh dummy VM, no boot seeds. -------------------
+    let mut cold_hv = Hypervisor::new();
+    let cold_dummy = cold_hv.create_hvm_domain(64 << 20);
+    let mut cold_engine = ReplayEngine::new(&mut cold_hv, cold_dummy);
+    let cold = cold_engine.replay_trace(&mut cold_hv, &cpu);
+    let crash_line = cold_hv
+        .log
+        .grep("bad RIP")
+        .last()
+        .map(|l| l.message.clone())
+        .unwrap_or_default();
+    println!(
+        "cold dummy VM: {}/{} seeds before crash — Xen log: \"{crash_line}\"",
+        cold.metrics.iter().filter(|m| !m.crashed).count(),
+        cpu.len()
+    );
+
+    // --- Warm replay: boot seeds first, then the same CPU seeds. -------
+    let mut warm_hv = Hypervisor::new();
+    let warm_dummy = warm_hv.create_hvm_domain(64 << 20);
+    let mut warm_engine = ReplayEngine::new(&mut warm_hv, warm_dummy);
+    warm_engine.replay_trace(&mut warm_hv, &boot);
+    println!(
+        "dummy VM mode after boot replay: {:?}",
+        warm_hv.domains[warm_dummy as usize].vcpus[0].hvm.mode
+    );
+    let warm = warm_engine.replay_trace(&mut warm_hv, &cpu);
+    println!(
+        "after OS_BOOT replay: {}/{} CPU-bound seeds completed",
+        warm.metrics.iter().filter(|m| !m.crashed).count(),
+        cpu.len()
+    );
+}

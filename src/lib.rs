@@ -1,0 +1,13 @@
+//! # iris-suite — umbrella crate for the IRIS reproduction
+//!
+//! Re-exports the component crates and hosts the cross-crate integration
+//! tests (`tests/`) and the runnable examples (`examples/`). See
+//! `README.md` for the tour and `DESIGN.md` for the architecture.
+
+#![forbid(unsafe_code)]
+
+pub use iris_core as core;
+pub use iris_fuzzer as fuzzer;
+pub use iris_guest as guest;
+pub use iris_hv as hv;
+pub use iris_vtx as vtx;

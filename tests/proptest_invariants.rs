@@ -1,0 +1,212 @@
+//! Property-based tests over the core data structures and invariants.
+
+use iris_core::seed::{VmSeed, MAX_VMCS_OPS};
+use iris_fuzzer::mutation::{mutate, AppliedMutation, SeedArea};
+use iris_hv::coverage::{Block, Component, CoverageMap};
+use iris_vtx::cr::{Cr0, OperatingMode};
+use iris_vtx::exit::{CrAccessQual, EptQual, ExitReason, IoQual};
+use iris_vtx::fields::VmcsField;
+use iris_vtx::gpr::{Gpr, GprSet};
+use iris_vtx::vmcs::Vmcs;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_field() -> impl Strategy<Value = VmcsField> {
+    (0..VmcsField::ALL.len()).prop_map(|i| VmcsField::ALL[i])
+}
+
+fn arb_reason() -> impl Strategy<Value = ExitReason> {
+    (0..ExitReason::FIGURE_REASONS.len()).prop_map(|i| ExitReason::FIGURE_REASONS[i])
+}
+
+fn arb_seed() -> impl Strategy<Value = VmSeed> {
+    (
+        arb_reason(),
+        proptest::collection::vec((arb_field(), any::<u64>()), 0..MAX_VMCS_OPS),
+        proptest::collection::vec(any::<u64>(), Gpr::COUNT),
+    )
+        .prop_map(|(reason, reads, gprs)| {
+            let mut s = VmSeed::new(reason);
+            for (f, v) in reads {
+                s.push_read(f, v);
+            }
+            let mut set = GprSet::new();
+            for (g, v) in Gpr::ALL.iter().zip(gprs) {
+                set.set(*g, v);
+            }
+            s.gprs = set;
+            s
+        })
+}
+
+proptest! {
+    /// The seed wire format round-trips for every well-formed seed.
+    #[test]
+    fn seed_codec_round_trips(seed in arb_seed()) {
+        let decoded = VmSeed::decode(&seed.encode()).expect("decodes");
+        prop_assert_eq!(decoded, seed);
+    }
+
+    /// Seed payloads never exceed the paper's 470-byte pre-allocation.
+    #[test]
+    fn seed_payload_bounded(seed in arb_seed()) {
+        prop_assert!(seed.payload_bytes() <= 470);
+    }
+
+    /// VMCS writes are width-truncating and idempotent; reads never
+    /// observe bits a field cannot hold.
+    #[test]
+    fn vmcs_width_truncation(field in arb_field(), value in any::<u64>()) {
+        let mut v = Vmcs::new(0x1000);
+        v.hw_write(field, value);
+        let read = v.read(field).unwrap();
+        prop_assert_eq!(read, value & field.value_mask());
+        v.hw_write(field, read);
+        prop_assert_eq!(v.read(field).unwrap(), read);
+    }
+
+    /// Read-only classification matches the architectural area encoding
+    /// and VMWRITE honours it.
+    #[test]
+    fn vmcs_read_only_rejection(field in arb_field(), value in any::<u64>()) {
+        let mut v = Vmcs::new(0x1000);
+        let result = v.write(field, value);
+        prop_assert_eq!(result.is_err(), field.is_read_only());
+    }
+
+    /// Qualification encodings round-trip.
+    #[test]
+    fn cr_qual_round_trip(cr in prop_oneof![Just(0u8), Just(3), Just(4), Just(8)],
+                          ty in 0u8..4, op in 0u8..16, lmsw in any::<u16>()) {
+        let access = match ty {
+            0 => iris_vtx::exit::CrAccessType::MovToCr,
+            1 => iris_vtx::exit::CrAccessType::MovFromCr,
+            2 => iris_vtx::exit::CrAccessType::Clts,
+            _ => iris_vtx::exit::CrAccessType::Lmsw,
+        };
+        let q = CrAccessQual {
+            cr,
+            access,
+            gpr: Gpr::from_mov_cr_operand(op),
+            lmsw_source: lmsw,
+        };
+        prop_assert_eq!(CrAccessQual::decode(q.encode()), q);
+    }
+
+    /// I/O qualifications round-trip for all legal sizes.
+    #[test]
+    fn io_qual_round_trip(size in prop_oneof![Just(1u8), Just(2), Just(4)],
+                          dir in any::<bool>(), string in any::<bool>(),
+                          rep in any::<bool>(), port in any::<u16>()) {
+        let q = IoQual {
+            size,
+            direction: if dir { iris_vtx::exit::IoDirection::In } else { iris_vtx::exit::IoDirection::Out },
+            string,
+            rep,
+            port,
+        };
+        prop_assert_eq!(IoQual::decode(q.encode()), q);
+    }
+
+    /// EPT qualifications round-trip.
+    #[test]
+    fn ept_qual_round_trip(bits in 0u8..128) {
+        let q = EptQual {
+            read: bits & 1 != 0,
+            write: bits & 2 != 0,
+            exec: bits & 4 != 0,
+            gpa_readable: bits & 8 != 0,
+            gpa_writable: bits & 16 != 0,
+            gpa_executable: bits & 32 != 0,
+            linear_valid: bits & 64 != 0,
+        };
+        prop_assert_eq!(EptQual::decode(q.encode()), q);
+    }
+
+    /// The CR0 mode classification is total and stable under
+    /// irrelevant-bit changes.
+    #[test]
+    fn mode_classification_total(value in any::<u64>()) {
+        let mode = Cr0(value).operating_mode();
+        prop_assert!(OperatingMode::ALL.contains(&mode));
+        // Bits outside PE/PG/AM/TS/CD never change the mode.
+        use iris_vtx::cr::cr0;
+        let relevant = cr0::PE | cr0::PG | cr0::AM | cr0::TS | cr0::CD;
+        let other = Cr0((value & relevant) | (!value & !relevant & cr0::DEFINED));
+        prop_assert_eq!(mode, other.operating_mode());
+    }
+
+    /// Coverage-map merge is monotone and idempotent; line counts never
+    /// double-count blocks.
+    #[test]
+    fn coverage_merge_monotone(hits in proptest::collection::vec((0u16..64, 1u32..20), 1..40)) {
+        let mut a = CoverageMap::new();
+        for &(id, loc) in &hits[..hits.len() / 2] {
+            a.hit(Block::new(Component::Vmx, id), loc);
+        }
+        let mut b = CoverageMap::new();
+        for &(id, loc) in &hits[hits.len() / 2..] {
+            b.hit(Block::new(Component::Vmx, id), loc);
+        }
+        let before = a.lines();
+        let gain = a.new_lines_from(&b);
+        a.merge(&b);
+        prop_assert_eq!(a.lines(), before + gain);
+        // Idempotent.
+        let after = a.lines();
+        a.merge(&b);
+        prop_assert_eq!(a.lines(), after);
+        prop_assert_eq!(a.new_lines_from(&b), 0);
+    }
+
+    /// A mutation flips exactly one bit in exactly one place, and the
+    /// mutant still encodes/decodes.
+    #[test]
+    fn mutation_flips_one_bit(seed in arb_seed(), area_sel in any::<bool>(), rng_seed in any::<u64>()) {
+        let area = if area_sel { SeedArea::Vmcs } else { SeedArea::Gpr };
+        let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let (mutant, applied) = mutate(&seed, area, &mut rng);
+        match applied {
+            None => prop_assert_eq!(&mutant, &seed),
+            Some(AppliedMutation::VmcsBitFlip { index, bit }) => {
+                prop_assert_eq!(mutant.reads[index].1 ^ seed.reads[index].1, 1u64 << bit);
+                prop_assert_eq!(&mutant.gprs, &seed.gprs);
+            }
+            Some(AppliedMutation::GprBitFlip { gpr, bit }) => {
+                prop_assert_eq!(mutant.gprs.get(gpr) ^ seed.gprs.get(gpr), 1u64 << bit);
+                prop_assert_eq!(&mutant.reads, &seed.reads);
+            }
+        }
+        let round = VmSeed::decode(&mutant.encode()).expect("mutants stay well-formed");
+        prop_assert_eq!(round, mutant);
+    }
+
+    /// VM-entry checks are a pure function of the VMCS: same state, same
+    /// verdict (determinism matters for replay).
+    #[test]
+    fn entry_checks_deterministic(rip in any::<u64>(), rflags in any::<u64>(), cr0 in any::<u64>()) {
+        let mut v = Vmcs::new(0x2000);
+        iris_vtx::entry_checks::init_real_mode_guest_state(&mut v);
+        v.hw_write(VmcsField::GuestRip, rip);
+        v.hw_write(VmcsField::GuestRflags, rflags);
+        v.hw_write(VmcsField::GuestCr0, cr0);
+        let first = iris_vtx::entry_checks::check_guest_state(&v);
+        let second = iris_vtx::entry_checks::check_guest_state(&v);
+        prop_assert_eq!(first, second);
+    }
+}
+
+/// Workload generation is a pure function of (kind, count, seed).
+#[test]
+fn workload_generation_deterministic() {
+    use iris_guest::workloads::Workload;
+    for w in Workload::ALL {
+        assert_eq!(w.generate(64, 3), w.generate(64, 3));
+        assert_ne!(
+            w.generate(64, 3),
+            w.generate(64, 4),
+            "{w:?} must vary with the seed"
+        );
+    }
+}
