@@ -17,9 +17,7 @@ fn bench_mutation(c: &mut Criterion) {
         group.bench_function(format!("bitflip_{}_x10000", area.label()), |b| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(7);
-                (0..10_000)
-                    .map(|_| mutate(&seed, area, &mut rng))
-                    .count()
+                (0..10_000).map(|_| mutate(&seed, area, &mut rng)).count()
             })
         });
     }

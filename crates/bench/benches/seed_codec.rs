@@ -13,14 +13,14 @@ fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("seed_codec");
     group.throughput(Throughput::Bytes(bytes));
     group.bench_function("encode_500_seeds", |b| {
-        b.iter(|| trace.seeds.iter().map(VmSeed::encode).count())
+        b.iter(|| trace.seeds.iter().map(VmSeed::encode).collect::<Vec<_>>())
     });
     group.bench_function("decode_500_seeds", |b| {
         b.iter(|| {
             encoded
                 .iter()
                 .map(|e| VmSeed::decode(e).expect("valid"))
-                .count()
+                .collect::<Vec<_>>()
         })
     });
     group.finish();

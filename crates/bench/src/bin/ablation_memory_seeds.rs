@@ -23,12 +23,8 @@ fn run(workload: Workload, exits: usize, record_memory: bool) -> (f64, f64) {
             ..RecordConfig::default()
         },
     };
-    let trace = recorder.record_workload(
-        &mut hv,
-        dom,
-        workload.label(),
-        workload.generate(exits, 42),
-    );
+    let trace =
+        recorder.record_workload(&mut hv, dom, workload.label(), workload.generate(exits, 42));
 
     let mut hv2 = Hypervisor::new();
     let dummy = hv2.create_hvm_domain(64 << 20);

@@ -11,8 +11,14 @@ fn main() {
         .unwrap_or(2000);
     let m = seed_memory(exits, 42);
     println!("§VI-D seed memory ({exits} exits per workload)\n");
-    println!("max VMCS ops per seed : {} (paper worst case: 32)", m.max_vmcs_ops);
+    println!(
+        "max VMCS ops per seed : {} (paper worst case: 32)",
+        m.max_vmcs_ops
+    );
     println!("mean VMCS ops per seed: {:.1}", m.mean_vmcs_ops);
     println!("max seed payload      : {} bytes", m.max_seed_bytes);
-    println!("pre-allocation        : {} bytes (paper: 470)", m.prealloc_bytes);
+    println!(
+        "pre-allocation        : {} bytes (paper: 470)",
+        m.prealloc_bytes
+    );
 }

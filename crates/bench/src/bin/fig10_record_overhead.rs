@@ -13,11 +13,17 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
-    println!("Fig. 10 — per-exit time, No Recording vs IRIS Recording ({exits} exits x {runs} runs)\n");
+    println!(
+        "Fig. 10 — per-exit time, No Recording vs IRIS Recording ({exits} exits x {runs} runs)\n"
+    );
     let mut all = Vec::new();
     for w in [Workload::OsBoot, Workload::CpuBound, Workload::Idle] {
         let f = fig10_overhead(w, exits, runs, 42);
-        println!("{} (overall overhead {:.2}%):", w.label(), f.overhead_percent);
+        println!(
+            "{} (overall overhead {:.2}%):",
+            w.label(),
+            f.overhead_percent
+        );
         for (reason, (plain, rec)) in &f.medians_us {
             println!("  {reason:<14} {plain:>8.2} us -> {rec:>8.2} us");
         }

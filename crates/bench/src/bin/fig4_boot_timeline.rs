@@ -16,7 +16,10 @@ fn main() {
         "total {} exits ({} BIOS prefix), {} exits per bucket\n",
         f.total_exits, f.bios_exits, f.bucket_width
     );
-    println!("{:<14} buckets (count per {} exits)", "reason", f.bucket_width);
+    println!(
+        "{:<14} buckets (count per {} exits)",
+        "reason", f.bucket_width
+    );
     for (reason, buckets) in &f.buckets {
         let cells: Vec<String> = buckets.iter().map(|c| format!("{c:>5}")).collect();
         println!("{reason:<14} {}", cells.join(""));

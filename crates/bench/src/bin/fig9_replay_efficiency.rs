@@ -17,7 +17,11 @@ fn main() {
         let e = &f.efficiency;
         println!(
             "{:<10}  real {:>9.1} ms   replay {:>8.1} ms   -{:>5.1}%   {:>6.1}x   {:>7.0} exits/s",
-            f.workload, e.real_ms, e.replay_ms, e.decrease_percent, e.speedup,
+            f.workload,
+            e.real_ms,
+            e.replay_ms,
+            e.decrease_percent,
+            e.speedup,
             e.replay_exits_per_sec
         );
         all.push(f);

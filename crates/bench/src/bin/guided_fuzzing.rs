@@ -20,8 +20,15 @@ fn main() {
     );
     println!("Coverage-guided fuzzing over OS BOOT seeds ({budget} executions)\n");
     println!("baseline corpus coverage : {} lines", r.baseline_lines);
-    println!("final coverage           : {} lines (+{})", r.total_lines, r.total_lines - r.baseline_lines);
-    println!("corpus                   : {} seeds ({} promoted)", r.corpus_size, r.promotions);
+    println!(
+        "final coverage           : {} lines (+{})",
+        r.total_lines,
+        r.total_lines - r.baseline_lines
+    );
+    println!(
+        "corpus                   : {} seeds ({} promoted)",
+        r.corpus_size, r.promotions
+    );
     println!(
         "crashes                  : {} VM ({:.2}%), {} hypervisor ({:.2}%)",
         r.failures.vm_crashes,

@@ -15,7 +15,9 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(300); // paper: 10_000
-    println!("Table I — new coverage per test case ({exits}-exit traces, {mutants} mutants/cell)\n");
+    println!(
+        "Table I — new coverage per test case ({exits}-exit traces, {mutants} mutants/cell)\n"
+    );
     let (table, campaign) = table1(exits, mutants, 42);
     println!("{}", table.render());
 
@@ -40,7 +42,10 @@ fn main() {
         "corpus: {} crashes saved ({} VM, {} hypervisor)",
         campaign.corpus.len(),
         campaign.corpus.of_kind(FailureKind::VmCrash).count(),
-        campaign.corpus.of_kind(FailureKind::HypervisorCrash).count()
+        campaign
+            .corpus
+            .of_kind(FailureKind::HypervisorCrash)
+            .count()
     );
     std::fs::write(
         "results/table1.json",

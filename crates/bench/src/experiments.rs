@@ -95,10 +95,7 @@ pub fn fig4_timeline(bios: usize, kernel: usize, bucket_width: usize, seed: u64)
 
 /// Fig. 5: per workload, the probability of each exit reason.
 #[must_use]
-pub fn fig5_distribution(
-    exits: usize,
-    seed: u64,
-) -> BTreeMap<Workload, BTreeMap<String, f64>> {
+pub fn fig5_distribution(exits: usize, seed: u64) -> BTreeMap<Workload, BTreeMap<String, f64>> {
     let mut out = BTreeMap::new();
     for w in Workload::ALL {
         let ops = w.generate(exits, seed);
@@ -229,7 +226,10 @@ pub fn fig8_modes(exits: usize, seed: u64) -> Fig8 {
         recorded_modes: rec_modes.iter().map(|m| m.index()).collect(),
         replayed_modes: rep_modes.iter().map(|m| m.index()).collect(),
         vmwrite_fitting_percent: metrics::vmwrite_fitting(&recorded, &replayed),
-        modes_visited: visited.iter().map(|m| m.figure_label().to_owned()).collect(),
+        modes_visited: visited
+            .iter()
+            .map(|m| m.figure_label().to_owned())
+            .collect(),
     }
 }
 

@@ -129,10 +129,7 @@ mod tests {
 
         let replayed = mgr.replay("OS BOOT", Mode::ReplayWithMetrics, false);
         assert_eq!(replayed.metrics.len(), 300);
-        let fit = crate::metrics::coverage_fitting(
-            mgr.db.get("OS BOOT").unwrap(),
-            &replayed,
-        );
+        let fit = crate::metrics::coverage_fitting(mgr.db.get("OS BOOT").unwrap(), &replayed);
         assert!(fit.fitting_percent > 80.0, "fitting {fit:?}");
     }
 

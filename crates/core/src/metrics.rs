@@ -107,10 +107,7 @@ pub struct DiffByReason {
 
 /// Aggregate [`coverage_diffs`] the way Fig. 7's caption does.
 #[must_use]
-pub fn diff_by_reason(
-    recorded: &RecordedTrace,
-    replayed: &RecordedTrace,
-) -> DiffByReason {
+pub fn diff_by_reason(recorded: &RecordedTrace, replayed: &RecordedTrace) -> DiffByReason {
     let diffs = coverage_diffs(recorded, replayed);
     let compared = recorded.metrics.len().min(replayed.metrics.len());
     let mut out = DiffByReason {
@@ -148,10 +145,7 @@ pub fn vmwrite_fitting(recorded: &RecordedTrace, replayed: &RecordedTrace) -> f6
         let rec_writes: Vec<_> = guest_state_writes(r);
         let rep_writes: Vec<_> = guest_state_writes(p);
         total += rec_writes.len();
-        matched += rec_writes
-            .iter()
-            .filter(|w| rep_writes.contains(w))
-            .count();
+        matched += rec_writes.iter().filter(|w| rep_writes.contains(w)).count();
     }
     if total == 0 {
         100.0
@@ -253,10 +247,13 @@ mod tests {
     #[test]
     fn fitting_counts_common_lines() {
         let mut rec = RecordedTrace::new("r");
-        rec.metrics
-            .push(m(ExitReason::Rdtsc, &[(Component::Vmx, 1, 10), (Component::Emulate, 2, 40)]));
+        rec.metrics.push(m(
+            ExitReason::Rdtsc,
+            &[(Component::Vmx, 1, 10), (Component::Emulate, 2, 40)],
+        ));
         let mut rep = RecordedTrace::new("p");
-        rep.metrics.push(m(ExitReason::Rdtsc, &[(Component::Vmx, 1, 10)]));
+        rep.metrics
+            .push(m(ExitReason::Rdtsc, &[(Component::Vmx, 1, 10)]));
         let f = coverage_fitting(&rec, &rep);
         assert_eq!(f.recorded_lines, 50);
         assert_eq!(f.common_lines, 10);
@@ -269,10 +266,14 @@ mod tests {
         let mut rep = RecordedTrace::new("p");
         // Seed 0: identical (skipped). Seed 1: small vlapic noise.
         // Seed 2: big emulate divergence.
-        rec.metrics.push(m(ExitReason::Rdtsc, &[(Component::Vmx, 1, 5)]));
-        rep.metrics.push(m(ExitReason::Rdtsc, &[(Component::Vmx, 1, 5)]));
         rec.metrics
-            .push(m(ExitReason::ExternalInterrupt, &[(Component::Vlapic, 1, 4)]));
+            .push(m(ExitReason::Rdtsc, &[(Component::Vmx, 1, 5)]));
+        rep.metrics
+            .push(m(ExitReason::Rdtsc, &[(Component::Vmx, 1, 5)]));
+        rec.metrics.push(m(
+            ExitReason::ExternalInterrupt,
+            &[(Component::Vlapic, 1, 4)],
+        ));
         rep.metrics.push(m(ExitReason::ExternalInterrupt, &[]));
         rec.metrics
             .push(m(ExitReason::EptViolation, &[(Component::Emulate, 5, 45)]));
@@ -331,7 +332,7 @@ mod tests {
         for i in 0..10u64 {
             let mut x = m(ExitReason::Rdtsc, &[]);
             x.start_tsc = i * 36_000_000; // 10ms apart
-            x.handling_cycles = 3_600_00; // 0.1ms
+            x.handling_cycles = 360_000; // 0.1ms
             rec.metrics.push(x);
         }
         let e = efficiency(&rec, 9.0);

@@ -44,7 +44,13 @@ impl Default for RecordConfig {
 }
 
 /// Per-exit capture state; implements the instrumentation callbacks.
-#[derive(Debug, Default)]
+///
+/// The capture buffers are pre-allocated to the paper's worst case
+/// ([`crate::seed::MAX_VMCS_OPS`] — §VI-D's 470-byte derivation) and
+/// reused across exits: draining a seed empties them without releasing
+/// their capacity, so steady-state recording does not grow or reallocate
+/// them.
+#[derive(Debug)]
 pub struct RecordHooks {
     reads: Vec<(VmcsField, u64)>,
     writes: Vec<(VmcsField, u64)>,
@@ -53,25 +59,41 @@ pub struct RecordHooks {
     enabled: bool,
 }
 
+impl Default for RecordHooks {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl RecordHooks {
-    /// Hooks with recording enabled.
+    /// Hooks with recording enabled and worst-case buffers pre-allocated.
     #[must_use]
     pub fn new() -> Self {
         Self {
+            reads: Vec::with_capacity(crate::seed::MAX_VMCS_OPS),
+            writes: Vec::with_capacity(crate::seed::MAX_VMCS_OPS),
+            gprs: GprSet::new(),
+            cost: 0,
             enabled: true,
-            ..Self::default()
         }
     }
 
     /// Drain the capture into a seed + write list, resetting for the next
-    /// exit.
+    /// exit. The hooks keep their buffer capacity.
     pub fn drain(&mut self, reason: ExitReason) -> (VmSeed, Vec<(VmcsField, u64)>) {
         let mut seed = VmSeed::new(reason);
+        seed.reads
+            .reserve_exact(self.reads.len().min(crate::seed::MAX_VMCS_OPS));
         for (f, v) in self.reads.drain(..) {
             seed.push_read(f, v);
         }
         seed.gprs = self.gprs;
-        (seed, std::mem::take(&mut self.writes))
+        let writes = if self.writes.is_empty() {
+            Vec::new()
+        } else {
+            self.writes.drain(..).collect()
+        };
+        (seed, writes)
     }
 }
 
@@ -137,16 +159,14 @@ impl Recorder {
     ) -> RecordedTrace {
         hv.fuzzing_ctl.record_enabled = true;
         if self.config.record_memory {
-            hv.domains[domain as usize]
-                .memory
-                .set_dirty_tracking(true);
+            hv.domains[domain as usize].memory.set_dirty_tracking(true);
         }
         let mut runner = GuestRunner::new(domain);
         let mut hooks = RecordHooks::new();
         let mut trace = RecordedTrace::new(label);
         for op in ops {
             let start_tsc = hv.tsc.now();
-            let outcome = runner.step(hv, &op, &mut hooks);
+            let mut outcome = runner.step(hv, &op, &mut hooks);
             if self.config.record_memory {
                 trace
                     .memory
@@ -160,9 +180,13 @@ impl Recorder {
                 trace.seeds.push(seed);
             }
             if self.config.store_metrics {
+                // Move the per-exit map out of the outcome instead of
+                // copying it; the outcome is not used past this point.
+                let mut coverage = std::mem::take(&mut outcome.coverage);
+                coverage.strip_framework();
                 trace.metrics.push(SeedMetrics {
                     reason,
-                    coverage: outcome.coverage.without_framework(),
+                    coverage,
                     vmwrites: writes,
                     handling_cycles: outcome.cycles,
                     start_tsc,
@@ -175,9 +199,7 @@ impl Recorder {
         }
         hv.fuzzing_ctl.record_enabled = false;
         if self.config.record_memory {
-            hv.domains[domain as usize]
-                .memory
-                .set_dirty_tracking(false);
+            hv.domains[domain as usize].memory.set_dirty_tracking(false);
         }
         trace
     }
@@ -260,7 +282,9 @@ mod tests {
         let mut plain = 0u64;
         let mut runner = GuestRunner::new(d1);
         for op in &ops {
-            plain += runner.step(&mut hv1, op, &mut iris_hv::hooks::NoHooks).cycles;
+            plain += runner
+                .step(&mut hv1, op, &mut iris_hv::hooks::NoHooks)
+                .cycles;
         }
 
         let mut hv2 = Hypervisor::new();

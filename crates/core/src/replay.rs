@@ -16,47 +16,100 @@
 //!    dispatch on the (interposed) recorded reason, handler, interrupt
 //!    assist, **VM-entry checks** — run normally.
 
-use crate::seed::VmSeed;
+use crate::seed::{VmSeed, MAX_VMCS_OPS};
 use crate::trace::{RecordedTrace, SeedMetrics};
 use iris_hv::costs;
 use iris_hv::hooks::VmxHooks;
 use iris_hv::hypervisor::{ExitEvent, ExitOutcome, Hypervisor};
 use iris_vtx::exit::ExitReason;
-use iris_vtx::fields::VmcsField;
-use iris_vtx::gpr::GprSet;
-use std::collections::BTreeMap;
+use iris_vtx::fields::{VmcsField, FIELD_COUNT};
+use iris_vtx::gpr::Gpr;
 
-/// Interposition state for one replayed seed.
-#[derive(Debug, Default)]
+/// Interposition state for replayed seeds.
+///
+/// The read-only field substitutions live in a flat table indexed by
+/// [`VmcsField::index`]. The table is owned by the [`ReplayEngine`] and
+/// reused for every seed; "clearing" it between seeds is a single
+/// generation-counter bump (`begin_seed`), not a memset — an entry is
+/// live only when its stamp matches the current generation. Together
+/// with the pre-allocated VMWRITE capture buffer this makes seed
+/// submission allocation-free on the non-crash path.
+#[derive(Debug)]
 pub struct ReplayHooks {
-    /// Read-only field substitutions (the recorded values).
-    overrides: BTreeMap<VmcsField, u64>,
-    /// VMWRITEs observed during replay (metrics for accuracy analysis).
+    /// Current seed generation; entries with a different stamp are dead.
+    generation: u32,
+    /// Per-field generation stamps.
+    stamp: [u32; FIELD_COUNT],
+    /// Per-field override values (valid only when stamped).
+    value: [u64; FIELD_COUNT],
+    /// VMWRITEs observed during replay (metrics for accuracy analysis);
+    /// capacity is pre-allocated and kept across seeds.
     writes: Vec<(VmcsField, u64)>,
     cost: u64,
 }
 
+impl Default for ReplayHooks {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ReplayHooks {
-    /// Hooks for one seed: `ops` is the number of submitted VMCS pairs
-    /// (drives the submission cycle cost).
+    /// Empty hooks with pre-allocated capture buffers.
     #[must_use]
-    pub fn for_seed(overrides: BTreeMap<VmcsField, u64>, ops: usize) -> Self {
+    pub fn new() -> Self {
         Self {
-            overrides,
-            writes: Vec::new(),
-            cost: costs::REPLAY_BASE_CYCLES + ops as u64 * costs::REPLAY_PER_OP_CYCLES,
+            generation: 1,
+            stamp: [0; FIELD_COUNT],
+            value: [0; FIELD_COUNT],
+            writes: Vec::with_capacity(MAX_VMCS_OPS),
+            cost: 0,
         }
     }
 
-    /// Drain the VMWRITEs captured while replaying.
+    /// Start a new seed: invalidate every override via the generation
+    /// counter, reset the write capture, and arm the submission cycle
+    /// cost (`ops` is the number of submitted VMCS/GPR pairs).
+    pub fn begin_seed(&mut self, ops: usize) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped: stamps from 4 billion seeds ago could alias.
+            self.stamp = [0; FIELD_COUNT];
+            self.generation = 1;
+        }
+        self.writes.clear();
+        self.cost = costs::REPLAY_BASE_CYCLES + ops as u64 * costs::REPLAY_PER_OP_CYCLES;
+    }
+
+    /// Install one read-only field substitution for the current seed.
+    #[inline]
+    pub fn set_override(&mut self, field: VmcsField, value: u64) {
+        let idx = field.index() as usize;
+        self.stamp[idx] = self.generation;
+        self.value[idx] = value;
+    }
+
+    /// Drain the VMWRITEs captured while replaying. The internal buffer
+    /// keeps its capacity; the returned `Vec` is sized exactly (and is
+    /// the empty, non-allocating `Vec` for the common write-free seed).
     pub fn take_writes(&mut self) -> Vec<(VmcsField, u64)> {
-        std::mem::take(&mut self.writes)
+        if self.writes.is_empty() {
+            Vec::new()
+        } else {
+            self.writes.drain(..).collect()
+        }
     }
 }
 
 impl VmxHooks for ReplayHooks {
+    #[inline]
     fn on_vmread(&mut self, field: VmcsField, real: u64) -> u64 {
-        self.overrides.get(&field).copied().unwrap_or(real)
+        let idx = field.index() as usize;
+        if self.stamp[idx] == self.generation {
+            self.value[idx]
+        } else {
+            real
+        }
     }
 
     fn on_vmwrite(&mut self, field: VmcsField, value: u64) {
@@ -79,12 +132,17 @@ pub struct ReplayOutcome {
 }
 
 /// The replay engine bound to a dummy VM.
+///
+/// Owns the interposition state ([`ReplayHooks`]) so per-seed submission
+/// reuses the override table and capture buffers instead of rebuilding
+/// them.
 #[derive(Debug)]
 pub struct ReplayEngine {
     /// The dummy domain seeds are submitted through.
     pub domain: u16,
     /// Seeds submitted so far.
     pub submitted: u64,
+    hooks: ReplayHooks,
 }
 
 impl ReplayEngine {
@@ -99,6 +157,7 @@ impl ReplayEngine {
         Self {
             domain,
             submitted: 0,
+            hooks: ReplayHooks::new(),
         }
     }
 
@@ -107,14 +166,14 @@ impl ReplayEngine {
         let start_tsc = hv.tsc.now();
 
         // (1) GPRs into the hypervisor save area, (2) writable fields into
-        // the VMCS, (3) read-only fields into the override map.
-        let mut overrides = BTreeMap::new();
+        // the VMCS, (3) read-only fields into the override table.
+        self.hooks.begin_seed(seed.reads.len() + Gpr::COUNT);
         {
             let vcpu = &mut hv.domains[self.domain as usize].vcpus[0];
             vcpu.gprs.copy_from(&seed.gprs);
             for &(field, value) in &seed.reads {
                 if field.is_read_only() {
-                    overrides.insert(field, value);
+                    self.hooks.set_override(field, value);
                 } else {
                     let _ = vcpu.vmcs.write(field, value);
                 }
@@ -124,16 +183,18 @@ impl ReplayEngine {
         // (4) the dummy VM's zero-armed preemption timer fires before any
         // guest instruction; the recorded reason steers the dispatch via
         // the interposed VM_EXIT_REASON read.
-        let ops = seed.reads.len() + GprSet::default().as_array().len();
-        let mut hooks = ReplayHooks::for_seed(overrides, ops);
         let event = ExitEvent::new(ExitReason::PreemptionTimer);
-        let exit = hv.vm_exit(self.domain, &event, &mut hooks);
+        let mut exit = hv.vm_exit(self.domain, &event, &mut self.hooks);
         self.submitted += 1;
 
+        // Move the per-exit map into the metrics instead of copying it;
+        // the outcome's copy is not consumed by any caller.
+        let mut coverage = std::mem::take(&mut exit.coverage);
+        coverage.strip_framework();
         let metrics = SeedMetrics {
             reason: exit.handled_reason.unwrap_or(seed.reason),
-            coverage: exit.coverage.without_framework(),
-            vmwrites: hooks.take_writes(),
+            coverage,
+            vmwrites: self.hooks.take_writes(),
             handling_cycles: exit.cycles,
             start_tsc,
             crashed: exit.crash.is_some(),
@@ -258,6 +319,41 @@ mod tests {
             assert_eq!(replayed.metrics.len(), 50, "{w:?} completed");
             assert!(!replayed.metrics.last().unwrap().crashed);
         }
+    }
+
+    #[test]
+    fn overrides_do_not_leak_between_seeds() {
+        // The override table is "cleared" by a generation bump, not a
+        // memset — a stale entry from seed N must be invisible to seed
+        // N+1 that does not set it.
+        let mut hooks = ReplayHooks::new();
+        hooks.begin_seed(1);
+        hooks.set_override(VmcsField::ExitQualification, 0xdead);
+        assert_eq!(hooks.on_vmread(VmcsField::ExitQualification, 7), 0xdead);
+        hooks.begin_seed(0);
+        assert_eq!(
+            hooks.on_vmread(VmcsField::ExitQualification, 7),
+            7,
+            "previous seed's override leaked through the generation bump"
+        );
+        hooks.set_override(VmcsField::VmExitReason, 28);
+        assert_eq!(hooks.on_vmread(VmcsField::VmExitReason, 1), 28);
+        assert_eq!(hooks.on_vmread(VmcsField::GuestRip, 0x1000), 0x1000);
+    }
+
+    #[test]
+    fn take_writes_resets_but_keeps_capacity() {
+        let mut hooks = ReplayHooks::new();
+        hooks.begin_seed(0);
+        assert!(hooks.take_writes().is_empty());
+        hooks.on_vmwrite(VmcsField::GuestRip, 1);
+        hooks.on_vmwrite(VmcsField::GuestCr0, 2);
+        let writes = hooks.take_writes();
+        assert_eq!(
+            writes,
+            vec![(VmcsField::GuestRip, 1), (VmcsField::GuestCr0, 2)]
+        );
+        assert!(hooks.take_writes().is_empty());
     }
 
     #[test]

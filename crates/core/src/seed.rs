@@ -86,7 +86,10 @@ impl VmSeed {
     /// The recorded value for a field, if present.
     #[must_use]
     pub fn read_value(&self, field: VmcsField) -> Option<u64> {
-        self.reads.iter().find(|(f, _)| *f == field).map(|(_, v)| *v)
+        self.reads
+            .iter()
+            .find(|(f, _)| *f == field)
+            .map(|(_, v)| *v)
     }
 
     /// Payload size in the paper's wire format.
@@ -214,9 +217,6 @@ mod tests {
     fn decode_rejects_unknown_field_encoding() {
         let mut s = VmSeed::new(ExitReason::Rdtsc).encode().to_vec();
         s.extend_from_slice(&[FLAG_VMCS, 0xf0, 0, 0, 0, 0, 0, 0, 0, 0]);
-        assert_eq!(
-            VmSeed::decode(&s),
-            Err(SeedDecodeError::BadEncoding(0xf0))
-        );
+        assert_eq!(VmSeed::decode(&s), Err(SeedDecodeError::BadEncoding(0xf0)));
     }
 }

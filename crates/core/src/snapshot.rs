@@ -34,9 +34,42 @@ impl Snapshot {
     /// from, but the replay flow reverts the *test VM* image into the
     /// *dummy VM* slot to start both sides from the same state).
     pub fn revert_into(&self, hv: &mut Hypervisor, domain_id: u16) {
-        let mut d = self.domain.clone();
-        d.id = domain_id;
-        hv.domains[domain_id as usize] = d;
+        self.restore_into(hv, domain_id);
+    }
+
+    /// Fast-path restore: make the target domain slot identical to the
+    /// snapshot **in place**, reusing the slot's existing allocations.
+    ///
+    /// The vCPU array, VMCS (a flat field store), devices, EPT, and IRQ
+    /// state are assigned with `clone_from` (which reuses buffers), and
+    /// guest memory goes through [`iris_hv::mm::GuestMemory::restore_from`]
+    /// — so the cost is proportional to the state that diverged since the
+    /// snapshot, not to a full `Hypervisor::new()` + boot replay. This is
+    /// what lets fuzzing campaigns reset the dummy VM to the post-boot
+    /// state `s1` once per crash instead of rebuilding the whole stack
+    /// per test case.
+    pub fn restore_into(&self, hv: &mut Hypervisor, domain_id: u16) {
+        let slot = &mut hv.domains[domain_id as usize];
+        slot.kind = self.domain.kind;
+        slot.crashed = self.domain.crashed.clone();
+        slot.vcpus.clone_from(&self.domain.vcpus);
+        slot.memory.restore_from(&self.domain.memory);
+        // Equality walks are allocation-free and much cheaper than
+        // rebuilding these (the EPT alone holds thousands of entries);
+        // replay rarely touches them, so the common restore skips them.
+        if slot.ept != self.domain.ept {
+            slot.ept.clone_from(&self.domain.ept);
+        }
+        if slot.iobus != self.domain.iobus {
+            slot.iobus.clone_from(&self.domain.iobus);
+        }
+        if slot.irq != self.domain.irq {
+            slot.irq.clone_from(&self.domain.irq);
+        }
+        if slot.vpt != self.domain.vpt {
+            slot.vpt.clone_from(&self.domain.vpt);
+        }
+        slot.id = domain_id;
     }
 
     /// The captured domain's id.
@@ -84,6 +117,45 @@ mod tests {
             .copy_from_guest(0x100, &mut buf)
             .unwrap();
         assert_eq!(&buf, b"state");
+    }
+
+    #[test]
+    fn restore_into_resurrects_a_crashed_domain_in_place() {
+        use iris_hv::crash::DomainCrashReason;
+        use iris_hv::hypervisor::{ExitEvent, Hypervisor as Hv};
+        use iris_vtx::exit::ExitReason;
+
+        let mut hv = Hv::new();
+        let dom = hv.create_hvm_domain(16 << 20);
+        hv.domains[dom as usize]
+            .memory
+            .copy_to_guest(0x3000, b"s1")
+            .unwrap();
+        let snap = Snapshot::take(&hv, dom);
+
+        // Diverge: dirty memory, then crash the domain.
+        hv.domains[dom as usize]
+            .memory
+            .copy_to_guest(0x3000, b"xx")
+            .unwrap();
+        hv.domains[dom as usize].crash(DomainCrashReason::TripleFault);
+        assert!(!hv.domains[dom as usize].is_alive());
+
+        snap.restore_into(&mut hv, dom);
+        assert!(hv.domains[dom as usize].is_alive());
+        let mut buf = [0u8; 2];
+        hv.domains[dom as usize]
+            .memory
+            .copy_from_guest(0x3000, &mut buf)
+            .unwrap();
+        assert_eq!(&buf, b"s1");
+        // The restored domain takes exits again.
+        let out = hv.vm_exit(
+            dom,
+            &ExitEvent::new(ExitReason::Cpuid),
+            &mut iris_hv::hooks::NoHooks,
+        );
+        assert!(out.crash.is_none());
     }
 
     #[test]

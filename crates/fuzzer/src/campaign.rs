@@ -12,6 +12,7 @@ use crate::failure::{classify, FailureStats};
 use crate::mutation::mutate;
 use crate::testcase::TestCase;
 use iris_core::replay::ReplayEngine;
+use iris_core::snapshot::Snapshot;
 use iris_core::trace::RecordedTrace;
 use iris_hv::coverage::CoverageMap;
 use iris_hv::hypervisor::Hypervisor;
@@ -72,8 +73,10 @@ impl Campaign {
         let mut rng = SmallRng::seed_from_u64(testcase.rng_seed);
         let target = &trace.seeds[testcase.seed_index];
 
-        // Reach s1 and measure the baseline coverage of VM_seed_R.
-        let (mut hv, mut engine) = self.reach_target_state(trace, testcase.seed_index);
+        // Reach s1 once and snapshot it; crash recovery restores the
+        // snapshot in O(dirty state) instead of rebuilding the stack and
+        // replaying the whole prefix again.
+        let (mut hv, mut engine, s1) = self.reach_target_state(trace, testcase.seed_index);
         let baseline_outcome = engine.submit(&mut hv, target);
         let baseline_cov = baseline_outcome.metrics.coverage.clone();
         let baseline_lines = baseline_cov.lines();
@@ -105,11 +108,17 @@ impl Campaign {
                     kind,
                     console,
                 });
-                // Reset: rebuild the stack and re-reach s1 (the paper's
-                // test-case restart after a failure).
-                let (h, e) = self.reach_target_state(trace, testcase.seed_index);
-                hv = h;
-                engine = e;
+                // Reset to s1 (the paper's test-case restart after a
+                // failure). A domain crash restores from the snapshot;
+                // a hypervisor crash killed the whole stack, so only
+                // then is it rebuilt from scratch.
+                if hv.is_alive() {
+                    s1.restore_into(&mut hv, engine.domain);
+                } else {
+                    let (h, e, _) = self.reach_target_state(trace, testcase.seed_index);
+                    hv = h;
+                    engine = e;
+                }
                 let _ = engine.submit(&mut hv, target);
             }
         }
@@ -128,14 +137,19 @@ impl Campaign {
         }
     }
 
-    /// Build a fresh hypervisor + dummy VM and replay the trace prefix up
-    /// to (excluding) `seed_index` — state `s1` of Fig. 11.
+    /// Build a fresh hypervisor + dummy VM, replay the trace prefix up
+    /// to (excluding) `seed_index` — state `s1` of Fig. 11 — and capture
+    /// a snapshot of `s1` for fast crash recovery.
     fn reach_target_state(
         &self,
         trace: &RecordedTrace,
         seed_index: usize,
-    ) -> (Hypervisor, ReplayEngine) {
+    ) -> (Hypervisor, ReplayEngine, Snapshot) {
         let mut hv = Hypervisor::new();
+        // Campaigns only consume Err/Crit console lines (the failure
+        // classifier's grep); raising the threshold means info-level
+        // messages on the submission loop are never even formatted.
+        hv.log.set_min_level(Some(iris_hv::log::Level::Warning));
         let dummy = hv.create_hvm_domain(self.ram_bytes);
         // §VII-1: "Each test case starts from an initial VM state s0 of
         // W". For post-boot workloads s0 is the booted snapshot — the
@@ -153,7 +167,8 @@ impl Campaign {
                 out.exit.crash
             );
         }
-        (hv, engine)
+        let s1 = Snapshot::take(&hv, dummy);
+        (hv, engine, s1)
     }
 }
 
@@ -187,7 +202,13 @@ mod tests {
         let mut campaign = Campaign::new();
         let tc = TestCase {
             mutants: 150,
-            ..TestCase::new(Workload::OsBoot, idx, ExitReason::CrAccess, SeedArea::Vmcs, 3)
+            ..TestCase::new(
+                Workload::OsBoot,
+                idx,
+                ExitReason::CrAccess,
+                SeedArea::Vmcs,
+                3,
+            )
         };
         let r = campaign.run_test_case(&trace, &tc);
         assert!(r.baseline_lines > 0);
@@ -199,7 +220,10 @@ mod tests {
             "{:?}",
             r.failures
         );
-        assert_eq!(campaign.corpus.len() as u64, r.failures.hv_crashes + r.failures.vm_crashes);
+        assert_eq!(
+            campaign.corpus.len() as u64,
+            r.failures.hv_crashes + r.failures.vm_crashes
+        );
     }
 
     #[test]
@@ -226,7 +250,13 @@ mod tests {
         let mut campaign = Campaign::new();
         let tc = TestCase {
             mutants: 60,
-            ..TestCase::new(Workload::OsBoot, idx, ExitReason::CrAccess, SeedArea::Vmcs, 5)
+            ..TestCase::new(
+                Workload::OsBoot,
+                idx,
+                ExitReason::CrAccess,
+                SeedArea::Vmcs,
+                5,
+            )
         };
         let r = campaign.run_test_case(&trace, &tc);
         // Even with crashes along the way, all mutants were submitted.

@@ -85,13 +85,7 @@ mod tests {
 
     fn record(kind: FailureKind) -> CrashRecord {
         CrashRecord {
-            testcase: TestCase::new(
-                Workload::OsBoot,
-                1,
-                ExitReason::CrAccess,
-                SeedArea::Vmcs,
-                0,
-            ),
+            testcase: TestCase::new(Workload::OsBoot, 1, ExitReason::CrAccess, SeedArea::Vmcs, 0),
             mutant_index: 42,
             seed: VmSeed::new(ExitReason::CrAccess),
             mutation: None,

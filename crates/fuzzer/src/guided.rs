@@ -14,6 +14,7 @@ use crate::mutation::SeedArea;
 use crate::strategies::{mutate_with, Strategy};
 use iris_core::replay::ReplayEngine;
 use iris_core::seed::VmSeed;
+use iris_core::snapshot::Snapshot;
 use iris_core::trace::RecordedTrace;
 use iris_hv::coverage::CoverageMap;
 use iris_hv::hypervisor::Hypervisor;
@@ -88,15 +89,31 @@ pub fn run_guided(trace: &RecordedTrace, config: GuidedConfig) -> GuidedResult {
         };
     }
 
-    // One long-lived stack; rebuilt on crashes.
-    let build = |_rng: &mut SmallRng| -> (Hypervisor, ReplayEngine) {
+    // One long-lived stack. Crash recovery restores the post-boot
+    // snapshot in place; only a hypervisor-fatal crash rebuilds the
+    // stack from scratch.
+    let build = || -> (Hypervisor, ReplayEngine, Snapshot) {
         let mut hv = Hypervisor::new();
+        // The guided loop never reads info-level console lines; the
+        // threshold keeps the hot loop from formatting them at all.
+        hv.log.set_min_level(Some(iris_hv::log::Level::Warning));
         let dummy = hv.create_hvm_domain(config.ram_bytes);
         iris_guest::runner::fast_forward_boot(&mut hv, dummy);
         let engine = ReplayEngine::new(&mut hv, dummy);
-        (hv, engine)
+        let booted = Snapshot::take(&hv, dummy);
+        (hv, engine, booted)
     };
-    let (mut hv, mut engine) = build(&mut rng);
+    let (mut hv, mut engine, mut booted) = build();
+    let recover = |hv: &mut Hypervisor, engine: &mut ReplayEngine, booted: &mut Snapshot| {
+        if hv.is_alive() {
+            booted.restore_into(hv, engine.domain);
+        } else {
+            let (h, e, s) = build();
+            *hv = h;
+            *engine = e;
+            *booted = s;
+        }
+    };
 
     // Baseline: run the initial corpus once.
     let mut seen = CoverageMap::new();
@@ -104,9 +121,7 @@ pub fn run_guided(trace: &RecordedTrace, config: GuidedConfig) -> GuidedResult {
         let out = engine.submit(&mut hv, seed);
         seen.merge(&out.metrics.coverage);
         if out.exit.crash.is_some() {
-            let (h, e) = build(&mut rng);
-            hv = h;
-            engine = e;
+            recover(&mut hv, &mut engine, &mut booted);
         }
     }
     let baseline_lines = seen.lines();
@@ -143,9 +158,7 @@ pub fn run_guided(trace: &RecordedTrace, config: GuidedConfig) -> GuidedResult {
         }
 
         if out.exit.crash.is_some() {
-            let (h, e) = build(&mut rng);
-            hv = h;
-            engine = e;
+            recover(&mut hv, &mut engine, &mut booted);
         }
         if (i + 1) % checkpoint == 0 {
             growth.push(seen.lines());

@@ -50,9 +50,9 @@ pub mod table1;
 pub mod testcase;
 
 pub use campaign::{Campaign, TestCaseResult};
-pub use guided::{run_guided, GuidedConfig, GuidedResult};
 pub use corpus::{Corpus, CrashRecord};
 pub use failure::{FailureKind, FailureStats};
+pub use guided::{run_guided, GuidedConfig, GuidedResult};
 pub use mutation::{mutate, AppliedMutation, SeedArea};
 pub use strategies::{mutate_with, Strategy};
 pub use table1::Table1;

@@ -54,7 +54,11 @@ pub enum AppliedMutation {
 /// Apply one single-bit-flip mutation to a copy of `seed`, in `area`.
 /// Returns the mutant and a description of what changed. Returns the
 /// seed unchanged (with no mutation) only when the area is empty.
-pub fn mutate<R: Rng>(seed: &VmSeed, area: SeedArea, rng: &mut R) -> (VmSeed, Option<AppliedMutation>) {
+pub fn mutate<R: Rng>(
+    seed: &VmSeed,
+    area: SeedArea,
+    rng: &mut R,
+) -> (VmSeed, Option<AppliedMutation>) {
     let mut mutant = seed.clone();
     match area {
         SeedArea::Vmcs => {

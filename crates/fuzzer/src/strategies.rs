@@ -190,7 +190,13 @@ mod tests {
     fn interesting_values_come_from_the_table() {
         let s = seed();
         let mut rng = SmallRng::seed_from_u64(2);
-        let m = mutate_with(&s, SeedArea::Vmcs, Strategy::InterestingValue, None, &mut rng);
+        let m = mutate_with(
+            &s,
+            SeedArea::Vmcs,
+            Strategy::InterestingValue,
+            None,
+            &mut rng,
+        );
         let changed = m
             .reads
             .iter()
@@ -239,8 +245,20 @@ mod tests {
     fn deterministic_per_rng_seed() {
         let s = seed();
         for strat in Strategy::ALL {
-            let a = mutate_with(&s, SeedArea::Vmcs, strat, None, &mut SmallRng::seed_from_u64(9));
-            let b = mutate_with(&s, SeedArea::Vmcs, strat, None, &mut SmallRng::seed_from_u64(9));
+            let a = mutate_with(
+                &s,
+                SeedArea::Vmcs,
+                strat,
+                None,
+                &mut SmallRng::seed_from_u64(9),
+            );
+            let b = mutate_with(
+                &s,
+                SeedArea::Vmcs,
+                strat,
+                None,
+                &mut SmallRng::seed_from_u64(9),
+            );
             assert_eq!(a, b, "{strat:?}");
         }
     }

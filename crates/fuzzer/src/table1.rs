@@ -27,8 +27,7 @@ pub const TABLE1_ROWS: &[ExitReason] = &[
 ];
 
 /// The workloads Table I uses as column groups.
-pub const TABLE1_WORKLOADS: &[Workload] =
-    &[Workload::OsBoot, Workload::CpuBound, Workload::Idle];
+pub const TABLE1_WORKLOADS: &[Workload] = &[Workload::OsBoot, Workload::CpuBound, Workload::Idle];
 
 /// One assembled table.
 ///
@@ -54,19 +53,27 @@ pub struct Table1Row {
 }
 
 impl Serialize for Table1 {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.collect_seq(self.cells.iter().map(|((r, w, a), c)| Table1Row {
-            reason: r.clone(),
-            workload: w.clone(),
-            area: a.clone(),
-            cell: c.clone(),
-        }))
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(
+            self.cells
+                .iter()
+                .map(|((r, w, a), c)| {
+                    Table1Row {
+                        reason: r.clone(),
+                        workload: w.clone(),
+                        area: a.clone(),
+                        cell: c.clone(),
+                    }
+                    .to_value()
+                })
+                .collect(),
+        )
     }
 }
 
-impl<'de> serde::Deserialize<'de> for Table1 {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let rows = Vec::<Table1Row>::deserialize(deserializer)?;
+impl Deserialize for Table1 {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let rows = Vec::<Table1Row>::from_value(v)?;
         let mut t = Table1::default();
         for r in rows {
             t.cells.insert((r.reason, r.workload, r.area), r.cell);
@@ -101,8 +108,7 @@ impl Table1 {
         let mut table = Table1::default();
         for (&workload, trace) in traces {
             for &reason in TABLE1_ROWS {
-                let Some(seed_index) = trace.seeds.iter().position(|s| s.reason == reason)
-                else {
+                let Some(seed_index) = trace.seeds.iter().position(|s| s.reason == reason) else {
                     continue; // the paper's "-" cells
                 };
                 for area in SeedArea::ALL {
@@ -135,7 +141,12 @@ impl Table1 {
 
     /// Fetch one cell.
     #[must_use]
-    pub fn cell(&self, reason: ExitReason, workload: Workload, area: SeedArea) -> Option<&TestCaseCell> {
+    pub fn cell(
+        &self,
+        reason: ExitReason,
+        workload: Workload,
+        area: SeedArea,
+    ) -> Option<&TestCaseCell> {
         self.cells.get(&(
             reason.figure_label().to_owned(),
             workload.label().to_owned(),

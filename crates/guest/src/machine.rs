@@ -162,10 +162,7 @@ impl GuestMachine {
         ev.qualification = qual.encode();
         ev.instruction_len = 2;
         ev.io_rcx = count;
-        let mut op = self.op(
-            ev,
-            vec![(Gpr::Rsi, buf_gpa), (Gpr::Rcx, count)],
-        );
+        let mut op = self.op(ev, vec![(Gpr::Rsi, buf_gpa), (Gpr::Rcx, count)]);
         op.setup.mem_writes.push((buf_gpa, data));
         self.retire(2);
         op
@@ -322,7 +319,9 @@ impl GuestMachine {
             text.len() as u64,
             buf_gpa,
         );
-        op.setup.mem_writes.push((buf_gpa, text.as_bytes().to_vec()));
+        op.setup
+            .mem_writes
+            .push((buf_gpa, text.as_bytes().to_vec()));
         op
     }
 
@@ -365,10 +364,7 @@ impl GuestMachine {
             vec![0x8b, 0x10, 0x90, 0x90] // mov edx, [rax]
         };
         let fetch_gpa = self.rip & 0x3fff_ffff;
-        let mut op = self.op(
-            ev,
-            vec![(Gpr::Rax, gpa), (Gpr::Rcx, reg_value)],
-        );
+        let mut op = self.op(ev, vec![(Gpr::Rax, gpa), (Gpr::Rcx, reg_value)]);
         op.setup.mem_writes.push((fetch_gpa, instr));
         self.retire(2);
         op

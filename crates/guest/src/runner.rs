@@ -21,10 +21,10 @@ pub fn fast_forward_boot(hv: &mut Hypervisor, domain: u16) {
     let vcpu = &mut hv.domains[domain as usize].vcpus[0];
     vcpu.hvm.update_cr0(cr0::PE | cr0::PG | cr0::AM | cr0::ET);
     vcpu.hvm.guest_cr[4] = cr4::PAE | cr4::PGE;
-    let _ = vcpu.hvm.msrs.write(
-        iris_vtx::msr::index::IA32_EFER,
-        efer::LME | efer::SCE,
-    );
+    let _ = vcpu
+        .hvm
+        .msrs
+        .write(iris_vtx::msr::index::IA32_EFER, efer::LME | efer::SCE);
     let v = &mut vcpu.vmcs;
     v.hw_write(VmcsField::GuestCr0, cr0::PE | cr0::PG | cr0::NE | cr0::ET);
     v.hw_write(VmcsField::GuestCr4, cr4::PAE | cr4::PGE);

@@ -29,9 +29,7 @@ pub fn generate(count: usize, seed: u64) -> Vec<GuestOp> {
             // Context switch: TS toggle.
             900..=939 => {
                 let ts = m.rng.gen_bool(0.5);
-                m.write_cr0(
-                    cr0::PE | cr0::PG | cr0::AM | cr0::ET | if ts { cr0::TS } else { 0 },
-                )
+                m.write_cr0(cr0::PE | cr0::PG | cr0::AM | cr0::ET | if ts { cr0::TS } else { 0 })
             }
             // Interrupt windows after CLI/STI sections.
             940..=959 => m.interrupt_window(),

@@ -38,9 +38,7 @@ pub fn generate(count: usize, seed: u64) -> Vec<GuestOp> {
             950..=969 => m.vmcall(iris_hv::handlers::vmcall::nr::MEMORY_OP, 0, 0, 0),
             970..=984 => {
                 let ts = m.rng.gen_bool(0.5);
-                m.write_cr0(
-                    cr0::PE | cr0::PG | cr0::AM | cr0::ET | if ts { cr0::TS } else { 0 },
-                )
+                m.write_cr0(cr0::PE | cr0::PG | cr0::AM | cr0::ET | if ts { cr0::TS } else { 0 })
             }
             _ => m.interrupt_window(),
         };

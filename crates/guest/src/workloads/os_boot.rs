@@ -208,9 +208,7 @@ fn random_cr_traffic(m: &mut GuestMachine, progress: usize) -> GuestOp {
             // TS toggling from context switches (denser late in boot).
             let ts = m.rng.gen_bool(if progress > 60 { 0.6 } else { 0.3 });
             let cd = m.rng.gen_bool(0.15);
-            let v = base
-                | if ts { cr0::TS } else { 0 }
-                | if cd { cr0::CD } else { 0 };
+            let v = base | if ts { cr0::TS } else { 0 } | if cd { cr0::CD } else { 0 };
             m.write_cr0(v)
         }
         80..=89 => m.write_cr4(cr4::PAE | cr4::PGE | cr4::OSFXSR),
@@ -263,7 +261,10 @@ mod tests {
     fn boot_is_io_and_cr_dominated() {
         let ops = generate_kernel(5000, 11);
         let h = reason_histogram(&ops);
-        let io = h.get(&ExitReason::IoInstruction.number()).copied().unwrap_or(0);
+        let io = h
+            .get(&ExitReason::IoInstruction.number())
+            .copied()
+            .unwrap_or(0);
         let cr = h.get(&ExitReason::CrAccess.number()).copied().unwrap_or(0);
         assert!(io > 1500, "I/O INST should dominate, got {io}");
         assert!(cr > 900, "CR ACCESS second, got {cr}");

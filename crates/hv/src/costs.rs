@@ -78,7 +78,8 @@ mod tests {
 
     #[test]
     fn record_overhead_is_about_one_percent() {
-        let typical_exit = HW_EXIT_CYCLES + DISPATCH_CYCLES + 200 * CYCLES_PER_LINE + HW_ENTRY_CYCLES;
+        let typical_exit =
+            HW_EXIT_CYCLES + DISPATCH_CYCLES + 200 * CYCLES_PER_LINE + HW_ENTRY_CYCLES;
         let overhead = RECORD_BASE_CYCLES + 12 * RECORD_CALLBACK_CYCLES;
         let pct = overhead as f64 / typical_exit as f64 * 100.0;
         assert!((0.5..2.5).contains(&pct), "record overhead {pct:.2}%");

@@ -13,6 +13,14 @@
 //! by the record/replay machinery itself are attributed to
 //! [`Component::IrisFramework`] so they can be *"cleaned up by removing
 //! hits due to the execution of our record and replay components"*.
+//!
+//! Like the paper's shared-memory bitmap, [`CoverageMap`] is a **dense,
+//! fixed-size bitset** — 12 components × [`BLOCKS_PER_COMPONENT`] block
+//! slots — plus a per-block LOC weight table. `hit` is an O(1) bit-set,
+//! `merge`/`new_lines_from` are word-wise operations, and nothing on the
+//! `vm_exit` hot path touches the heap (the map has no heap members at
+//! all). The serde wire shape is unchanged from the previous
+//! `BTreeMap`-backed implementation: a list of `(block, loc)` pairs.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -22,9 +30,7 @@ use std::collections::BTreeMap;
 /// The names match the Xen components the paper talks about:
 /// `vmx.c`, `intr.c`, `emulate.c`, `vlapic.c`, `irq.c`, `vpt.c`, plus the
 /// vCPU/HVM abstractions and the remaining handler families.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Component {
     /// `vmx.c` — VM-exit dispatch and VMX-specific handling.
@@ -53,6 +59,17 @@ pub enum Component {
     IrisFramework,
 }
 
+/// Number of instrumentable components (including the framework).
+pub const COMPONENT_COUNT: usize = 12;
+
+/// Dense block-id space per component. Block ids at or above this bound
+/// are not representable; the largest id the model uses is well below it.
+pub const BLOCKS_PER_COMPONENT: usize = 256;
+
+const WORDS_PER_COMPONENT: usize = BLOCKS_PER_COMPONENT / 64;
+const WORD_COUNT: usize = COMPONENT_COUNT * WORDS_PER_COMPONENT;
+const SLOT_COUNT: usize = COMPONENT_COUNT * BLOCKS_PER_COMPONENT;
+
 impl Component {
     /// All real hypervisor components (excludes [`Component::IrisFramework`]).
     pub const HYPERVISOR: &'static [Component] = &[
@@ -68,6 +85,34 @@ impl Component {
         Component::P2m,
         Component::Hypercall,
     ];
+
+    /// Every component, in dense-index order.
+    pub const ALL: &'static [Component] = &[
+        Component::Vmx,
+        Component::Intr,
+        Component::Emulate,
+        Component::Vlapic,
+        Component::Irq,
+        Component::Vpt,
+        Component::Hvm,
+        Component::Vcpu,
+        Component::Io,
+        Component::P2m,
+        Component::Hypercall,
+        Component::IrisFramework,
+    ];
+
+    /// Dense index of the component (0..[`COMPONENT_COUNT`]).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Component::index`].
+    #[must_use]
+    pub fn from_index(idx: usize) -> Option<Component> {
+        Self::ALL.get(idx).copied()
+    }
 
     /// The source-file name the component models (for reports and logs).
     #[must_use]
@@ -90,9 +135,7 @@ impl Component {
 }
 
 /// A basic block: component plus a block id unique within it.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Block {
     /// Which component the block lives in.
     pub component: Component,
@@ -106,30 +149,88 @@ impl Block {
     pub fn new(component: Component, id: u16) -> Self {
         Self { component, id }
     }
+
+    /// Dense slot of the block, or `None` when the id is out of range.
+    #[inline]
+    fn slot(self) -> Option<usize> {
+        let id = self.id as usize;
+        if id >= BLOCKS_PER_COMPONENT {
+            debug_assert!(false, "block id {id} exceeds BLOCKS_PER_COMPONENT");
+            return None;
+        }
+        Some(self.component.index() * BLOCKS_PER_COMPONENT + id)
+    }
+
+    /// Inverse of [`Block::slot`].
+    #[inline]
+    fn from_slot(slot: usize) -> Block {
+        Block {
+            component: Component::from_index(slot / BLOCKS_PER_COMPONENT)
+                .expect("slot within component range"),
+            id: (slot % BLOCKS_PER_COMPONENT) as u16,
+        }
+    }
 }
 
 /// A set of hit blocks with their LOC weights — the "bitmap ... exported as
 /// a shared memory area" of §V-A, at block granularity.
 ///
+/// Dense and heap-free: a fixed bitset of hit blocks plus a parallel LOC
+/// weight table, with running line totals so [`CoverageMap::lines`] and
+/// [`CoverageMap::lines_in`] are O(1).
+///
 /// Serializes as a list of `(block, loc)` pairs so JSON (string-keyed
-/// maps only) can carry it.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// maps only) can carry it — the same wire shape as the historical
+/// `BTreeMap`-backed map.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoverageMap {
-    blocks: BTreeMap<Block, u32>,
+    bits: [u64; WORD_COUNT],
+    loc: [u8; SLOT_COUNT],
+    lines_by_component: [u32; COMPONENT_COUNT],
+    total_lines: u64,
+    block_count: u32,
 }
 
-impl Serialize for CoverageMap {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.collect_seq(self.blocks.iter().map(|(b, l)| (*b, *l)))
+impl Default for CoverageMap {
+    fn default() -> Self {
+        CoverageMap {
+            bits: [0; WORD_COUNT],
+            loc: [0; SLOT_COUNT],
+            lines_by_component: [0; COMPONENT_COUNT],
+            total_lines: 0,
+            block_count: 0,
+        }
     }
 }
 
-impl<'de> Deserialize<'de> for CoverageMap {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let pairs = Vec::<(Block, u32)>::deserialize(deserializer)?;
-        Ok(CoverageMap {
-            blocks: pairs.into_iter().collect(),
-        })
+impl Serialize for CoverageMap {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(self.iter().map(|pair| pair.to_value()).collect())
+    }
+}
+
+impl Deserialize for CoverageMap {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let pairs = Vec::<(Block, u32)>::from_value(v)?;
+        let mut map = CoverageMap::new();
+        for (b, l) in pairs {
+            // `hit` silently ignores out-of-range blocks on the hot
+            // path; a persisted artifact carrying one is corrupt data
+            // and must fail loudly instead of losing coverage.
+            if usize::from(b.id) >= BLOCKS_PER_COMPONENT {
+                return Err(serde::Error::msg(format!(
+                    "coverage block id {} out of range (< {BLOCKS_PER_COMPONENT})",
+                    b.id
+                )));
+            }
+            if l > u32::from(u8::MAX) {
+                return Err(serde::Error::msg(format!(
+                    "coverage LOC weight {l} out of range (< 256)"
+                )));
+            }
+            map.hit(b, l);
+        }
+        Ok(map)
     }
 }
 
@@ -142,58 +243,100 @@ impl CoverageMap {
 
     /// Record a hit of `block` weighing `loc` lines. Re-hits keep the
     /// first weight (block weights are static properties of the code).
+    ///
+    /// Contract: block ids must be below [`BLOCKS_PER_COMPONENT`] and
+    /// weights below 256 — both hold for every `cov!` site by a wide
+    /// margin (max id in the model is 222, max weight 45). Out-of-range
+    /// ids are a debug assertion and are ignored in release builds;
+    /// deserialization rejects them explicitly.
+    #[inline]
     pub fn hit(&mut self, block: Block, loc: u32) {
-        self.blocks.entry(block).or_insert(loc);
+        let Some(slot) = block.slot() else { return };
+        let word = slot / 64;
+        let mask = 1u64 << (slot % 64);
+        if self.bits[word] & mask == 0 {
+            let loc = loc.min(u32::from(u8::MAX)) as u8;
+            self.bits[word] |= mask;
+            self.loc[slot] = loc;
+            self.block_count += 1;
+            self.total_lines += u64::from(loc);
+            self.lines_by_component[block.component.index()] += u32::from(loc);
+        }
     }
 
     /// Number of distinct blocks hit.
     #[must_use]
     pub fn block_count(&self) -> usize {
-        self.blocks.len()
+        self.block_count as usize
     }
 
-    /// Total unique lines covered — the paper's coverage unit.
+    /// Total unique lines covered — the paper's coverage unit. O(1).
     #[must_use]
     pub fn lines(&self) -> u64 {
-        self.blocks.values().map(|&l| u64::from(l)).sum()
+        self.total_lines
     }
 
-    /// Unique lines covered within one component.
+    /// Unique lines covered within one component. O(1).
     #[must_use]
     pub fn lines_in(&self, component: Component) -> u64 {
-        self.blocks
-            .iter()
-            .filter(|(b, _)| b.component == component)
-            .map(|(_, &l)| u64::from(l))
-            .sum()
+        u64::from(self.lines_by_component[component.index()])
     }
 
     /// Whether a block was hit.
     #[must_use]
+    #[inline]
     pub fn contains(&self, block: Block) -> bool {
-        self.blocks.contains_key(&block)
-    }
-
-    /// Iterate hit blocks with weights.
-    pub fn iter(&self) -> impl Iterator<Item = (Block, u32)> + '_ {
-        self.blocks.iter().map(|(b, l)| (*b, *l))
-    }
-
-    /// Merge another map into this one (cumulative coverage).
-    pub fn merge(&mut self, other: &CoverageMap) {
-        for (b, l) in other.iter() {
-            self.hit(b, l);
+        match block.slot() {
+            Some(slot) => self.bits[slot / 64] & (1u64 << (slot % 64)) != 0,
+            None => false,
         }
     }
 
-    /// New lines `other` would add on top of `self`.
+    /// Iterate hit blocks with weights, in `(component, id)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (Block, u32)> + '_ {
+        self.bits.iter().enumerate().flat_map(move |(w, &bits)| {
+            BitIter { bits }.map(move |b| {
+                let slot = w * 64 + b;
+                (Block::from_slot(slot), u32::from(self.loc[slot]))
+            })
+        })
+    }
+
+    /// Merge another map into this one (cumulative coverage). Word-wise.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        for w in 0..WORD_COUNT {
+            let mut fresh = other.bits[w] & !self.bits[w];
+            if fresh == 0 {
+                continue;
+            }
+            self.bits[w] |= fresh;
+            let component = w / WORDS_PER_COMPONENT;
+            while fresh != 0 {
+                let b = fresh.trailing_zeros() as usize;
+                fresh &= fresh - 1;
+                let slot = w * 64 + b;
+                let loc = other.loc[slot];
+                self.loc[slot] = loc;
+                self.block_count += 1;
+                self.total_lines += u64::from(loc);
+                self.lines_by_component[component] += u32::from(loc);
+            }
+        }
+    }
+
+    /// New lines `other` would add on top of `self`. Word-wise.
     #[must_use]
     pub fn new_lines_from(&self, other: &CoverageMap) -> u64 {
-        other
-            .iter()
-            .filter(|(b, _)| !self.contains(*b))
-            .map(|(_, l)| u64::from(l))
-            .sum()
+        let mut sum = 0u64;
+        for w in 0..WORD_COUNT {
+            let mut fresh = other.bits[w] & !self.bits[w];
+            while fresh != 0 {
+                let b = fresh.trailing_zeros() as usize;
+                fresh &= fresh - 1;
+                sum += u64::from(other.loc[w * 64 + b]);
+            }
+        }
+        sum
     }
 
     /// Lines covered by `self` but not by `other`, per component —
@@ -201,9 +344,21 @@ impl CoverageMap {
     #[must_use]
     pub fn diff_lines_by_component(&self, other: &CoverageMap) -> BTreeMap<Component, u64> {
         let mut out = BTreeMap::new();
-        for (b, l) in self.iter() {
-            if !other.contains(b) {
-                *out.entry(b.component).or_insert(0) += u64::from(l);
+        for w in 0..WORD_COUNT {
+            let mut mine = self.bits[w] & !other.bits[w];
+            if mine == 0 {
+                continue;
+            }
+            let component = Component::from_index(w / WORDS_PER_COMPONENT)
+                .expect("word within component range");
+            let entry = out.entry(component).or_insert(0u64);
+            while mine != 0 {
+                let b = mine.trailing_zeros() as usize;
+                mine &= mine - 1;
+                *entry += u64::from(self.loc[w * 64 + b]);
+            }
+            if *entry == 0 {
+                out.remove(&component);
             }
         }
         out
@@ -217,22 +372,52 @@ impl CoverageMap {
 
     /// Drop [`Component::IrisFramework`] hits — the paper's
     /// *"code coverage is cleaned up by removing hits due to the execution
-    /// of our record and replay components"*.
+    /// of our record and replay components"*. A component-range mask, no
+    /// allocation.
     #[must_use]
     pub fn without_framework(&self) -> CoverageMap {
-        CoverageMap {
-            blocks: self
-                .blocks
-                .iter()
-                .filter(|(b, _)| b.component != Component::IrisFramework)
-                .map(|(b, l)| (*b, *l))
-                .collect(),
+        let mut out = self.clone();
+        out.strip_framework();
+        out
+    }
+
+    /// In-place version of [`CoverageMap::without_framework`] — used on
+    /// hot paths to avoid an extra copy of the map.
+    pub fn strip_framework(&mut self) {
+        let fw = Component::IrisFramework.index();
+        let mut dropped_blocks = 0u32;
+        for w in fw * WORDS_PER_COMPONENT..(fw + 1) * WORDS_PER_COMPONENT {
+            dropped_blocks += self.bits[w].count_ones();
+            self.bits[w] = 0;
         }
+        for slot in fw * BLOCKS_PER_COMPONENT..(fw + 1) * BLOCKS_PER_COMPONENT {
+            self.loc[slot] = 0;
+        }
+        self.total_lines -= u64::from(self.lines_by_component[fw]);
+        self.block_count -= dropped_blocks;
+        self.lines_by_component[fw] = 0;
     }
 
     /// Remove everything (fresh recording session).
     pub fn reset(&mut self) {
-        self.blocks.clear();
+        *self = CoverageMap::default();
+    }
+}
+
+/// Iterator over the set bit positions of one word.
+struct BitIter {
+    bits: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            return None;
+        }
+        let b = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(b)
     }
 }
 
@@ -268,6 +453,7 @@ impl<'a> CovSink<'a> {
 
     /// Record a hit. Always burns cycles (the code runs whether or not
     /// it is instrumented); records coverage only when enabled.
+    #[inline]
     pub fn hit(&mut self, component: Component, id: u16, loc: u32) {
         self.cycles += u64::from(loc) * self.cycles_per_line;
         if self.enabled {
@@ -340,7 +526,10 @@ mod tests {
         let mut m = CoverageMap::new();
         m.hit(b(Component::IrisFramework, 1), 100);
         m.hit(b(Component::Vmx, 1), 5);
-        assert_eq!(m.without_framework().lines(), 5);
+        let clean = m.without_framework();
+        assert_eq!(clean.lines(), 5);
+        assert_eq!(clean.block_count(), 1);
+        assert!(!clean.contains(b(Component::IrisFramework, 1)));
     }
 
     #[test]
@@ -358,5 +547,43 @@ mod tests {
         assert_eq!(s2.cycles, burned);
         assert_eq!(g.block_count(), 1);
         assert_eq!(p.block_count(), 1);
+    }
+
+    #[test]
+    fn iter_yields_blocks_in_dense_order_with_weights() {
+        let mut m = CoverageMap::new();
+        m.hit(b(Component::Irq, 63), 2);
+        m.hit(b(Component::Vmx, 0), 5);
+        m.hit(b(Component::Vmx, 200), 7);
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (b(Component::Vmx, 0), 5),
+                (b(Component::Vmx, 200), 7),
+                (b(Component::Irq, 63), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn serde_wire_shape_is_a_pair_list() {
+        let mut m = CoverageMap::new();
+        m.hit(b(Component::Vmx, 3), 6);
+        let v = m.to_value();
+        let seq = v.as_seq().expect("coverage serializes as a sequence");
+        assert_eq!(seq.len(), 1);
+        let back = CoverageMap::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = CoverageMap::new();
+        m.hit(b(Component::Vpt, 9), 3);
+        m.reset();
+        assert_eq!(m, CoverageMap::new());
+        assert_eq!(m.lines(), 0);
+        assert_eq!(m.block_count(), 0);
     }
 }

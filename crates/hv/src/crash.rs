@@ -163,8 +163,7 @@ mod tests {
         assert!(!d.is_hypervisor());
         let h = Crash::Hypervisor(HypervisorCrashReason::UnhandledExit { reason: 77 });
         assert!(h.is_hypervisor());
-        assert!(h
-            .console_message_contains("unexpected VM exit reason 77"));
+        assert!(h.console_message_contains("unexpected VM exit reason 77"));
     }
 
     impl Crash {

@@ -157,8 +157,8 @@ impl ExitCtx<'_> {
 pub(crate) mod tests {
     use super::*;
     use crate::coverage::CoverageMap;
-    use crate::hooks::NoHooks;
     use crate::crash::DomainCrashReason;
+    use crate::hooks::NoHooks;
 
     /// Build a throwaway context over owned parts; returns the closure's
     /// result. Shared by other modules' tests.

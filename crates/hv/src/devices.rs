@@ -104,7 +104,7 @@ impl Default for Rtc {
         cmos[0x0a] = 0x26; // divider on, default rate
         cmos[0x0b] = 0x02; // 24h mode
         cmos[0x0d] = 0x80; // valid RAM and time
-        // Memory size fields Linux reads during boot (640K base).
+                           // Memory size fields Linux reads during boot (640K base).
         cmos[0x15] = 0x80;
         cmos[0x16] = 0x02;
         Self { index: 0, cmos }
@@ -450,9 +450,7 @@ impl IoBus {
                 self.pic.write(port, value as u8, cov);
                 0
             }
-            (0x20..=0x21 | 0xa0..=0xa1, IoDirection::In) => {
-                u32::from(self.pic.read(port, cov))
-            }
+            (0x20..=0x21 | 0xa0..=0xa1, IoDirection::In) => u32::from(self.pic.read(port, cov)),
             (0x3f8..=0x3ff, IoDirection::Out) => {
                 self.uart.write(port, value as u8, cov);
                 0
@@ -576,8 +574,12 @@ mod tests {
     #[test]
     fn pm_timer_advances_with_tsc() {
         let ((), _) = with_sink(|bus, s| {
-            let a = bus.access(0xb008, IoDirection::In, 4, 0, 1_000_000, s).value;
-            let b = bus.access(0xb008, IoDirection::In, 4, 0, 2_000_000, s).value;
+            let a = bus
+                .access(0xb008, IoDirection::In, 4, 0, 1_000_000, s)
+                .value;
+            let b = bus
+                .access(0xb008, IoDirection::In, 4, 0, 2_000_000, s)
+                .value;
             assert!(b > a);
         });
     }

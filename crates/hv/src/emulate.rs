@@ -205,7 +205,10 @@ pub fn emulate_string_io(
     let mut buf = [0u8; 4];
     while done < count {
         if out {
-            if ctx.copy_from_guest(addr, &mut buf[..size as usize]).is_err() {
+            if ctx
+                .copy_from_guest(addr, &mut buf[..size as usize])
+                .is_err()
+            {
                 ctx.cov.hit(Component::Emulate, 21, 7);
                 return (
                     done,

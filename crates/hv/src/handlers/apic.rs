@@ -85,9 +85,7 @@ mod tests {
 
     fn apic_exit(ctx: &mut ExitCtx<'_>, offset: u32, write: bool) -> Disposition {
         let qual = u64::from(offset) | (u64::from(write) << 12);
-        ctx.vcpu
-            .vmcs
-            .hw_write(VmcsField::ExitQualification, qual);
+        ctx.vcpu.vmcs.hw_write(VmcsField::ExitQualification, qual);
         handle(ctx)
     }
 

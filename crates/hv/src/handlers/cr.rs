@@ -60,8 +60,7 @@ fn mov_to_cr(ctx: &mut ExitCtx<'_>, qual: CrAccessQual) -> Disposition {
                 crate::log::Level::Warning,
                 format!("mov to unsupported cr{other}"),
             );
-            ctx.inject_gp()
-                .unwrap_or(Disposition::AdvanceAndResume)
+            ctx.inject_gp().unwrap_or(Disposition::AdvanceAndResume)
         }
     }
 }
@@ -354,9 +353,7 @@ mod tests {
     fn paging_enable_sets_lma_when_lme() {
         with_ctx(|ctx| {
             init_cr_state(ctx.vcpu);
-            ctx.vcpu
-                .vmcs
-                .hw_write(VmcsField::GuestIa32Efer, efer::LME);
+            ctx.vcpu.vmcs.hw_write(VmcsField::GuestIa32Efer, efer::LME);
             ctx.vcpu.hvm.update_cr0(cr0::PE | cr0::ET);
             ctx.vcpu.gprs.set(Gpr::Rax, cr0::PE | cr0::PG | cr0::ET);
             ctx.vcpu.vmcs.hw_write(
@@ -390,10 +387,7 @@ mod tests {
                 },
             );
             assert_eq!(ctx.vcpu.hvm.guest_cr[3], 0x1234000);
-            assert_eq!(
-                ctx.vcpu.vmcs.read(VmcsField::GuestCr3).unwrap(),
-                0x1234000
-            );
+            assert_eq!(ctx.vcpu.vmcs.read(VmcsField::GuestCr3).unwrap(), 0x1234000);
         });
     }
 

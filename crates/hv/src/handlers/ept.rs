@@ -199,10 +199,7 @@ mod tests {
             ctx.vcpu.vmcs.hw_write(VmcsField::GuestRip, 0x7_0000); // unpopulated
             let d = violation(ctx, 0xfee0_00f0, true);
             assert_eq!(d, Disposition::Resume);
-            assert_eq!(
-                ctx.vcpu.hvm.pending_event,
-                Some((vector::UD, None))
-            );
+            assert_eq!(ctx.vcpu.hvm.pending_event, Some((vector::UD, None)));
             assert_eq!(ctx.log.grep("mmio emulation failed").count(), 1);
         });
     }
@@ -229,10 +226,7 @@ mod tests {
             ctx.vcpu
                 .vmcs
                 .hw_write(VmcsField::GuestPhysicalAddress, 0x9999_0000);
-            assert!(matches!(
-                handle_misconfig(ctx),
-                Disposition::CrashDomain(_)
-            ));
+            assert!(matches!(handle_misconfig(ctx), Disposition::CrashDomain(_)));
         });
     }
 }

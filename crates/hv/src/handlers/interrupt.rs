@@ -110,7 +110,9 @@ mod tests {
     #[test]
     fn spurious_low_vector_logs() {
         with_ctx(|ctx| {
-            ctx.vcpu.vmcs.hw_write(VmcsField::VmExitIntrInfo, 0x8000_0005);
+            ctx.vcpu
+                .vmcs
+                .hw_write(VmcsField::VmExitIntrInfo, 0x8000_0005);
             handle_external(ctx);
             assert_eq!(ctx.log.grep("spurious host vector").count(), 1);
         });
@@ -132,7 +134,11 @@ mod tests {
                 0x8000_0055
             );
             assert_eq!(
-                ctx.vcpu.vmcs.read(VmcsField::CpuBasedVmExecControl).unwrap() & (1 << 2),
+                ctx.vcpu
+                    .vmcs
+                    .read(VmcsField::CpuBasedVmExecControl)
+                    .unwrap()
+                    & (1 << 2),
                 0
             );
         });
@@ -141,7 +147,9 @@ mod tests {
     #[test]
     fn guest_page_fault_is_reflected() {
         with_ctx(|ctx| {
-            ctx.vcpu.vmcs.hw_write(VmcsField::VmExitIntrInfo, 0x8000_070e);
+            ctx.vcpu
+                .vmcs
+                .hw_write(VmcsField::VmExitIntrInfo, 0x8000_070e);
             ctx.vcpu.vmcs.hw_write(VmcsField::VmExitIntrErrorCode, 0x2);
             handle_exception(ctx);
             assert_eq!(ctx.vcpu.hvm.pending_event, Some((14, Some(2))));

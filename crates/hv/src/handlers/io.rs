@@ -27,15 +27,10 @@ pub fn handle(ctx: &mut ExitCtx<'_>) -> Disposition {
     // the qualification. Model it as the hypervisor crash it would be.
     if !matches!(qual.size, 1 | 2 | 4) {
         ctx.cov.hit(Component::Vmx, 47, 3);
-        return Disposition::CrashHypervisor(
-            crate::crash::HypervisorCrashReason::HostPageFault {
-                addr: u64::from(qual.port),
-                context: format!(
-                    "string I/O buffer overflow: element size {}",
-                    qual.size
-                ),
-            },
-        );
+        return Disposition::CrashHypervisor(crate::crash::HypervisorCrashReason::HostPageFault {
+            addr: u64::from(qual.port),
+            context: format!("string I/O buffer overflow: element size {}", qual.size),
+        });
     }
 
     if qual.string {
@@ -82,9 +77,14 @@ pub fn handle(ctx: &mut ExitCtx<'_>) -> Disposition {
             ctx.cov.hit(Component::Vmx, 45, 3);
             let raw = ctx.vcpu.gprs.get32(Gpr::Rax);
             let value = raw & size_mask(qual.size);
-            let _ = ctx
-                .iobus
-                .access(qual.port, IoDirection::Out, qual.size, value, tsc, &mut ctx.cov);
+            let _ = ctx.iobus.access(
+                qual.port,
+                IoDirection::Out,
+                qual.size,
+                value,
+                tsc,
+                &mut ctx.cov,
+            );
         }
         IoDirection::In => {
             ctx.cov.hit(Component::Vmx, 46, 3);

@@ -95,7 +95,7 @@ pub fn handle_desc_table(ctx: &mut ExitCtx<'_>) -> Disposition {
     // The guest is loading LDTR/TR or storing/loading GDTR/IDTR. For
     // loads we must read the descriptor from the guest GDT.
     let gdtr_base = ctx.vmread(VmcsField::GuestGdtrBase);
-    let selector = (ctx.vcpu.gprs.get(Gpr::Rax) & 0xfff8) as u64;
+    let selector = ctx.vcpu.gprs.get(Gpr::Rax) & 0xfff8;
     let desc_gpa = (gdtr_base + selector) & 0x3fff_ffff;
     let mut desc = [0u8; 8];
     match ctx.copy_from_guest(desc_gpa, &mut desc) {
@@ -184,7 +184,9 @@ mod tests {
         with_ctx(|ctx| {
             // Build a descriptor: base 0x1000, limit 0xffff, present LDT.
             let raw: u64 = 0xffff | (0x1000u64 << 16) | (0x82u64 << 40);
-            ctx.memory.copy_to_guest(0x5000, &raw.to_le_bytes()).unwrap();
+            ctx.memory
+                .copy_to_guest(0x5000, &raw.to_le_bytes())
+                .unwrap();
             ctx.vcpu.vmcs.hw_write(VmcsField::GuestGdtrBase, 0x5000);
             ctx.vcpu.gprs.set(Gpr::Rax, 0); // selector 0 → first descriptor
             let d = handle_desc_table(ctx);
@@ -199,9 +201,7 @@ mod tests {
     #[test]
     fn descriptor_load_from_cold_memory_injects_gp() {
         with_ctx(|ctx| {
-            ctx.vcpu
-                .vmcs
-                .hw_write(VmcsField::GuestGdtrBase, 0x8_0000); // unpopulated
+            ctx.vcpu.vmcs.hw_write(VmcsField::GuestGdtrBase, 0x8_0000); // unpopulated
             let d = handle_desc_table(ctx);
             assert_eq!(d, Disposition::AdvanceAndResume);
             assert!(ctx.vcpu.hvm.pending_event.is_some());

@@ -77,8 +77,7 @@ pub fn handle_write(ctx: &mut ExitCtx<'_>) -> Disposition {
                     // LMA is hardware-derived: LME together with the
                     // *hardware* CR0.PG (always set under the shadow-
                     // paging trick) activates long mode.
-                    let hw_pg =
-                        ctx.vmread(VmcsField::GuestCr0) & iris_vtx::cr::cr0::PG != 0;
+                    let hw_pg = ctx.vmread(VmcsField::GuestCr0) & iris_vtx::cr::cr0::PG != 0;
                     let lma = if v & iris_vtx::cr::efer::LME != 0 && hw_pg {
                         iris_vtx::cr::efer::LMA
                     } else {
@@ -156,8 +155,7 @@ mod tests {
     fn rdmsr(ctx: &mut ExitCtx<'_>, msr: u32) -> u64 {
         ctx.vcpu.gprs.set32(Gpr::Rcx, msr);
         handle_read(ctx);
-        u64::from(ctx.vcpu.gprs.get32(Gpr::Rax))
-            | (u64::from(ctx.vcpu.gprs.get32(Gpr::Rdx)) << 32)
+        u64::from(ctx.vcpu.gprs.get32(Gpr::Rax)) | (u64::from(ctx.vcpu.gprs.get32(Gpr::Rdx)) << 32)
     }
 
     fn wrmsr(ctx: &mut ExitCtx<'_>, msr: u32, v: u64) -> Disposition {

@@ -44,9 +44,7 @@ mod tests {
     #[test]
     fn reloads_timer_from_vmcs() {
         with_ctx(|ctx| {
-            ctx.vcpu
-                .vmcs
-                .hw_write(VmcsField::GuestPreemptionTimer, 0);
+            ctx.vcpu.vmcs.hw_write(VmcsField::GuestPreemptionTimer, 0);
             ctx.vcpu.preempt_timer.set_enabled(true);
             assert_eq!(handle(ctx), Disposition::Resume);
             assert_eq!(ctx.vcpu.preempt_timer.value(), 0);

@@ -51,7 +51,10 @@ pub fn handle_hlt(ctx: &mut ExitCtx<'_>) -> Disposition {
         ctx.log.push(
             ctx.tsc.now(),
             crate::log::Level::Warning,
-            format!("d{}v{}: HLT with interrupts disabled", ctx.domain_id, ctx.vcpu.id),
+            format!(
+                "d{}v{}: HLT with interrupts disabled",
+                ctx.domain_id, ctx.vcpu.id
+            ),
         );
         return Disposition::Halt; // scheduler treats as blocked forever
     }

@@ -112,8 +112,11 @@ pub fn handle(ctx: &mut ExitCtx<'_>) -> Disposition {
                 Ok(()) => {
                     ctx.cov.hit(Component::Hypercall, 21, 4);
                     let text = String::from_utf8_lossy(&buf).into_owned();
-                    ctx.log
-                        .push(ctx.tsc.now(), crate::log::Level::Info, format!("(d{}) {text}", ctx.domain_id));
+                    ctx.log.push(
+                        ctx.tsc.now(),
+                        crate::log::Level::Info,
+                        format!("(d{}) {text}", ctx.domain_id),
+                    );
                     count as u64
                 }
                 Err(_) => {

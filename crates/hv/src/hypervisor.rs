@@ -123,8 +123,9 @@ impl Hypervisor {
         let id = self.domains.len() as u16;
         let mut dom = Domain::new(id, DomainKind::Hvm, ram_bytes);
         handlers::cr::init_cr_state(&mut dom.vcpus[0]);
-        self.log
-            .push(self.tsc.now(), Level::Info, format!("created HVM domain {id}"));
+        self.log.push_with(self.tsc.now(), Level::Info, || {
+            format!("created HVM domain {id}")
+        });
         self.domains.push(dom);
         id
     }
@@ -222,7 +223,7 @@ impl Hypervisor {
 
         // --- vmx_vmexit_handler prologue. --------------------------------
         ctx.cov.hit(Component::Vmx, 0, 6);
-        ctx.hooks.on_handler_entry(&ctx.vcpu.gprs.clone());
+        ctx.hooks.on_handler_entry(&ctx.vcpu.gprs);
         ctx.cov.hit(Component::Vmx, 1, 2);
         let raw_reason = ctx.vmread(VmcsField::VmExitReason) as u16;
         let reason = ExitReason::from_number(raw_reason);
@@ -270,8 +271,9 @@ impl Hypervisor {
             ctx.cov.hit(Component::Vmx, 4, 3);
             if let Err(failure) = entry_checks::check_guest_state(&ctx.vcpu.vmcs) {
                 ctx.cov.hit(Component::Vmx, 5, 5);
-                let msg = format!("VM entry failure: {failure:?}");
-                ctx.log.push(ctx.tsc.now(), Level::Err, msg);
+                let now = ctx.tsc.now();
+                ctx.log
+                    .push_with(now, Level::Err, || format!("VM entry failure: {failure:?}"));
                 disposition = Disposition::CrashDomain(DomainCrashReason::EntryFailure(failure));
             }
         }
@@ -279,7 +281,8 @@ impl Hypervisor {
         // Drain costs: handler blocks + hook (record/replay) overhead.
         let handler_cycles = ctx.cov.cycles;
         let hook_cycles = ctx.hooks.take_cycle_cost();
-        self.tsc.advance(crate::costs::DISPATCH_CYCLES + handler_cycles + hook_cycles);
+        self.tsc
+            .advance(crate::costs::DISPATCH_CYCLES + handler_cycles + hook_cycles);
         self.tsc.advance(crate::costs::HW_ENTRY_CYCLES);
 
         // --- Apply the disposition. --------------------------------------
@@ -290,8 +293,8 @@ impl Hypervisor {
                 self.domains[domain_id as usize].vcpus[0].runstate = RunState::Halted;
             }
             Disposition::CrashDomain(reason) => {
-                let msg = reason.console_message();
-                self.log.push(self.tsc.now(), Level::Err, msg);
+                self.log
+                    .push_with(self.tsc.now(), Level::Err, || reason.console_message());
                 self.domains[domain_id as usize].crash(reason.clone());
                 crash = Some(Crash::Domain {
                     domain: domain_id,
@@ -299,8 +302,8 @@ impl Hypervisor {
                 });
             }
             Disposition::CrashHypervisor(reason) => {
-                let msg = reason.console_message();
-                self.log.push(self.tsc.now(), Level::Crit, msg);
+                self.log
+                    .push_with(self.tsc.now(), Level::Crit, || reason.console_message());
                 self.crashed = Some(reason.clone());
                 crash = Some(Crash::Hypervisor(reason));
             }
@@ -397,8 +400,10 @@ mod tests {
     #[test]
     fn unhandled_reason_is_a_hypervisor_crash() {
         let (mut hv, id) = hv_with_domu();
-        let mut ev = ExitEvent::default();
-        ev.reason_number = 11; // GETSEC: never configured to exit
+        let ev = ExitEvent {
+            reason_number: 11, // GETSEC: never configured to exit
+            ..ExitEvent::default()
+        };
         let out = hv.vm_exit(id, &ev, &mut NoHooks);
         assert!(matches!(out.crash, Some(Crash::Hypervisor(_))));
         assert!(!hv.is_alive());
@@ -416,15 +421,9 @@ mod tests {
             .hw_write(VmcsField::GuestRflags, 0x202);
         let out = hv.vm_exit(id, &ExitEvent::new(ExitReason::Hlt), &mut NoHooks);
         assert!(out.halted);
-        assert_eq!(
-            hv.domains[id as usize].vcpus[0].runstate,
-            RunState::Halted
-        );
+        assert_eq!(hv.domains[id as usize].vcpus[0].runstate, RunState::Halted);
         hv.wake(id);
-        assert_eq!(
-            hv.domains[id as usize].vcpus[0].runstate,
-            RunState::Running
-        );
+        assert_eq!(hv.domains[id as usize].vcpus[0].runstate, RunState::Running);
     }
 
     #[test]

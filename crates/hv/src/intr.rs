@@ -122,7 +122,11 @@ mod tests {
             ctx.vcpu.vmcs.hw_write(VmcsField::GuestRflags, 0x2); // IF clear
             assert_eq!(intr_assist(ctx), None);
             assert!(ctx.vcpu.hvm.int_window_requested);
-            let ctl = ctx.vcpu.vmcs.read(VmcsField::CpuBasedVmExecControl).unwrap();
+            let ctl = ctx
+                .vcpu
+                .vmcs
+                .read(VmcsField::CpuBasedVmExecControl)
+                .unwrap();
             assert_ne!(ctl & (1 << 2), 0);
             // Second pass does not re-arm.
             assert_eq!(intr_assist(ctx), None);

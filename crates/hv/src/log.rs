@@ -31,11 +31,17 @@ pub struct LogLine {
     pub message: String,
 }
 
-/// Bounded console ring buffer.
+/// Bounded console ring buffer with a severity threshold (Xen's
+/// `loglvl=` boot parameter): lines below the threshold are dropped at
+/// the door, and callers on hot paths use [`LogRing::enabled`] or
+/// [`LogRing::push_with`] to avoid even *formatting* suppressed
+/// messages.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LogRing {
     capacity: usize,
     lines: VecDeque<LogLine>,
+    #[serde(default)]
+    min_level: Option<Level>,
 }
 
 impl Default for LogRing {
@@ -45,17 +51,38 @@ impl Default for LogRing {
 }
 
 impl LogRing {
-    /// Ring holding at most `capacity` lines.
+    /// Ring holding at most `capacity` lines, accepting every level.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity: capacity.max(1),
             lines: VecDeque::new(),
+            min_level: None,
+        }
+    }
+
+    /// Drop lines below `level` (`None` accepts everything).
+    pub fn set_min_level(&mut self, level: Option<Level>) {
+        self.min_level = level;
+    }
+
+    /// Whether a line at `level` would be retained. Callers formatting
+    /// expensive messages check this first so suppressed lines cost
+    /// nothing.
+    #[must_use]
+    #[inline]
+    pub fn enabled(&self, level: Level) -> bool {
+        match self.min_level {
+            None => true,
+            Some(min) => level >= min,
         }
     }
 
     /// Append a line, evicting the oldest if full.
     pub fn push(&mut self, tsc: u64, level: Level, message: impl Into<String>) {
+        if !self.enabled(level) {
+            return;
+        }
         if self.lines.len() == self.capacity {
             self.lines.pop_front();
         }
@@ -66,6 +93,15 @@ impl LogRing {
         });
     }
 
+    /// Append a lazily formatted line: the closure runs only when the
+    /// level passes the threshold, so `format!` work for suppressed
+    /// messages is skipped entirely.
+    pub fn push_with<F: FnOnce() -> String>(&mut self, tsc: u64, level: Level, message: F) {
+        if self.enabled(level) {
+            self.push(tsc, level, message());
+        }
+    }
+
     /// All retained lines, oldest first.
     pub fn lines(&self) -> impl Iterator<Item = &LogLine> {
         self.lines.iter()
@@ -73,7 +109,9 @@ impl LogRing {
 
     /// Lines whose message contains `needle` (the fuzzer's grep).
     pub fn grep<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a LogLine> {
-        self.lines.iter().filter(move |l| l.message.contains(needle))
+        self.lines
+            .iter()
+            .filter(move |l| l.message.contains(needle))
     }
 
     /// Number of retained lines.
@@ -123,5 +161,28 @@ mod tests {
     fn levels_order() {
         assert!(Level::Crit > Level::Err);
         assert!(Level::Err > Level::Warning);
+    }
+
+    #[test]
+    fn min_level_drops_lines_and_skips_formatting() {
+        let mut r = LogRing::new(10);
+        r.set_min_level(Some(Level::Warning));
+        assert!(!r.enabled(Level::Info));
+        assert!(r.enabled(Level::Err));
+        r.push(1, Level::Debug, "dropped");
+        r.push(2, Level::Err, "kept");
+        let mut formatted = false;
+        r.push_with(3, Level::Info, || {
+            formatted = true;
+            "never built".to_owned()
+        });
+        assert!(!formatted, "suppressed messages must not be formatted");
+        r.push_with(4, Level::Crit, || "built".to_owned());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.grep("kept").count(), 1);
+        assert_eq!(r.grep("built").count(), 1);
+        r.set_min_level(None);
+        r.push(5, Level::Debug, "accepted again");
+        assert_eq!(r.len(), 3);
     }
 }

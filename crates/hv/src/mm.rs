@@ -157,6 +157,35 @@ impl GuestMemory {
     pub fn wipe(&mut self) {
         self.pages.clear();
     }
+
+    /// Make `self` identical to `src` while reusing the page allocations
+    /// already present: pages absent from `src` are dropped, shared pages
+    /// are overwritten in place, and only pages new in `src` allocate.
+    /// This is the O(dirty state) core of `Snapshot::restore_into` —
+    /// restoring a domain that diverged by a few writes costs a few page
+    /// copies, not a full domain rebuild.
+    pub fn restore_from(&mut self, src: &GuestMemory) {
+        self.ram_pages = src.ram_pages;
+        self.pages.retain(|gfn, _| src.pages.contains_key(gfn));
+        for (gfn, page) in &src.pages {
+            match self.pages.get_mut(gfn) {
+                // Compare before copying: the memcmp on clean pages is
+                // read-only (no cache lines dirtied) and keeps the cost
+                // proportional to the pages that actually diverged.
+                Some(existing) => {
+                    if existing != page {
+                        existing.copy_from_slice(page);
+                    }
+                }
+                None => {
+                    self.pages.insert(*gfn, page.clone());
+                }
+            }
+        }
+        if let Some(log) = &mut self.dirty_log {
+            log.clear();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +243,22 @@ mod tests {
         m.set_dirty_tracking(false);
         m.write_u64(0x300, 3).unwrap();
         assert!(m.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn restore_from_matches_source_and_reuses_pages() {
+        let mut src = GuestMemory::new(1 << 16);
+        src.write_u64(0x100, 0xaaaa).unwrap();
+        src.write_u64(0x2000, 0xbbbb).unwrap();
+
+        let mut dst = GuestMemory::new(1 << 16);
+        dst.write_u64(0x100, 0x1111).unwrap(); // shared page, stale data
+        dst.write_u64(0x5000, 0x2222).unwrap(); // page absent from src
+
+        dst.restore_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.read_u64(0x100).unwrap(), 0xaaaa);
+        assert!(dst.read_u64(0x5000).is_err(), "stray page dropped");
     }
 
     #[test]

@@ -100,8 +100,10 @@ impl HvVcpu {
     pub fn new(id: u32, vmcs_addr: u64) -> Self {
         let mut vmcs = Vmcs::new(vmcs_addr);
         entry_checks::init_real_mode_guest_state(&mut vmcs);
-        let mut hvm = HvmVcpu::default();
-        hvm.vlapic = Vlapic::new(id);
+        let hvm = HvmVcpu {
+            vlapic: Vlapic::new(id),
+            ..HvmVcpu::default()
+        };
         Self {
             id,
             vmcs,
@@ -169,9 +171,7 @@ mod tests {
         assert!(v.rip_valid_for_mode(0x10_ffef));
         assert!(!v.rip_valid_for_mode(0xffff_ffff_8100_0000));
         let mut booted = v;
-        booted
-            .hvm
-            .update_cr0(cr0::ET | cr0::PE | cr0::PG | cr0::AM);
+        booted.hvm.update_cr0(cr0::ET | cr0::PE | cr0::PG | cr0::AM);
         assert!(booted.rip_valid_for_mode(0xffff_ffff_8100_0000));
         assert!(!booted.rip_valid_for_mode(0x0000_8000_dead_beef)); // non-canonical
     }

@@ -10,8 +10,8 @@
 //!
 //! Coverage block ids: component `Vlapic`, blocks 0–79.
 
-use crate::coverage::CovSink;
 use crate::cov;
+use crate::coverage::CovSink;
 use serde::{Deserialize, Serialize};
 
 /// xAPIC register offsets (within the 4 KiB APIC page).

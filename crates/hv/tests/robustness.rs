@@ -20,18 +20,16 @@ fn arb_event() -> impl Strategy<Value = ExitEvent> {
         any::<u64>(),
         0u64..10_000,
     )
-        .prop_map(
-            |(reason, qual, gpa, lin, len, info, err, rcx)| ExitEvent {
-                reason_number: reason,
-                qualification: qual,
-                guest_physical: gpa,
-                guest_linear: lin,
-                instruction_len: len,
-                intr_info: info,
-                intr_error: err,
-                io_rcx: rcx,
-            },
-        )
+        .prop_map(|(reason, qual, gpa, lin, len, info, err, rcx)| ExitEvent {
+            reason_number: reason,
+            qualification: qual,
+            guest_physical: gpa,
+            guest_linear: lin,
+            instruction_len: len,
+            intr_info: info,
+            intr_error: err,
+            io_rcx: rcx,
+        })
 }
 
 proptest! {

@@ -157,9 +157,7 @@ impl Cr4 {
 /// Mode7 includes Mode5 and caching disabled."*
 ///
 /// The classification is a total function of CR0's PE, PG, AM, TS, CD bits.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum OperatingMode {
     /// Real mode (PE=0). Xen logs this as "mode 0" — the mode index is
@@ -284,11 +282,11 @@ mod tests {
     fn mode_classification_is_total() {
         // Any combination of the five relevant bits maps to some mode.
         for bits in 0..32u64 {
-            let v = (bits & 1) * cr0::PE
-                | ((bits >> 1) & 1) * cr0::PG
-                | ((bits >> 2) & 1) * cr0::AM
-                | ((bits >> 3) & 1) * cr0::TS
-                | ((bits >> 4) & 1) * cr0::CD;
+            let v = ((bits & 1) * cr0::PE)
+                | (((bits >> 1) & 1) * cr0::PG)
+                | (((bits >> 2) & 1) * cr0::AM)
+                | (((bits >> 3) & 1) * cr0::TS)
+                | (((bits >> 4) & 1) * cr0::CD);
             let _ = Cr0(v).operating_mode(); // must not panic
         }
     }

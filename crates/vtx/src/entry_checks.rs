@@ -222,7 +222,10 @@ pub fn init_real_mode_guest_state(vmcs: &mut Vmcs) {
     vmcs.hw_write(VmcsField::GuestCsSelector, u64::from(cs.selector));
     vmcs.hw_write(VmcsField::GuestCsBase, cs.base);
     vmcs.hw_write(VmcsField::GuestCsLimit, u64::from(cs.limit));
-    vmcs.hw_write(VmcsField::GuestCsArBytes, u64::from(cs.ar | ar::TYPE_CODE_ER_A));
+    vmcs.hw_write(
+        VmcsField::GuestCsArBytes,
+        u64::from(cs.ar | ar::TYPE_CODE_ER_A),
+    );
 
     for (sel_f, base_f, lim_f, ar_f) in [
         (
@@ -348,9 +351,7 @@ mod tests {
         v.hw_write(VmcsField::GuestCr0, cr0::ET | cr0::PE);
         v.hw_write(
             VmcsField::GuestCsArBytes,
-            u64::from(
-                ar::TYPE_CODE_ER_A | ar::S | ar::P | ar::DB | ar::G,
-            ),
+            u64::from(ar::TYPE_CODE_ER_A | ar::S | ar::P | ar::DB | ar::G),
         );
         v.hw_write(VmcsField::GuestTrArBytes, u64::from(ar::P | 0x1)); // 16-bit avail TSS
         assert_eq!(check_guest_state(&v), Err(EntryCheckFailure::TrInvalid));

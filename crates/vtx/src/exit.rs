@@ -247,10 +247,7 @@ impl CrAccessQual {
                 e
             }
         });
-        u64::from(self.cr & 0xf)
-            | (ty << 4)
-            | (gpr_bits << 8)
-            | (u64::from(self.lmsw_source) << 16)
+        u64::from(self.cr & 0xf) | (ty << 4) | (gpr_bits << 8) | (u64::from(self.lmsw_source) << 16)
     }
 
     /// Decode from the architectural qualification word.

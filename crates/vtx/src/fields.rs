@@ -300,11 +300,50 @@ vmcs_fields! {
     HostRip = 0x6c16, Natural, HostState;
 }
 
+/// Number of enumerated VMCS fields — the size of dense per-field tables
+/// (the replay override table, the flat VMCS field store).
+pub const FIELD_COUNT: usize = VmcsField::ALL.len();
+
+/// One past the largest architectural encoding the model enumerates;
+/// bounds the encoding→index lookup table.
+const ENCODING_BOUND: usize = 0x6c18;
+
+/// Encoding → dense index, built at compile time. Unenumerated encodings
+/// hold `u8::MAX`.
+static INDEX_BY_ENCODING: [u8; ENCODING_BOUND] = {
+    let mut table = [u8::MAX; ENCODING_BOUND];
+    let mut i = 0;
+    while i < VmcsField::ALL.len() {
+        table[VmcsField::ALL[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+};
+
 impl VmcsField {
     /// Architectural encoding of the field (what `VMREAD` takes).
     #[must_use]
     pub fn encoding(self) -> u32 {
         self as u32
+    }
+
+    /// A compact, dense, stable index for this field: its position in
+    /// [`VmcsField::ALL`], always `< FIELD_COUNT` (and < 256 — the
+    /// paper's seed codec stores field encodings in one byte; its table
+    /// has "147 values"). O(1) via a compile-time lookup table; the
+    /// replay override table and the flat VMCS field store are indexed
+    /// by it.
+    #[must_use]
+    #[inline]
+    pub fn index(self) -> u8 {
+        INDEX_BY_ENCODING[self as usize]
+    }
+
+    /// Inverse of [`VmcsField::index`].
+    #[must_use]
+    #[inline]
+    pub fn from_index(idx: u8) -> Option<VmcsField> {
+        Self::ALL.get(idx as usize).copied()
     }
 
     /// Whether `VMWRITE` to this field fails with VMfailValid(13)
@@ -329,24 +368,17 @@ impl VmcsField {
         }
     }
 
-    /// A compact, stable, 1-byte index for this field used by the IRIS
-    /// seed codec (the paper stores field encodings in one byte; there are
-    /// "147 values" in its table — our model covers the subset Xen-shaped
-    /// handlers touch).
+    /// Historical name for [`VmcsField::index`] (the seed codec's wire
+    /// encoding byte).
     #[must_use]
     pub fn compact_index(self) -> u8 {
-        // Position in `ALL` is stable because the macro preserves order.
-        Self::ALL
-            .iter()
-            .position(|f| *f == self)
-            .map(|p| p as u8)
-            .unwrap_or(u8::MAX)
+        self.index()
     }
 
     /// Inverse of [`VmcsField::compact_index`].
     #[must_use]
     pub fn from_compact_index(idx: u8) -> Option<VmcsField> {
-        Self::ALL.get(idx as usize).copied()
+        Self::from_index(idx)
     }
 }
 
@@ -367,6 +399,16 @@ mod tests {
         for &f in VmcsField::ALL {
             assert_eq!(VmcsField::from_compact_index(f.compact_index()), Some(f));
         }
+    }
+
+    #[test]
+    fn dense_index_is_the_position_in_all() {
+        assert_eq!(FIELD_COUNT, VmcsField::ALL.len());
+        for (pos, &f) in VmcsField::ALL.iter().enumerate() {
+            assert_eq!(f.index() as usize, pos, "{f:?}");
+            assert_eq!(VmcsField::from_index(f.index()), Some(f));
+        }
+        assert_eq!(VmcsField::from_index(FIELD_COUNT as u8), None);
     }
 
     #[test]

@@ -11,9 +11,8 @@
 //! because it is a property of the logical processor (which VMCS is
 //! current), not of the region itself.
 
-use crate::fields::{FieldArea, VmcsField};
+use crate::fields::{FieldArea, VmcsField, FIELD_COUNT};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Launch state of a VMCS (SDM Vol. 3C §24.11.3).
 ///
@@ -57,11 +56,18 @@ impl std::error::Error for VmcsAccessError {}
 /// `IA32_VMX_BASIC`. Arbitrary but stable.
 pub const VMCS_REVISION_ID: u32 = 0x0000_4952; // "IR"
 
+const PRESENT_WORDS: usize = FIELD_COUNT.div_ceil(64);
+
 /// One VMCS region.
 ///
 /// Cloning a `Vmcs` clones the full field store — this is what IRIS
 /// snapshots rely on (`iris_core::snapshot`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The field store is a flat array indexed by [`VmcsField::index`] plus a
+/// presence bitmap, so `read`/`write`/`hw_write` — executed around ten
+/// times per VM exit — are O(1) with no heap traffic, and cloning is a
+/// plain `memcpy`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Vmcs {
     /// Guest-physical address of the backing region; identifies the VMCS
     /// to `VMPTRLD`/`VMCLEAR` and must be 4 KiB-aligned.
@@ -69,7 +75,59 @@ pub struct Vmcs {
     revision_id: u32,
     abort_indicator: u32,
     launch_state: LaunchState,
-    fields: BTreeMap<VmcsField, u64>,
+    values: [u64; FIELD_COUNT],
+    present: [u64; PRESENT_WORDS],
+}
+
+impl Serialize for Vmcs {
+    fn to_value(&self) -> serde::Value {
+        let fields: Vec<(VmcsField, u64)> = self
+            .area_fields(FieldArea::GuestState)
+            .chain(self.area_fields(FieldArea::HostState))
+            .chain(self.area_fields(FieldArea::Control))
+            .chain(self.area_fields(FieldArea::ExitInfo))
+            .collect();
+        serde::Value::Map(vec![
+            (serde::Value::Str("addr".to_owned()), self.addr.to_value()),
+            (
+                serde::Value::Str("revision_id".to_owned()),
+                self.revision_id.to_value(),
+            ),
+            (
+                serde::Value::Str("abort_indicator".to_owned()),
+                self.abort_indicator.to_value(),
+            ),
+            (
+                serde::Value::Str("launch_state".to_owned()),
+                self.launch_state.to_value(),
+            ),
+            (serde::Value::Str("fields".to_owned()), fields.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Vmcs {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::Error::msg("expected map for Vmcs"))?;
+        let get = |key: &str| {
+            serde::value::map_get(entries, key)
+                .ok_or_else(|| serde::Error::msg(format!("missing Vmcs field {key}")))
+        };
+        let mut vmcs = Vmcs {
+            addr: u64::from_value(get("addr")?)?,
+            revision_id: u32::from_value(get("revision_id")?)?,
+            abort_indicator: u32::from_value(get("abort_indicator")?)?,
+            launch_state: LaunchState::from_value(get("launch_state")?)?,
+            values: [0; FIELD_COUNT],
+            present: [0; PRESENT_WORDS],
+        };
+        for (field, value) in Vec::<(VmcsField, u64)>::from_value(get("fields")?)? {
+            vmcs.hw_write(field, value);
+        }
+        Ok(vmcs)
+    }
 }
 
 impl Vmcs {
@@ -88,7 +146,8 @@ impl Vmcs {
             revision_id: VMCS_REVISION_ID,
             abort_indicator: 0,
             launch_state: LaunchState::Clear,
-            fields: BTreeMap::new(),
+            values: [0; FIELD_COUNT],
+            present: [0; PRESENT_WORDS],
         }
     }
 
@@ -146,7 +205,7 @@ impl Vmcs {
     /// Never fails for fields in [`VmcsField`]; the `Result` mirrors the
     /// instruction-level interface where unsupported encodings fail.
     pub fn read(&self, field: VmcsField) -> Result<u64, VmcsAccessError> {
-        Ok(self.fields.get(&field).copied().unwrap_or(0))
+        Ok(self.values[field.index() as usize])
     }
 
     /// Read by raw encoding, failing like `VMREAD` does on unsupported
@@ -166,7 +225,7 @@ impl Vmcs {
         if field.is_read_only() {
             return Err(VmcsAccessError::ReadOnlyField(field));
         }
-        self.fields.insert(field, value & field.value_mask());
+        self.hw_write(field, value);
         Ok(())
     }
 
@@ -179,25 +238,29 @@ impl Vmcs {
     /// Hardware-internal write: used by the VM-exit microcode path to fill
     /// VM-exit information fields and save guest state. Not reachable from
     /// `VMWRITE`.
+    #[inline]
     pub fn hw_write(&mut self, field: VmcsField, value: u64) {
-        self.fields.insert(field, value & field.value_mask());
+        let idx = field.index() as usize;
+        self.values[idx] = value & field.value_mask();
+        self.present[idx / 64] |= 1u64 << (idx % 64);
     }
 
     /// Number of distinct fields ever written (diagnostics).
     #[must_use]
     pub fn populated_fields(&self) -> usize {
-        self.fields.len()
+        self.present.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Iterate `(field, value)` pairs of a given area, in encoding order.
-    pub fn area_fields(
-        &self,
-        area: FieldArea,
-    ) -> impl Iterator<Item = (VmcsField, u64)> + '_ {
-        self.fields
+    /// Iterate written `(field, value)` pairs of a given area, in encoding
+    /// order.
+    pub fn area_fields(&self, area: FieldArea) -> impl Iterator<Item = (VmcsField, u64)> + '_ {
+        VmcsField::ALL
             .iter()
-            .filter(move |(f, _)| f.area() == area)
-            .map(|(f, v)| (*f, *v))
+            .enumerate()
+            .filter(move |(idx, f)| {
+                f.area() == area && self.present[idx / 64] & (1u64 << (idx % 64)) != 0
+            })
+            .map(|(idx, f)| (*f, self.values[idx]))
     }
 
     /// Initialize the fields every sane hypervisor sets before launch:

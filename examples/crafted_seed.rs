@@ -23,7 +23,10 @@ fn main() {
 
     // --- Seed 1: a CPUID(0x4000_0000) hypervisor-detection probe. ------
     let mut probe = VmSeed::new(ExitReason::Cpuid);
-    probe.push_read(VmcsField::VmExitReason, u64::from(ExitReason::Cpuid.number()));
+    probe.push_read(
+        VmcsField::VmExitReason,
+        u64::from(ExitReason::Cpuid.number()),
+    );
     probe.push_read(VmcsField::GuestRip, 0xffff_ffff_8100_2000);
     probe.push_read(VmcsField::VmExitInstructionLen, 2);
     probe.gprs.set(Gpr::Rax, 0x4000_0000);

@@ -24,7 +24,10 @@ fn main() {
         "OS BOOT",
         Workload::OsBoot.generate(600, 42),
     );
-    println!("recorded {} OS BOOT seeds as the fuzzing substrate\n", trace.len());
+    println!(
+        "recorded {} OS BOOT seeds as the fuzzing substrate\n",
+        trace.len()
+    );
 
     let mut campaign = Campaign::new();
     for reason in [

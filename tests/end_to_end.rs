@@ -31,7 +31,11 @@ fn record_persist_reload_replay() {
     let replayed = mgr.replay("OS BOOT", Mode::ReplayWithMetrics, false);
     assert_eq!(replayed.metrics.len(), 400);
     let fit = metrics::coverage_fitting(&recorded, &replayed);
-    assert!(fit.fitting_percent > 85.0, "fitting {}", fit.fitting_percent);
+    assert!(
+        fit.fitting_percent > 85.0,
+        "fitting {}",
+        fit.fitting_percent
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -103,10 +107,7 @@ fn fuzzing_on_top_of_replayed_state() {
         mgr2.db.insert(trace.clone());
         mgr2.replay("OS BOOT", Mode::Replay, false);
         let out = mgr2.submit_crafted(&record.seed);
-        assert!(
-            out.exit.crash.is_some(),
-            "saved crash seed must reproduce"
-        );
+        assert!(out.exit.crash.is_some(), "saved crash seed must reproduce");
     }
 }
 

@@ -137,6 +137,90 @@ proptest! {
         prop_assert_eq!(mode, other.operating_mode());
     }
 
+    /// The dense field index round-trips for every enumerated field and
+    /// stays within one byte (the seed codec's encoding byte).
+    #[test]
+    fn vmcs_field_index_round_trips(i in 0..VmcsField::ALL.len()) {
+        let field = VmcsField::ALL[i];
+        let idx = field.index();
+        prop_assert_eq!(idx as usize, i);
+        prop_assert_eq!(VmcsField::from_index(idx), Some(field));
+        prop_assert_eq!(field.compact_index(), idx);
+        prop_assert_eq!(VmcsField::from_compact_index(idx), Some(field));
+    }
+
+    /// The dense bitmap CoverageMap matches a BTreeMap reference model:
+    /// `lines`, `merge`, `new_lines_from`, `symmetric_diff_lines`,
+    /// `contains`, per-component sums, and the serde round trip.
+    #[test]
+    fn coverage_bitmap_matches_btreemap_model(
+        left in proptest::collection::vec((0usize..12, 0u16..256, 1u32..40), 0..60),
+        right in proptest::collection::vec((0usize..12, 0u16..256, 1u32..40), 0..60),
+    ) {
+        use std::collections::BTreeMap;
+
+        let build = |hits: &[(usize, u16, u32)]| {
+            let mut map = CoverageMap::new();
+            let mut model: BTreeMap<Block, u64> = BTreeMap::new();
+            for &(c, id, loc) in hits {
+                let block = Block::new(Component::ALL[c], id);
+                map.hit(block, loc);
+                model.entry(block).or_insert(u64::from(loc)); // first weight wins
+            }
+            (map, model)
+        };
+        let (mut a, model_a) = build(&left);
+        let (b, model_b) = build(&right);
+
+        let model_lines = |m: &BTreeMap<Block, u64>| m.values().sum::<u64>();
+        prop_assert_eq!(a.lines(), model_lines(&model_a));
+        prop_assert_eq!(a.block_count(), model_a.len());
+        for &component in Component::ALL {
+            let per: u64 = model_a
+                .iter()
+                .filter(|(blk, _)| blk.component == component)
+                .map(|(_, l)| *l)
+                .sum();
+            prop_assert_eq!(a.lines_in(component), per);
+        }
+        for blk in model_b.keys() {
+            prop_assert_eq!(a.contains(*blk), model_a.contains_key(blk));
+        }
+
+        let new_from_b: u64 = model_b
+            .iter()
+            .filter(|(blk, _)| !model_a.contains_key(blk))
+            .map(|(_, l)| *l)
+            .sum();
+        prop_assert_eq!(a.new_lines_from(&b), new_from_b);
+        let new_from_a: u64 = model_a
+            .iter()
+            .filter(|(blk, _)| !model_b.contains_key(blk))
+            .map(|(_, l)| *l)
+            .sum();
+        prop_assert_eq!(a.symmetric_diff_lines(&b), new_from_a + new_from_b);
+
+        // Serde round trip preserves the exact block/weight set.
+        let json = serde_json::to_string(&a).expect("serializes");
+        let back: CoverageMap = serde_json::from_str(&json).expect("parses");
+        prop_assert_eq!(&back, &a);
+
+        // Merge matches the model union (first weight wins on collisions,
+        // matching the old BTreeMap entry().or_insert semantics).
+        let mut merged_model = model_a.clone();
+        for (blk, l) in &model_b {
+            merged_model.entry(*blk).or_insert(*l);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.lines(), model_lines(&merged_model));
+        prop_assert_eq!(a.block_count(), merged_model.len());
+        let pairs: Vec<(Block, u32)> = a.iter().collect();
+        prop_assert_eq!(pairs.len(), merged_model.len());
+        for (blk, l) in pairs {
+            prop_assert_eq!(merged_model.get(&blk), Some(&u64::from(l)));
+        }
+    }
+
     /// Coverage-map merge is monotone and idempotent; line counts never
     /// double-count blocks.
     #[test]

@@ -1,0 +1,529 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote`: the input token stream is walked by
+//! hand and the generated impl is assembled as a string. Supported input
+//! shapes are exactly the ones this workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(default)]` and
+//!   `#[serde(skip)]`),
+//! * tuple structs (newtype structs serialize transparently),
+//! * unit structs,
+//! * enums whose variants are unit (optionally with explicit
+//!   discriminants), newtype, tuple, or struct-shaped — externally
+//!   tagged, like real serde's default representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(e) => {
+            return format!("compile_error!({e:?});").parse().unwrap();
+        }
+    };
+    let code = if serialize {
+        gen_serialize(&parsed)
+    } else {
+        gen_deserialize(&parsed)
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes, visibility, and misc qualifiers until the
+    // `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            None => return Err("no struct or enum found".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + [...]
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // pub, etc.
+            }
+            _ => i += 1, // pub(crate) group, etc.
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing type name".into()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("derive stub does not support generics on {name}"));
+        }
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            None => Shape::UnitStruct,
+            _ => return Err(format!("unsupported struct body for {name}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("missing enum body for {name}")),
+        }
+    };
+
+    Ok(Input { name, shape })
+}
+
+/// Consume attributes at `i`, returning (default, skip) serde flags.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let (mut default, mut skip) = (false, false);
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for t in args.stream() {
+                            if let TokenTree::Ident(a) = t {
+                                match a.to_string().as_str() {
+                                    "default" => default = true,
+                                    "skip" => skip = true,
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    (default, skip)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (default, skip) = take_attrs(&tokens, &mut i);
+        // visibility
+        while let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, got {other}")),
+            None => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected ':' after field {name}")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field {
+            name,
+            default,
+            skip,
+        });
+    }
+    Ok(fields)
+}
+
+/// Advance past a type, stopping after the trailing top-level ','
+/// (or at end of stream). Tracks `<`/`>` nesting.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle += 1;
+                    *i += 1;
+                }
+                '>' => {
+                    angle -= 1;
+                    *i += 1;
+                }
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => *i += 1,
+            },
+            _ => *i += 1,
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if idx + 1 == tokens.len() {
+                        trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = take_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, got {other}")),
+            None => break,
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant `= expr`.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                while let Some(t) = tokens.get(i) {
+                    if let TokenTree::Punct(p) = t {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        // Skip the separating comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Codegen — Serialize
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __m: ::std::vec::Vec<(::serde::Value, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                s.push_str(&format!(
+                    "__m.push((::serde::Value::Str(\"{0}\".to_string()), \
+                     ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![\
+                             (::serde::Value::Str(\"{vname}\".to_string()), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Value::Str(\"{0}\".to_string()), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![\
+                             (::serde::Value::Str(\"{vname}\".to_string()), \
+                             ::serde::Value::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Codegen — Deserialize
+// ---------------------------------------------------------------------
+
+fn named_fields_ctor(type_path: &str, fields: &[Field], map_expr: &str, context: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{0}: match ::serde::value::map_get({map_expr}, \"{0}\") {{\n\
+                 ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n}},\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{0}: match ::serde::value::map_get({map_expr}, \"{0}\") {{\n\
+                 ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"missing field {0} in {context}\")),\n}},\n",
+                f.name
+            ));
+        }
+    }
+    format!("{type_path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let ctor = named_fields_ctor(name, fields, "__m", name);
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected sequence for {name}\"))?;\n\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::msg(\"wrong tuple arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("let _ = __v;\n::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__val)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __s = __val.as_seq().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected sequence for {name}::{vname}\"))?;\n\
+                             if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::msg(\"wrong arity for {name}::{vname}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let ctor = named_fields_ctor(
+                            &format!("{name}::{vname}"),
+                            fields,
+                            "__fm",
+                            &format!("{name}::{vname}"),
+                        );
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __fm = __val.as_map().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected map for {name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({ctor})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"unknown variant {{__other}} of {name}\"))),\n}},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __val) = &__entries[0];\n\
+                 let __k = __k.as_str().ok_or_else(|| \
+                 ::serde::Error::msg(\"expected string variant tag for {name}\"))?;\n\
+                 match __k {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"unknown variant {{__other}} of {name}\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"cannot deserialize {name} from {{__other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{\n{body}\n}}\n}}\n"
+    )
+}
