@@ -1,0 +1,56 @@
+//! Aggregate throughput of the sharded campaign executor: the same
+//! fixed plan of test cases run with 1, 2, and 4 workers.
+//!
+//! Each test case reaches its target state once, snapshots it, and
+//! submits its mutant sequence — all CPU-bound — so scaling tracks the
+//! host's core count: flat on a single-core container, near-linear up
+//! to the plan's width on real multi-core hardware. PERFORMANCE.md
+//! records the measured seeds/s per worker count for the build host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iris_bench::experiments::record_workload;
+use iris_fuzzer::mutation::SeedArea;
+use iris_fuzzer::parallel::ParallelCampaign;
+use iris_fuzzer::testcase::TestCase;
+use iris_guest::workloads::Workload;
+
+const MUTANTS: usize = 60;
+
+/// One test case per (distinct exit reason × area) of the trace — the
+/// same plan shape `iris campaign` runs.
+fn build_plan(trace: &iris_core::trace::RecordedTrace) -> Vec<TestCase> {
+    let mut plan = Vec::new();
+    let mut seen = Vec::new();
+    for (idx, seed) in trace.seeds.iter().enumerate() {
+        if seen.contains(&seed.reason) {
+            continue;
+        }
+        seen.push(seed.reason);
+        for area in SeedArea::ALL {
+            plan.push(TestCase {
+                mutants: MUTANTS,
+                ..TestCase::new(Workload::OsBoot, idx, seed.reason, area, 42 ^ idx as u64)
+            });
+        }
+    }
+    plan
+}
+
+fn bench_parallel_campaign(c: &mut Criterion) {
+    let (_, trace) = record_workload(Workload::OsBoot, 300, 42);
+    let plan = build_plan(&trace);
+    let total_mutants = plan.iter().map(|tc| tc.mutants as u64).sum::<u64>();
+
+    let mut group = c.benchmark_group("parallel_campaign");
+    group.throughput(Throughput::Elements(total_mutants));
+    for jobs in [1usize, 2, 4] {
+        let executor = ParallelCampaign::new(jobs);
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &plan, |b, plan| {
+            b.iter(|| executor.run_trace(&trace, plan));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_campaign);
+criterion_main!(benches);

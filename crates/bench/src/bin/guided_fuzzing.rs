@@ -2,7 +2,8 @@
 //! Compares blind mutation (no promotion) against the guided loop.
 
 use iris_bench::experiments::record_workload;
-use iris_fuzzer::guided::{run_guided, GuidedConfig};
+use iris_fuzzer::guided::{run_guided, run_guided_parallel, GuidedConfig};
+use iris_fuzzer::parallel::available_jobs;
 use iris_guest::workloads::Workload;
 
 fn main() {
@@ -10,6 +11,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(3000);
+    let instances: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let (_, trace) = record_workload(Workload::OsBoot, 800, 42);
     let r = run_guided(
         &trace,
@@ -41,4 +46,32 @@ fn main() {
         print!(" {g}");
     }
     println!();
+
+    // Optional ensemble: N independent guided campaigns (distinct RNG
+    // seeds) sharded over the host's cores — the §IX reproduction at
+    // scale. Deterministic per instance, whatever the worker count.
+    if instances > 1 {
+        let configs: Vec<GuidedConfig> = (0..instances as u64)
+            .map(|i| GuidedConfig {
+                budget,
+                rng_seed: 42 + i,
+                ..GuidedConfig::default()
+            })
+            .collect();
+        let jobs = available_jobs();
+        let ensemble = run_guided_parallel(&trace, &configs, jobs);
+        println!("\nensemble: {instances} guided campaigns across {jobs} workers");
+        for (cfg, r) in configs.iter().zip(&ensemble) {
+            println!(
+                "  seed {:>3}: {} -> {} lines, {} promotions, {} crashes",
+                cfg.rng_seed,
+                r.baseline_lines,
+                r.total_lines,
+                r.promotions,
+                r.failures.vm_crashes + r.failures.hv_crashes
+            );
+        }
+        let best = ensemble.iter().map(|r| r.total_lines).max().unwrap_or(0);
+        println!("  best instance coverage: {best} lines");
+    }
 }

@@ -2,9 +2,15 @@
 //! by the IRIS-based fuzzer prototype, plus the crash statistics of
 //! §VII-4 (paper: VM crashes ~1%, hypervisor crashes ~15% under VMCS
 //! mutation).
+//!
+//! Runs on the sharded executor: `table1_fuzzer [exits] [mutants]
+//! [jobs]`, with `jobs` defaulting to the host's available parallelism.
+//! The table is deterministic in `(exits, mutants)` — the same cells
+//! and corpus for any worker count.
 
-use iris_bench::experiments::table1;
+use iris_bench::experiments::table1_parallel;
 use iris_fuzzer::failure::FailureKind;
+use iris_fuzzer::parallel::available_jobs;
 
 fn main() {
     let exits: usize = std::env::args()
@@ -15,10 +21,14 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(300); // paper: 10_000
+    let jobs: usize = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(available_jobs);
     println!(
-        "Table I — new coverage per test case ({exits}-exit traces, {mutants} mutants/cell)\n"
+        "Table I — new coverage per test case ({exits}-exit traces, {mutants} mutants/cell, {jobs} workers)\n"
     );
-    let (table, campaign) = table1(exits, mutants, 42);
+    let (table, report) = table1_parallel(exits, mutants, 42, jobs);
     println!("{}", table.render());
 
     let mut vmcs_vm = 0u64;
@@ -39,13 +49,16 @@ fn main() {
         );
     }
     println!(
-        "corpus: {} crashes saved ({} VM, {} hypervisor)",
-        campaign.corpus.len(),
-        campaign.corpus.of_kind(FailureKind::VmCrash).count(),
-        campaign
-            .corpus
-            .of_kind(FailureKind::HypervisorCrash)
-            .count()
+        "corpus: {} crashes observed, {} unique saved ({} VM, {} hypervisor)",
+        report.corpus.observed(),
+        report.corpus.unique(),
+        report.corpus.of_kind(FailureKind::VmCrash).count(),
+        report.corpus.of_kind(FailureKind::HypervisorCrash).count()
+    );
+    println!(
+        "campaign coverage: {} unique lines over {} submitted mutants",
+        report.coverage.lines(),
+        report.failures.submitted
     );
     std::fs::write(
         "results/table1.json",

@@ -9,6 +9,7 @@ use iris_core::record::{RecordConfig, Recorder};
 use iris_core::replay::ReplayEngine;
 use iris_core::trace::RecordedTrace;
 use iris_fuzzer::campaign::Campaign;
+use iris_fuzzer::parallel::{CampaignReport, ParallelCampaign};
 use iris_fuzzer::table1::Table1;
 use iris_guest::runner::{fast_forward_boot, GuestRunner};
 use iris_guest::workloads::{os_boot, Workload};
@@ -389,17 +390,40 @@ pub fn fig10_overhead(workload: Workload, exits: usize, runs: usize, seed: u64) 
 // Table I + §VI-B + §VI-D.
 // ---------------------------------------------------------------------
 
-/// Run Table I with the given mutant count per cell.
+/// Record the Table I workload traces — the shared input of both Table
+/// I entry points (keeping them on one recording path is what makes
+/// [`table1_parallel`] byte-identical to [`table1`]).
 #[must_use]
-pub fn table1(exits: usize, mutants: usize, seed: u64) -> (Table1, Campaign) {
+pub fn table1_traces(exits: usize, seed: u64) -> BTreeMap<Workload, RecordedTrace> {
     let mut traces = BTreeMap::new();
     for w in iris_fuzzer::table1::TABLE1_WORKLOADS {
         let (_, t) = record_workload(*w, exits, seed);
         traces.insert(*w, t);
     }
+    traces
+}
+
+/// Run Table I with the given mutant count per cell.
+#[must_use]
+pub fn table1(exits: usize, mutants: usize, seed: u64) -> (Table1, Campaign) {
+    let traces = table1_traces(exits, seed);
     let mut campaign = Campaign::new();
     let table = Table1::run(&mut campaign, &traces, mutants, seed);
     (table, campaign)
+}
+
+/// Run Table I on the sharded executor with `jobs` workers. The cells
+/// (and the crash corpus) are byte-identical to [`table1`]'s for any
+/// worker count; only the wall clock changes.
+#[must_use]
+pub fn table1_parallel(
+    exits: usize,
+    mutants: usize,
+    seed: u64,
+    jobs: usize,
+) -> (Table1, CampaignReport) {
+    let traces = table1_traces(exits, seed);
+    Table1::run_parallel(&ParallelCampaign::new(jobs), &traces, mutants, seed)
 }
 
 /// §VI-B boot-state experiment result.

@@ -13,8 +13,9 @@ use iris_core::manager::{IrisManager, Mode};
 use iris_core::metrics;
 use iris_core::record::RecordConfig;
 use iris_core::seed_db::SeedDb;
-use iris_fuzzer::campaign::Campaign;
 use iris_fuzzer::mutation::SeedArea;
+use iris_fuzzer::parallel::{available_jobs, ParallelCampaign};
+use iris_fuzzer::table1::Table1;
 use iris_fuzzer::testcase::TestCase;
 use iris_guest::workloads::Workload;
 use std::path::PathBuf;
@@ -50,13 +51,20 @@ pub const USAGE: &str = "\
 iris — record & replay framework for hardware-assisted virtualization fuzzing
 
 USAGE:
-    iris record  <workload> [--exits N] [--seed S] [--out FILE.json]
-    iris replay  <workload> [--exits N] [--seed S] [--cold] [--memory]
-    iris fuzz    <workload> [--exits N] [--mutants M] [--area vmcs|gpr] [--reason R]
-    iris guided  <workload> [--exits N] [--budget B]
-    iris report  <FILE.json>
+    iris record   <workload> [--exits N] [--seed S] [--out FILE.json]
+    iris replay   <workload> [--exits N] [--seed S] [--cold] [--memory]
+    iris fuzz     <workload> [--exits N] [--mutants M] [--area vmcs|gpr] [--reason R] [--jobs N]
+    iris campaign <workload> [--exits N] [--mutants M] [--jobs N]
+    iris guided   <workload> [--exits N] [--budget B]
+    iris report   <FILE.json>
 
 WORKLOADS: os_boot | cpu_bound | mem_bound | io_bound | idle
+
+`campaign` fuzzes every (exit reason x seed area) cell the trace offers,
+sharded over N worker threads (default: available parallelism). Results
+are deterministic: the same cells, crashes, and corpus for any N.
+`fuzz` runs one test case — one worker regardless of --jobs (a single
+mutant sequence is one RNG stream and cannot shard deterministically).
 ";
 
 fn parse_workload(name: &str) -> Result<Workload, CliError> {
@@ -98,6 +106,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "record" => cmd_record(&args[1..]),
         "replay" => cmd_replay(&args[1..]),
         "fuzz" => cmd_fuzz(&args[1..]),
+        "campaign" => cmd_campaign(&args[1..]),
         "guided" => cmd_guided(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
@@ -227,8 +236,10 @@ fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
         mutants,
         ..TestCase::new(w, idx, trace.seeds[idx].reason, area, seed)
     };
-    let mut campaign = Campaign::new();
-    let r = campaign.run_test_case(&trace, &tc);
+    let jobs = parse_jobs(args)?;
+    let executor = ParallelCampaign::new(jobs);
+    let report = executor.run_trace(&trace, std::slice::from_ref(&tc));
+    let r = &report.results[0];
     let mut out = format!(
         "fuzzed seed #{idx} ({}) of {} — area {}, {} mutants\n",
         tc.reason.figure_label(),
@@ -236,17 +247,92 @@ fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
         area.label(),
         mutants
     );
+    if jobs > 1 && flag_value(args, "--jobs").is_some() {
+        // One test case occupies one worker: a single mutant sequence is
+        // one RNG stream, so it cannot shard without changing results.
+        // Only say so when the user actually asked for workers — the
+        // default on a multi-core host is also > 1.
+        out.push_str(&format!(
+            "note: fuzz runs a single test case, so only 1 of {jobs} workers is used; \
+             `iris campaign` shards across test cases\n"
+        ));
+    }
     out.push_str(&format!(
         "new coverage: +{:.0}% ({} new lines over a {}-line baseline)\n",
         r.coverage_increase_percent, r.new_lines, r.baseline_lines
     ));
     out.push_str(&format!(
-        "crashes: {} VM ({:.2}%), {} hypervisor ({:.2}%) — corpus {}\n",
+        "crashes: {} VM ({:.2}%), {} hypervisor ({:.2}%) — corpus {} ({} unique)\n",
         r.failures.vm_crashes,
         r.failures.vm_crash_percent(),
         r.failures.hv_crashes,
         r.failures.hv_crash_percent(),
-        campaign.corpus.len()
+        report.corpus.observed(),
+        report.corpus.unique()
+    ));
+    Ok(out)
+}
+
+/// `--jobs N` (default: the host's available parallelism).
+fn parse_jobs(args: &[String]) -> Result<usize, CliError> {
+    let jobs = parse_num(args, "--jobs", available_jobs())?;
+    if jobs == 0 {
+        return Err(CliError::Usage("--jobs must be at least 1".to_owned()));
+    }
+    Ok(jobs)
+}
+
+fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
+    let (mut mgr, w, exits, seed) = setup(args)?;
+    let mutants: usize = parse_num(args, "--mutants", 200)?;
+    let jobs = parse_jobs(args)?;
+    let ops = w.generate(exits, seed);
+    mgr.record(w.label(), ops, RecordConfig::default());
+    let trace = mgr.db.get(w.label()).expect("recorded").clone();
+
+    let mut traces = std::collections::BTreeMap::new();
+    traces.insert(w, trace);
+    let plan = Table1::plan(&traces, mutants, seed);
+    if plan.is_empty() {
+        return Err(CliError::Usage(
+            "trace contains no Table I exit reasons to fuzz".to_owned(),
+        ));
+    }
+    let executor = ParallelCampaign::new(jobs);
+    let report = executor.run(&traces, &plan);
+
+    let mut out = format!(
+        "campaign over {} — {} test cases ({} mutants each), {} worker{}\n",
+        w.label(),
+        plan.len(),
+        mutants,
+        jobs,
+        if jobs == 1 { "" } else { "s" }
+    );
+    for r in &report.results {
+        out.push_str(&format!(
+            "  {:<14} {:<5} +{:>3.0}%  ({} new lines, {} VM / {} HV crashes)\n",
+            r.testcase.reason.figure_label(),
+            r.testcase.area.label(),
+            r.coverage_increase_percent,
+            r.new_lines,
+            r.failures.vm_crashes,
+            r.failures.hv_crashes
+        ));
+    }
+    out.push_str(&format!(
+        "total: {} mutants, {} lines covered, crashes {} VM ({:.2}%) / {} hypervisor ({:.2}%)\n",
+        report.failures.submitted,
+        report.coverage.lines(),
+        report.failures.vm_crashes,
+        report.failures.vm_crash_percent(),
+        report.failures.hv_crashes,
+        report.failures.hv_crash_percent()
+    ));
+    out.push_str(&format!(
+        "corpus: {} crashes observed, {} unique signatures saved\n",
+        report.corpus.observed(),
+        report.corpus.unique()
     ));
     Ok(out)
 }
@@ -344,6 +430,44 @@ mod tests {
         let out = run(&args("fuzz os_boot --exits 100 --mutants 60")).unwrap();
         assert!(out.contains("new coverage"));
         assert!(out.contains("crashes:"));
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_jobs() {
+        let one = run(&args("campaign os_boot --exits 120 --mutants 25 --jobs 1")).unwrap();
+        let two = run(&args("campaign os_boot --exits 120 --mutants 25 --jobs 2")).unwrap();
+        let eight = run(&args("campaign os_boot --exits 120 --mutants 25 --jobs 8")).unwrap();
+        // The sharded executor is deterministic, so even the rendered
+        // text agrees apart from the worker count in the header.
+        let strip = |s: &str| {
+            s.lines()
+                .skip(1)
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&one), strip(&two));
+        assert_eq!(strip(&one), strip(&eight));
+        assert!(one.contains("corpus:"), "{one}");
+        assert!(one.contains("unique signatures"), "{one}");
+    }
+
+    #[test]
+    fn campaign_rejects_zero_jobs() {
+        assert!(matches!(
+            run(&args("campaign os_boot --exits 80 --jobs 0")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn fuzz_accepts_jobs_flag_but_says_one_worker_runs() {
+        let out = run(&args("fuzz os_boot --exits 100 --mutants 40 --jobs 2")).unwrap();
+        assert!(out.contains("new coverage"), "{out}");
+        assert!(out.contains("unique"), "{out}");
+        assert!(out.contains("only 1 of 2 workers"), "{out}");
+        let solo = run(&args("fuzz os_boot --exits 100 --mutants 40 --jobs 1")).unwrap();
+        assert!(!solo.contains("note:"), "{solo}");
     }
 
     #[test]

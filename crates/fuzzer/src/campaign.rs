@@ -35,6 +35,11 @@ pub struct TestCaseResult {
     pub failures: FailureStats,
 }
 
+/// Default dummy-VM RAM for campaign drivers (sequential and sharded):
+/// the seeds carry the state, so RAM only matters for the
+/// guest-memory-dependent paths.
+pub const DEFAULT_RAM_BYTES: u64 = 16 << 20;
+
 /// Campaign driver.
 #[derive(Debug)]
 pub struct Campaign {
@@ -56,7 +61,7 @@ impl Campaign {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            ram_bytes: 16 << 20,
+            ram_bytes: DEFAULT_RAM_BYTES,
             corpus: Corpus::new(),
         }
     }
@@ -66,6 +71,17 @@ impl Campaign {
     /// The trace must be the recording of `testcase.workload`;
     /// `testcase.seed_index` selects `VM_seed_R` within it.
     pub fn run_test_case(&mut self, trace: &RecordedTrace, testcase: &TestCase) -> TestCaseResult {
+        self.run_test_case_cov(trace, testcase).0
+    }
+
+    /// Like [`Campaign::run_test_case`], but also returns the coverage
+    /// map the test case touched (baseline ∪ discovered). The parallel
+    /// executor merges these word-wise into the campaign-wide map.
+    pub fn run_test_case_cov(
+        &mut self,
+        trace: &RecordedTrace,
+        testcase: &TestCase,
+    ) -> (TestCaseResult, CoverageMap) {
         assert!(
             testcase.seed_index < trace.seeds.len(),
             "seed index beyond the trace"
@@ -124,17 +140,18 @@ impl Campaign {
         }
 
         let new_lines = discovered.lines();
-        TestCaseResult {
+        let result = TestCaseResult {
             testcase: testcase.clone(),
             baseline_lines,
             new_lines,
-            coverage_increase_percent: if baseline_lines == 0 {
-                0.0
-            } else {
-                new_lines as f64 / baseline_lines as f64 * 100.0
-            },
+            // One percent rule for the whole crate (failure.rs): a
+            // zero-line baseline with discoveries is 100% new, not 0%.
+            coverage_increase_percent: crate::failure::percent(new_lines, baseline_lines),
             failures,
-        }
+        };
+        let mut touched = baseline_cov;
+        touched.merge(&discovered);
+        (result, touched)
     }
 
     /// Build a fresh hypervisor + dummy VM, replay the trace prefix up
@@ -221,8 +238,17 @@ mod tests {
             r.failures
         );
         assert_eq!(
-            campaign.corpus.len() as u64,
+            campaign.corpus.observed(),
             r.failures.hv_crashes + r.failures.vm_crashes
+        );
+        // 150 VMCS flips hammer a handful of mutation sites; dedup keeps
+        // one reproducer per (kind, site, console) signature.
+        let unique = campaign.corpus.unique();
+        assert!(unique > 0);
+        assert!(
+            (unique as u64) < campaign.corpus.observed(),
+            "a crashy site must not flood the corpus: {unique} unique of {}",
+            campaign.corpus.observed()
         );
     }
 

@@ -29,11 +29,74 @@ pub struct CrashRecord {
     pub console: String,
 }
 
-/// A collection of crash records.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// Whether two crash records carry the same signature:
+/// `(kind, mutation site/area, console message)`. The flipped-bit
+/// position is deliberately *not* part of the key — a crashy mutation
+/// site produces the same failure for many bit positions, and those are
+/// exactly the duplicates that used to flood the corpus. A VMCS site is
+/// identified by the *field* the flipped read pair names, not by the
+/// seed-relative pair index: the corpus dedups campaign-wide, and
+/// `reads[2]` means a different field in every seed.
+#[must_use]
+pub fn same_signature(a: &CrashRecord, b: &CrashRecord) -> bool {
+    a.kind == b.kind
+        && a.console == b.console
+        && match (&a.mutation, &b.mutation) {
+            (
+                Some(AppliedMutation::VmcsBitFlip { index: ia, .. }),
+                Some(AppliedMutation::VmcsBitFlip { index: ib, .. }),
+            ) => {
+                let field = |r: &CrashRecord, i: usize| r.seed.reads.get(i).map(|pair| pair.0);
+                field(a, *ia) == field(b, *ib)
+            }
+            (
+                Some(AppliedMutation::GprBitFlip { gpr: ga, .. }),
+                Some(AppliedMutation::GprBitFlip { gpr: gb, .. }),
+            ) => ga == gb,
+            (None, None) => true,
+            _ => false,
+        }
+}
+
+/// A collection of crash records, deduplicated by signature.
+///
+/// Every observed crash is *counted* ([`Corpus::observed`]), but only
+/// the first record of each `(kind, mutation site, console)` signature
+/// is *stored* ([`Corpus::len`] / [`Corpus::unique`]) — one reproducer
+/// per distinct failure, however many bit positions retrigger it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct Corpus {
-    /// All saved crashes, in discovery order.
+    /// Deduplicated crash records, in discovery order.
     pub crashes: Vec<CrashRecord>,
+    /// Crashes observed, including deduplicated duplicates.
+    observed: u64,
+}
+
+impl Deserialize for Corpus {
+    /// Hand-written for backward compatibility: corpora persisted before
+    /// dedup carry no `observed` field and may hold duplicate records.
+    /// Loaded records are re-pushed through the dedup path (restoring
+    /// the "one record per signature" invariant, with every record
+    /// counted as observed), and the persisted `observed` count — when
+    /// present and larger — wins, so a modern save/load round-trips.
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::Error::msg("corpus must be a map"))?;
+        let records = match serde::value::map_get(entries, "crashes") {
+            Some(c) => Vec::<CrashRecord>::from_value(c)?,
+            None => Vec::new(),
+        };
+        let persisted_observed = serde::value::map_get(entries, "observed")
+            .and_then(serde::Value::as_u64)
+            .unwrap_or(0);
+        let mut corpus = Corpus::new();
+        for record in records {
+            corpus.push(record);
+        }
+        corpus.observed = corpus.observed.max(persisted_observed);
+        Ok(corpus)
+    }
 }
 
 impl Corpus {
@@ -43,21 +106,57 @@ impl Corpus {
         Self::default()
     }
 
-    /// Save a crash.
-    pub fn push(&mut self, record: CrashRecord) {
-        self.crashes.push(record);
+    /// Record a crash. The observation is always counted; the record is
+    /// stored only when its signature is new. Returns whether it was
+    /// stored.
+    pub fn push(&mut self, record: CrashRecord) -> bool {
+        self.observed += 1;
+        self.insert_unique(record)
     }
 
-    /// Number of saved crashes.
+    /// Merge another corpus in: its observation count is added and its
+    /// records are re-deduplicated against this one, preserving `other`'s
+    /// discovery order. Folding per-worker corpora in plan order yields
+    /// exactly the corpus a sequential run over the same plan builds.
+    pub fn absorb(&mut self, other: Corpus) {
+        self.observed += other.observed;
+        for record in other.crashes {
+            self.insert_unique(record);
+        }
+    }
+
+    fn insert_unique(&mut self, record: CrashRecord) -> bool {
+        if self.crashes.iter().any(|c| same_signature(c, &record)) {
+            return false;
+        }
+        self.crashes.push(record);
+        true
+    }
+
+    /// Number of stored crash records (`crashes.len()` — the container
+    /// convention). Because storage dedups, this equals [`Corpus::unique`].
     #[must_use]
     pub fn len(&self) -> usize {
         self.crashes.len()
     }
 
-    /// Whether any crash was saved.
+    /// Number of crashes observed, including deduplicated duplicates —
+    /// the count that matches [`FailureStats`]' crash totals.
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of distinct crash signatures stored.
+    #[must_use]
+    pub fn unique(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Whether any crash was observed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty()
+        self.observed == 0
     }
 
     /// Crashes of one kind.
@@ -83,11 +182,18 @@ mod tests {
     use iris_guest::workloads::Workload;
     use iris_vtx::exit::ExitReason;
 
+    use iris_vtx::fields::VmcsField;
+
     fn record(kind: FailureKind) -> CrashRecord {
+        let mut seed = VmSeed::new(ExitReason::CrAccess);
+        seed.push_read(VmcsField::VmExitReason, 28);
+        seed.push_read(VmcsField::ExitQualification, 0x10);
+        seed.push_read(VmcsField::GuestRip, 0x1000);
+        seed.push_read(VmcsField::GuestCr0, 0x31);
         CrashRecord {
             testcase: TestCase::new(Workload::OsBoot, 1, ExitReason::CrAccess, SeedArea::Vmcs, 0),
             mutant_index: 42,
-            seed: VmSeed::new(ExitReason::CrAccess),
+            seed,
             mutation: None,
             kind,
             console: "FATAL: unexpected VM exit reason 7".to_owned(),
@@ -97,15 +203,130 @@ mod tests {
     #[test]
     fn push_filter_and_persist() {
         let mut c = Corpus::new();
-        c.push(record(FailureKind::VmCrash));
-        c.push(record(FailureKind::HypervisorCrash));
-        c.push(record(FailureKind::HypervisorCrash));
-        assert_eq!(c.len(), 3);
-        assert_eq!(c.of_kind(FailureKind::HypervisorCrash).count(), 2);
+        assert!(c.push(record(FailureKind::VmCrash)));
+        assert!(c.push(record(FailureKind::HypervisorCrash)));
+        assert!(
+            !c.push(record(FailureKind::HypervisorCrash)),
+            "same signature must not be stored twice"
+        );
+        assert_eq!(c.observed(), 3, "every observation is counted");
+        assert_eq!(c.len(), 2, "len matches the stored records");
+        assert_eq!(c.unique(), 2, "only distinct signatures are stored");
+        assert_eq!(c.of_kind(FailureKind::HypervisorCrash).count(), 1);
 
         let p = std::env::temp_dir().join("iris-corpus-test.json");
         c.save(&p).unwrap();
         assert_eq!(Corpus::load(&p).unwrap(), c);
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn dedup_keys_on_kind_site_and_console() {
+        let flip = |index, bit| Some(AppliedMutation::VmcsBitFlip { index, bit });
+        let mut c = Corpus::new();
+        let base = CrashRecord {
+            mutation: flip(2, 17),
+            ..record(FailureKind::HypervisorCrash)
+        };
+        assert!(c.push(base.clone()));
+        // Same site, different bit position: the classic flood — dropped.
+        assert!(!c.push(CrashRecord {
+            mutation: flip(2, 43),
+            mutant_index: 99,
+            ..base.clone()
+        }));
+        // Different mutation site (reads[3] names another field): stored.
+        assert!(c.push(CrashRecord {
+            mutation: flip(3, 17),
+            ..base.clone()
+        }));
+        // The site is the *field*, not the pair index: a crash from a
+        // different test case whose seed lists GuestRip at another index
+        // is the same failure — dropped.
+        assert!(!c.push(CrashRecord {
+            mutation: flip(0, 9),
+            seed: {
+                let mut s = VmSeed::new(ExitReason::CrAccess);
+                s.push_read(VmcsField::GuestRip, 0x2000);
+                s
+            },
+            ..base.clone()
+        }));
+        // Different console banner: stored.
+        assert!(c.push(CrashRecord {
+            console: "FATAL: unexpected VM exit reason 9".to_owned(),
+            ..base.clone()
+        }));
+        // Same site but the domain died instead of the hypervisor: stored.
+        assert!(c.push(CrashRecord {
+            kind: FailureKind::VmCrash,
+            ..base.clone()
+        }));
+        // GPR flips key on the register, not the bit.
+        let gpr = |gpr, bit| Some(AppliedMutation::GprBitFlip { gpr, bit });
+        assert!(c.push(CrashRecord {
+            mutation: gpr(iris_vtx::gpr::Gpr::Rax, 1),
+            ..base.clone()
+        }));
+        assert!(!c.push(CrashRecord {
+            mutation: gpr(iris_vtx::gpr::Gpr::Rax, 60),
+            ..base.clone()
+        }));
+        assert_eq!(c.observed(), 8);
+        assert_eq!(c.unique(), 5);
+    }
+
+    #[test]
+    fn legacy_json_without_observed_count_loads_consistently() {
+        // A corpus persisted before dedup landed: only a `crashes` list,
+        // possibly holding flood duplicates.
+        let legacy = serde_json::to_string(&serde::Value::Map(vec![(
+            serde::Value::Str("crashes".to_owned()),
+            vec![
+                record(FailureKind::VmCrash),
+                record(FailureKind::HypervisorCrash),
+                record(FailureKind::HypervisorCrash),
+                record(FailureKind::HypervisorCrash),
+            ]
+            .to_value(),
+        )]))
+        .unwrap();
+        let c: Corpus = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(c.unique(), 2, "legacy duplicates are re-deduplicated");
+        assert_eq!(c.observed(), 4, "every legacy record counts as observed");
+        assert_eq!(c.len(), c.unique());
+        assert_eq!(c.of_kind(FailureKind::HypervisorCrash).count(), 1);
+        assert!(!c.is_empty());
+
+        // A modern save/load still round-trips exactly.
+        let mut modern = Corpus::new();
+        for _ in 0..5 {
+            modern.push(record(FailureKind::VmCrash));
+        }
+        let json = serde_json::to_string(&modern).unwrap();
+        assert_eq!(serde_json::from_str::<Corpus>(&json).unwrap(), modern);
+    }
+
+    #[test]
+    fn absorb_rededups_and_keeps_counts() {
+        let mut a = Corpus::new();
+        a.push(record(FailureKind::HypervisorCrash));
+        let mut b = Corpus::new();
+        b.push(record(FailureKind::HypervisorCrash)); // duplicate of a's
+        b.push(record(FailureKind::VmCrash));
+        b.push(record(FailureKind::VmCrash));
+        a.absorb(b);
+        assert_eq!(a.observed(), 4);
+        assert_eq!(a.unique(), 2);
+
+        // Absorbing in plan order equals pushing in plan order.
+        let mut seq = Corpus::new();
+        for _ in 0..2 {
+            seq.push(record(FailureKind::HypervisorCrash));
+        }
+        for _ in 0..2 {
+            seq.push(record(FailureKind::VmCrash));
+        }
+        assert_eq!(seq, a);
     }
 }

@@ -42,6 +42,14 @@ impl FailureStats {
         }
     }
 
+    /// Fold another sequence's counters into this one (campaign-level
+    /// aggregation across test cases or workers).
+    pub fn merge(&mut self, other: &FailureStats) {
+        self.submitted += other.submitted;
+        self.vm_crashes += other.vm_crashes;
+        self.hv_crashes += other.hv_crashes;
+    }
+
     /// VM-crash rate in percent (the paper's ≈1% for VMCS mutation).
     #[must_use]
     pub fn vm_crash_percent(&self) -> f64 {
@@ -55,9 +63,19 @@ impl FailureStats {
     }
 }
 
-fn percent(part: u64, whole: u64) -> f64 {
+/// `part` over `whole` in percent — the one percent rule every reported
+/// ratio goes through (crash rates, coverage increase). A zero `whole`
+/// with a non-zero `part` means "everything is new" and reports 100.0;
+/// zero over zero is 0.0. Keeping this in one place stops the campaign
+/// and failure helpers from drifting apart on the division-by-zero case.
+#[must_use]
+pub fn percent(part: u64, whole: u64) -> f64 {
     if whole == 0 {
-        0.0
+        if part > 0 {
+            100.0
+        } else {
+            0.0
+        }
     } else {
         part as f64 / whole as f64 * 100.0
     }
@@ -105,6 +123,36 @@ mod tests {
         assert_eq!(s.submitted, 100);
         assert!((s.vm_crash_percent() - 1.0).abs() < 1e-9);
         assert!((s.hv_crash_percent() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_folds_counters() {
+        let mut a = FailureStats {
+            submitted: 10,
+            vm_crashes: 1,
+            hv_crashes: 2,
+        };
+        let b = FailureStats {
+            submitted: 30,
+            vm_crashes: 3,
+            hv_crashes: 0,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            FailureStats {
+                submitted: 40,
+                vm_crashes: 4,
+                hv_crashes: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn percent_distinguishes_empty_whole_from_no_part() {
+        assert_eq!(percent(0, 0), 0.0);
+        assert_eq!(percent(5, 0), 100.0, "new lines over a zero baseline");
+        assert!((percent(1, 3) - 100.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -176,6 +176,25 @@ pub fn run_guided(trace: &RecordedTrace, config: GuidedConfig) -> GuidedResult {
     }
 }
 
+/// Run an ensemble of guided campaigns, sharded over `jobs` worker
+/// threads — the §IX figure reproduction at scale: many independent
+/// feedback loops (one per config, typically differing in `rng_seed`)
+/// instead of one, using every available core.
+///
+/// The feedback loop itself is inherently sequential (each promotion
+/// feeds later scheduling decisions), so parallelism lives *across*
+/// instances: each instance is self-contained and deterministic in its
+/// config, and results come back in config order, so the returned
+/// vector is identical for any `jobs` value.
+#[must_use]
+pub fn run_guided_parallel(
+    trace: &RecordedTrace,
+    configs: &[GuidedConfig],
+    jobs: usize,
+) -> Vec<GuidedResult> {
+    crate::parallel::run_indexed(configs, jobs, |_, config| run_guided(trace, *config))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +244,35 @@ mod tests {
         let r = run_guided(&RecordedTrace::new("empty"), GuidedConfig::default());
         assert_eq!(r.executions, 0);
         assert_eq!(r.corpus_size, 0);
+    }
+
+    #[test]
+    fn guided_ensemble_is_worker_count_independent() {
+        let trace = boot_trace();
+        let configs: Vec<GuidedConfig> = (0..4)
+            .map(|i| GuidedConfig {
+                budget: 80,
+                rng_seed: 100 + i,
+                ..GuidedConfig::default()
+            })
+            .collect();
+        let snapshot = |results: &[GuidedResult]| {
+            results
+                .iter()
+                .map(|r| serde_json::to_string(r).unwrap())
+                .collect::<Vec<_>>()
+        };
+        let one = run_guided_parallel(&trace, &configs, 1);
+        let four = run_guided_parallel(&trace, &configs, 4);
+        assert_eq!(one.len(), 4);
+        assert_eq!(snapshot(&one), snapshot(&four));
+        // Each instance equals its standalone sequential run.
+        for (cfg, r) in configs.iter().zip(&one) {
+            let solo = run_guided(&trace, *cfg);
+            assert_eq!(
+                serde_json::to_string(&solo).unwrap(),
+                serde_json::to_string(r).unwrap()
+            );
+        }
     }
 }

@@ -13,8 +13,10 @@
 //!   engine, also from §IX.
 //! * [`testcase`] — `(W, VM_seed_R, A, M)` test-case planning.
 //! * [`campaign`] — replay-to-state, baseline, sequence, recovery.
+//! * [`parallel`] — sharded multi-worker campaign execution with
+//!   deterministic (worker-count-independent) aggregation.
 //! * [`failure`] — VM-crash vs hypervisor-crash classification.
-//! * [`corpus`] — reproducible crash records.
+//! * [`corpus`] — reproducible, signature-deduplicated crash records.
 //! * [`table1`] — assembly of the paper's Table I.
 //!
 //! ```
@@ -45,6 +47,7 @@ pub mod corpus;
 pub mod failure;
 pub mod guided;
 pub mod mutation;
+pub mod parallel;
 pub mod strategies;
 pub mod table1;
 pub mod testcase;
@@ -52,8 +55,9 @@ pub mod testcase;
 pub use campaign::{Campaign, TestCaseResult};
 pub use corpus::{Corpus, CrashRecord};
 pub use failure::{FailureKind, FailureStats};
-pub use guided::{run_guided, GuidedConfig, GuidedResult};
+pub use guided::{run_guided, run_guided_parallel, GuidedConfig, GuidedResult};
 pub use mutation::{mutate, AppliedMutation, SeedArea};
+pub use parallel::{available_jobs, CampaignReport, ParallelCampaign};
 pub use strategies::{mutate_with, Strategy};
 pub use table1::Table1;
 pub use testcase::TestCase;

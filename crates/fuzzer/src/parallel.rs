@@ -1,0 +1,382 @@
+//! Parallel sharded campaign execution.
+//!
+//! The paper's PoC fuzzer (§VII) submits test cases strictly
+//! sequentially; [`Campaign`] inherits that. A campaign plan, however,
+//! is embarrassingly parallel: every [`TestCase`] carries its own
+//! `rng_seed` and rebuilds its own stack (hypervisor, dummy domain,
+//! replay engine, `s1` snapshot), so test cases share *nothing* at run
+//! time. [`ParallelCampaign`] exploits that: N worker threads pull test
+//! cases from a shared work queue, each worker owning a private
+//! `Hypervisor`/`ReplayEngine`/`Snapshot` per test case (reached once,
+//! restored per crash — exactly the sequential path), and stream
+//! per-test-case results to an aggregator over an `mpsc` channel. The
+//! aggregator merges [`CoverageMap`]s word-wise, folds [`FailureStats`],
+//! and absorbs per-worker [`Corpus`] shards in **plan order**.
+//!
+//! Determinism is a hard requirement: because each test case is
+//! self-contained and aggregation is ordered by plan index, the report —
+//! results, merged coverage, folded stats, deduplicated corpus — is
+//! byte-identical for 1, 2, or 8 workers, and identical to a sequential
+//! [`Campaign`] loop over the same plan.
+
+use crate::campaign::{Campaign, TestCaseResult};
+use crate::corpus::Corpus;
+use crate::failure::FailureStats;
+use crate::testcase::TestCase;
+use iris_core::trace::RecordedTrace;
+use iris_guest::workloads::Workload;
+use iris_hv::coverage::CoverageMap;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Aggregated outcome of a campaign plan — everything Table I needs,
+/// plus the merged coverage and the deduplicated crash corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// One result per planned test case, in plan order.
+    pub results: Vec<TestCaseResult>,
+    /// Union of every test case's touched coverage (baseline ∪
+    /// discovered), merged word-wise.
+    pub coverage: CoverageMap,
+    /// Folded failure counters over the whole plan.
+    pub failures: FailureStats,
+    /// Deduplicated crash corpus over the whole plan.
+    pub corpus: Corpus,
+}
+
+impl CampaignReport {
+    fn new() -> Self {
+        Self {
+            results: Vec::new(),
+            coverage: CoverageMap::new(),
+            failures: FailureStats::default(),
+            corpus: Corpus::new(),
+        }
+    }
+
+    /// Fold one test case's outputs in. Must be called in plan order —
+    /// the corpus dedup keeps the *first* record per signature, and plan
+    /// order is what makes that choice worker-count-independent.
+    fn fold(&mut self, result: TestCaseResult, coverage: &CoverageMap, corpus: Corpus) {
+        self.failures.merge(&result.failures);
+        self.coverage.merge(coverage);
+        self.corpus.absorb(corpus);
+        self.results.push(result);
+    }
+}
+
+/// The worker-pool core shared by [`ParallelCampaign`] and
+/// [`crate::guided::run_guided_parallel`]: shard `items` across at most
+/// `jobs` worker threads pulling indices from a shared queue, stream
+/// `(index, output)` pairs to the aggregating thread over an `mpsc`
+/// channel as they finish, and return the outputs in **item order** —
+/// the property every deterministic-aggregation guarantee above rests
+/// on.
+pub(crate) fn run_indexed<T, R, F>(items: &[T], jobs: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = jobs.min(items.len()).max(1);
+    let queue: Arc<Mutex<VecDeque<usize>>> = Arc::new(Mutex::new((0..items.len()).collect()));
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let queue = Arc::clone(&queue);
+            let tx = tx.clone();
+            let work = &work;
+            scope.spawn(move || loop {
+                let Some(index) = queue.lock().expect("queue poisoned").pop_front() else {
+                    break;
+                };
+                if tx.send((index, work(index, &items[index]))).is_err() {
+                    break; // aggregator gone; nothing left to do
+                }
+            });
+        }
+        drop(tx);
+        // Drain concurrently with the workers; indices slot arrivals
+        // back into item order whatever the completion order was.
+        for (index, r) in rx {
+            out[index] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index was delivered"))
+        .collect()
+}
+
+/// A campaign executor that shards the planned test cases across worker
+/// threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelCampaign {
+    /// Worker thread count (≥ 1).
+    pub jobs: usize,
+    /// Guest RAM for each worker's dummy domain.
+    pub ram_bytes: u64,
+}
+
+impl Default for ParallelCampaign {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+impl ParallelCampaign {
+    /// An executor with an explicit worker count (clamped to ≥ 1) and
+    /// the sequential campaign's dummy-VM sizing.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            ram_bytes: crate::campaign::DEFAULT_RAM_BYTES,
+        }
+    }
+
+    /// An executor sized to the host: one worker per available core.
+    #[must_use]
+    pub fn with_available_parallelism() -> Self {
+        Self::new(available_jobs())
+    }
+
+    /// Run a plan whose test cases may span several workloads; each test
+    /// case runs against the trace recorded for its workload.
+    ///
+    /// # Panics
+    /// Panics if a planned test case names a workload with no trace in
+    /// `traces` — a malformed plan, not a runtime condition.
+    #[must_use]
+    pub fn run(
+        &self,
+        traces: &BTreeMap<Workload, RecordedTrace>,
+        plan: &[TestCase],
+    ) -> CampaignReport {
+        for tc in plan {
+            assert!(
+                traces.contains_key(&tc.workload),
+                "plan references workload {:?} with no recorded trace",
+                tc.workload
+            );
+        }
+        self.run_with(plan, |tc| &traces[&tc.workload])
+    }
+
+    /// Run a single-trace plan (every test case targets `trace`).
+    #[must_use]
+    pub fn run_trace(&self, trace: &RecordedTrace, plan: &[TestCase]) -> CampaignReport {
+        self.run_with(plan, |_| trace)
+    }
+
+    /// The executor core: shard `plan` over `self.jobs` workers via
+    /// [`run_indexed`], then fold the ordered outputs in plan order.
+    fn run_with<'t, F>(&self, plan: &[TestCase], trace_of: F) -> CampaignReport
+    where
+        F: Fn(&TestCase) -> &'t RecordedTrace + Sync,
+    {
+        let ram_bytes = self.ram_bytes;
+        let outputs = run_indexed(plan, self.jobs, |_, tc| {
+            // A fresh per-test-case campaign: `run_test_case` rebuilds
+            // the stack and snapshots `s1` itself, so a worker-private
+            // corpus is the only state to carry.
+            let mut campaign = Campaign {
+                ram_bytes,
+                corpus: Corpus::new(),
+            };
+            let (result, coverage) = campaign.run_test_case_cov(trace_of(tc), tc);
+            (result, coverage, campaign.corpus)
+        });
+        let mut report = CampaignReport::new();
+        for (result, coverage, corpus) in outputs {
+            report.fold(result, &coverage, corpus);
+        }
+        report
+    }
+
+    /// The sequential reference: one shared [`Campaign`] over the plan,
+    /// in order — exactly what a pre-sharding driver did. The parallel
+    /// path must produce a byte-identical report to this.
+    #[must_use]
+    pub fn run_sequential(
+        traces: &BTreeMap<Workload, RecordedTrace>,
+        plan: &[TestCase],
+        ram_bytes: u64,
+    ) -> CampaignReport {
+        let mut campaign = Campaign {
+            ram_bytes,
+            corpus: Corpus::new(),
+        };
+        let mut report = CampaignReport::new();
+        for tc in plan {
+            let trace = &traces[&tc.workload];
+            let (result, coverage) = campaign.run_test_case_cov(trace, tc);
+            report.failures.merge(&result.failures);
+            report.coverage.merge(&coverage);
+            report.results.push(result);
+        }
+        report.corpus = campaign.corpus;
+        report
+    }
+}
+
+/// Worker count of the host (`std::thread::available_parallelism`),
+/// falling back to 1 where the hint is unavailable.
+#[must_use]
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::SeedArea;
+    use iris_core::record::Recorder;
+    use iris_hv::hypervisor::Hypervisor;
+    use iris_vtx::exit::ExitReason;
+
+    fn boot_trace(n: usize) -> RecordedTrace {
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_hvm_domain(16 << 20);
+        Recorder::new().record_workload(
+            &mut hv,
+            dom,
+            "OS BOOT",
+            iris_guest::workloads::Workload::OsBoot.generate(n, 42),
+        )
+    }
+
+    fn plan_over(trace: &RecordedTrace, mutants: usize) -> Vec<TestCase> {
+        let mut plan = Vec::new();
+        let mut seen = Vec::new();
+        for (idx, seed) in trace.seeds.iter().enumerate() {
+            if seen.contains(&seed.reason) {
+                continue;
+            }
+            seen.push(seed.reason);
+            for area in SeedArea::ALL {
+                plan.push(TestCase {
+                    mutants,
+                    ..TestCase::new(
+                        iris_guest::workloads::Workload::OsBoot,
+                        idx,
+                        seed.reason,
+                        area,
+                        0xC0FFEE ^ idx as u64,
+                    )
+                });
+            }
+        }
+        plan
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical_across_worker_counts() {
+        let trace = boot_trace(150);
+        let plan = plan_over(&trace, 40);
+        assert!(plan.len() >= 6, "plan too small to shard meaningfully");
+        let mut traces = BTreeMap::new();
+        traces.insert(iris_guest::workloads::Workload::OsBoot, trace);
+
+        let sequential =
+            ParallelCampaign::run_sequential(&traces, &plan, crate::campaign::DEFAULT_RAM_BYTES);
+        let baseline = serde_json::to_string(&sequential).unwrap();
+        for jobs in [1usize, 2, 8] {
+            let report = ParallelCampaign::new(jobs).run(&traces, &plan);
+            assert_eq!(
+                serde_json::to_string(&report).unwrap(),
+                baseline,
+                "jobs={jobs} diverged from the sequential reference"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_coverage_matches_sequential_union() {
+        let trace = boot_trace(120);
+        let plan = plan_over(&trace, 25);
+        let report = ParallelCampaign::new(4).run_trace(&trace, &plan);
+
+        // Re-run sequentially, unioning per-test-case maps by hand.
+        let mut campaign = Campaign::new();
+        let maps: Vec<CoverageMap> = plan
+            .iter()
+            .map(|tc| campaign.run_test_case_cov(&trace, tc).1)
+            .collect();
+        assert_eq!(report.coverage, CoverageMap::merged(maps.iter()));
+        assert!(report.coverage.lines() > 0);
+    }
+
+    #[test]
+    fn aggregated_stats_fold_every_test_case() {
+        let trace = boot_trace(100);
+        let plan = plan_over(&trace, 30);
+        let report = ParallelCampaign::new(3).run_trace(&trace, &plan);
+        assert_eq!(report.results.len(), plan.len());
+        assert_eq!(
+            report.failures.submitted,
+            plan.iter().map(|tc| tc.mutants as u64).sum::<u64>()
+        );
+        assert_eq!(
+            report.corpus.observed(),
+            report.failures.vm_crashes + report.failures.hv_crashes,
+            "every observed crash is counted"
+        );
+        assert!(report.corpus.unique() as u64 <= report.corpus.observed());
+        // Results come back in plan order, not completion order.
+        for (tc, r) in plan.iter().zip(&report.results) {
+            assert_eq!(tc, &r.testcase);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_work_is_fine() {
+        let trace = boot_trace(80);
+        let idx = trace
+            .seeds
+            .iter()
+            .position(|s| s.reason == ExitReason::CrAccess)
+            .expect("boot trace has CR accesses");
+        let plan = vec![TestCase {
+            mutants: 10,
+            ..TestCase::new(
+                iris_guest::workloads::Workload::OsBoot,
+                idx,
+                ExitReason::CrAccess,
+                SeedArea::Vmcs,
+                7,
+            )
+        }];
+        let report = ParallelCampaign::new(64).run_trace(&trace, &plan);
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.failures.submitted, 10);
+    }
+
+    #[test]
+    fn empty_plan_yields_an_empty_report() {
+        let trace = boot_trace(40);
+        let report = ParallelCampaign::new(4).run_trace(&trace, &[]);
+        assert!(report.results.is_empty());
+        assert_eq!(report.failures, FailureStats::default());
+        assert!(report.corpus.is_empty());
+        assert_eq!(report.coverage, CoverageMap::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "no recorded trace")]
+    fn malformed_plan_panics_up_front() {
+        let traces = BTreeMap::new();
+        let plan = vec![TestCase::new(
+            iris_guest::workloads::Workload::Idle,
+            0,
+            ExitReason::Hlt,
+            SeedArea::Gpr,
+            1,
+        )];
+        let _ = ParallelCampaign::new(2).run(&traces, &plan);
+    }
+}

@@ -6,6 +6,7 @@
 
 use crate::campaign::{Campaign, TestCaseResult};
 use crate::mutation::SeedArea;
+use crate::parallel::{CampaignReport, ParallelCampaign};
 use crate::testcase::TestCase;
 use iris_core::trace::RecordedTrace;
 use iris_guest::workloads::Workload;
@@ -106,22 +107,58 @@ impl Table1 {
         rng_seed: u64,
     ) -> Table1 {
         let mut table = Table1::default();
+        for tc in Self::plan(traces, mutants, rng_seed) {
+            let r = campaign.run_test_case(&traces[&tc.workload], &tc);
+            table.insert(&r);
+        }
+        table
+    }
+
+    /// The full-table plan: one test case per (workload trace, reason
+    /// row, area column) where the trace contains a seed with that
+    /// reason, in the deterministic order [`Table1::run`] executes them.
+    #[must_use]
+    pub fn plan(
+        traces: &BTreeMap<Workload, RecordedTrace>,
+        mutants: usize,
+        rng_seed: u64,
+    ) -> Vec<TestCase> {
+        let mut plan = Vec::new();
         for (&workload, trace) in traces {
             for &reason in TABLE1_ROWS {
                 let Some(seed_index) = trace.seeds.iter().position(|s| s.reason == reason) else {
                     continue; // the paper's "-" cells
                 };
                 for area in SeedArea::ALL {
-                    let tc = TestCase {
+                    plan.push(TestCase {
                         mutants,
                         ..TestCase::new(workload, seed_index, reason, area, rng_seed)
-                    };
-                    let r = campaign.run_test_case(trace, &tc);
-                    table.insert(&r);
+                    });
                 }
             }
         }
-        table
+        plan
+    }
+
+    /// Run the full table on a sharded executor. Deterministic: the plan
+    /// and per-test-case results are worker-count-independent, so the
+    /// assembled table equals [`Table1::run`]'s for any `jobs`. Also
+    /// returns the aggregated report (merged coverage, folded stats,
+    /// deduplicated corpus) that the sequential API kept in `Campaign`.
+    #[must_use]
+    pub fn run_parallel(
+        executor: &ParallelCampaign,
+        traces: &BTreeMap<Workload, RecordedTrace>,
+        mutants: usize,
+        rng_seed: u64,
+    ) -> (Table1, CampaignReport) {
+        let plan = Self::plan(traces, mutants, rng_seed);
+        let report = executor.run(traces, &plan);
+        let mut table = Table1::default();
+        for r in &report.results {
+            table.insert(r);
+        }
+        (table, report)
     }
 
     fn insert(&mut self, r: &TestCaseResult) {
@@ -219,5 +256,27 @@ mod tests {
         let rendered = table.render();
         assert!(rendered.contains("CR ACCESS"));
         assert!(rendered.contains('-'));
+    }
+
+    #[test]
+    fn parallel_table_matches_sequential() {
+        let mut traces = BTreeMap::new();
+        let mut hv = Hypervisor::new();
+        let dom = hv.create_hvm_domain(16 << 20);
+        let trace = Recorder::new().record_workload(
+            &mut hv,
+            dom,
+            "OS BOOT",
+            Workload::OsBoot.generate(120, 42),
+        );
+        traces.insert(Workload::OsBoot, trace);
+
+        let mut campaign = Campaign::new();
+        let sequential = Table1::run(&mut campaign, &traces, 15, 1);
+        let (parallel, report) = Table1::run_parallel(&ParallelCampaign::new(4), &traces, 15, 1);
+        assert_eq!(sequential, parallel);
+        assert_eq!(report.results.len(), Table1::plan(&traces, 15, 1).len());
+        assert_eq!(report.corpus.observed(), campaign.corpus.observed());
+        assert_eq!(report.corpus.unique(), campaign.corpus.unique());
     }
 }

@@ -324,6 +324,24 @@ impl CoverageMap {
         }
     }
 
+    /// Union of many maps — the aggregation step of sharded campaigns:
+    /// per-worker maps fold into one campaign-wide map, word-wise, so
+    /// the cost is O(words × maps) regardless of hit counts. Merging is
+    /// commutative and idempotent, which is what lets a parallel run
+    /// fold worker maps in any completion order and still match the
+    /// sequential result.
+    #[must_use]
+    pub fn merged<'a, I>(maps: I) -> CoverageMap
+    where
+        I: IntoIterator<Item = &'a CoverageMap>,
+    {
+        let mut out = CoverageMap::new();
+        for m in maps {
+            out.merge(m);
+        }
+        out
+    }
+
     /// New lines `other` would add on top of `self`. Word-wise.
     #[must_use]
     pub fn new_lines_from(&self, other: &CoverageMap) -> u64 {
@@ -504,6 +522,24 @@ mod tests {
         a.merge(&c);
         assert_eq!(a.lines(), 7);
         assert_eq!(a.new_lines_from(&c), 0);
+    }
+
+    #[test]
+    fn merged_is_the_union_in_any_order() {
+        let mut a = CoverageMap::new();
+        a.hit(b(Component::Vmx, 1), 5);
+        a.hit(b(Component::Irq, 7), 2);
+        let mut c = CoverageMap::new();
+        c.hit(b(Component::Vmx, 1), 5);
+        c.hit(b(Component::Emulate, 3), 9);
+        let d = CoverageMap::new();
+        let forward = CoverageMap::merged([&a, &c, &d]);
+        let backward = CoverageMap::merged([&d, &c, &a]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.lines(), 16);
+        assert_eq!(forward.block_count(), 3);
+        let none: [&CoverageMap; 0] = [];
+        assert_eq!(CoverageMap::merged(none), CoverageMap::new());
     }
 
     #[test]

@@ -185,11 +185,12 @@ pub fn handle(ctx: &mut ExitCtx<'_>) -> Disposition {
         }
         _ => {
             ctx.cov.hit(Component::Hypercall, 60, 4);
-            ctx.log.push(
-                ctx.tsc.now(),
-                crate::log::Level::Debug,
-                format!("unimplemented hypercall {call}"),
-            );
+            // Campaigns run with the threshold at Warning; lazy push so
+            // this debug line never allocates on the fuzzing hot path.
+            ctx.log
+                .push_with(ctx.tsc.now(), crate::log::Level::Debug, || {
+                    format!("unimplemented hypercall {call}")
+                });
             ENOSYS
         }
     };

@@ -57,8 +57,9 @@ fn main() {
     }
 
     println!(
-        "\ncorpus: {} crashes saved ({} VM, {} hypervisor)",
-        campaign.corpus.len(),
+        "\ncorpus: {} crashes observed, {} unique saved ({} VM, {} hypervisor)",
+        campaign.corpus.observed(),
+        campaign.corpus.unique(),
         campaign.corpus.of_kind(FailureKind::VmCrash).count(),
         campaign
             .corpus

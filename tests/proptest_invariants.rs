@@ -221,6 +221,31 @@ proptest! {
         }
     }
 
+    /// Sharding a hit stream across N workers and folding the per-worker
+    /// maps word-wise reproduces the sequential run's map exactly — the
+    /// invariant `ParallelCampaign`'s aggregator rests on. Holds for any
+    /// shard assignment and any fold order.
+    #[test]
+    fn sharded_coverage_merge_equals_sequential(
+        hits in proptest::collection::vec((0usize..12, 0u16..256), 0..80),
+        jobs in 1usize..8,
+    ) {
+        let mut sequential = CoverageMap::new();
+        let mut shards = vec![CoverageMap::new(); jobs];
+        for (i, &(c, id)) in hits.iter().enumerate() {
+            let block = Block::new(Component::ALL[c], id);
+            // LOC weights are static per block in the real system (each
+            // `cov!` site always reports the same weight), so derive the
+            // weight from the block identity.
+            let loc = u32::from(id) % 39 + 1;
+            sequential.hit(block, loc);
+            shards[i % jobs].hit(block, loc);
+        }
+        prop_assert_eq!(&CoverageMap::merged(shards.iter()), &sequential);
+        // Completion order must not matter to the aggregator.
+        prop_assert_eq!(&CoverageMap::merged(shards.iter().rev()), &sequential);
+    }
+
     /// Coverage-map merge is monotone and idempotent; line counts never
     /// double-count blocks.
     #[test]
