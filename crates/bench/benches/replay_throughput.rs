@@ -2,7 +2,7 @@
 //! *reproduction* submits seeds, complementing the simulated-cycle
 //! numbers of Fig. 9).
 //!
-//! Two variants per workload:
+//! Four variants per workload:
 //!
 //! * `snapshot/…` — the real replay loop: hypervisor, dummy domain, and
 //!   engine are built **once**; each iteration restores the post-boot
@@ -12,11 +12,18 @@
 //!   (`Hypervisor::new()` + domain + boot fast-forward + engine) inside
 //!   `b.iter()`. Kept so the speedup of the snapshot path stays
 //!   measurable; PERFORMANCE.md records the ratio.
+//! * `direct/…` vs `target/…` — the same restore+submit loop driven
+//!   through the raw `ReplayEngine` and through the `FuzzTarget` trait
+//!   respectively. The drivers are generic over the factory (static
+//!   dispatch), so these two arms must coincide — the number
+//!   PERFORMANCE.md's "the trait adds no per-exit dispatch cost" claim
+//!   rests on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use iris_bench::experiments::record_workload;
 use iris_core::replay::ReplayEngine;
 use iris_core::snapshot::Snapshot;
+use iris_fuzzer::target::{BootPlan, FuzzTarget, IrisHvTarget, TargetFactory};
 use iris_guest::runner::fast_forward_boot;
 use iris_guest::workloads::Workload;
 use iris_hv::hypervisor::Hypervisor;
@@ -66,6 +73,59 @@ fn bench_replay(c: &mut Criterion) {
                 });
             },
         );
+
+        // Dispatch-cost pair: raw engine submission...
+        {
+            let mut hv = Hypervisor::new();
+            hv.log.set_min_level(Some(iris_hv::log::Level::Warning));
+            let dummy = hv.create_hvm_domain(16 << 20);
+            if workload != Workload::OsBoot {
+                fast_forward_boot(&mut hv, dummy);
+            }
+            let mut engine = ReplayEngine::new(&mut hv, dummy);
+            let start = Snapshot::take(&hv, dummy);
+            group.bench_with_input(
+                BenchmarkId::new("direct", workload.label()),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        start.restore_into(&mut hv, dummy);
+                        let mut crashes = 0u64;
+                        for seed in &trace.seeds {
+                            let out = engine.submit(&mut hv, seed);
+                            crashes += u64::from(out.exit.crash.is_some());
+                        }
+                        crashes
+                    });
+                },
+            );
+        }
+
+        // ...vs the identical loop through the FuzzTarget trait (the
+        // drivers' statically-dispatched path).
+        {
+            let factory = IrisHvTarget::default();
+            let mut target = factory.build(BootPlan {
+                trace: &trace,
+                prefix: 0,
+                fast_forward: workload != Workload::OsBoot,
+            });
+            target.boot();
+            group.bench_with_input(
+                BenchmarkId::new("target", workload.label()),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        target.reset();
+                        let mut crashes = 0u64;
+                        for seed in &trace.seeds {
+                            crashes += u64::from(target.submit(seed).crash.is_some());
+                        }
+                        crashes
+                    });
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -1,9 +1,13 @@
 //! The §IX coverage-guided fuzzer: AFL-style feedback over IRIS seeds.
 //! Compares blind mutation (no promotion) against the guided loop.
+//!
+//! `guided_fuzzing [budget] [instances] [target]` — `target` selects the
+//! fuzz-target backend (`iris` or `faulty`).
 
 use iris_bench::experiments::record_workload;
-use iris_fuzzer::guided::{run_guided, run_guided_parallel, GuidedConfig};
+use iris_fuzzer::guided::{run_guided_parallel_with, run_guided_with, GuidedConfig};
 use iris_fuzzer::parallel::available_jobs;
+use iris_fuzzer::target::{Backend, TargetFactory};
 use iris_guest::workloads::Workload;
 
 fn main() {
@@ -15,15 +19,23 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    let backend = std::env::args()
+        .nth(3)
+        .map(|s| Backend::parse(&s).expect("unknown target (iris|faulty)"))
+        .unwrap_or(Backend::Iris);
     let (_, trace) = record_workload(Workload::OsBoot, 800, 42);
-    let r = run_guided(
+    let r = run_guided_with(
+        &backend,
         &trace,
         GuidedConfig {
             budget,
             ..GuidedConfig::default()
         },
     );
-    println!("Coverage-guided fuzzing over OS BOOT seeds ({budget} executions)\n");
+    println!(
+        "Coverage-guided fuzzing over OS BOOT seeds ({budget} executions, target {})\n",
+        backend.name()
+    );
     println!("baseline corpus coverage : {} lines", r.baseline_lines);
     println!(
         "final coverage           : {} lines (+{})",
@@ -59,7 +71,7 @@ fn main() {
             })
             .collect();
         let jobs = available_jobs();
-        let ensemble = run_guided_parallel(&trace, &configs, jobs);
+        let ensemble = run_guided_parallel_with(&backend, &trace, &configs, jobs);
         println!("\nensemble: {instances} guided campaigns across {jobs} workers");
         for (cfg, r) in configs.iter().zip(&ensemble) {
             println!(

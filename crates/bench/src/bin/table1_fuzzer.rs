@@ -4,13 +4,17 @@
 //! mutation).
 //!
 //! Runs on the sharded executor: `table1_fuzzer [exits] [mutants]
-//! [jobs]`, with `jobs` defaulting to the host's available parallelism.
-//! The table is deterministic in `(exits, mutants)` — the same cells
-//! and corpus for any worker count.
+//! [jobs] [target]`, with `jobs` defaulting to the host's available
+//! parallelism and `target` to the stock `iris` backend (`faulty`
+//! selects the fault-injection build and appends a ground-truth
+//! planted-bug detection report). The table is deterministic in
+//! `(exits, mutants, target)` — the same cells and corpus for any
+//! worker count.
 
-use iris_bench::experiments::table1_parallel;
+use iris_bench::experiments::table1_parallel_with;
 use iris_fuzzer::failure::FailureKind;
 use iris_fuzzer::parallel::available_jobs;
+use iris_fuzzer::target::{render_planted_fault_report, Backend, TargetFactory};
 
 fn main() {
     let exits: usize = std::env::args()
@@ -25,10 +29,15 @@ fn main() {
         .nth(3)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(available_jobs);
+    let backend = std::env::args()
+        .nth(4)
+        .map(|s| Backend::parse(&s).expect("unknown target (iris|faulty)"))
+        .unwrap_or(Backend::Iris);
     println!(
-        "Table I — new coverage per test case ({exits}-exit traces, {mutants} mutants/cell, {jobs} workers)\n"
+        "Table I — new coverage per test case ({exits}-exit traces, {mutants} mutants/cell, {jobs} workers, target {})\n",
+        backend.name()
     );
-    let (table, report) = table1_parallel(exits, mutants, 42, jobs);
+    let (table, report) = table1_parallel_with(backend, exits, mutants, 42, jobs);
     println!("{}", table.render());
 
     let mut vmcs_vm = 0u64;
@@ -60,6 +69,9 @@ fn main() {
         report.coverage.lines(),
         report.failures.submitted
     );
+    if backend == Backend::Faulty {
+        print!("{}", render_planted_fault_report(&report.corpus));
+    }
     std::fs::write(
         "results/table1.json",
         serde_json::to_string_pretty(&table).expect("serialize"),

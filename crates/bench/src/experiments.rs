@@ -11,6 +11,7 @@ use iris_core::trace::RecordedTrace;
 use iris_fuzzer::campaign::Campaign;
 use iris_fuzzer::parallel::{CampaignReport, ParallelCampaign};
 use iris_fuzzer::table1::Table1;
+use iris_fuzzer::target::TargetFactory;
 use iris_guest::runner::{fast_forward_boot, GuestRunner};
 use iris_guest::workloads::{os_boot, Workload};
 use iris_hv::hooks::NoHooks;
@@ -424,6 +425,25 @@ pub fn table1_parallel(
 ) -> (Table1, CampaignReport) {
     let traces = table1_traces(exits, seed);
     Table1::run_parallel(&ParallelCampaign::new(jobs), &traces, mutants, seed)
+}
+
+/// [`table1_parallel`] against an explicit fuzz-target backend — e.g.
+/// `FaultyHvTarget` for a ground-truth detection run of the whole table.
+#[must_use]
+pub fn table1_parallel_with<F: TargetFactory>(
+    factory: F,
+    exits: usize,
+    mutants: usize,
+    seed: u64,
+    jobs: usize,
+) -> (Table1, CampaignReport) {
+    let traces = table1_traces(exits, seed);
+    Table1::run_parallel(
+        &ParallelCampaign::with_factory(jobs, factory),
+        &traces,
+        mutants,
+        seed,
+    )
 }
 
 /// §VI-B boot-state experiment result.

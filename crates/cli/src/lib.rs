@@ -13,9 +13,11 @@ use iris_core::manager::{IrisManager, Mode};
 use iris_core::metrics;
 use iris_core::record::RecordConfig;
 use iris_core::seed_db::SeedDb;
+use iris_fuzzer::guided::{run_guided_with, GuidedConfig};
 use iris_fuzzer::mutation::SeedArea;
 use iris_fuzzer::parallel::{available_jobs, ParallelCampaign};
 use iris_fuzzer::table1::Table1;
+use iris_fuzzer::target::{render_planted_fault_report, Backend, TargetFactory};
 use iris_fuzzer::testcase::TestCase;
 use iris_guest::workloads::Workload;
 use std::path::PathBuf;
@@ -53,9 +55,10 @@ iris — record & replay framework for hardware-assisted virtualization fuzzing
 USAGE:
     iris record   <workload> [--exits N] [--seed S] [--out FILE.json]
     iris replay   <workload> [--exits N] [--seed S] [--cold] [--memory]
-    iris fuzz     <workload> [--exits N] [--mutants M] [--area vmcs|gpr] [--reason R] [--jobs N]
-    iris campaign <workload> [--exits N] [--mutants M] [--jobs N]
-    iris guided   <workload> [--exits N] [--budget B]
+    iris fuzz     <workload> [--exits N] [--mutants M] [--area vmcs|gpr] [--reason R] [--jobs N] [--target T]
+    iris campaign <workload> [--exits N] [--mutants M] [--jobs N] [--target T]
+    iris guided   <workload> [--exits N] [--budget B] [--target T]
+    iris targets
     iris report   <FILE.json>
 
 WORKLOADS: os_boot | cpu_bound | mem_bound | io_bound | idle
@@ -65,6 +68,10 @@ sharded over N worker threads (default: available parallelism). Results
 are deterministic: the same cells, crashes, and corpus for any N.
 `fuzz` runs one test case — one worker regardless of --jobs (a single
 mutant sequence is one RNG stream and cannot shard deterministically).
+`--target` picks the fuzz-target backend (default: iris, the stock
+hypervisor); `iris targets` lists every registered backend. The faulty
+backend plants known handler bugs, and `campaign --target faulty`
+reports which of them the run detected.
 ";
 
 fn parse_workload(name: &str) -> Result<Workload, CliError> {
@@ -108,6 +115,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "fuzz" => cmd_fuzz(&args[1..]),
         "campaign" => cmd_campaign(&args[1..]),
         "guided" => cmd_guided(&args[1..]),
+        "targets" => Ok(cmd_targets()),
         "report" => cmd_report(&args[1..]),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
@@ -237,15 +245,17 @@ fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
         ..TestCase::new(w, idx, trace.seeds[idx].reason, area, seed)
     };
     let jobs = parse_jobs(args)?;
-    let executor = ParallelCampaign::new(jobs);
-    let report = executor.run_trace(&trace, std::slice::from_ref(&tc));
+    let backend = parse_target(args)?;
+    let report =
+        ParallelCampaign::with_factory(jobs, backend).run_trace(&trace, std::slice::from_ref(&tc));
     let r = &report.results[0];
     let mut out = format!(
-        "fuzzed seed #{idx} ({}) of {} — area {}, {} mutants\n",
+        "fuzzed seed #{idx} ({}) of {} — area {}, {} mutants, target {}\n",
         tc.reason.figure_label(),
         w.label(),
         area.label(),
-        mutants
+        mutants,
+        backend.name()
     );
     if jobs > 1 && flag_value(args, "--jobs").is_some() {
         // One test case occupies one worker: a single mutant sequence is
@@ -282,10 +292,42 @@ fn parse_jobs(args: &[String]) -> Result<usize, CliError> {
     Ok(jobs)
 }
 
+/// `--target NAME` (default: the stock `iris` backend). The parsed
+/// [`Backend`] is itself a [`TargetFactory`], so it plugs straight into
+/// the drivers.
+fn parse_target(args: &[String]) -> Result<Backend, CliError> {
+    match flag_value(args, "--target") {
+        None => Ok(Backend::Iris),
+        Some(name) => Backend::parse(&name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown target '{name}' — `iris targets` lists the registered backends"
+            ))
+        }),
+    }
+}
+
+fn cmd_targets() -> String {
+    let mut out = String::from("registered fuzz targets (select with --target NAME):\n");
+    for b in Backend::ALL {
+        out.push_str(&format!(
+            "  {:<8} {}{}\n",
+            b.name(),
+            b.description(),
+            if b == Backend::Iris {
+                "  [default]"
+            } else {
+                ""
+            }
+        ));
+    }
+    out
+}
+
 fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let (mut mgr, w, exits, seed) = setup(args)?;
     let mutants: usize = parse_num(args, "--mutants", 200)?;
     let jobs = parse_jobs(args)?;
+    let backend = parse_target(args)?;
     let ops = w.generate(exits, seed);
     mgr.record(w.label(), ops, RecordConfig::default());
     let trace = mgr.db.get(w.label()).expect("recorded").clone();
@@ -298,16 +340,16 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
             "trace contains no Table I exit reasons to fuzz".to_owned(),
         ));
     }
-    let executor = ParallelCampaign::new(jobs);
-    let report = executor.run(&traces, &plan);
+    let report = ParallelCampaign::with_factory(jobs, backend).run(&traces, &plan);
 
     let mut out = format!(
-        "campaign over {} — {} test cases ({} mutants each), {} worker{}\n",
+        "campaign over {} — {} test cases ({} mutants each), {} worker{}, target {}\n",
         w.label(),
         plan.len(),
         mutants,
         jobs,
-        if jobs == 1 { "" } else { "s" }
+        if jobs == 1 { "" } else { "s" },
+        backend.name()
     );
     for r in &report.results {
         out.push_str(&format!(
@@ -334,28 +376,36 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
         report.corpus.observed(),
         report.corpus.unique()
     ));
+    if backend == Backend::Faulty {
+        // The faulty backend has a ground truth: state exactly which of
+        // the planted handler bugs this campaign detected.
+        out.push_str(&render_planted_fault_report(&report.corpus));
+    }
     Ok(out)
 }
 
 fn cmd_guided(args: &[String]) -> Result<String, CliError> {
     let (mut mgr, w, exits, seed) = setup(args)?;
     let budget: u64 = parse_num(args, "--budget", 1500)?;
+    let backend = parse_target(args)?;
     let ops = w.generate(exits, seed);
     mgr.record(w.label(), ops, RecordConfig::default());
     let trace = mgr.db.get(w.label()).expect("recorded").clone();
-    let r = iris_fuzzer::guided::run_guided(
+    let r = run_guided_with(
+        &backend,
         &trace,
-        iris_fuzzer::guided::GuidedConfig {
+        GuidedConfig {
             budget,
             rng_seed: seed,
-            ..iris_fuzzer::guided::GuidedConfig::default()
+            ..GuidedConfig::default()
         },
     );
     Ok(format!(
-        "guided fuzzing over {} ({budget} executions)\n\
+        "guided fuzzing over {} ({budget} executions, target {})\n\
          coverage: {} -> {} lines ({} promotions, corpus {})\n\
          crashes: {} VM ({:.2}%), {} hypervisor ({:.2}%)\n",
         w.label(),
+        backend.name(),
         r.baseline_lines,
         r.total_lines,
         r.promotions,
@@ -468,6 +518,74 @@ mod tests {
         assert!(out.contains("only 1 of 2 workers"), "{out}");
         let solo = run(&args("fuzz os_boot --exits 100 --mutants 40 --jobs 1")).unwrap();
         assert!(!solo.contains("note:"), "{solo}");
+    }
+
+    #[test]
+    fn targets_lists_registered_backends() {
+        let out = run(&args("targets")).unwrap();
+        assert!(out.contains("iris"), "{out}");
+        assert!(out.contains("[default]"), "{out}");
+        assert!(out.contains("faulty"), "{out}");
+        assert!(out.contains("planted handler bugs"), "{out}");
+    }
+
+    #[test]
+    fn unknown_target_is_a_usage_error() {
+        assert!(matches!(
+            run(&args("campaign os_boot --exits 80 --target martian")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn faulty_campaign_reports_planted_fault_detection() {
+        let out = run(&args(
+            "campaign os_boot --exits 200 --mutants 150 --jobs 2 --target faulty",
+        ))
+        .unwrap();
+        assert!(out.contains("target faulty"), "{out}");
+        assert!(out.contains("planted faults: 3/3 detected"), "{out}");
+        assert!(out.contains("cpuid reserved-leaf BUG"), "{out}");
+        assert!(out.contains("cr-access qualification pointer"), "{out}");
+        assert!(out.contains("io DMA window overflow"), "{out}");
+        assert!(!out.contains("MISSED"), "{out}");
+    }
+
+    #[test]
+    fn faulty_campaign_is_deterministic_across_jobs() {
+        let strip = |s: &str| {
+            s.lines()
+                .skip(1)
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let one = run(&args(
+            "campaign os_boot --exits 120 --mutants 25 --jobs 1 --target faulty",
+        ))
+        .unwrap();
+        let two = run(&args(
+            "campaign os_boot --exits 120 --mutants 25 --jobs 2 --target faulty",
+        ))
+        .unwrap();
+        assert_eq!(strip(&one), strip(&two));
+    }
+
+    #[test]
+    fn stock_campaign_never_prints_the_faulty_section() {
+        let out = run(&args("campaign os_boot --exits 120 --mutants 25 --jobs 1")).unwrap();
+        assert!(out.contains("target iris"), "{out}");
+        assert!(!out.contains("planted faults"), "{out}");
+    }
+
+    #[test]
+    fn guided_accepts_a_target() {
+        let out = run(&args(
+            "guided os_boot --exits 150 --budget 200 --target faulty",
+        ))
+        .unwrap();
+        assert!(out.contains("target faulty"), "{out}");
+        assert!(out.contains("promotions"), "{out}");
     }
 
     #[test]

@@ -6,16 +6,20 @@
 //! un-mutated `VM_seed_R`, then submits the fuzzing sequence
 //! `C(VM_seed_R)_1..M` and reports the newly discovered coverage and the
 //! failure statistics — one Table I cell per test case.
+//!
+//! The SUT lifecycle (reach `s1`, submit, reset after a crash) lives
+//! behind the [`FuzzTarget`] trait, so the same driver fuzzes any
+//! registered backend ([`crate::target::Backend`]); the driver itself is
+//! generic over the [`TargetFactory`], keeping submission statically
+//! dispatched.
 
 use crate::corpus::{Corpus, CrashRecord};
-use crate::failure::{classify, FailureStats};
+use crate::failure::FailureStats;
 use crate::mutation::mutate;
+use crate::target::{BootPlan, FuzzTarget, IrisHvTarget, TargetFactory};
 use crate::testcase::TestCase;
-use iris_core::replay::ReplayEngine;
-use iris_core::snapshot::Snapshot;
 use iris_core::trace::RecordedTrace;
 use iris_hv::coverage::CoverageMap;
-use iris_hv::hypervisor::Hypervisor;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -40,11 +44,11 @@ pub struct TestCaseResult {
 /// guest-memory-dependent paths.
 pub const DEFAULT_RAM_BYTES: u64 = 16 << 20;
 
-/// Campaign driver.
+/// Campaign driver, generic over the fuzz-target backend.
 #[derive(Debug)]
-pub struct Campaign {
-    /// Guest RAM for the dummy domains.
-    pub ram_bytes: u64,
+pub struct Campaign<F: TargetFactory = IrisHvTarget> {
+    /// Builds the per-test-case target instances.
+    pub factory: F,
     /// Saved crashes.
     pub corpus: Corpus,
 }
@@ -56,12 +60,20 @@ impl Default for Campaign {
 }
 
 impl Campaign {
-    /// A campaign with small dummy VMs (the seeds carry the state; RAM
-    /// only matters for guest-memory-dependent paths).
+    /// A stock-backend campaign with small dummy VMs (the seeds carry
+    /// the state; RAM only matters for guest-memory-dependent paths).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_factory(IrisHvTarget::default())
+    }
+}
+
+impl<F: TargetFactory> Campaign<F> {
+    /// A campaign over an explicit backend factory.
+    #[must_use]
+    pub fn with_factory(factory: F) -> Self {
         Self {
-            ram_bytes: DEFAULT_RAM_BYTES,
+            factory,
             corpus: Corpus::new(),
         }
     }
@@ -82,126 +94,88 @@ impl Campaign {
         trace: &RecordedTrace,
         testcase: &TestCase,
     ) -> (TestCaseResult, CoverageMap) {
-        assert!(
-            testcase.seed_index < trace.seeds.len(),
-            "seed index beyond the trace"
-        );
-        let mut rng = SmallRng::seed_from_u64(testcase.rng_seed);
-        let target = &trace.seeds[testcase.seed_index];
+        run_test_case_with(&self.factory, &mut self.corpus, trace, testcase)
+    }
+}
 
-        // Reach s1 once and snapshot it; crash recovery restores the
-        // snapshot in O(dirty state) instead of rebuilding the stack and
-        // replaying the whole prefix again.
-        let (mut hv, mut engine, s1) = self.reach_target_state(trace, testcase.seed_index);
-        let baseline_outcome = engine.submit(&mut hv, target);
-        let baseline_cov = baseline_outcome.metrics.coverage.clone();
-        let baseline_lines = baseline_cov.lines();
+/// The test-case core every driver shares: build a private target from
+/// `factory`, boot it to `s1`, measure the `VM_seed_R` baseline, submit
+/// the fuzzing sequence with crash recovery, and fold crashes into
+/// `corpus`. [`crate::parallel::ParallelCampaign`] calls this directly
+/// with a worker-local corpus.
+pub fn run_test_case_with<F: TargetFactory>(
+    factory: &F,
+    corpus: &mut Corpus,
+    trace: &RecordedTrace,
+    testcase: &TestCase,
+) -> (TestCaseResult, CoverageMap) {
+    let mut rng = SmallRng::seed_from_u64(testcase.rng_seed);
 
-        // The fuzzing sequence.
-        let mut discovered = CoverageMap::new();
-        let mut failures = FailureStats::default();
-        for i in 0..testcase.mutants {
-            let (mutant, applied) = mutate(target, testcase.area, &mut rng);
-            let outcome = engine.submit(&mut hv, &mutant);
-            failures.record(outcome.exit.crash.as_ref());
-            for (b, l) in outcome.metrics.coverage.iter() {
-                if !baseline_cov.contains(b) {
-                    discovered.hit(b, l);
-                }
-            }
-            if let Some(kind) = classify(outcome.exit.crash.as_ref(), &hv.log) {
-                let console = hv
-                    .log
-                    .lines()
-                    .last()
-                    .map(|l| l.message.clone())
-                    .unwrap_or_default();
-                self.corpus.push(CrashRecord {
-                    testcase: testcase.clone(),
-                    mutant_index: i,
-                    seed: mutant,
-                    mutation: applied,
-                    kind,
-                    console,
-                });
-                // Reset to s1 (the paper's test-case restart after a
-                // failure). A domain crash restores from the snapshot;
-                // a hypervisor crash killed the whole stack, so only
-                // then is it rebuilt from scratch.
-                if hv.is_alive() {
-                    s1.restore_into(&mut hv, engine.domain);
-                } else {
-                    let (h, e, _) = self.reach_target_state(trace, testcase.seed_index);
-                    hv = h;
-                    engine = e;
-                }
-                let _ = engine.submit(&mut hv, target);
+    // Reach s1 once; the target snapshots it so crash recovery is a
+    // restore in O(dirty state) instead of rebuilding the stack and
+    // replaying the whole prefix again. (`for_test_case` bounds-checks
+    // the seed index.)
+    let mut target = factory.build(BootPlan::for_test_case(trace, testcase.seed_index));
+    target.boot();
+    let target_seed = &trace.seeds[testcase.seed_index];
+    let baseline_cov = target.submit(target_seed).coverage;
+    let baseline_lines = baseline_cov.lines();
+
+    // The fuzzing sequence.
+    let mut discovered = CoverageMap::new();
+    let mut failures = FailureStats::default();
+    for i in 0..testcase.mutants {
+        let (mutant, applied) = mutate(target_seed, testcase.area, &mut rng);
+        let out = target.submit(&mutant);
+        failures.record_kind(out.crash.as_ref().map(|v| v.kind));
+        for (b, l) in out.coverage.iter() {
+            if !baseline_cov.contains(b) {
+                discovered.hit(b, l);
             }
         }
-
-        let new_lines = discovered.lines();
-        let result = TestCaseResult {
-            testcase: testcase.clone(),
-            baseline_lines,
-            new_lines,
-            // One percent rule for the whole crate (failure.rs): a
-            // zero-line baseline with discoveries is 100% new, not 0%.
-            coverage_increase_percent: crate::failure::percent(new_lines, baseline_lines),
-            failures,
-        };
-        let mut touched = baseline_cov;
-        touched.merge(&discovered);
-        (result, touched)
+        if let Some(verdict) = out.crash {
+            corpus.push(CrashRecord {
+                testcase: testcase.clone(),
+                mutant_index: i,
+                seed: mutant,
+                mutation: applied,
+                kind: verdict.kind,
+                console: verdict.console,
+            });
+            // Reset to s1 (the paper's test-case restart after a
+            // failure — a snapshot restore, or a full rebuild when the
+            // SUT itself died), then re-establish the post-target state.
+            target.reset();
+            let _ = target.submit(target_seed);
+        }
     }
 
-    /// Build a fresh hypervisor + dummy VM, replay the trace prefix up
-    /// to (excluding) `seed_index` — state `s1` of Fig. 11 — and capture
-    /// a snapshot of `s1` for fast crash recovery.
-    fn reach_target_state(
-        &self,
-        trace: &RecordedTrace,
-        seed_index: usize,
-    ) -> (Hypervisor, ReplayEngine, Snapshot) {
-        let mut hv = Hypervisor::new();
-        // Campaigns only consume Err/Crit console lines (the failure
-        // classifier's grep); raising the threshold means info-level
-        // messages on the submission loop are never even formatted.
-        hv.log.set_min_level(Some(iris_hv::log::Level::Warning));
-        let dummy = hv.create_hvm_domain(self.ram_bytes);
-        // §VII-1: "Each test case starts from an initial VM state s0 of
-        // W". For post-boot workloads s0 is the booted snapshot — the
-        // dummy VM starts booted, like the paper reverts the test-VM
-        // snapshot. OS BOOT traces boot themselves.
-        if !trace.label.contains("BOOT") {
-            iris_guest::runner::fast_forward_boot(&mut hv, dummy);
-        }
-        let mut engine = ReplayEngine::new(&mut hv, dummy);
-        for seed in &trace.seeds[..seed_index] {
-            let out = engine.submit(&mut hv, seed);
-            debug_assert!(
-                out.exit.crash.is_none(),
-                "prefix replay must be clean: {:?}",
-                out.exit.crash
-            );
-        }
-        let s1 = Snapshot::take(&hv, dummy);
-        (hv, engine, s1)
-    }
+    let new_lines = discovered.lines();
+    let result = TestCaseResult {
+        testcase: testcase.clone(),
+        baseline_lines,
+        new_lines,
+        // One percent rule for the whole crate (failure.rs): a
+        // zero-line baseline with discoveries is 100% new, not 0%.
+        coverage_increase_percent: crate::failure::percent(new_lines, baseline_lines),
+        failures,
+    };
+    let mut touched = baseline_cov;
+    touched.merge(&discovered);
+    (result, touched)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::mutation::SeedArea;
+    use crate::target::{record_trace, FaultyHvTarget};
     use crate::testcase::TestCase;
-    use iris_core::record::Recorder;
     use iris_guest::workloads::Workload;
     use iris_vtx::exit::ExitReason;
 
     fn boot_trace(n: usize) -> RecordedTrace {
-        let mut hv = Hypervisor::new();
-        let dom = hv.create_hvm_domain(16 << 20);
-        Recorder::new().record_workload(&mut hv, dom, "OS BOOT", Workload::OsBoot.generate(n, 42))
+        record_trace(Workload::OsBoot, n, 42)
     }
 
     fn find_seed(trace: &RecordedTrace, reason: ExitReason) -> usize {
@@ -287,5 +261,30 @@ mod tests {
         let r = campaign.run_test_case(&trace, &tc);
         // Even with crashes along the way, all mutants were submitted.
         assert_eq!(r.failures.submitted, 60);
+    }
+
+    #[test]
+    fn faulty_backend_detects_the_planted_cpuid_bug_under_gpr_mutation() {
+        // The ground-truth scenario: the same GPR fuzzing sequence that
+        // is harmless on the stock backend finds the planted reserved-
+        // leaf BUG on the faulty one.
+        let trace = boot_trace(120);
+        let idx = find_seed(&trace, ExitReason::Cpuid);
+        let tc = TestCase {
+            mutants: 150,
+            ..TestCase::new(Workload::OsBoot, idx, ExitReason::Cpuid, SeedArea::Gpr, 4)
+        };
+        let mut faulty = Campaign::with_factory(FaultyHvTarget::default());
+        let r = faulty.run_test_case(&trace, &tc);
+        assert!(
+            r.failures.hv_crashes > 0,
+            "planted CPUID bug must fire under GPR mutation: {:?}",
+            r.failures
+        );
+        assert!(faulty
+            .corpus
+            .crashes
+            .iter()
+            .any(|c| c.console.contains("Xen BUG at cpuid.c")));
     }
 }

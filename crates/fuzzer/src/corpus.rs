@@ -141,7 +141,7 @@ impl Corpus {
     }
 
     /// Number of crashes observed, including deduplicated duplicates —
-    /// the count that matches [`FailureStats`]' crash totals.
+    /// the count that matches [`crate::failure::FailureStats`]' crash totals.
     #[must_use]
     pub fn observed(&self) -> u64 {
         self.observed
@@ -164,15 +164,36 @@ impl Corpus {
         self.crashes.iter().filter(move |c| c.kind == kind)
     }
 
-    /// Persist as JSON.
+    /// Persist as JSON, atomically: the bytes go to a `.tmp` sibling
+    /// first and are `rename`d into place, so a campaign interrupted
+    /// mid-save can never leave a torn corpus behind — the previous
+    /// complete corpus (if any) survives intact. Errors carry the path
+    /// they happened on.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, serde_json::to_vec_pretty(self)?)
+        let json = serde_json::to_vec_pretty(self)
+            .map_err(|e| annotate(e.into(), "serializing corpus for", path))?;
+        let mut tmp_name = path.file_name().unwrap_or_default().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, json).map_err(|e| annotate(e, "writing corpus to", &tmp))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            // Don't leave the orphan sibling behind on a failed rename.
+            std::fs::remove_file(&tmp).ok();
+            annotate(e, "committing corpus to", path)
+        })
     }
 
-    /// Load from JSON.
+    /// Load from JSON. Errors carry the path they happened on.
     pub fn load(path: &Path) -> io::Result<Corpus> {
-        Ok(serde_json::from_slice(&std::fs::read(path)?)?)
+        let bytes = std::fs::read(path).map_err(|e| annotate(e, "reading corpus from", path))?;
+        serde_json::from_slice(&bytes).map_err(|e| annotate(e.into(), "parsing corpus in", path))
     }
+}
+
+/// Wrap an I/O error with the operation and path it happened on, keeping
+/// the original [`io::ErrorKind`] so callers can still match on it.
+fn annotate(e: io::Error, what: &str, path: &Path) -> io::Error {
+    io::Error::new(e.kind(), format!("{what} {}: {e}", path.display()))
 }
 
 #[cfg(test)]
@@ -274,6 +295,57 @@ mod tests {
         }));
         assert_eq!(c.observed(), 8);
         assert_eq!(c.unique(), 5);
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_tmp_sibling() {
+        let dir = std::env::temp_dir();
+        let p = dir.join("iris-corpus-atomic-test.json");
+        let tmp = dir.join("iris-corpus-atomic-test.json.tmp");
+        std::fs::remove_file(&p).ok();
+
+        let mut c = Corpus::new();
+        c.push(record(FailureKind::VmCrash));
+        c.save(&p).unwrap();
+        assert!(!tmp.exists(), "tmp sibling must be renamed away");
+        assert_eq!(Corpus::load(&p).unwrap(), c);
+
+        // Overwriting an existing corpus goes through the same rename.
+        c.push(record(FailureKind::HypervisorCrash));
+        c.save(&p).unwrap();
+        assert!(!tmp.exists());
+        assert_eq!(Corpus::load(&p).unwrap(), c);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn io_errors_carry_the_path() {
+        let missing = std::env::temp_dir().join("iris-no-such-corpus.json");
+        let err = Corpus::load(&missing).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound, "kind preserved");
+        assert!(
+            err.to_string().contains("iris-no-such-corpus.json"),
+            "path context missing: {err}"
+        );
+
+        let unwritable = std::env::temp_dir()
+            .join("iris-no-such-dir")
+            .join("corpus.json");
+        let err = Corpus::new().save(&unwritable).unwrap_err();
+        assert!(
+            err.to_string().contains("iris-no-such-dir"),
+            "path context missing: {err}"
+        );
+
+        // A torn/corrupt file reports the parse failure with its path.
+        let bad = std::env::temp_dir().join("iris-corrupt-corpus.json");
+        std::fs::write(&bad, b"{\"crashes\": [trunc").unwrap();
+        let err = Corpus::load(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("iris-corrupt-corpus.json"),
+            "path context missing: {err}"
+        );
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

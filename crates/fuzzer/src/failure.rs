@@ -34,11 +34,23 @@ pub struct FailureStats {
 impl FailureStats {
     /// Record one outcome.
     pub fn record(&mut self, crash: Option<&Crash>) {
+        self.record_kind(crash.map(|c| {
+            if c.is_hypervisor() {
+                FailureKind::HypervisorCrash
+            } else {
+                FailureKind::VmCrash
+            }
+        }));
+    }
+
+    /// Record one classified outcome (the verdict a
+    /// [`crate::target::SubmitOutcome`] carries).
+    pub fn record_kind(&mut self, kind: Option<FailureKind>) {
         self.submitted += 1;
-        match crash {
+        match kind {
             None => {}
-            Some(c) if c.is_hypervisor() => self.hv_crashes += 1,
-            Some(_) => self.vm_crashes += 1,
+            Some(FailureKind::HypervisorCrash) => self.hv_crashes += 1,
+            Some(FailureKind::VmCrash) => self.vm_crashes += 1,
         }
     }
 

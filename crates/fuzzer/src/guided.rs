@@ -12,12 +12,10 @@
 use crate::failure::FailureStats;
 use crate::mutation::SeedArea;
 use crate::strategies::{mutate_with, Strategy};
-use iris_core::replay::ReplayEngine;
+use crate::target::{BootPlan, FuzzTarget, IrisHvTarget, TargetFactory};
 use iris_core::seed::VmSeed;
-use iris_core::snapshot::Snapshot;
 use iris_core::trace::RecordedTrace;
 use iris_hv::coverage::CoverageMap;
-use iris_hv::hypervisor::Hypervisor;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -62,12 +60,24 @@ impl Default for GuidedConfig {
     }
 }
 
-/// Run the coverage-guided loop seeded from a recorded trace.
+/// Run the coverage-guided loop seeded from a recorded trace on the
+/// stock backend, sized per `config.ram_bytes`.
 ///
 /// The initial corpus is a sample of the trace's seeds (one per distinct
 /// exit reason — the trace's "dictionary" of behaviours).
 #[must_use]
 pub fn run_guided(trace: &RecordedTrace, config: GuidedConfig) -> GuidedResult {
+    run_guided_with(&IrisHvTarget::with_ram(config.ram_bytes), trace, config)
+}
+
+/// [`run_guided`] over an explicit backend factory (the factory's
+/// dummy-VM sizing wins over `config.ram_bytes`).
+#[must_use]
+pub fn run_guided_with<F: TargetFactory>(
+    factory: &F,
+    trace: &RecordedTrace,
+    config: GuidedConfig,
+) -> GuidedResult {
     let mut rng = SmallRng::seed_from_u64(config.rng_seed);
 
     // Initial corpus: first seed of each distinct reason.
@@ -89,39 +99,19 @@ pub fn run_guided(trace: &RecordedTrace, config: GuidedConfig) -> GuidedResult {
         };
     }
 
-    // One long-lived stack. Crash recovery restores the post-boot
-    // snapshot in place; only a hypervisor-fatal crash rebuilds the
-    // stack from scratch.
-    let build = || -> (Hypervisor, ReplayEngine, Snapshot) {
-        let mut hv = Hypervisor::new();
-        // The guided loop never reads info-level console lines; the
-        // threshold keeps the hot loop from formatting them at all.
-        hv.log.set_min_level(Some(iris_hv::log::Level::Warning));
-        let dummy = hv.create_hvm_domain(config.ram_bytes);
-        iris_guest::runner::fast_forward_boot(&mut hv, dummy);
-        let engine = ReplayEngine::new(&mut hv, dummy);
-        let booted = Snapshot::take(&hv, dummy);
-        (hv, engine, booted)
-    };
-    let (mut hv, mut engine, mut booted) = build();
-    let recover = |hv: &mut Hypervisor, engine: &mut ReplayEngine, booted: &mut Snapshot| {
-        if hv.is_alive() {
-            booted.restore_into(hv, engine.domain);
-        } else {
-            let (h, e, s) = build();
-            *hv = h;
-            *engine = e;
-            *booted = s;
-        }
-    };
+    // One long-lived target: `s1` is the post-boot snapshot, so crash
+    // recovery ([`FuzzTarget::reset`]) restores it in place; only a
+    // SUT-fatal crash rebuilds the stack from scratch.
+    let mut target = factory.build(BootPlan::post_boot(trace));
+    target.boot();
 
     // Baseline: run the initial corpus once.
     let mut seen = CoverageMap::new();
     for seed in &corpus {
-        let out = engine.submit(&mut hv, seed);
-        seen.merge(&out.metrics.coverage);
-        if out.exit.crash.is_some() {
-            recover(&mut hv, &mut engine, &mut booted);
+        let out = target.submit(seed);
+        seen.merge(&out.coverage);
+        if out.crash.is_some() {
+            target.reset();
         }
     }
     let baseline_lines = seen.lines();
@@ -146,19 +136,19 @@ pub fn run_guided(trace: &RecordedTrace, config: GuidedConfig) -> GuidedResult {
             mutate_with(base, area, strategy, Some(donor), &mut rng)
         };
 
-        let out = engine.submit(&mut hv, &mutant);
-        failures.record(out.exit.crash.as_ref());
+        let out = target.submit(&mutant);
+        failures.record_kind(out.crash.as_ref().map(|v| v.kind));
 
-        let new_lines = seen.new_lines_from(&out.metrics.coverage);
+        let new_lines = seen.new_lines_from(&out.coverage);
         if new_lines > 0 {
-            seen.merge(&out.metrics.coverage);
+            seen.merge(&out.coverage);
             // Feedback: interesting mutants join the corpus.
             corpus.push(mutant);
             promotions += 1;
         }
 
-        if out.exit.crash.is_some() {
-            recover(&mut hv, &mut engine, &mut booted);
+        if out.crash.is_some() {
+            target.reset();
         }
         if (i + 1) % checkpoint == 0 {
             growth.push(seen.lines());
@@ -195,16 +185,28 @@ pub fn run_guided_parallel(
     crate::parallel::run_indexed(configs, jobs, |_, config| run_guided(trace, *config))
 }
 
+/// [`run_guided_parallel`] over an explicit backend factory, shared by
+/// every worker (each instance still builds its own private target).
+#[must_use]
+pub fn run_guided_parallel_with<F: TargetFactory>(
+    factory: &F,
+    trace: &RecordedTrace,
+    configs: &[GuidedConfig],
+    jobs: usize,
+) -> Vec<GuidedResult> {
+    crate::parallel::run_indexed(configs, jobs, |_, config| {
+        run_guided_with(factory, trace, *config)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iris_core::record::Recorder;
+    use crate::target::record_trace;
     use iris_guest::workloads::Workload;
 
     fn boot_trace() -> RecordedTrace {
-        let mut hv = Hypervisor::new();
-        let dom = hv.create_hvm_domain(16 << 20);
-        Recorder::new().record_workload(&mut hv, dom, "OS BOOT", Workload::OsBoot.generate(250, 42))
+        record_trace(Workload::OsBoot, 250, 42)
     }
 
     #[test]

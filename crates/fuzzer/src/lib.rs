@@ -6,38 +6,57 @@
 //! area, submit them as a *fuzzing sequence*, and observe new coverage
 //! and crashes.
 //!
+//! * [`target`] — the pluggable [`FuzzTarget`]/[`TargetFactory`] API:
+//!   the SUT lifecycle (boot to `s1`, submit, reset) behind a trait,
+//!   with the stock ([`IrisHvTarget`]) and fault-injection
+//!   ([`FaultyHvTarget`]) backends registered under [`Backend`].
 //! * [`mutation`] — the bit-flip rules over the two seed areas.
 //! * [`strategies`] — extended greybox mutations (havoc, arith,
 //!   interesting values, splice) per the paper's §IX future work.
 //! * [`guided`] — a coverage-guided feedback loop over the replay
 //!   engine, also from §IX.
 //! * [`testcase`] — `(W, VM_seed_R, A, M)` test-case planning.
-//! * [`campaign`] — replay-to-state, baseline, sequence, recovery.
+//! * [`campaign`] — baseline, fuzzing sequence, crash recovery, all
+//!   through [`FuzzTarget`].
 //! * [`parallel`] — sharded multi-worker campaign execution with
-//!   deterministic (worker-count-independent) aggregation.
+//!   deterministic (worker-count-independent) aggregation; workers
+//!   build private target instances from a shared factory.
 //! * [`failure`] — VM-crash vs hypervisor-crash classification.
 //! * [`corpus`] — reproducible, signature-deduplicated crash records.
 //! * [`table1`] — assembly of the paper's Table I.
 //!
-//! ```
-//! use iris_core::record::Recorder;
-//! use iris_fuzzer::campaign::Campaign;
-//! use iris_fuzzer::mutation::SeedArea;
-//! use iris_fuzzer::testcase::TestCase;
-//! use iris_guest::workloads::Workload;
-//! use iris_hv::hypervisor::Hypervisor;
-//! use iris_vtx::exit::ExitReason;
+//! A fuzzing sequence against a backend, by hand — boot to `s1`, submit
+//! the baseline, mutate, reset on a crash:
 //!
-//! let mut hv = Hypervisor::new();
-//! let dom = hv.create_hvm_domain(16 << 20);
-//! let trace = Recorder::new().record_workload(
-//!     &mut hv, dom, "OS BOOT", Workload::OsBoot.generate(80, 42));
-//! let idx = trace.seeds.iter().position(|s| s.reason == ExitReason::CrAccess).unwrap();
-//! let tc = TestCase { mutants: 25, ..TestCase::new(
-//!     Workload::OsBoot, idx, ExitReason::CrAccess, SeedArea::Vmcs, 7) };
-//! let result = Campaign::new().run_test_case(&trace, &tc);
-//! assert!(result.baseline_lines > 0);
 //! ```
+//! use iris_fuzzer::mutation::{mutate, SeedArea};
+//! use iris_fuzzer::target::{record_trace, BootPlan, FuzzTarget, IrisHvTarget, TargetFactory};
+//! use iris_guest::workloads::Workload;
+//! use iris_vtx::exit::ExitReason;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let trace = record_trace(Workload::OsBoot, 80, 42);
+//! let idx = trace.seeds.iter().position(|s| s.reason == ExitReason::CrAccess).unwrap();
+//!
+//! let factory = IrisHvTarget::default(); // or FaultyHvTarget, or your own
+//! let mut target = factory.build(BootPlan::for_test_case(&trace, idx));
+//! target.boot();
+//! let baseline = target.submit(&trace.seeds[idx]);
+//! assert!(baseline.coverage.lines() > 0);
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! for _ in 0..25 {
+//!     let (mutant, _) = mutate(&trace.seeds[idx], SeedArea::Vmcs, &mut rng);
+//!     if target.submit(&mutant).crash.is_some() {
+//!         target.reset(); // restore s1 and keep fuzzing
+//!     }
+//! }
+//! ```
+//!
+//! The [`Campaign`] / [`ParallelCampaign`] / [`guided`] / [`Table1`]
+//! drivers wrap exactly this loop (plus corpus bookkeeping) and accept
+//! any factory, so a new backend only implements the trait pair.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,14 +69,22 @@ pub mod mutation;
 pub mod parallel;
 pub mod strategies;
 pub mod table1;
+pub mod target;
 pub mod testcase;
 
 pub use campaign::{Campaign, TestCaseResult};
 pub use corpus::{Corpus, CrashRecord};
 pub use failure::{FailureKind, FailureStats};
-pub use guided::{run_guided, run_guided_parallel, GuidedConfig, GuidedResult};
+pub use guided::{
+    run_guided, run_guided_parallel, run_guided_parallel_with, run_guided_with, GuidedConfig,
+    GuidedResult,
+};
 pub use mutation::{mutate, AppliedMutation, SeedArea};
 pub use parallel::{available_jobs, CampaignReport, ParallelCampaign};
 pub use strategies::{mutate_with, Strategy};
 pub use table1::Table1;
+pub use target::{
+    detect_planted_faults, record_trace, render_planted_fault_report, Backend, BootPlan,
+    CrashVerdict, FaultyHvTarget, FuzzTarget, HvTarget, IrisHvTarget, SubmitOutcome, TargetFactory,
+};
 pub use testcase::TestCase;

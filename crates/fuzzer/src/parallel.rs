@@ -1,7 +1,7 @@
 //! Parallel sharded campaign execution.
 //!
 //! The paper's PoC fuzzer (§VII) submits test cases strictly
-//! sequentially; [`Campaign`] inherits that. A campaign plan, however,
+//! sequentially; [`crate::campaign::Campaign`] inherits that. A campaign plan, however,
 //! is embarrassingly parallel: every [`TestCase`] carries its own
 //! `rng_seed` and rebuilds its own stack (hypervisor, dummy domain,
 //! replay engine, `s1` snapshot), so test cases share *nothing* at run
@@ -17,11 +17,12 @@
 //! self-contained and aggregation is ordered by plan index, the report —
 //! results, merged coverage, folded stats, deduplicated corpus — is
 //! byte-identical for 1, 2, or 8 workers, and identical to a sequential
-//! [`Campaign`] loop over the same plan.
+//! [`crate::campaign::Campaign`] loop over the same plan.
 
-use crate::campaign::{Campaign, TestCaseResult};
+use crate::campaign::{run_test_case_with, TestCaseResult};
 use crate::corpus::Corpus;
 use crate::failure::FailureStats;
+use crate::target::{IrisHvTarget, TargetFactory};
 use crate::testcase::TestCase;
 use iris_core::trace::RecordedTrace;
 use iris_guest::workloads::Workload;
@@ -111,13 +112,15 @@ where
 }
 
 /// A campaign executor that shards the planned test cases across worker
-/// threads.
+/// threads, generic over the fuzz-target backend: every worker builds a
+/// private [`crate::target::FuzzTarget`] instance per test case through
+/// the shared factory.
 #[derive(Debug, Clone, Copy)]
-pub struct ParallelCampaign {
+pub struct ParallelCampaign<F: TargetFactory = IrisHvTarget> {
     /// Worker thread count (≥ 1).
     pub jobs: usize,
-    /// Guest RAM for each worker's dummy domain.
-    pub ram_bytes: u64,
+    /// The backend factory workers build their instances from.
+    pub factory: F,
 }
 
 impl Default for ParallelCampaign {
@@ -127,20 +130,28 @@ impl Default for ParallelCampaign {
 }
 
 impl ParallelCampaign {
-    /// An executor with an explicit worker count (clamped to ≥ 1) and
-    /// the sequential campaign's dummy-VM sizing.
+    /// A stock-backend executor with an explicit worker count (clamped
+    /// to ≥ 1) and the sequential campaign's dummy-VM sizing.
     #[must_use]
     pub fn new(jobs: usize) -> Self {
-        Self {
-            jobs: jobs.max(1),
-            ram_bytes: crate::campaign::DEFAULT_RAM_BYTES,
-        }
+        Self::with_factory(jobs, IrisHvTarget::default())
     }
 
     /// An executor sized to the host: one worker per available core.
     #[must_use]
     pub fn with_available_parallelism() -> Self {
         Self::new(available_jobs())
+    }
+}
+
+impl<F: TargetFactory> ParallelCampaign<F> {
+    /// An executor over an explicit backend factory.
+    #[must_use]
+    pub fn with_factory(jobs: usize, factory: F) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            factory,
+        }
     }
 
     /// Run a plan whose test cases may span several workloads; each test
@@ -173,21 +184,18 @@ impl ParallelCampaign {
 
     /// The executor core: shard `plan` over `self.jobs` workers via
     /// [`run_indexed`], then fold the ordered outputs in plan order.
-    fn run_with<'t, F>(&self, plan: &[TestCase], trace_of: F) -> CampaignReport
+    fn run_with<'t, G>(&self, plan: &[TestCase], trace_of: G) -> CampaignReport
     where
-        F: Fn(&TestCase) -> &'t RecordedTrace + Sync,
+        G: Fn(&TestCase) -> &'t RecordedTrace + Sync,
     {
-        let ram_bytes = self.ram_bytes;
+        let factory = &self.factory;
         let outputs = run_indexed(plan, self.jobs, |_, tc| {
-            // A fresh per-test-case campaign: `run_test_case` rebuilds
-            // the stack and snapshots `s1` itself, so a worker-private
-            // corpus is the only state to carry.
-            let mut campaign = Campaign {
-                ram_bytes,
-                corpus: Corpus::new(),
-            };
-            let (result, coverage) = campaign.run_test_case_cov(trace_of(tc), tc);
-            (result, coverage, campaign.corpus)
+            // A fresh per-test-case run: the target boots the stack and
+            // snapshots `s1` itself, so a worker-private corpus is the
+            // only state to carry.
+            let mut corpus = Corpus::new();
+            let (result, coverage) = run_test_case_with(factory, &mut corpus, trace_of(tc), tc);
+            (result, coverage, corpus)
         });
         let mut report = CampaignReport::new();
         for (result, coverage, corpus) in outputs {
@@ -196,29 +204,39 @@ impl ParallelCampaign {
         report
     }
 
-    /// The sequential reference: one shared [`Campaign`] over the plan,
-    /// in order — exactly what a pre-sharding driver did. The parallel
-    /// path must produce a byte-identical report to this.
+    /// The sequential reference: one shared corpus over the plan, in
+    /// order — exactly what a pre-sharding driver did. The parallel path
+    /// must produce a byte-identical report to this.
+    #[must_use]
+    pub fn run_sequential_with(
+        factory: &F,
+        traces: &BTreeMap<Workload, RecordedTrace>,
+        plan: &[TestCase],
+    ) -> CampaignReport {
+        let mut corpus = Corpus::new();
+        let mut report = CampaignReport::new();
+        for tc in plan {
+            let trace = &traces[&tc.workload];
+            let (result, coverage) = run_test_case_with(factory, &mut corpus, trace, tc);
+            report.failures.merge(&result.failures);
+            report.coverage.merge(&coverage);
+            report.results.push(result);
+        }
+        report.corpus = corpus;
+        report
+    }
+}
+
+impl ParallelCampaign {
+    /// [`ParallelCampaign::run_sequential_with`] on the stock backend
+    /// with explicit dummy-VM sizing.
     #[must_use]
     pub fn run_sequential(
         traces: &BTreeMap<Workload, RecordedTrace>,
         plan: &[TestCase],
         ram_bytes: u64,
     ) -> CampaignReport {
-        let mut campaign = Campaign {
-            ram_bytes,
-            corpus: Corpus::new(),
-        };
-        let mut report = CampaignReport::new();
-        for tc in plan {
-            let trace = &traces[&tc.workload];
-            let (result, coverage) = campaign.run_test_case_cov(trace, tc);
-            report.failures.merge(&result.failures);
-            report.coverage.merge(&coverage);
-            report.results.push(result);
-        }
-        report.corpus = campaign.corpus;
-        report
+        Self::run_sequential_with(&IrisHvTarget::with_ram(ram_bytes), traces, plan)
     }
 }
 
@@ -235,19 +253,11 @@ pub fn available_jobs() -> usize {
 mod tests {
     use super::*;
     use crate::mutation::SeedArea;
-    use iris_core::record::Recorder;
-    use iris_hv::hypervisor::Hypervisor;
+    use crate::target::record_trace;
     use iris_vtx::exit::ExitReason;
 
     fn boot_trace(n: usize) -> RecordedTrace {
-        let mut hv = Hypervisor::new();
-        let dom = hv.create_hvm_domain(16 << 20);
-        Recorder::new().record_workload(
-            &mut hv,
-            dom,
-            "OS BOOT",
-            iris_guest::workloads::Workload::OsBoot.generate(n, 42),
-        )
+        record_trace(iris_guest::workloads::Workload::OsBoot, n, 42)
     }
 
     fn plan_over(trace: &RecordedTrace, mutants: usize) -> Vec<TestCase> {
@@ -302,7 +312,7 @@ mod tests {
         let report = ParallelCampaign::new(4).run_trace(&trace, &plan);
 
         // Re-run sequentially, unioning per-test-case maps by hand.
-        let mut campaign = Campaign::new();
+        let mut campaign = crate::campaign::Campaign::new();
         let maps: Vec<CoverageMap> = plan
             .iter()
             .map(|tc| campaign.run_test_case_cov(&trace, tc).1)

@@ -7,6 +7,7 @@
 use crate::campaign::{Campaign, TestCaseResult};
 use crate::mutation::SeedArea;
 use crate::parallel::{CampaignReport, ParallelCampaign};
+use crate::target::TargetFactory;
 use crate::testcase::TestCase;
 use iris_core::trace::RecordedTrace;
 use iris_guest::workloads::Workload;
@@ -99,9 +100,10 @@ impl Table1 {
     /// column) where the trace contains a seed with that reason, run one
     /// test case with `mutants` mutants. (The paper's dashes are reasons
     /// absent from a workload — e.g. HLT never appears in OS BOOT's
-    /// 5000-exit slice.)
-    pub fn run(
-        campaign: &mut Campaign,
+    /// 5000-exit slice.) Runs against whatever backend the campaign's
+    /// factory builds.
+    pub fn run<F: TargetFactory>(
+        campaign: &mut Campaign<F>,
         traces: &BTreeMap<Workload, RecordedTrace>,
         mutants: usize,
         rng_seed: u64,
@@ -146,8 +148,8 @@ impl Table1 {
     /// returns the aggregated report (merged coverage, folded stats,
     /// deduplicated corpus) that the sequential API kept in `Campaign`.
     #[must_use]
-    pub fn run_parallel(
-        executor: &ParallelCampaign,
+    pub fn run_parallel<F: TargetFactory>(
+        executor: &ParallelCampaign<F>,
         traces: &BTreeMap<Workload, RecordedTrace>,
         mutants: usize,
         rng_seed: u64,
@@ -227,21 +229,12 @@ impl Table1 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use iris_core::record::Recorder;
-    use iris_hv::hypervisor::Hypervisor;
+    use crate::target::record_trace;
 
     #[test]
     fn small_table_assembles_with_dashes() {
         let mut traces = BTreeMap::new();
-        let mut hv = Hypervisor::new();
-        let dom = hv.create_hvm_domain(16 << 20);
-        let trace = Recorder::new().record_workload(
-            &mut hv,
-            dom,
-            "OS BOOT",
-            Workload::OsBoot.generate(150, 42),
-        );
-        traces.insert(Workload::OsBoot, trace);
+        traces.insert(Workload::OsBoot, record_trace(Workload::OsBoot, 150, 42));
 
         let mut campaign = Campaign::new();
         let table = Table1::run(&mut campaign, &traces, 20, 1);
@@ -261,15 +254,7 @@ mod tests {
     #[test]
     fn parallel_table_matches_sequential() {
         let mut traces = BTreeMap::new();
-        let mut hv = Hypervisor::new();
-        let dom = hv.create_hvm_domain(16 << 20);
-        let trace = Recorder::new().record_workload(
-            &mut hv,
-            dom,
-            "OS BOOT",
-            Workload::OsBoot.generate(120, 42),
-        );
-        traces.insert(Workload::OsBoot, trace);
+        traces.insert(Workload::OsBoot, record_trace(Workload::OsBoot, 120, 42));
 
         let mut campaign = Campaign::new();
         let sequential = Table1::run(&mut campaign, &traces, 15, 1);

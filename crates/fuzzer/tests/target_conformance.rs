@@ -1,0 +1,283 @@
+//! The backend-conformance suite: every backend registered in
+//! [`Backend`] must honour the [`FuzzTarget`] contract the drivers rely
+//! on — deterministic boot, exact `s1` restoration on reset, reproducible
+//! coverage — and must aggregate deterministically under the sharded
+//! executor (jobs=1/2 byte-identical reports).
+//!
+//! The `for_every_backend!` macro matches exhaustively on [`Backend`], so
+//! registering a new backend fails this file until the suite covers it.
+
+use iris_core::trace::RecordedTrace;
+use iris_fuzzer::mutation::SeedArea;
+use iris_fuzzer::parallel::ParallelCampaign;
+use iris_fuzzer::target::{
+    record_trace, Backend, BootPlan, FaultyHvTarget, FuzzTarget, IrisHvTarget, TargetFactory,
+};
+use iris_fuzzer::testcase::TestCase;
+use iris_guest::workloads::Workload;
+use iris_vtx::exit::ExitReason;
+use iris_vtx::fields::VmcsField;
+
+/// Run `$body` once per registered backend with `$factory` bound to that
+/// backend's factory. Exhaustive over [`Backend`] by construction.
+macro_rules! for_every_backend {
+    (|$factory:ident, $backend:ident| $body:block) => {
+        for $backend in Backend::ALL {
+            match $backend {
+                Backend::Iris => {
+                    let $factory = IrisHvTarget::default();
+                    $body
+                }
+                Backend::Faulty => {
+                    let $factory = FaultyHvTarget::default();
+                    $body
+                }
+            }
+        }
+    };
+}
+
+fn boot_trace(n: usize) -> RecordedTrace {
+    record_trace(Workload::OsBoot, n, 42)
+}
+
+fn find_seed(trace: &RecordedTrace, reason: ExitReason) -> usize {
+    trace
+        .seeds
+        .iter()
+        .position(|s| s.reason == reason)
+        .expect("reason present in trace")
+}
+
+/// A mutant that reliably kills the whole SUT on any backend: steering
+/// the interposed exit reason into the never-configured range hits the
+/// dispatcher's BUG arm.
+fn hv_fatal_mutant(trace: &RecordedTrace, idx: usize) -> iris_core::seed::VmSeed {
+    let mut mutant = trace.seeds[idx].clone();
+    for pair in &mut mutant.reads {
+        if pair.0 == VmcsField::VmExitReason {
+            pair.1 = 11; // GETSEC
+        }
+    }
+    mutant
+}
+
+#[test]
+fn boot_and_submit_are_deterministic_across_instances() {
+    let trace = boot_trace(120);
+    let idx = find_seed(&trace, ExitReason::CrAccess);
+    for_every_backend!(|factory, backend| {
+        let mut a = factory.build(BootPlan::for_test_case(&trace, idx));
+        let mut b = factory.build(BootPlan::for_test_case(&trace, idx));
+        a.boot();
+        b.boot();
+        for seed in [&trace.seeds[idx], &trace.seeds[0]] {
+            let out_a = a.submit(seed);
+            let out_b = b.submit(seed);
+            assert_eq!(
+                out_a.coverage, out_b.coverage,
+                "{backend:?}: twin instances diverged on coverage"
+            );
+            assert_eq!(
+                out_a.crash, out_b.crash,
+                "{backend:?}: crash verdicts diverged"
+            );
+            assert_eq!(
+                out_a.cycles, out_b.cycles,
+                "{backend:?}: cycle costs diverged"
+            );
+        }
+    });
+}
+
+#[test]
+fn reset_restores_s1_after_a_domain_crash() {
+    let trace = boot_trace(120);
+    let idx = find_seed(&trace, ExitReason::CrAccess);
+    for_every_backend!(|factory, backend| {
+        let mut target = factory.build(BootPlan::for_test_case(&trace, idx));
+        target.boot();
+        let baseline = target.submit(&trace.seeds[idx]);
+        assert!(
+            baseline.crash.is_none(),
+            "{backend:?}: recorded seed crashed"
+        );
+
+        // A guest RIP in the canonical hole is a domain crash (the SUT
+        // survives, so reset takes the snapshot-restore path).
+        let mut mutant = trace.seeds[idx].clone();
+        for pair in &mut mutant.reads {
+            if pair.0 == VmcsField::GuestRip {
+                pair.1 ^= 1u64 << 62;
+            }
+        }
+        let crashed = target.submit(&mutant);
+        assert!(
+            crashed.crash.is_some(),
+            "{backend:?}: bad-RIP mutant must crash the domain"
+        );
+        target.reset();
+        let again = target.submit(&trace.seeds[idx]);
+        assert_eq!(
+            baseline.coverage, again.coverage,
+            "{backend:?}: reset did not restore s1 (coverage diverged)"
+        );
+        assert!(again.crash.is_none(), "{backend:?}: restored s1 crashed");
+    });
+}
+
+#[test]
+fn reset_rebuilds_after_a_sut_fatal_crash() {
+    let trace = boot_trace(120);
+    let idx = find_seed(&trace, ExitReason::CrAccess);
+    for_every_backend!(|factory, backend| {
+        let mut target = factory.build(BootPlan::for_test_case(&trace, idx));
+        target.boot();
+        let baseline = target.submit(&trace.seeds[idx]);
+
+        let crashed = target.submit(&hv_fatal_mutant(&trace, idx));
+        assert_eq!(
+            crashed.crash.map(|v| v.kind),
+            Some(iris_fuzzer::failure::FailureKind::HypervisorCrash),
+            "{backend:?}: unhandled exit reason must be SUT-fatal"
+        );
+        target.reset(); // full reboot path
+        let again = target.submit(&trace.seeds[idx]);
+        assert_eq!(
+            baseline.coverage, again.coverage,
+            "{backend:?}: reboot did not reproduce s1"
+        );
+        assert!(again.crash.is_none());
+    });
+}
+
+#[test]
+fn coverage_is_reproducible_and_monotone_over_a_sequence() {
+    let trace = boot_trace(120);
+    let idx = find_seed(&trace, ExitReason::Cpuid);
+    for_every_backend!(|factory, backend| {
+        let mut target = factory.build(BootPlan::for_test_case(&trace, idx));
+        target.boot();
+        // Same seed from the same state touches the same blocks.
+        let first = target.submit(&trace.seeds[idx]);
+        let second = target.submit(&trace.seeds[idx]);
+        assert_eq!(
+            first.coverage, second.coverage,
+            "{backend:?}: identical submissions diverged"
+        );
+
+        // The union over a crash-free sequence grows monotonically.
+        let mut seen = iris_hv::coverage::CoverageMap::new();
+        let mut last_lines = 0u64;
+        for seed in trace.seeds.iter().take(30) {
+            let out = target.submit(seed);
+            if out.crash.is_some() {
+                target.reset();
+            }
+            seen.merge(&out.coverage);
+            assert!(
+                seen.lines() >= last_lines,
+                "{backend:?}: coverage union shrank"
+            );
+            last_lines = seen.lines();
+        }
+        assert!(last_lines > 0, "{backend:?}: sequence covered nothing");
+    });
+}
+
+#[test]
+fn sharded_reports_are_byte_identical_for_jobs_1_and_2() {
+    let trace = boot_trace(150);
+    let mut plan = Vec::new();
+    let mut seen = Vec::new();
+    for (idx, seed) in trace.seeds.iter().enumerate() {
+        if seen.contains(&seed.reason) {
+            continue;
+        }
+        seen.push(seed.reason);
+        for area in SeedArea::ALL {
+            plan.push(TestCase {
+                mutants: 30,
+                ..TestCase::new(
+                    Workload::OsBoot,
+                    idx,
+                    seed.reason,
+                    area,
+                    0xC0FFEE ^ idx as u64,
+                )
+            });
+        }
+    }
+    assert!(plan.len() >= 6, "plan too small to shard meaningfully");
+
+    for_every_backend!(|factory, backend| {
+        let one = ParallelCampaign::with_factory(1, factory).run_trace(&trace, &plan);
+        let two = ParallelCampaign::with_factory(2, factory).run_trace(&trace, &plan);
+        assert_eq!(
+            serde_json::to_string(&one).unwrap(),
+            serde_json::to_string(&two).unwrap(),
+            "{backend:?}: jobs=2 report diverged from jobs=1"
+        );
+    });
+}
+
+#[test]
+fn planted_faults_fire_only_on_the_faulty_backend() {
+    let trace = boot_trace(200);
+    // One cell per planted defect: (CPUID, GPR) reaches the reserved-leaf
+    // BUG, (CR ACCESS, VMCS) the qualification pointer, (I/O, VMCS) the
+    // DMA window.
+    let plan = vec![
+        TestCase {
+            mutants: 150,
+            ..TestCase::new(
+                Workload::OsBoot,
+                find_seed(&trace, ExitReason::Cpuid),
+                ExitReason::Cpuid,
+                SeedArea::Gpr,
+                7,
+            )
+        },
+        TestCase {
+            mutants: 150,
+            ..TestCase::new(
+                Workload::OsBoot,
+                find_seed(&trace, ExitReason::CrAccess),
+                ExitReason::CrAccess,
+                SeedArea::Vmcs,
+                7,
+            )
+        },
+        TestCase {
+            mutants: 150,
+            ..TestCase::new(
+                Workload::OsBoot,
+                find_seed(&trace, ExitReason::IoInstruction),
+                ExitReason::IoInstruction,
+                SeedArea::Vmcs,
+                7,
+            )
+        },
+    ];
+
+    let faulty =
+        ParallelCampaign::with_factory(2, FaultyHvTarget::default()).run_trace(&trace, &plan);
+    let detections = iris_fuzzer::target::detect_planted_faults(&faulty.corpus);
+    for (fault, hit) in &detections {
+        assert!(
+            hit.is_some(),
+            "faulty backend: campaign missed the planted fault {:?}",
+            fault.name
+        );
+    }
+
+    let stock = ParallelCampaign::with_factory(2, IrisHvTarget::default()).run_trace(&trace, &plan);
+    assert!(
+        stock
+            .corpus
+            .crashes
+            .iter()
+            .all(|c| !c.console.contains("planted")),
+        "stock backend must not exhibit planted-fault banners"
+    );
+}

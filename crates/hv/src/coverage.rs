@@ -246,7 +246,8 @@ impl CoverageMap {
     ///
     /// Contract: block ids must be below [`BLOCKS_PER_COMPONENT`] and
     /// weights below 256 — both hold for every `cov!` site by a wide
-    /// margin (max id in the model is 222, max weight 45). Out-of-range
+    /// margin (max id in the model is 242, the planted-fault blocks of
+    /// `faults.rs`; max weight 45). Out-of-range
     /// ids are a debug assertion and are ignored in release builds;
     /// deserialization rejects them explicitly.
     #[inline]

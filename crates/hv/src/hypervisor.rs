@@ -12,6 +12,7 @@ use crate::coverage::{Component, CovSink, CoverageMap};
 use crate::crash::{Crash, DomainCrashReason, HypervisorCrashReason};
 use crate::ctx::{Disposition, ExitCtx};
 use crate::domain::{Domain, DomainKind};
+use crate::faults::FaultInjection;
 use crate::handlers;
 use crate::hooks::VmxHooks;
 use crate::intr;
@@ -92,6 +93,8 @@ pub struct Hypervisor {
     pub instrumented: bool,
     /// `xc_vmcs_fuzzing` toggles.
     pub fuzzing_ctl: crate::handlers::vmcall::FuzzingCtl,
+    /// Planted handler bugs ([`FaultInjection::NONE`] on stock builds).
+    pub faults: FaultInjection,
 }
 
 impl Default for Hypervisor {
@@ -112,6 +115,7 @@ impl Hypervisor {
             crashed: None,
             instrumented: true,
             fuzzing_ctl: crate::handlers::vmcall::FuzzingCtl::default(),
+            faults: FaultInjection::NONE,
         };
         hv.log
             .push(0, Level::Info, "Xen-shaped hypervisor booted (IRIS model)");
@@ -166,6 +170,7 @@ impl Hypervisor {
         hooks: &mut dyn VmxHooks,
     ) -> ExitOutcome {
         let start = self.tsc.now();
+        let faults = self.faults;
         let mut per_exit = CoverageMap::new();
 
         if self.crashed.is_some() {
@@ -236,7 +241,12 @@ impl Hypervisor {
             Disposition::CrashDomain(DomainCrashReason::BadRipForMode { mode, rip })
         } else {
             match reason {
-                Some(r) => handlers::dispatch(&mut ctx, r),
+                // A faulty build evaluates its planted defects on the way
+                // into the handler; stock builds pay one branch.
+                Some(r) => match faults.any().then(|| faults.check(&mut ctx, r)).flatten() {
+                    Some(planted) => planted,
+                    None => handlers::dispatch(&mut ctx, r),
+                },
                 None => {
                     ctx.cov.hit(Component::Vmx, 3, 4);
                     Disposition::CrashHypervisor(HypervisorCrashReason::UnhandledExit {

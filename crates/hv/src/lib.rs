@@ -43,6 +43,7 @@ pub mod ctx;
 pub mod devices;
 pub mod domain;
 pub mod emulate;
+pub mod faults;
 pub mod handlers;
 pub mod hooks;
 pub mod hypervisor;
@@ -56,5 +57,6 @@ pub mod vpt;
 
 pub use coverage::{Component, CoverageMap};
 pub use crash::{Crash, DomainCrashReason, HypervisorCrashReason};
+pub use faults::{FaultInjection, PlantedFault};
 pub use hooks::{NoHooks, VmxHooks};
 pub use hypervisor::{ExitEvent, ExitOutcome, Hypervisor};

@@ -1,35 +1,34 @@
 //! A small fuzzing campaign with the IRIS-based PoC fuzzer (§VII):
 //! record a boot, pick `VM_seed_R` targets per exit reason, submit
-//! bit-flip fuzzing sequences, and report new coverage + crashes.
+//! bit-flip fuzzing sequences, and report new coverage + crashes — then
+//! rerun the same plan against the fault-injection backend and check
+//! which of its planted bugs the campaign detects.
 //!
 //! ```sh
 //! cargo run --release --example fuzz_campaign
 //! ```
 
-use iris_core::record::Recorder;
 use iris_fuzzer::campaign::Campaign;
 use iris_fuzzer::failure::FailureKind;
 use iris_fuzzer::mutation::SeedArea;
+use iris_fuzzer::target::{
+    record_trace, render_planted_fault_report, FaultyHvTarget, TargetFactory,
+};
 use iris_fuzzer::testcase::TestCase;
 use iris_guest::workloads::Workload;
-use iris_hv::hypervisor::Hypervisor;
 use iris_vtx::exit::ExitReason;
 
 fn main() {
-    let mut hv = Hypervisor::new();
-    let dom = hv.create_hvm_domain(64 << 20);
-    let trace = Recorder::new().record_workload(
-        &mut hv,
-        dom,
-        "OS BOOT",
-        Workload::OsBoot.generate(600, 42),
-    );
+    let trace = record_trace(Workload::OsBoot, 600, 42);
     println!(
         "recorded {} OS BOOT seeds as the fuzzing substrate\n",
         trace.len()
     );
 
+    // The default campaign drives the stock `iris` backend; any
+    // `TargetFactory` slots in the same way.
     let mut campaign = Campaign::new();
+    let mut plan = Vec::new();
     for reason in [
         ExitReason::CrAccess,
         ExitReason::IoInstruction,
@@ -40,20 +39,22 @@ fn main() {
             continue;
         };
         for area in SeedArea::ALL {
-            let tc = TestCase {
+            plan.push(TestCase {
                 mutants: 200, // paper uses 10_000; scaled for the example
                 ..TestCase::new(Workload::OsBoot, idx, reason, area, 7)
-            };
-            let r = campaign.run_test_case(&trace, &tc);
-            println!(
-                "{:<12} {:>4}  +{:>4.0}% new coverage   VM crashes {:>5.1}%   HV crashes {:>5.1}%",
-                reason.figure_label(),
-                area.label(),
-                r.coverage_increase_percent,
-                r.failures.vm_crash_percent(),
-                r.failures.hv_crash_percent()
-            );
+            });
         }
+    }
+    for tc in &plan {
+        let r = campaign.run_test_case(&trace, tc);
+        println!(
+            "{:<12} {:>4}  +{:>4.0}% new coverage   VM crashes {:>5.1}%   HV crashes {:>5.1}%",
+            tc.reason.figure_label(),
+            tc.area.label(),
+            r.coverage_increase_percent,
+            r.failures.vm_crash_percent(),
+            r.failures.hv_crash_percent()
+        );
     }
 
     println!(
@@ -75,4 +76,18 @@ fn main() {
             c.console
         );
     }
+
+    // Same plan, same driver, different backend: the faulty build has a
+    // ground truth, so the report can say what the fuzzer *found*.
+    let faulty = FaultyHvTarget::default();
+    let mut faulty_campaign = Campaign::with_factory(faulty);
+    for tc in &plan {
+        faulty_campaign.run_test_case(&trace, tc);
+    }
+    println!(
+        "\nsame plan against `{}` ({}):",
+        faulty.name(),
+        faulty.description()
+    );
+    print!("{}", render_planted_fault_report(&faulty_campaign.corpus));
 }
