@@ -1,13 +1,18 @@
 //! Aggregate throughput of the sharded campaign executor: the same
-//! fixed plan of test cases run with 1, 2, and 4 workers.
+//! fixed plan of test cases run across a (workers × chunk) grid.
 //!
-//! Each test case reaches its target state once, snapshots it, and
-//! submits its mutant sequence — all CPU-bound — so scaling tracks the
+//! Each chunk reaches its target state once, snapshots it, and submits
+//! its mutant sub-sequence — all CPU-bound — so scaling tracks the
 //! host's core count: flat on a single-core container, near-linear up
-//! to the plan's width on real multi-core hardware. PERFORMANCE.md
-//! records the measured seeds/s per worker count for the build host.
+//! to the plan's total chunk count on real multi-core hardware. The
+//! `chunk` axis measures the work-stealing granularity overhead (finer
+//! chunks pay more boot-to-`s1` prefixes but balance huge-`M` cells
+//! across the pool). PERFORMANCE.md records the measured seeds/s per
+//! arm for the build host, and `--json <path>` (conventionally
+//! `BENCH_parallel_campaign.json`) emits the same numbers
+//! machine-readably for perf-trajectory tracking.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use iris_bench::experiments::record_workload;
 use iris_fuzzer::mutation::SeedArea;
 use iris_fuzzer::parallel::ParallelCampaign;
@@ -43,14 +48,27 @@ fn bench_parallel_campaign(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("parallel_campaign");
     group.throughput(Throughput::Elements(total_mutants));
+    // chunk=256 ≥ MUTANTS is the whole-cell arm (one boot per test
+    // case, the pre-chunking behavior); chunk=16 splits each 60-mutant
+    // cell into 4 stealable pieces, pricing the extra boot prefixes.
     for jobs in [1usize, 2, 4] {
-        let executor = ParallelCampaign::new(jobs);
-        group.bench_with_input(BenchmarkId::new("jobs", jobs), &plan, |b, plan| {
-            b.iter(|| executor.run_trace(&trace, plan));
-        });
+        for chunk in [16usize, 256] {
+            let executor = ParallelCampaign::new(jobs).with_chunk(chunk);
+            group.bench_with_input(
+                BenchmarkId::new("jobs", format!("{jobs}/chunk/{chunk}")),
+                &plan,
+                |b, plan| {
+                    b.iter(|| executor.run_trace(&trace, plan));
+                },
+            );
+        }
     }
     group.finish();
 }
 
 criterion_group!(benches, bench_parallel_campaign);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    iris_bench::bench_json::emit_if_requested();
+}

@@ -18,8 +18,12 @@
 //!   dispatch), so these two arms must coincide — the number
 //!   PERFORMANCE.md's "the trait adds no per-exit dispatch cost" claim
 //!   rests on.
+//!
+//! `--json <path>` (conventionally `BENCH_replay_throughput.json`)
+//! emits every arm's seeds/s and ns/exit machine-readably for
+//! perf-trajectory tracking.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use iris_bench::experiments::record_workload;
 use iris_core::replay::ReplayEngine;
 use iris_core::snapshot::Snapshot;
@@ -131,4 +135,8 @@ fn bench_replay(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_replay);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    iris_bench::bench_json::emit_if_requested();
+}

@@ -4,17 +4,19 @@
 //! mutation).
 //!
 //! Runs on the sharded executor: `table1_fuzzer [exits] [mutants]
-//! [jobs] [target]`, with `jobs` defaulting to the host's available
-//! parallelism and `target` to the stock `iris` backend (`faulty`
-//! selects the fault-injection build and appends a ground-truth
-//! planted-bug detection report). The table is deterministic in
+//! [jobs] [target] [chunk]`, with `jobs` defaulting to the host's
+//! available parallelism, `target` to the stock `iris` backend
+//! (`faulty` selects the fault-injection build and appends a
+//! ground-truth planted-bug detection report), and `chunk` to the
+//! work-stealing granularity default. The table is deterministic in
 //! `(exits, mutants, target)` — the same cells and corpus for any
-//! worker count.
+//! `(jobs, chunk)`.
 
 use iris_bench::experiments::table1_parallel_with;
 use iris_fuzzer::failure::FailureKind;
 use iris_fuzzer::parallel::available_jobs;
 use iris_fuzzer::target::{render_planted_fault_report, Backend, TargetFactory};
+use iris_fuzzer::testcase::DEFAULT_CHUNK;
 
 fn main() {
     let exits: usize = std::env::args()
@@ -33,11 +35,15 @@ fn main() {
         .nth(4)
         .map(|s| Backend::parse(&s).expect("unknown target (iris|faulty)"))
         .unwrap_or(Backend::Iris);
+    let chunk: usize = std::env::args()
+        .nth(5)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_CHUNK);
     println!(
-        "Table I — new coverage per test case ({exits}-exit traces, {mutants} mutants/cell, {jobs} workers, target {})\n",
+        "Table I — new coverage per test case ({exits}-exit traces, {mutants} mutants/cell, {jobs} workers, chunk {chunk}, target {})\n",
         backend.name()
     );
-    let (table, report) = table1_parallel_with(backend, exits, mutants, 42, jobs);
+    let (table, report) = table1_parallel_with(backend, exits, mutants, 42, jobs, chunk);
     println!("{}", table.render());
 
     let mut vmcs_vm = 0u64;

@@ -413,18 +413,25 @@ pub fn table1(exits: usize, mutants: usize, seed: u64) -> (Table1, Campaign) {
     (table, campaign)
 }
 
-/// Run Table I on the sharded executor with `jobs` workers. The cells
-/// (and the crash corpus) are byte-identical to [`table1`]'s for any
-/// worker count; only the wall clock changes.
+/// Run Table I on the sharded executor with `jobs` workers stealing
+/// mutant ranges of `chunk` mutants. The cells (and the crash corpus)
+/// are byte-identical to [`table1`]'s for any `(jobs, chunk)`; only the
+/// wall clock changes.
 #[must_use]
 pub fn table1_parallel(
     exits: usize,
     mutants: usize,
     seed: u64,
     jobs: usize,
+    chunk: usize,
 ) -> (Table1, CampaignReport) {
     let traces = table1_traces(exits, seed);
-    Table1::run_parallel(&ParallelCampaign::new(jobs), &traces, mutants, seed)
+    Table1::run_parallel(
+        &ParallelCampaign::new(jobs).with_chunk(chunk),
+        &traces,
+        mutants,
+        seed,
+    )
 }
 
 /// [`table1_parallel`] against an explicit fuzz-target backend — e.g.
@@ -436,10 +443,11 @@ pub fn table1_parallel_with<F: TargetFactory>(
     mutants: usize,
     seed: u64,
     jobs: usize,
+    chunk: usize,
 ) -> (Table1, CampaignReport) {
     let traces = table1_traces(exits, seed);
     Table1::run_parallel(
-        &ParallelCampaign::with_factory(jobs, factory),
+        &ParallelCampaign::with_factory(jobs, factory).with_chunk(chunk),
         &traces,
         mutants,
         seed,

@@ -21,4 +21,5 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_json;
 pub mod experiments;

@@ -13,13 +13,15 @@ use iris_core::manager::{IrisManager, Mode};
 use iris_core::metrics;
 use iris_core::record::RecordConfig;
 use iris_core::seed_db::SeedDb;
+use iris_fuzzer::corpus::CorpusWriter;
 use iris_fuzzer::guided::{run_guided_with, GuidedConfig};
 use iris_fuzzer::mutation::SeedArea;
-use iris_fuzzer::parallel::{available_jobs, ParallelCampaign};
+use iris_fuzzer::parallel::{available_jobs, CampaignReport, ParallelCampaign};
 use iris_fuzzer::table1::Table1;
 use iris_fuzzer::target::{render_planted_fault_report, Backend, TargetFactory};
-use iris_fuzzer::testcase::TestCase;
+use iris_fuzzer::testcase::{TestCase, DEFAULT_CHUNK};
 use iris_guest::workloads::Workload;
+use std::io::IsTerminal;
 use std::path::PathBuf;
 
 /// Errors surfaced to the user.
@@ -55,8 +57,8 @@ iris — record & replay framework for hardware-assisted virtualization fuzzing
 USAGE:
     iris record   <workload> [--exits N] [--seed S] [--out FILE.json]
     iris replay   <workload> [--exits N] [--seed S] [--cold] [--memory]
-    iris fuzz     <workload> [--exits N] [--mutants M] [--area vmcs|gpr] [--reason R] [--jobs N] [--target T]
-    iris campaign <workload> [--exits N] [--mutants M] [--jobs N] [--target T]
+    iris fuzz     <workload> [--exits N] [--mutants M] [--area vmcs|gpr] [--reason R] [--jobs N] [--chunk C] [--target T]
+    iris campaign <workload> [--exits N] [--mutants M] [--jobs N] [--chunk C] [--target T] [--json FILE] [--corpus FILE]
     iris guided   <workload> [--exits N] [--budget B] [--target T]
     iris targets
     iris report   <FILE.json>
@@ -64,10 +66,13 @@ USAGE:
 WORKLOADS: os_boot | cpu_bound | mem_bound | io_bound | idle
 
 `campaign` fuzzes every (exit reason x seed area) cell the trace offers,
-sharded over N worker threads (default: available parallelism). Results
-are deterministic: the same cells, crashes, and corpus for any N.
-`fuzz` runs one test case — one worker regardless of --jobs (a single
-mutant sequence is one RNG stream and cannot shard deterministically).
+sharded over N worker threads (default: available parallelism) stealing
+work in chunks of C mutants (default: 256). Results are deterministic:
+the same cells, crashes, and corpus for any N and any C — chunking only
+changes the load balance, so even `fuzz`'s single test case spreads
+across the pool. `--json` writes the campaign report (byte-identical
+across N and C); `--corpus` persists the crash corpus through a
+background writer so the campaign never pauses on JSON I/O.
 `--target` picks the fuzz-target backend (default: iris, the stock
 hypervisor); `iris targets` lists every registered backend. The faulty
 backend plants known handler bugs, and `campaign --target faulty`
@@ -245,9 +250,11 @@ fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
         ..TestCase::new(w, idx, trace.seeds[idx].reason, area, seed)
     };
     let jobs = parse_jobs(args)?;
+    let chunk = parse_chunk(args)?;
     let backend = parse_target(args)?;
-    let report =
-        ParallelCampaign::with_factory(jobs, backend).run_trace(&trace, std::slice::from_ref(&tc));
+    let report = ParallelCampaign::with_factory(jobs, backend)
+        .with_chunk(chunk)
+        .run_trace(&trace, std::slice::from_ref(&tc));
     let r = &report.results[0];
     let mut out = format!(
         "fuzzed seed #{idx} ({}) of {} — area {}, {} mutants, target {}\n",
@@ -257,14 +264,16 @@ fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
         mutants,
         backend.name()
     );
-    if jobs > 1 && flag_value(args, "--jobs").is_some() {
-        // One test case occupies one worker: a single mutant sequence is
-        // one RNG stream, so it cannot shard without changing results.
-        // Only say so when the user actually asked for workers — the
-        // default on a multi-core host is also > 1.
+    let chunks = tc.chunks(chunk).count();
+    let workers = jobs.min(chunks);
+    if workers > 1 {
+        // Chunked work stealing: even a single test case spreads its
+        // mutant range across the pool, deterministically (the per-range
+        // RNG law makes the results chunk- and worker-independent). The
+        // executor clamps workers to the chunk count, so report what
+        // actually runs.
         out.push_str(&format!(
-            "note: fuzz runs a single test case, so only 1 of {jobs} workers is used; \
-             `iris campaign` shards across test cases\n"
+            "sharded into {chunks} chunks of ≤{chunk} mutants over {workers} workers\n"
         ));
     }
     out.push_str(&format!(
@@ -290,6 +299,17 @@ fn parse_jobs(args: &[String]) -> Result<usize, CliError> {
         return Err(CliError::Usage("--jobs must be at least 1".to_owned()));
     }
     Ok(jobs)
+}
+
+/// `--chunk C` (default: [`DEFAULT_CHUNK`]): the work-stealing
+/// granularity in mutants. Results are byte-identical for every value;
+/// only the load balance changes.
+fn parse_chunk(args: &[String]) -> Result<usize, CliError> {
+    let chunk = parse_num(args, "--chunk", DEFAULT_CHUNK)?;
+    if chunk == 0 {
+        return Err(CliError::Usage("--chunk must be at least 1".to_owned()));
+    }
+    Ok(chunk)
 }
 
 /// `--target NAME` (default: the stock `iris` backend). The parsed
@@ -327,6 +347,7 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let (mut mgr, w, exits, seed) = setup(args)?;
     let mutants: usize = parse_num(args, "--mutants", 200)?;
     let jobs = parse_jobs(args)?;
+    let chunk = parse_chunk(args)?;
     let backend = parse_target(args)?;
     let ops = w.generate(exits, seed);
     mgr.record(w.label(), ops, RecordConfig::default());
@@ -340,15 +361,50 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
             "trace contains no Table I exit reasons to fuzz".to_owned(),
         ));
     }
-    let report = ParallelCampaign::with_factory(jobs, backend).run(&traces, &plan);
+
+    // Corpus snapshots persist on a background writer thread, so the
+    // aggregator never pauses on JSON I/O; write errors surface after
+    // the run. The progress line is mutant-granular (one update per
+    // aggregated chunk) so huge-M cells visibly move, and goes to
+    // stderr only when that is a terminal — reports stay clean.
+    let corpus_path = flag_value(args, "--corpus").map(PathBuf::from);
+    let writer = corpus_path.as_ref().map(|p| CorpusWriter::spawn(p.clone()));
+    let show_progress = std::io::stderr().is_terminal();
+    let mut last_observed = 0u64;
+    let report = ParallelCampaign::with_factory(jobs, backend)
+        .with_chunk(chunk)
+        .run_observed(&traces, &plan, |p, partial: &CampaignReport| {
+            if show_progress {
+                eprint!(
+                    "\rfuzzing: {}/{} mutants, {}/{} test cases",
+                    p.mutants_done,
+                    p.mutants_total,
+                    p.results_folded,
+                    plan.len()
+                );
+            }
+            if let Some(writer) = &writer {
+                // Snapshot only when the corpus actually grew —
+                // crash-free test cases would otherwise clone and
+                // rewrite byte-identical JSON once per fold.
+                if partial.corpus.observed() > last_observed {
+                    last_observed = partial.corpus.observed();
+                    writer.persist(partial.corpus.clone());
+                }
+            }
+        });
+    if show_progress {
+        eprintln!();
+    }
 
     let mut out = format!(
-        "campaign over {} — {} test cases ({} mutants each), {} worker{}, target {}\n",
+        "campaign over {} — {} test cases ({} mutants each), {} worker{}, chunk {}, target {}\n",
         w.label(),
         plan.len(),
         mutants,
         jobs,
         if jobs == 1 { "" } else { "s" },
+        chunk,
         backend.name()
     );
     for r in &report.results {
@@ -380,6 +436,26 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
         // The faulty backend has a ground truth: state exactly which of
         // the planted handler bugs this campaign detected.
         out.push_str(&render_planted_fault_report(&report.corpus));
+    }
+    if let Some(path) = flag_value(args, "--json") {
+        // The serialized report is byte-identical across (jobs, chunk) —
+        // the artifact CI diffs for the determinism smoke. Written
+        // before the corpus writer is joined, so a corpus write error
+        // cannot cost the independently-requested report artifact.
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&report).expect("report serializes"),
+        )?;
+        out.push_str(&format!("report JSON written to {path}\n"));
+    }
+    if let (Some(writer), Some(path)) = (writer, corpus_path) {
+        // Final snapshot (the incremental ones may have been coalesced),
+        // then surface any background write error at campaign end —
+        // last, after every other artifact of the completed run is
+        // safely on disk.
+        writer.persist(report.corpus.clone());
+        writer.finish()?;
+        out.push_str(&format!("corpus written to {}\n", path.display()));
     }
     Ok(out)
 }
@@ -511,13 +587,88 @@ mod tests {
     }
 
     #[test]
-    fn fuzz_accepts_jobs_flag_but_says_one_worker_runs() {
-        let out = run(&args("fuzz os_boot --exits 100 --mutants 40 --jobs 2")).unwrap();
-        assert!(out.contains("new coverage"), "{out}");
-        assert!(out.contains("unique"), "{out}");
-        assert!(out.contains("only 1 of 2 workers"), "{out}");
+    fn fuzz_shards_a_single_test_case_deterministically() {
+        // With chunked work stealing a single test case spreads across
+        // the pool; apart from the shard note the output is
+        // byte-identical for any (jobs, chunk).
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("sharded into"))
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
         let solo = run(&args("fuzz os_boot --exits 100 --mutants 40 --jobs 1")).unwrap();
-        assert!(!solo.contains("note:"), "{solo}");
+        assert!(!solo.contains("sharded into"), "{solo}");
+        let sharded = run(&args(
+            "fuzz os_boot --exits 100 --mutants 40 --jobs 2 --chunk 10",
+        ))
+        .unwrap();
+        assert!(sharded.contains("sharded into 4 chunks"), "{sharded}");
+        assert_eq!(strip(&solo), strip(&sharded));
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_chunk_sizes() {
+        let strip = |s: &str| {
+            s.lines()
+                .skip(1)
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let whole = run(&args("campaign os_boot --exits 120 --mutants 25 --jobs 2")).unwrap();
+        let fine = run(&args(
+            "campaign os_boot --exits 120 --mutants 25 --jobs 2 --chunk 7",
+        ))
+        .unwrap();
+        assert_eq!(strip(&whole), strip(&fine));
+        assert!(fine.contains("chunk 7"), "{fine}");
+    }
+
+    #[test]
+    fn campaign_rejects_zero_chunk() {
+        assert!(matches!(
+            run(&args("campaign os_boot --exits 80 --chunk 0")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn campaign_writes_report_json_and_corpus() {
+        let dir = std::env::temp_dir();
+        let json = dir.join("iris-cli-campaign-report.json");
+        let corpus = dir.join("iris-cli-campaign-corpus.json");
+        let out = run(&args(&format!(
+            "campaign os_boot --exits 120 --mutants 30 --jobs 2 --chunk 16 --json {} --corpus {}",
+            json.display(),
+            corpus.display()
+        )))
+        .unwrap();
+        assert!(out.contains("report JSON written"), "{out}");
+        assert!(out.contains("corpus written"), "{out}");
+        let report: CampaignReport =
+            serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert!(!report.results.is_empty());
+        let saved = iris_fuzzer::corpus::Corpus::load(&corpus).unwrap();
+        assert_eq!(saved.observed(), report.corpus.observed());
+        assert_eq!(saved.unique(), report.corpus.unique());
+        std::fs::remove_file(&json).ok();
+        std::fs::remove_file(&corpus).ok();
+    }
+
+    #[test]
+    fn campaign_surfaces_corpus_write_errors() {
+        let bad = std::env::temp_dir()
+            .join("iris-no-such-dir")
+            .join("corpus.json");
+        let err = run(&args(&format!(
+            "campaign os_boot --exits 100 --mutants 20 --corpus {}",
+            bad.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io(_)), "{err}");
+        assert!(err.to_string().contains("iris-no-such-dir"), "{err}");
     }
 
     #[test]

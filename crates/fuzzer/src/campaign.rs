@@ -15,13 +15,11 @@
 
 use crate::corpus::{Corpus, CrashRecord};
 use crate::failure::FailureStats;
-use crate::mutation::mutate;
+use crate::mutation::{mutant_rng, mutate};
 use crate::target::{BootPlan, FuzzTarget, IrisHvTarget, TargetFactory};
-use crate::testcase::TestCase;
+use crate::testcase::{MutantRange, TestCase};
 use iris_core::trace::RecordedTrace;
 use iris_hv::coverage::CoverageMap;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// The result of one test case — one Table I cell contribution.
@@ -98,38 +96,78 @@ impl<F: TargetFactory> Campaign<F> {
     }
 }
 
-/// The test-case core every driver shares: build a private target from
-/// `factory`, boot it to `s1`, measure the `VM_seed_R` baseline, submit
-/// the fuzzing sequence with crash recovery, and fold crashes into
-/// `corpus`. [`crate::parallel::ParallelCampaign`] calls this directly
-/// with a worker-local corpus.
-pub fn run_test_case_with<F: TargetFactory>(
+/// Partial output of one mutant-range run — everything the aggregator
+/// needs to reassemble the test case's [`TestCaseResult`]. One value is
+/// produced per chunk, so the parallel executor's channel carries one
+/// message per chunk, not per seed.
+#[derive(Debug, Clone)]
+pub struct ChunkOutput {
+    /// The mutant range this output covers.
+    pub range: MutantRange,
+    /// Coverage of the un-mutated `VM_seed_R` — identical for every
+    /// chunk of a test case (boot is deterministic; the conformance
+    /// suite asserts it), carried so any chunk can supply the baseline.
+    pub baseline: CoverageMap,
+    /// Blocks the range's mutants touched beyond the baseline.
+    pub discovered: CoverageMap,
+    /// Failure counters over the range (`submitted == range.len`).
+    pub failures: FailureStats,
+    /// Chunk-local crash corpus (records carry absolute mutant indices).
+    pub corpus: Corpus,
+}
+
+/// The range-parameterized core every driver shares: build a private
+/// target from `factory`, boot it to `s1`, measure the `VM_seed_R`
+/// baseline, then submit mutants `range.start..range.end()` of the
+/// fuzzing sequence with crash recovery.
+///
+/// Each mutant draws from the per-range RNG law
+/// ([`crate::mutation::mutant_rng`]): the chunk seeds its RNG from
+/// `rng_seed ⊕ range_start` and re-derives it per index, so the mutant
+/// stream — and, because submissions are history-independent from the
+/// canonical post-baseline state, the outcome stream — is invariant
+/// under the partition of `0..mutants` into chunks. Sequential drivers
+/// call this once with [`MutantRange::whole`]; the sharded executor
+/// calls it per stolen chunk.
+///
+/// # Panics
+/// Panics if `range` reaches beyond `testcase.mutants` — a malformed
+/// chunk list, not a runtime condition.
+pub fn run_mutant_range_with<F: TargetFactory>(
     factory: &F,
-    corpus: &mut Corpus,
     trace: &RecordedTrace,
     testcase: &TestCase,
-) -> (TestCaseResult, CoverageMap) {
-    let mut rng = SmallRng::seed_from_u64(testcase.rng_seed);
+    range: MutantRange,
+) -> ChunkOutput {
+    assert!(
+        range.end() <= testcase.mutants,
+        "chunk {range:?} beyond the test case's {} mutants",
+        testcase.mutants
+    );
 
-    // Reach s1 once; the target snapshots it so crash recovery is a
-    // restore in O(dirty state) instead of rebuilding the stack and
-    // replaying the whole prefix again. (`for_test_case` bounds-checks
-    // the seed index.)
+    // Reach s1 once per chunk; the target snapshots it so crash
+    // recovery is a restore in O(dirty state) instead of rebuilding the
+    // stack and replaying the whole prefix again. (`for_test_case`
+    // bounds-checks the seed index.)
     let mut target = factory.build(BootPlan::for_test_case(trace, testcase.seed_index));
     target.boot();
     let target_seed = &trace.seeds[testcase.seed_index];
-    let baseline_cov = target.submit(target_seed).coverage;
-    let baseline_lines = baseline_cov.lines();
+    let baseline = target.submit(target_seed).coverage;
 
-    // The fuzzing sequence.
+    // The fuzzing (sub-)sequence.
     let mut discovered = CoverageMap::new();
     let mut failures = FailureStats::default();
-    for i in 0..testcase.mutants {
-        let (mutant, applied) = mutate(target_seed, testcase.area, &mut rng);
+    let mut corpus = Corpus::new();
+    for i in range.indices() {
+        let (mutant, applied) = mutate(
+            target_seed,
+            testcase.area,
+            &mut mutant_rng(testcase.rng_seed, i as u64),
+        );
         let out = target.submit(&mutant);
         failures.record_kind(out.crash.as_ref().map(|v| v.kind));
         for (b, l) in out.coverage.iter() {
-            if !baseline_cov.contains(b) {
+            if !baseline.contains(b) {
                 discovered.hit(b, l);
             }
         }
@@ -150,6 +188,62 @@ pub fn run_test_case_with<F: TargetFactory>(
         }
     }
 
+    ChunkOutput {
+        range,
+        baseline,
+        discovered,
+        failures,
+        corpus,
+    }
+}
+
+/// Reassemble a test case's [`TestCaseResult`] from its chunk outputs.
+///
+/// `chunks` must arrive in ascending `range.start` order and partition
+/// `0..testcase.mutants` exactly (debug-asserted) — the defined merge
+/// order that keeps the assembled result byte-identical however the
+/// chunks were scheduled. Coverage merges word-wise, failure counters
+/// fold, and chunk-local corpora are absorbed **by move** into `corpus`
+/// (no crash-seed re-cloning), preserving absolute-mutant-index
+/// discovery order so the dedup keeps the same first-reproducer a
+/// sequential run keeps.
+///
+/// Returns the result plus the coverage the test case touched
+/// (baseline ∪ discovered), like the unchunked core did.
+///
+/// # Panics
+/// Panics if `chunks` is empty — every test case produces at least one
+/// chunk ([`TestCase::chunks`]).
+pub fn assemble_test_case(
+    testcase: &TestCase,
+    chunks: impl IntoIterator<Item = ChunkOutput>,
+    corpus: &mut Corpus,
+) -> (TestCaseResult, CoverageMap) {
+    let mut baseline: Option<CoverageMap> = None;
+    let mut discovered = CoverageMap::new();
+    let mut failures = FailureStats::default();
+    let mut next = 0usize;
+    for chunk in chunks {
+        debug_assert_eq!(
+            chunk.range.start, next,
+            "chunks must be ordered by range start and partition the mutant range"
+        );
+        next = chunk.range.end();
+        match &baseline {
+            None => baseline = Some(chunk.baseline),
+            Some(first) => debug_assert_eq!(
+                first, &chunk.baseline,
+                "per-chunk baselines diverged — the target's boot is not deterministic"
+            ),
+        }
+        discovered.merge(&chunk.discovered);
+        failures.merge(&chunk.failures);
+        corpus.absorb(chunk.corpus);
+    }
+    debug_assert_eq!(next, testcase.mutants, "chunks must cover 0..mutants");
+    let baseline = baseline.expect("every test case yields at least one chunk");
+
+    let baseline_lines = baseline.lines();
     let new_lines = discovered.lines();
     let result = TestCaseResult {
         testcase: testcase.clone(),
@@ -160,9 +254,29 @@ pub fn run_test_case_with<F: TargetFactory>(
         coverage_increase_percent: crate::failure::percent(new_lines, baseline_lines),
         failures,
     };
-    let mut touched = baseline_cov;
+    let mut touched = baseline;
     touched.merge(&discovered);
     (result, touched)
+}
+
+/// The whole-test-case convenience every sequential driver shares: one
+/// [`run_mutant_range_with`] over the full mutant range (one boot, one
+/// baseline measurement), assembled via [`assemble_test_case`]. Because
+/// the RNG law is per-index, this produces byte-identical results to
+/// any chunked execution of the same test case.
+pub fn run_test_case_with<F: TargetFactory>(
+    factory: &F,
+    corpus: &mut Corpus,
+    trace: &RecordedTrace,
+    testcase: &TestCase,
+) -> (TestCaseResult, CoverageMap) {
+    let chunk = run_mutant_range_with(
+        factory,
+        trace,
+        testcase,
+        MutantRange::whole(testcase.mutants),
+    );
+    assemble_test_case(testcase, std::iter::once(chunk), corpus)
 }
 
 #[cfg(test)]
@@ -261,6 +375,65 @@ mod tests {
         let r = campaign.run_test_case(&trace, &tc);
         // Even with crashes along the way, all mutants were submitted.
         assert_eq!(r.failures.submitted, 60);
+    }
+
+    #[test]
+    fn chunked_ranges_reassemble_the_unchunked_result() {
+        let trace = boot_trace(80);
+        let idx = find_seed(&trace, ExitReason::CrAccess);
+        let tc = TestCase {
+            mutants: 45,
+            ..TestCase::new(
+                Workload::OsBoot,
+                idx,
+                ExitReason::CrAccess,
+                SeedArea::Vmcs,
+                11,
+            )
+        };
+        let factory = crate::target::IrisHvTarget::default();
+        let mut ref_corpus = Corpus::new();
+        let (ref_result, ref_cov) = run_test_case_with(&factory, &mut ref_corpus, &trace, &tc);
+        assert!(
+            ref_result.failures.hv_crashes + ref_result.failures.vm_crashes > 0,
+            "the reference run must exercise crash recovery"
+        );
+
+        for chunk in [1usize, 7, 16, 45, 100] {
+            let outputs: Vec<ChunkOutput> = tc
+                .chunks(chunk)
+                .map(|r| run_mutant_range_with(&factory, &trace, &tc, r))
+                .collect();
+            let mut corpus = Corpus::new();
+            let (result, cov) = assemble_test_case(&tc, outputs, &mut corpus);
+            assert_eq!(
+                serde_json::to_string(&result).unwrap(),
+                serde_json::to_string(&ref_result).unwrap(),
+                "chunk={chunk} diverged from the whole-cell run"
+            );
+            assert_eq!(cov, ref_cov, "chunk={chunk}: touched coverage diverged");
+            assert_eq!(
+                serde_json::to_string(&corpus).unwrap(),
+                serde_json::to_string(&ref_corpus).unwrap(),
+                "chunk={chunk}: corpus diverged"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the test case")]
+    fn out_of_range_chunk_is_a_driver_bug() {
+        let trace = boot_trace(40);
+        let tc = TestCase {
+            mutants: 5,
+            ..TestCase::new(Workload::OsBoot, 0, trace.seeds[0].reason, SeedArea::Gpr, 1)
+        };
+        let _ = run_mutant_range_with(
+            &crate::target::IrisHvTarget::default(),
+            &trace,
+            &tc,
+            MutantRange { start: 4, len: 2 },
+        );
     }
 
     #[test]

@@ -196,6 +196,89 @@ fn annotate(e: io::Error, what: &str, path: &Path) -> io::Error {
     io::Error::new(e.kind(), format!("{what} {}: {e}", path.display()))
 }
 
+/// Background corpus persistence: a dedicated writer thread that
+/// serializes and saves corpus snapshots off the campaign's aggregator
+/// thread, so long campaigns never pause on JSON I/O.
+///
+/// * [`CorpusWriter::persist`] enqueues a snapshot and returns
+///   immediately (the channel is unbounded — the aggregator never
+///   blocks);
+/// * the writer coalesces: when snapshots arrive faster than the disk
+///   can absorb them, only the **newest** pending snapshot is written
+///   (each snapshot is cumulative, so intermediates carry no extra
+///   information);
+/// * every write goes through [`Corpus::save`], keeping the atomic
+///   `.tmp`-sibling + rename semantics — an interrupted campaign never
+///   leaves a torn corpus;
+/// * write errors are latched (first error wins, later snapshots are
+///   skipped) and surfaced at campaign end by [`CorpusWriter::finish`].
+///
+/// Dropping the writer without calling `finish` detaches the thread: it
+/// still drains and writes pending snapshots, but errors are lost.
+#[derive(Debug)]
+pub struct CorpusWriter {
+    tx: Option<std::sync::mpsc::Sender<Corpus>>,
+    handle: Option<std::thread::JoinHandle<(u64, Option<io::Error>)>>,
+}
+
+impl CorpusWriter {
+    /// Spawn the writer thread; every snapshot is saved to `path`.
+    #[must_use]
+    pub fn spawn(path: std::path::PathBuf) -> Self {
+        let (tx, rx) = std::sync::mpsc::channel::<Corpus>();
+        let handle = std::thread::spawn(move || {
+            let mut saves = 0u64;
+            let mut first_err: Option<io::Error> = None;
+            while let Ok(mut snapshot) = rx.recv() {
+                // Coalesce the backlog: later snapshots supersede
+                // earlier ones, so skip straight to the newest.
+                while let Ok(newer) = rx.try_recv() {
+                    snapshot = newer;
+                }
+                if first_err.is_none() {
+                    match snapshot.save(&path) {
+                        Ok(()) => saves += 1,
+                        Err(e) => first_err = Some(e),
+                    }
+                }
+            }
+            (saves, first_err)
+        });
+        Self {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueue a snapshot for persistence. Non-blocking; serialization
+    /// and I/O happen on the writer thread.
+    pub fn persist(&self, snapshot: Corpus) {
+        if let Some(tx) = &self.tx {
+            // A send can only fail if the writer thread died, and the
+            // writer only exits when the channel closes — unreachable
+            // while `tx` lives, so losing the snapshot here is fine.
+            let _ = tx.send(snapshot);
+        }
+    }
+
+    /// Close the channel, wait for every outstanding write, and surface
+    /// the first write error (if any). Returns the number of snapshots
+    /// actually written (coalesced snapshots count once).
+    pub fn finish(mut self) -> io::Result<u64> {
+        drop(self.tx.take());
+        let (saves, err) = self
+            .handle
+            .take()
+            .expect("finish consumes the writer")
+            .join()
+            .expect("corpus writer thread panicked");
+        match err {
+            None => Ok(saves),
+            Some(e) => Err(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +460,50 @@ mod tests {
         }
         let json = serde_json::to_string(&modern).unwrap();
         assert_eq!(serde_json::from_str::<Corpus>(&json).unwrap(), modern);
+    }
+
+    #[test]
+    fn corpus_writer_persists_the_newest_snapshot_atomically() {
+        let p = std::env::temp_dir().join("iris-corpus-writer-test.json");
+        let tmp = std::env::temp_dir().join("iris-corpus-writer-test.json.tmp");
+        std::fs::remove_file(&p).ok();
+
+        let writer = CorpusWriter::spawn(p.clone());
+        let mut c = Corpus::new();
+        c.push(record(FailureKind::VmCrash));
+        writer.persist(c.clone());
+        c.push(record(FailureKind::HypervisorCrash));
+        writer.persist(c.clone());
+        let saves = writer.finish().unwrap();
+        assert!(saves >= 1, "at least one snapshot must reach disk");
+        assert!(!tmp.exists(), "atomic-save semantics preserved");
+        // Whatever got coalesced, the final state on disk is the newest.
+        assert_eq!(Corpus::load(&p).unwrap(), c);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn corpus_writer_surfaces_write_errors_at_finish() {
+        let unwritable = std::env::temp_dir()
+            .join("iris-no-such-dir")
+            .join("corpus.json");
+        let writer = CorpusWriter::spawn(unwritable);
+        writer.persist(Corpus::new());
+        writer.persist(Corpus::new());
+        let err = writer.finish().unwrap_err();
+        assert!(
+            err.to_string().contains("iris-no-such-dir"),
+            "path context missing: {err}"
+        );
+    }
+
+    #[test]
+    fn corpus_writer_with_no_snapshots_is_a_clean_no_op() {
+        let p = std::env::temp_dir().join("iris-corpus-writer-noop.json");
+        std::fs::remove_file(&p).ok();
+        let writer = CorpusWriter::spawn(p.clone());
+        assert_eq!(writer.finish().unwrap(), 0);
+        assert!(!p.exists(), "nothing persisted, nothing written");
     }
 
     #[test]

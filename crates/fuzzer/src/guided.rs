@@ -175,7 +175,12 @@ pub fn run_guided_with<F: TargetFactory>(
 /// feeds later scheduling decisions), so parallelism lives *across*
 /// instances: each instance is self-contained and deterministic in its
 /// config, and results come back in config order, so the returned
-/// vector is identical for any `jobs` value.
+/// vector is identical for any `jobs` value. Ensemble arms ride the
+/// same lock-free worker pool the chunked campaign executor uses
+/// (`run_indexed`'s atomic cursor) — an instance is one indivisible
+/// work item, so the campaign's mutant-range chunking does not apply
+/// here; sub-instance parallelism needs the deterministic
+/// promotion-merge protocol ROADMAP sketches.
 #[must_use]
 pub fn run_guided_parallel(
     trace: &RecordedTrace,

@@ -6,7 +6,8 @@
 
 use iris_core::seed::VmSeed;
 use iris_vtx::gpr::Gpr;
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Which area of the seed to mutate (the paper's `A = {VMCS, GPR}`).
@@ -49,6 +50,27 @@ pub enum AppliedMutation {
         /// Flipped bit position.
         bit: u8,
     },
+}
+
+/// The campaign's per-range RNG law: mutant `index` of a test case draws
+/// its randomness from a [`SmallRng`] seeded with `rng_seed ⊕ index`.
+///
+/// Because the stream is re-derived per mutant index — a chunk starting
+/// at `range_start` seeds its first mutant from `rng_seed ⊕ range_start`
+/// and advances the index as it goes — the mutant sequence of a range
+/// `[start, end)` is the concatenation of the per-index streams, so
+/// **any** partition of `0..mutants` into chunks generates exactly the
+/// same mutants as the unchunked run. That invariance is what lets the
+/// sharded executor steal work at sub-test-case granularity while the
+/// campaign report stays byte-identical for every `(jobs, chunk)`
+/// combination (asserted by `chunked_partition_matches_unchunked` in
+/// `tests/proptest_invariants.rs`).
+///
+/// `SmallRng` is xoshiro256++ seeded through SplitMix64 expansion, so
+/// adjacent indices yield decorrelated streams.
+#[must_use]
+pub fn mutant_rng(rng_seed: u64, mutant_index: u64) -> SmallRng {
+    SmallRng::seed_from_u64(rng_seed ^ mutant_index)
 }
 
 /// Apply one single-bit-flip mutation to a copy of `seed`, in `area`.
@@ -133,5 +155,30 @@ mod tests {
         let a = mutate(&s, SeedArea::Vmcs, &mut SmallRng::seed_from_u64(9));
         let b = mutate(&s, SeedArea::Vmcs, &mut SmallRng::seed_from_u64(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutant_rng_is_a_pure_function_of_seed_and_index() {
+        let s = seed();
+        for index in [0u64, 1, 255, 256, u64::MAX] {
+            let a = mutate(&s, SeedArea::Vmcs, &mut mutant_rng(9, index));
+            let b = mutate(&s, SeedArea::Vmcs, &mut mutant_rng(9, index));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mutant_rng_decorrelates_adjacent_indices() {
+        let s = seed();
+        // Adjacent indices must not all produce the same mutation (the
+        // law XORs low bits; SplitMix64 expansion decorrelates them).
+        let mutations: Vec<_> = (0..16u64)
+            .map(|i| mutate(&s, SeedArea::Vmcs, &mut mutant_rng(42, i)).1)
+            .collect();
+        let first = &mutations[0];
+        assert!(
+            mutations.iter().any(|m| m != first),
+            "16 adjacent indices all produced {first:?}"
+        );
     }
 }

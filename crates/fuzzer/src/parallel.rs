@@ -1,36 +1,52 @@
-//! Parallel sharded campaign execution.
+//! Parallel sharded campaign execution with sub-test-case work stealing.
 //!
 //! The paper's PoC fuzzer (§VII) submits test cases strictly
-//! sequentially; [`crate::campaign::Campaign`] inherits that. A campaign plan, however,
-//! is embarrassingly parallel: every [`TestCase`] carries its own
-//! `rng_seed` and rebuilds its own stack (hypervisor, dummy domain,
-//! replay engine, `s1` snapshot), so test cases share *nothing* at run
-//! time. [`ParallelCampaign`] exploits that: N worker threads pull test
-//! cases from a shared work queue, each worker owning a private
-//! `Hypervisor`/`ReplayEngine`/`Snapshot` per test case (reached once,
-//! restored per crash — exactly the sequential path), and stream
-//! per-test-case results to an aggregator over an `mpsc` channel. The
-//! aggregator merges [`CoverageMap`]s word-wise, folds [`FailureStats`],
-//! and absorbs per-worker [`Corpus`] shards in **plan order**.
+//! sequentially; [`crate::campaign::Campaign`] inherits that. A campaign
+//! plan, however, is embarrassingly parallel — and since the per-range
+//! RNG law ([`crate::mutation::mutant_rng`]) made the mutant stream
+//! partition-invariant, so is every test case's mutant range.
+//! [`ParallelCampaign`] therefore steals work at **chunk** granularity
+//! ([`TestCase::chunks`], default [`crate::testcase::DEFAULT_CHUNK`]):
+//! the plan is precomputed into a flat chunk list in
+//! `(test_case_index, range_start)` order, N worker threads claim
+//! chunks off an **atomic cursor** (one `fetch_add` per claim — no lock
+//! on the hot path), each worker runs its chunk on a private target
+//! stack ([`crate::campaign::run_mutant_range_with`] — boot to `s1`
+//! once per chunk, snapshot-restore per crash), and streams one
+//! [`ChunkOutput`] per chunk (not per seed) to the aggregator over an
+//! `mpsc` channel. The aggregator reassembles each test case's chunks
+//! in `range_start` order ([`crate::campaign::assemble_test_case`]) and
+//! folds completed test cases into the report in **plan order** —
+//! coverage word-merged, [`FailureStats`] folded, chunk-local
+//! [`Corpus`] shards absorbed by move.
 //!
-//! Determinism is a hard requirement: because each test case is
-//! self-contained and aggregation is ordered by plan index, the report —
-//! results, merged coverage, folded stats, deduplicated corpus — is
-//! byte-identical for 1, 2, or 8 workers, and identical to a sequential
-//! [`crate::campaign::Campaign`] loop over the same plan.
+//! Chunking is what keeps one huge-`M` cell (the paper's 10 000-mutant
+//! test cases) from pinning a single worker while the rest of the pool
+//! idles: wall-clock is bounded by total mutants, not by the largest
+//! cell.
+//!
+//! Determinism is a hard requirement: the mutant stream is a pure
+//! function of `(rng_seed, mutant_index)`, chunk outputs merge in a
+//! defined order, and folding is ordered by plan index — so the report
+//! (results, merged coverage, folded stats, deduplicated corpus) is
+//! byte-identical for **any** `(jobs, chunk)` combination, and
+//! identical to a sequential [`crate::campaign::Campaign`] loop over
+//! the same plan.
 
-use crate::campaign::{run_test_case_with, TestCaseResult};
+use crate::campaign::{
+    assemble_test_case, run_mutant_range_with, run_test_case_with, ChunkOutput, TestCaseResult,
+};
 use crate::corpus::Corpus;
 use crate::failure::FailureStats;
 use crate::target::{IrisHvTarget, TargetFactory};
-use crate::testcase::TestCase;
+use crate::testcase::{MutantRange, TestCase, DEFAULT_CHUNK};
 use iris_core::trace::RecordedTrace;
 use iris_guest::workloads::Workload;
 use iris_hv::coverage::CoverageMap;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
 
 /// Aggregated outcome of a campaign plan — everything Table I needs,
 /// plus the merged coverage and the deduplicated crash corpus.
@@ -57,24 +73,39 @@ impl CampaignReport {
         }
     }
 
-    /// Fold one test case's outputs in. Must be called in plan order —
+    /// Fold one assembled test case in. Must be called in plan order —
     /// the corpus dedup keeps the *first* record per signature, and plan
-    /// order is what makes that choice worker-count-independent.
-    fn fold(&mut self, result: TestCaseResult, coverage: &CoverageMap, corpus: Corpus) {
+    /// order is what makes that choice schedule-independent. (The corpus
+    /// itself is absorbed chunk-by-chunk in `self.corpus` by
+    /// [`assemble_test_case`] before this runs.)
+    fn fold_assembled(&mut self, result: TestCaseResult, coverage: &CoverageMap) {
         self.failures.merge(&result.failures);
         self.coverage.merge(coverage);
-        self.corpus.absorb(corpus);
         self.results.push(result);
     }
 }
 
-/// The worker-pool core shared by [`ParallelCampaign`] and
+/// Progress snapshot handed to [`ParallelCampaign::run_observed`]'s
+/// observer after every aggregated chunk — **mutant-granular**, so a
+/// huge-`M` cell shows progress long before its test case completes.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignProgress {
+    /// Mutants whose chunks have been aggregated so far.
+    pub mutants_done: u64,
+    /// Total mutants the plan submits.
+    pub mutants_total: u64,
+    /// Test cases fully assembled and folded into the report so far.
+    pub results_folded: usize,
+}
+
+/// The lock-free worker-pool core shared by [`ParallelCampaign`] and
 /// [`crate::guided::run_guided_parallel`]: shard `items` across at most
-/// `jobs` worker threads pulling indices from a shared queue, stream
-/// `(index, output)` pairs to the aggregating thread over an `mpsc`
-/// channel as they finish, and return the outputs in **item order** —
-/// the property every deterministic-aggregation guarantee above rests
-/// on.
+/// `jobs` worker threads claiming indices off an atomic cursor (one
+/// uncontended `fetch_add` per claim — the old `Mutex<VecDeque>` queue
+/// serialized every claim through a lock), stream `(index, output)`
+/// pairs to the aggregating thread over an `mpsc` channel as they
+/// finish, and return the outputs in **item order** — the property
+/// every deterministic-aggregation guarantee above rests on.
 pub(crate) fn run_indexed<T, R, F>(items: &[T], jobs: usize, work: F) -> Vec<R>
 where
     T: Sync,
@@ -82,18 +113,19 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let workers = jobs.min(items.len()).max(1);
-    let queue: Arc<Mutex<VecDeque<usize>>> = Arc::new(Mutex::new((0..items.len()).collect()));
+    let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            let queue = Arc::clone(&queue);
+            let cursor = &cursor;
             let tx = tx.clone();
             let work = &work;
             scope.spawn(move || loop {
-                let Some(index) = queue.lock().expect("queue poisoned").pop_front() else {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= items.len() {
                     break;
-                };
+                }
                 if tx.send((index, work(index, &items[index]))).is_err() {
                     break; // aggregator gone; nothing left to do
                 }
@@ -111,14 +143,19 @@ where
         .collect()
 }
 
-/// A campaign executor that shards the planned test cases across worker
-/// threads, generic over the fuzz-target backend: every worker builds a
-/// private [`crate::target::FuzzTarget`] instance per test case through
-/// the shared factory.
+/// A campaign executor that shards the planned test cases' mutant
+/// ranges across worker threads at chunk granularity, generic over the
+/// fuzz-target backend: every worker builds a private
+/// [`crate::target::FuzzTarget`] instance per stolen chunk through the
+/// shared factory.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelCampaign<F: TargetFactory = IrisHvTarget> {
     /// Worker thread count (≥ 1).
     pub jobs: usize,
+    /// Mutants per work-stealing chunk (≥ 1); the report is
+    /// byte-identical for every value, only the stealing granularity —
+    /// and so the load balance — changes.
+    pub chunk: usize,
     /// The backend factory workers build their instances from.
     pub factory: F,
 }
@@ -145,13 +182,22 @@ impl ParallelCampaign {
 }
 
 impl<F: TargetFactory> ParallelCampaign<F> {
-    /// An executor over an explicit backend factory.
+    /// An executor over an explicit backend factory, stealing at the
+    /// default chunk granularity ([`DEFAULT_CHUNK`]).
     #[must_use]
     pub fn with_factory(jobs: usize, factory: F) -> Self {
         Self {
             jobs: jobs.max(1),
+            chunk: DEFAULT_CHUNK,
             factory,
         }
+    }
+
+    /// Override the work-stealing chunk size (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
     }
 
     /// Run a plan whose test cases may span several workloads; each test
@@ -166,6 +212,29 @@ impl<F: TargetFactory> ParallelCampaign<F> {
         traces: &BTreeMap<Workload, RecordedTrace>,
         plan: &[TestCase],
     ) -> CampaignReport {
+        self.run_observed(traces, plan, |_, _| {})
+    }
+
+    /// [`ParallelCampaign::run`] with an observer called on the
+    /// aggregator thread after every aggregated chunk: drive progress
+    /// lines (mutant-granular, so huge-`M` cells show movement) or
+    /// persist corpus snapshots (`report.corpus` grows as test cases
+    /// fold — pair with [`crate::corpus::CorpusWriter`] to keep the
+    /// JSON I/O off this thread).
+    ///
+    /// # Panics
+    /// Panics if a planned test case names a workload with no trace in
+    /// `traces` — a malformed plan, not a runtime condition.
+    #[must_use]
+    pub fn run_observed<O>(
+        &self,
+        traces: &BTreeMap<Workload, RecordedTrace>,
+        plan: &[TestCase],
+        observe: O,
+    ) -> CampaignReport
+    where
+        O: FnMut(CampaignProgress, &CampaignReport),
+    {
         for tc in plan {
             assert!(
                 traces.contains_key(&tc.workload),
@@ -173,34 +242,107 @@ impl<F: TargetFactory> ParallelCampaign<F> {
                 tc.workload
             );
         }
-        self.run_with(plan, |tc| &traces[&tc.workload])
+        self.run_with(plan, |tc| &traces[&tc.workload], observe)
     }
 
     /// Run a single-trace plan (every test case targets `trace`).
     #[must_use]
     pub fn run_trace(&self, trace: &RecordedTrace, plan: &[TestCase]) -> CampaignReport {
-        self.run_with(plan, |_| trace)
+        self.run_with(plan, |_| trace, |_, _| {})
     }
 
-    /// The executor core: shard `plan` over `self.jobs` workers via
-    /// [`run_indexed`], then fold the ordered outputs in plan order.
-    fn run_with<'t, G>(&self, plan: &[TestCase], trace_of: G) -> CampaignReport
+    /// The executor core: flatten `plan` into the precomputed chunk
+    /// list, let `self.jobs` workers claim chunks off an atomic cursor,
+    /// and stream one [`ChunkOutput`] per chunk to this (aggregator)
+    /// thread, which assembles each test case's chunks in `range_start`
+    /// order and folds completed test cases in plan order — eagerly, so
+    /// a folded test case's chunk outputs are dropped instead of
+    /// accumulating for the whole plan.
+    fn run_with<'t, G, O>(&self, plan: &[TestCase], trace_of: G, mut observe: O) -> CampaignReport
     where
         G: Fn(&TestCase) -> &'t RecordedTrace + Sync,
+        O: FnMut(CampaignProgress, &CampaignReport),
     {
-        let factory = &self.factory;
-        let outputs = run_indexed(plan, self.jobs, |_, tc| {
-            // A fresh per-test-case run: the target boots the stack and
-            // snapshots `s1` itself, so a worker-private corpus is the
-            // only state to carry.
-            let mut corpus = Corpus::new();
-            let (result, coverage) = run_test_case_with(factory, &mut corpus, trace_of(tc), tc);
-            (result, coverage, corpus)
-        });
-        let mut report = CampaignReport::new();
-        for (result, coverage, corpus) in outputs {
-            report.fold(result, &coverage, corpus);
+        // The chunk list is in (test_case_index, range_start) order, so
+        // each test case's chunks occupy one contiguous span of job
+        // indices.
+        let jobs_list: Vec<(usize, MutantRange)> = plan
+            .iter()
+            .enumerate()
+            .flat_map(|(tc_idx, tc)| tc.chunks(self.chunk).map(move |r| (tc_idx, r)))
+            .collect();
+        let mut span = vec![(0usize, 0usize); plan.len()]; // (first job, chunk count)
+        for (job, &(tc_idx, _)) in jobs_list.iter().enumerate() {
+            if span[tc_idx].1 == 0 {
+                span[tc_idx].0 = job;
+            }
+            span[tc_idx].1 += 1;
         }
+        let mutants_total: u64 = plan.iter().map(|tc| tc.mutants as u64).sum();
+
+        let factory = &self.factory;
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, ChunkOutput)>();
+        let mut report = CampaignReport::new();
+        std::thread::scope(|scope| {
+            let workers = self.jobs.min(jobs_list.len()).max(1);
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let tx = tx.clone();
+                let jobs_list = &jobs_list;
+                let trace_of = &trace_of;
+                scope.spawn(move || loop {
+                    let job = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(tc_idx, range)) = jobs_list.get(job) else {
+                        break;
+                    };
+                    let tc = &plan[tc_idx];
+                    let out = run_mutant_range_with(factory, trace_of(tc), tc, range);
+                    if tx.send((job, out)).is_err() {
+                        break; // aggregator gone; nothing left to do
+                    }
+                });
+            }
+            drop(tx);
+
+            // Aggregate concurrently with the workers: park arrivals
+            // keyed by job index, and whenever the next-in-plan test
+            // case has all its chunks, assemble and fold it. A map, not
+            // a plan-sized slot vector: each `ChunkOutput` carries two
+            // ~3.5 KB inline coverage maps, so memory must scale with
+            // the *outstanding* chunks (bounded by the out-of-order
+            // window — folded test cases drain eagerly), not with the
+            // whole chunk list (a paper-scale plan at `--chunk 1` has
+            // hundreds of thousands of chunks).
+            let mut pending: std::collections::BTreeMap<usize, ChunkOutput> =
+                std::collections::BTreeMap::new();
+            let mut arrived = vec![0usize; plan.len()];
+            let mut next_tc = 0usize;
+            let mut mutants_done = 0u64;
+            for (job, out) in rx {
+                mutants_done += out.range.len as u64;
+                let tc_idx = jobs_list[job].0;
+                pending.insert(job, out);
+                arrived[tc_idx] += 1;
+                while next_tc < plan.len() && arrived[next_tc] == span[next_tc].1 {
+                    let (first, count) = span[next_tc];
+                    let chunks = (first..first + count)
+                        .map(|job| pending.remove(&job).expect("all chunks arrived"));
+                    let (result, coverage) =
+                        assemble_test_case(&plan[next_tc], chunks, &mut report.corpus);
+                    report.fold_assembled(result, &coverage);
+                    next_tc += 1;
+                }
+                observe(
+                    CampaignProgress {
+                        mutants_done,
+                        mutants_total,
+                        results_folded: report.results.len(),
+                    },
+                    &report,
+                );
+            }
+        });
         report
     }
 
@@ -213,16 +355,12 @@ impl<F: TargetFactory> ParallelCampaign<F> {
         traces: &BTreeMap<Workload, RecordedTrace>,
         plan: &[TestCase],
     ) -> CampaignReport {
-        let mut corpus = Corpus::new();
         let mut report = CampaignReport::new();
         for tc in plan {
             let trace = &traces[&tc.workload];
-            let (result, coverage) = run_test_case_with(factory, &mut corpus, trace, tc);
-            report.failures.merge(&result.failures);
-            report.coverage.merge(&coverage);
-            report.results.push(result);
+            let (result, coverage) = run_test_case_with(factory, &mut report.corpus, trace, tc);
+            report.fold_assembled(result, &coverage);
         }
-        report.corpus = corpus;
         report
     }
 }
@@ -303,6 +441,91 @@ mod tests {
                 "jobs={jobs} diverged from the sequential reference"
             );
         }
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_jobs_and_chunk_sizes() {
+        // The acceptance cross product: jobs × chunk, including chunk=1
+        // (every mutant its own steal) and whole-cell chunks, against
+        // the sequential reference. The plan keeps seed indices small so
+        // the per-chunk boot prefix stays cheap.
+        let trace = boot_trace(120);
+        let mut plan = Vec::new();
+        for (reason, area) in [
+            (ExitReason::CrAccess, SeedArea::Vmcs), // crashy cell
+            (ExitReason::Cpuid, SeedArea::Gpr),     // harmless cell
+            (ExitReason::IoInstruction, SeedArea::Vmcs),
+        ] {
+            let idx = trace
+                .seeds
+                .iter()
+                .position(|s| s.reason == reason)
+                .expect("reason present in boot trace");
+            plan.push(TestCase {
+                mutants: 90,
+                ..TestCase::new(
+                    iris_guest::workloads::Workload::OsBoot,
+                    idx,
+                    reason,
+                    area,
+                    0xBEEF ^ idx as u64,
+                )
+            });
+        }
+        let mut traces = BTreeMap::new();
+        traces.insert(iris_guest::workloads::Workload::OsBoot, trace);
+
+        let sequential =
+            ParallelCampaign::run_sequential(&traces, &plan, crate::campaign::DEFAULT_RAM_BYTES);
+        let baseline = serde_json::to_string(&sequential).unwrap();
+        assert!(
+            sequential.corpus.observed() > 0,
+            "the cross-product plan must exercise crash recovery"
+        );
+        for jobs in [1usize, 2, 8] {
+            for chunk in [1usize, 64, usize::MAX] {
+                let report = ParallelCampaign::new(jobs)
+                    .with_chunk(chunk)
+                    .run(&traces, &plan);
+                assert_eq!(
+                    serde_json::to_string(&report).unwrap(),
+                    baseline,
+                    "jobs={jobs} chunk={chunk} diverged from the sequential reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observer_sees_monotone_chunk_granular_progress() {
+        let trace = boot_trace(100);
+        let plan = plan_over(&trace, 30);
+        let mut traces = BTreeMap::new();
+        traces.insert(iris_guest::workloads::Workload::OsBoot, trace);
+        let total: u64 = plan.iter().map(|tc| tc.mutants as u64).sum();
+
+        let mut seen = Vec::new();
+        let report =
+            ParallelCampaign::new(2)
+                .with_chunk(8)
+                .run_observed(&traces, &plan, |p, partial| {
+                    assert_eq!(p.mutants_total, total);
+                    assert_eq!(p.results_folded, partial.results.len());
+                    seen.push((p.mutants_done, p.results_folded));
+                });
+        assert!(!seen.is_empty(), "observer must fire per chunk");
+        assert!(
+            seen.windows(2).all(|w| w[0] <= w[1]),
+            "progress must be monotone"
+        );
+        let &(last_mutants, last_folded) = seen.last().unwrap();
+        assert_eq!(last_mutants, total, "every mutant reported");
+        assert_eq!(last_folded, plan.len(), "every test case folded");
+        assert!(
+            seen.len() > plan.len(),
+            "chunk granularity: more observations than test cases"
+        );
+        assert_eq!(report.results.len(), plan.len());
     }
 
     #[test]

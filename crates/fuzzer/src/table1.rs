@@ -142,10 +142,15 @@ impl Table1 {
         plan
     }
 
-    /// Run the full table on a sharded executor. Deterministic: the plan
-    /// and per-test-case results are worker-count-independent, so the
-    /// assembled table equals [`Table1::run`]'s for any `jobs`. Also
-    /// returns the aggregated report (merged coverage, folded stats,
+    /// Run the full table on a sharded executor. Deterministic: the
+    /// plan and per-test-case results are independent of both the
+    /// worker count and the executor's work-stealing chunk size (the
+    /// per-range RNG law makes every cell's mutant stream
+    /// partition-invariant), so the assembled table equals
+    /// [`Table1::run`]'s for any `(jobs, chunk)` — and a single
+    /// huge-`M` cell (the paper's 10 000-mutant columns) spreads across
+    /// the whole pool instead of serializing the sweep. Also returns
+    /// the aggregated report (merged coverage, folded stats,
     /// deduplicated corpus) that the sequential API kept in `Campaign`.
     #[must_use]
     pub fn run_parallel<F: TargetFactory>(

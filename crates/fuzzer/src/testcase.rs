@@ -14,6 +14,49 @@ use serde::{Deserialize, Serialize};
 /// The paper's `M`: mutants per test case.
 pub const PAPER_M: usize = 10_000;
 
+/// Default mutants per work-stealing chunk (CLI `--chunk`).
+///
+/// Chunks are the unit the sharded executor steals, so one huge-`M`
+/// cell (the paper runs up to [`PAPER_M`] mutants) spreads across the
+/// whole worker pool instead of pinning a single worker. 256 amortizes
+/// the per-chunk boot-to-`s1` cost over enough submissions to keep the
+/// jobs=1 throughput at the unchunked level while still splitting a
+/// 10 000-mutant cell into ~40 stealable pieces.
+pub const DEFAULT_CHUNK: usize = 256;
+
+/// A contiguous sub-range `[start, start + len)` of a test case's
+/// mutant indices — the unit of work stealing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutantRange {
+    /// First mutant index in the range.
+    pub start: usize,
+    /// Number of mutants in the range.
+    pub len: usize,
+}
+
+impl MutantRange {
+    /// The whole mutant range of a test case, as one chunk.
+    #[must_use]
+    pub fn whole(mutants: usize) -> Self {
+        Self {
+            start: 0,
+            len: mutants,
+        }
+    }
+
+    /// One past the last mutant index.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// The mutant indices the range covers.
+    #[must_use]
+    pub fn indices(&self) -> std::ops::Range<usize> {
+        self.start..self.end()
+    }
+}
+
 /// One planned test case.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TestCase {
@@ -56,6 +99,23 @@ impl TestCase {
     pub fn cell_label(&self) -> String {
         format!("{}/{}", self.workload.label(), self.area.label())
     }
+
+    /// Partition the mutant range `0..self.mutants` into chunks of
+    /// `chunk` mutants (clamped to ≥ 1; the last chunk is ragged), in
+    /// ascending `start` order. A zero-mutant test case still yields one
+    /// empty chunk, so every test case produces at least one work item
+    /// (the chunk carries the baseline measurement).
+    pub fn chunks(&self, chunk: usize) -> impl Iterator<Item = MutantRange> {
+        let mutants = self.mutants;
+        let chunk = chunk.max(1);
+        (0..mutants.div_ceil(chunk).max(1)).map(move |i| {
+            let start = i * chunk;
+            MutantRange {
+                start,
+                len: chunk.min(mutants - start),
+            }
+        })
+    }
 }
 
 #[cfg(test)]
@@ -80,5 +140,53 @@ mod tests {
         let tc = TestCase::new(Workload::Idle, 3, ExitReason::Hlt, SeedArea::Gpr, 1);
         let json = serde_json::to_string(&tc).unwrap();
         assert_eq!(serde_json::from_str::<TestCase>(&json).unwrap(), tc);
+    }
+
+    #[test]
+    fn chunks_partition_the_mutant_range_exactly() {
+        let mut tc = TestCase::new(Workload::Idle, 0, ExitReason::Hlt, SeedArea::Gpr, 1);
+        for mutants in [1usize, 5, 64, 100, 257] {
+            tc.mutants = mutants;
+            for chunk in [1usize, 3, 64, 256, usize::MAX] {
+                let ranges: Vec<MutantRange> = tc.chunks(chunk).collect();
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "m={mutants} c={chunk}");
+                    assert!(r.len >= 1 && r.len <= chunk);
+                    next = r.end();
+                }
+                assert_eq!(
+                    next, mutants,
+                    "m={mutants} c={chunk}: ranges must cover 0..M"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_edge_cases() {
+        let mut tc = TestCase::new(Workload::Idle, 0, ExitReason::Hlt, SeedArea::Gpr, 1);
+        tc.mutants = 10;
+        // chunk=0 is clamped to 1.
+        assert_eq!(tc.chunks(0).count(), 10);
+        // chunk ≥ M is one whole-cell range.
+        assert_eq!(
+            tc.chunks(10).collect::<Vec<_>>(),
+            vec![MutantRange::whole(10)]
+        );
+        assert_eq!(
+            tc.chunks(999).collect::<Vec<_>>(),
+            vec![MutantRange::whole(10)]
+        );
+        // Zero mutants still yield one (empty) chunk for the baseline.
+        tc.mutants = 0;
+        assert_eq!(
+            tc.chunks(4).collect::<Vec<_>>(),
+            vec![MutantRange { start: 0, len: 0 }]
+        );
+        // Range accessors.
+        let r = MutantRange { start: 6, len: 4 };
+        assert_eq!(r.end(), 10);
+        assert_eq!(r.indices(), 6..10);
     }
 }

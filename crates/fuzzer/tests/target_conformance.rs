@@ -222,6 +222,53 @@ fn sharded_reports_are_byte_identical_for_jobs_1_and_2() {
 }
 
 #[test]
+fn chunked_reports_are_byte_identical_across_jobs_and_chunks() {
+    // The chunked twin of the jobs=1/2 determinism case: for every
+    // registered backend, the report must be byte-identical whatever
+    // the (jobs, chunk) combination — chunk=1 makes every mutant its
+    // own steal, chunk=usize::MAX is the whole-cell pre-chunking
+    // behavior. The per-range RNG law (`rng_seed ⊕ mutant_index`) plus
+    // the `(test_case_index, range_start)` merge order are what every
+    // backend must therefore honour: deterministic boot and
+    // history-independent submissions from the canonical state.
+    let trace = boot_trace(120);
+    let mut plan = Vec::new();
+    for (reason, area) in [
+        (ExitReason::CrAccess, SeedArea::Vmcs), // crashy cell
+        (ExitReason::Cpuid, SeedArea::Gpr),
+        (ExitReason::IoInstruction, SeedArea::Vmcs),
+    ] {
+        plan.push(TestCase {
+            mutants: 45,
+            ..TestCase::new(
+                Workload::OsBoot,
+                find_seed(&trace, reason),
+                reason,
+                area,
+                0xFEED,
+            )
+        });
+    }
+
+    for_every_backend!(|factory, backend| {
+        let reference = ParallelCampaign::with_factory(1, factory).run_trace(&trace, &plan);
+        let baseline = serde_json::to_string(&reference).unwrap();
+        for jobs in [1usize, 2] {
+            for chunk in [1usize, 7, usize::MAX] {
+                let report = ParallelCampaign::with_factory(jobs, factory)
+                    .with_chunk(chunk)
+                    .run_trace(&trace, &plan);
+                assert_eq!(
+                    serde_json::to_string(&report).unwrap(),
+                    baseline,
+                    "{backend:?}: jobs={jobs} chunk={chunk} diverged"
+                );
+            }
+        }
+    });
+}
+
+#[test]
 fn planted_faults_fire_only_on_the_faulty_backend() {
     let trace = boot_trace(200);
     // One cell per planted defect: (CPUID, GPR) reaches the reserved-leaf

@@ -11,6 +11,7 @@ use iris_vtx::vmcs::Vmcs;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::OnceLock;
 
 fn arb_field() -> impl Strategy<Value = VmcsField> {
     (0..VmcsField::ALL.len()).prop_map(|i| VmcsField::ALL[i])
@@ -303,6 +304,86 @@ proptest! {
         let first = iris_vtx::entry_checks::check_guest_state(&v);
         let second = iris_vtx::entry_checks::check_guest_state(&v);
         prop_assert_eq!(first, second);
+    }
+}
+
+/// The recorded substrate the mutant-range partition property fuzzes
+/// over — recorded once, shared across cases.
+fn partition_trace() -> &'static iris_core::trace::RecordedTrace {
+    static TRACE: OnceLock<iris_core::trace::RecordedTrace> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        iris_fuzzer::target::record_trace(iris_guest::workloads::Workload::OsBoot, 120, 42)
+    })
+}
+
+proptest! {
+    // Each case boots one target per chunk, so keep the case count
+    // modest — the partition space is low-dimensional anyway.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The per-range RNG law, stated as a property: for an **arbitrary**
+    /// partition of a test case's mutant range into chunks, the merged
+    /// `TestCaseResult` (coverage, stats, corpus — compared on
+    /// serialized JSON) is byte-identical to the unchunked sequential
+    /// run. This is the invariant `ParallelCampaign`'s chunk-granular
+    /// work stealing rests on.
+    #[test]
+    fn chunked_partition_matches_unchunked(
+        lens in proptest::collection::vec(1usize..12, 1..8),
+        vmcs_area in any::<bool>(),
+        rng_seed in any::<u64>(),
+    ) {
+        use iris_fuzzer::campaign::{assemble_test_case, run_mutant_range_with, run_test_case_with};
+        use iris_fuzzer::corpus::Corpus;
+        use iris_fuzzer::target::IrisHvTarget;
+        use iris_fuzzer::testcase::{MutantRange, TestCase};
+
+        let trace = partition_trace();
+        let (reason, area) = if vmcs_area {
+            (ExitReason::CrAccess, SeedArea::Vmcs) // crash-heavy cell
+        } else {
+            (ExitReason::Cpuid, SeedArea::Gpr) // coverage-heavy cell
+        };
+        let seed_index = trace
+            .seeds
+            .iter()
+            .position(|s| s.reason == reason)
+            .expect("reason present in the boot trace");
+        let tc = TestCase {
+            mutants: lens.iter().sum(),
+            ..TestCase::new(
+                iris_guest::workloads::Workload::OsBoot,
+                seed_index,
+                reason,
+                area,
+                rng_seed,
+            )
+        };
+        let factory = IrisHvTarget::default();
+
+        // Unchunked sequential reference.
+        let mut ref_corpus = Corpus::new();
+        let (ref_result, ref_cov) = run_test_case_with(&factory, &mut ref_corpus, trace, &tc);
+
+        // The arbitrary partition, chunk by chunk on fresh targets.
+        let mut outputs = Vec::new();
+        let mut start = 0usize;
+        for len in lens {
+            outputs.push(run_mutant_range_with(&factory, trace, &tc, MutantRange { start, len }));
+            start += len;
+        }
+        let mut corpus = Corpus::new();
+        let (result, cov) = assemble_test_case(&tc, outputs, &mut corpus);
+
+        prop_assert_eq!(
+            serde_json::to_string(&result).expect("serializes"),
+            serde_json::to_string(&ref_result).expect("serializes")
+        );
+        prop_assert_eq!(&cov, &ref_cov);
+        prop_assert_eq!(
+            serde_json::to_string(&corpus).expect("serializes"),
+            serde_json::to_string(&ref_corpus).expect("serializes")
+        );
     }
 }
 

@@ -3,11 +3,37 @@
 //! groups, throughput annotations). Measurements are wall-clock means
 //! over an adaptively chosen iteration count; `--test` runs every
 //! benchmark body once as a smoke test.
+//!
+//! Beyond the upstream surface, every completed benchmark is also
+//! recorded in a process-wide registry ([`take_measurements`]) so bench
+//! bins with a hand-written `main` can post-process results — e.g. emit
+//! machine-readable JSON for trajectory tracking.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One completed benchmark measurement, as recorded in the registry.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The printed `group/id` label.
+    pub label: String,
+    /// Mean wall-clock nanoseconds per iteration (0.0 in `--test` mode).
+    pub mean_ns: f64,
+    /// Per-iteration element count, when the group declared
+    /// [`Throughput::Elements`].
+    pub elements: Option<u64>,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drain every measurement recorded so far, in completion order.
+#[must_use]
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut *MEASUREMENTS.lock().expect("measurement registry poisoned"))
+}
 
 /// Target measurement time per benchmark.
 const TARGET: Duration = Duration::from_millis(300);
@@ -174,14 +200,20 @@ fn run_one<F: FnOnce(&mut Bencher)>(
         mean_ns: f64::NAN,
     };
     f(&mut b);
+    let elements = match throughput {
+        Some(Throughput::Elements(n)) => Some(n),
+        _ => None,
+    };
     if test_mode {
         println!("bench {label}: ok (smoke)");
+        record(&label, 0.0, elements);
         return;
     }
     if b.mean_ns.is_nan() {
         println!("bench {label}: no measurement (b.iter never called)");
         return;
     }
+    record(&label, b.mean_ns, elements);
     let mut line = format!("bench {label}: {} /iter", fmt_ns(b.mean_ns));
     if let Some(t) = throughput {
         let per_sec = |n: u64| n as f64 / (b.mean_ns / 1e9);
@@ -195,6 +227,17 @@ fn run_one<F: FnOnce(&mut Bencher)>(
         }
     }
     println!("{line}");
+}
+
+fn record(label: &str, mean_ns: f64, elements: Option<u64>) {
+    MEASUREMENTS
+        .lock()
+        .expect("measurement registry poisoned")
+        .push(Measurement {
+            label: label.to_owned(),
+            mean_ns,
+            elements,
+        });
 }
 
 fn fmt_ns(ns: f64) -> String {
