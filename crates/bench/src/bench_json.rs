@@ -28,6 +28,9 @@ pub struct BenchRecord {
     pub jobs: Option<usize>,
     /// Work-stealing chunk size, for arms parameterized by `chunk`.
     pub chunk: Option<usize>,
+    /// Guided generation size, for arms parameterized by `gen`
+    /// (the `guided_scaling` bench's sync-point axis).
+    pub generation: Option<usize>,
 }
 
 impl BenchRecord {
@@ -56,6 +59,7 @@ impl BenchRecord {
             ns_per_exit: m.elements.map_or(0.0, per_exit),
             jobs: label_segment(&m.label, "jobs"),
             chunk: label_segment(&m.label, "chunk"),
+            generation: label_segment(&m.label, "gen"),
         }
     }
 }
@@ -123,6 +127,7 @@ mod tests {
         let r = BenchRecord::from_measurement(&m);
         assert_eq!(r.jobs, Some(2));
         assert_eq!(r.chunk, Some(64));
+        assert_eq!(r.generation, None);
         assert!(
             (r.seeds_per_sec - 500_000.0).abs() < 1e-6,
             "{}",
@@ -142,6 +147,20 @@ mod tests {
         assert_eq!(r.seeds_per_sec, 0.0);
         assert_eq!(r.ns_per_exit, 0.0);
         assert_eq!(r.jobs, None);
+        assert_eq!(r.chunk, None);
+        assert_eq!(r.generation, None);
+    }
+
+    #[test]
+    fn guided_scaling_labels_parse_the_generation_axis() {
+        let m = Measurement {
+            label: "guided_scaling/jobs/4/gen/256".to_owned(),
+            mean_ns: 1e6,
+            elements: Some(1200),
+        };
+        let r = BenchRecord::from_measurement(&m);
+        assert_eq!(r.jobs, Some(4));
+        assert_eq!(r.generation, Some(256));
         assert_eq!(r.chunk, None);
     }
 

@@ -5,7 +5,9 @@
 //! fuzz-target backend (`iris` or `faulty`).
 
 use iris_bench::experiments::record_workload;
-use iris_fuzzer::guided::{run_guided_parallel_with, run_guided_with, GuidedConfig};
+use iris_fuzzer::guided::{
+    run_guided_parallel_with, run_guided_shared_with, run_guided_with, GuidedConfig,
+};
 use iris_fuzzer::parallel::available_jobs;
 use iris_fuzzer::target::{Backend, TargetFactory};
 use iris_guest::workloads::Workload;
@@ -85,5 +87,31 @@ fn main() {
         }
         let best = ensemble.iter().map(|r| r.total_lines).max().unwrap_or(0);
         println!("  best instance coverage: {best} lines");
+
+        // The contrast: the same total budget on ONE shared corpus via
+        // the generational engine — N workers buy N× progress on a
+        // single feedback loop instead of N disjoint corpora, and the
+        // result is byte-identical for any worker count.
+        let shared = run_guided_shared_with(
+            &backend,
+            &trace,
+            GuidedConfig {
+                budget: budget * instances as u64,
+                ..GuidedConfig::default()
+            },
+            jobs,
+        );
+        println!(
+            "\nshared corpus: {} executions across {jobs} workers (generational sync points)",
+            budget * instances as u64
+        );
+        println!(
+            "  {} -> {} lines, {} promotions, corpus {}, {} crashes",
+            shared.baseline_lines,
+            shared.total_lines,
+            shared.promotions,
+            shared.corpus_size,
+            shared.failures.vm_crashes + shared.failures.hv_crashes
+        );
     }
 }

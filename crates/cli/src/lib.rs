@@ -13,8 +13,10 @@ use iris_core::manager::{IrisManager, Mode};
 use iris_core::metrics;
 use iris_core::record::RecordConfig;
 use iris_core::seed_db::SeedDb;
-use iris_fuzzer::corpus::CorpusWriter;
-use iris_fuzzer::guided::{run_guided_with, GuidedConfig};
+use iris_fuzzer::corpus::{Corpus, CorpusWriter};
+use iris_fuzzer::guided::{
+    run_guided_parallel_with, run_guided_shared_observed, GuidedConfig, GuidedResult,
+};
 use iris_fuzzer::mutation::SeedArea;
 use iris_fuzzer::parallel::{available_jobs, CampaignReport, ParallelCampaign};
 use iris_fuzzer::table1::Table1;
@@ -59,7 +61,7 @@ USAGE:
     iris replay   <workload> [--exits N] [--seed S] [--cold] [--memory]
     iris fuzz     <workload> [--exits N] [--mutants M] [--area vmcs|gpr] [--reason R] [--jobs N] [--chunk C] [--target T]
     iris campaign <workload> [--exits N] [--mutants M] [--jobs N] [--chunk C] [--target T] [--json FILE] [--corpus FILE]
-    iris guided   <workload> [--exits N] [--budget B] [--target T]
+    iris guided   <workload> [--exits N] [--budget B] [--gen G] [--jobs N] [--mode shared|ensemble] [--target T] [--json FILE] [--corpus FILE]
     iris targets
     iris report   <FILE.json>
 
@@ -77,6 +79,15 @@ background writer so the campaign never pauses on JSON I/O.
 hypervisor); `iris targets` lists every registered backend. The faulty
 backend plants known handler bugs, and `campaign --target faulty`
 reports which of them the run detected.
+
+`guided` runs the coverage-guided feedback loop. The default mode,
+`shared`, is the generational shared-corpus engine: N workers fuzz ONE
+corpus, synchronizing at generation barriers every G executions
+(default: 256), and the result — promotions, corpus order, growth
+curve, crashes — is byte-identical for any N (`--json` writes it for
+diffing). `ensemble` instead runs N independent loops with distinct RNG
+seeds (N disjoint corpora). `--corpus` persists the crash corpus (per
+generation in shared mode) through the background writer.
 ";
 
 fn parse_workload(name: &str) -> Result<Workload, CliError> {
@@ -437,51 +448,86 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
         // the planted handler bugs this campaign detected.
         out.push_str(&render_planted_fault_report(&report.corpus));
     }
-    if let Some(path) = flag_value(args, "--json") {
-        // The serialized report is byte-identical across (jobs, chunk) —
-        // the artifact CI diffs for the determinism smoke. Written
-        // before the corpus writer is joined, so a corpus write error
-        // cannot cost the independently-requested report artifact.
-        std::fs::write(
-            &path,
-            serde_json::to_string_pretty(&report).expect("report serializes"),
-        )?;
-        out.push_str(&format!("report JSON written to {path}\n"));
-    }
-    if let (Some(writer), Some(path)) = (writer, corpus_path) {
-        // Final snapshot (the incremental ones may have been coalesced),
-        // then surface any background write error at campaign end —
-        // last, after every other artifact of the completed run is
-        // safely on disk.
-        writer.persist(report.corpus.clone());
-        writer.finish()?;
-        out.push_str(&format!("corpus written to {}\n", path.display()));
-    }
+    // The serialized report is byte-identical across (jobs, chunk) —
+    // the artifact CI diffs for the determinism smoke. The corpus gets
+    // a final snapshot (the incremental ones may have been coalesced)
+    // and its first background write error surfaces at campaign end.
+    finish_artifacts(
+        &mut out,
+        "report JSON",
+        flag_value(args, "--json").map(|path| {
+            (
+                path,
+                serde_json::to_string_pretty(&report).expect("report serializes"),
+            )
+        }),
+        writer
+            .zip(corpus_path)
+            .map(|(writer, path)| (writer, path, report.corpus.clone())),
+    )?;
     Ok(out)
 }
 
 fn cmd_guided(args: &[String]) -> Result<String, CliError> {
     let (mut mgr, w, exits, seed) = setup(args)?;
     let budget: u64 = parse_num(args, "--budget", 1500)?;
+    let generation: u64 = parse_num(args, "--gen", GuidedConfig::default().generation)?;
+    if generation == 0 {
+        return Err(CliError::Usage("--gen must be at least 1".to_owned()));
+    }
+    let jobs = parse_jobs(args)?;
     let backend = parse_target(args)?;
+    let mode = flag_value(args, "--mode").unwrap_or_else(|| "shared".to_owned());
     let ops = w.generate(exits, seed);
     mgr.record(w.label(), ops, RecordConfig::default());
     let trace = mgr.db.get(w.label()).expect("recorded").clone();
-    let r = run_guided_with(
-        &backend,
-        &trace,
-        GuidedConfig {
-            budget,
-            rng_seed: seed,
-            ..GuidedConfig::default()
-        },
-    );
-    Ok(format!(
-        "guided fuzzing over {} ({budget} executions, target {})\n\
-         coverage: {} -> {} lines ({} promotions, corpus {})\n\
-         crashes: {} VM ({:.2}%), {} hypervisor ({:.2}%)\n",
-        w.label(),
-        backend.name(),
+    let config = GuidedConfig {
+        budget,
+        rng_seed: seed,
+        generation,
+        ..GuidedConfig::default()
+    };
+    match mode.as_str() {
+        "shared" => cmd_guided_shared(args, w, &trace, config, jobs, backend),
+        "ensemble" => cmd_guided_ensemble(args, w, &trace, config, jobs, backend),
+        other => Err(CliError::Usage(format!(
+            "bad --mode '{other}' (shared | ensemble)"
+        ))),
+    }
+}
+
+/// Finalize a run's on-disk artifacts: write the `--json` report (if
+/// requested) and join the `--corpus` background writer (if any) with a
+/// final snapshot. Both are **attempted unconditionally** — a JSON
+/// write error must not leave the corpus snapshot unwritten or its
+/// latched background error silently dropped, and vice versa — then the
+/// first failure (JSON first, matching the output line order) is
+/// surfaced. On success, one line per artifact is appended to `out`.
+fn finish_artifacts(
+    out: &mut String,
+    json_label: &str,
+    json: Option<(String, String)>,
+    corpus: Option<(CorpusWriter, PathBuf, Corpus)>,
+) -> Result<(), CliError> {
+    let json_result = json.map(|(path, payload)| std::fs::write(&path, payload).map(|()| path));
+    let corpus_result = corpus.map(|(writer, path, snapshot)| {
+        writer.persist(snapshot);
+        writer.finish().map(|_| path)
+    });
+    if let Some(result) = json_result {
+        out.push_str(&format!("{json_label} written to {}\n", result?));
+    }
+    if let Some(result) = corpus_result {
+        out.push_str(&format!("corpus written to {}\n", result?.display()));
+    }
+    Ok(())
+}
+
+/// Render the coverage/crash summary every guided mode shares.
+fn render_guided_result(r: &GuidedResult) -> String {
+    format!(
+        "coverage: {} -> {} lines ({} promotions, corpus {})\n\
+         crashes: {} VM ({:.2}%), {} hypervisor ({:.2}%) — corpus {} ({} unique)\n",
         r.baseline_lines,
         r.total_lines,
         r.promotions,
@@ -489,8 +535,145 @@ fn cmd_guided(args: &[String]) -> Result<String, CliError> {
         r.failures.vm_crashes,
         r.failures.vm_crash_percent(),
         r.failures.hv_crashes,
-        r.failures.hv_crash_percent()
-    ))
+        r.failures.hv_crash_percent(),
+        r.crashes.observed(),
+        r.crashes.unique()
+    )
+}
+
+/// The generational shared-corpus mode: one corpus, `jobs` workers,
+/// byte-identical results for any worker count. The crash corpus
+/// persists per generation through the background writer; the report
+/// JSON is the determinism artifact CI byte-diffs.
+fn cmd_guided_shared(
+    args: &[String],
+    w: Workload,
+    trace: &iris_core::trace::RecordedTrace,
+    config: GuidedConfig,
+    jobs: usize,
+    backend: Backend,
+) -> Result<String, CliError> {
+    let corpus_path = flag_value(args, "--corpus").map(PathBuf::from);
+    let writer = corpus_path.as_ref().map(|p| CorpusWriter::spawn(p.clone()));
+    let show_progress = std::io::stderr().is_terminal();
+    let mut last_observed = 0u64;
+    let r = run_guided_shared_observed(&backend, trace, config, jobs, |p| {
+        if show_progress {
+            eprint!(
+                "\rguided: {}/{} executions, {} lines, corpus {}",
+                p.executed, p.budget, p.total_lines, p.corpus_size
+            );
+        }
+        if let Some(writer) = &writer {
+            // Persist only when the crash corpus actually grew —
+            // crash-free generations would otherwise rewrite
+            // byte-identical JSON once per barrier.
+            if p.crashes.observed() > last_observed {
+                last_observed = p.crashes.observed();
+                writer.persist(p.crashes.clone());
+            }
+        }
+    });
+    if show_progress {
+        eprintln!();
+    }
+
+    let mut out = format!(
+        "guided fuzzing over {} ({} executions, target {})\n\
+         mode shared: {} worker{}, {} generations of ≤{} executions\n",
+        w.label(),
+        config.budget,
+        backend.name(),
+        jobs,
+        if jobs == 1 { "" } else { "s" },
+        r.growth.len(),
+        config.generation
+    );
+    out.push_str(&render_guided_result(&r));
+    // The result JSON is byte-identical across --jobs — the artifact CI
+    // diffs for the shared-mode determinism smoke. The corpus gets a
+    // final snapshot (crashes may have arrived since the last grow-only
+    // persist) and its first background write error surfaces at exit.
+    finish_artifacts(
+        &mut out,
+        "result JSON",
+        flag_value(args, "--json").map(|path| {
+            (
+                path,
+                serde_json::to_string_pretty(&r).expect("result serializes"),
+            )
+        }),
+        writer
+            .zip(corpus_path)
+            .map(|(writer, path)| (writer, path, r.crashes.clone())),
+    )?;
+    Ok(out)
+}
+
+/// The ensemble mode: `jobs` independent sequential loops with distinct
+/// RNG seeds (rng_seed + i), sharded over the worker pool — N disjoint
+/// corpora instead of N× progress on one.
+fn cmd_guided_ensemble(
+    args: &[String],
+    w: Workload,
+    trace: &iris_core::trace::RecordedTrace,
+    config: GuidedConfig,
+    jobs: usize,
+    backend: Backend,
+) -> Result<String, CliError> {
+    let configs: Vec<GuidedConfig> = (0..jobs as u64)
+        .map(|i| GuidedConfig {
+            rng_seed: config.rng_seed + i,
+            ..config
+        })
+        .collect();
+    let results = run_guided_parallel_with(&backend, trace, &configs, jobs);
+    let mut out = format!(
+        "guided fuzzing over {} ({} executions, target {})\n\
+         mode ensemble: {} independent instance{} (disjoint corpora)\n",
+        w.label(),
+        config.budget,
+        backend.name(),
+        jobs,
+        if jobs == 1 { "" } else { "s" },
+    );
+    for (cfg, r) in configs.iter().zip(&results) {
+        out.push_str(&format!(
+            "  seed {:>3}: {} -> {} lines, {} promotions, {} crashes\n",
+            cfg.rng_seed,
+            r.baseline_lines,
+            r.total_lines,
+            r.promotions,
+            r.failures.vm_crashes + r.failures.hv_crashes
+        ));
+    }
+    let best = results
+        .iter()
+        .max_by_key(|r| r.total_lines)
+        .expect("jobs >= 1");
+    out.push_str("best instance:\n");
+    out.push_str(&render_guided_result(best));
+    // The corpus artifact merges the instances' crash corpora in config
+    // order (the deterministic dedup order) and persists through the
+    // background writer, surfacing its error like the shared path does.
+    finish_artifacts(
+        &mut out,
+        "result JSON",
+        flag_value(args, "--json").map(|path| {
+            (
+                path,
+                serde_json::to_string_pretty(&results).expect("results serialize"),
+            )
+        }),
+        flag_value(args, "--corpus").map(PathBuf::from).map(|path| {
+            let mut merged = Corpus::new();
+            for r in &results {
+                merged.absorb(r.crashes.clone());
+            }
+            (CorpusWriter::spawn(path.clone()), path, merged)
+        }),
+    )?;
+    Ok(out)
 }
 
 fn cmd_report(args: &[String]) -> Result<String, CliError> {
@@ -737,6 +920,118 @@ mod tests {
         .unwrap();
         assert!(out.contains("target faulty"), "{out}");
         assert!(out.contains("promotions"), "{out}");
+    }
+
+    #[test]
+    fn guided_shared_is_deterministic_across_jobs() {
+        let dir = std::env::temp_dir();
+        let j1 = dir.join("iris-cli-guided-jobs1.json");
+        let j2 = dir.join("iris-cli-guided-jobs2.json");
+        let one = run(&args(&format!(
+            "guided os_boot --exits 150 --budget 300 --gen 64 --jobs 1 --json {}",
+            j1.display()
+        )))
+        .unwrap();
+        let two = run(&args(&format!(
+            "guided os_boot --exits 150 --budget 300 --gen 64 --jobs 2 --json {}",
+            j2.display()
+        )))
+        .unwrap();
+        assert!(one.contains("mode shared"), "{one}");
+        // Apart from the worker count in the header, even the rendered
+        // text agrees; the JSON artifacts are byte-identical.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("mode shared") && !l.starts_with("result JSON written"))
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&one), strip(&two));
+        assert_eq!(
+            std::fs::read_to_string(&j1).unwrap(),
+            std::fs::read_to_string(&j2).unwrap(),
+            "shared-mode result JSON must be byte-identical across --jobs"
+        );
+        std::fs::remove_file(&j1).ok();
+        std::fs::remove_file(&j2).ok();
+    }
+
+    #[test]
+    fn guided_shared_writes_the_crash_corpus() {
+        let corpus = std::env::temp_dir().join("iris-cli-guided-corpus.json");
+        let out = run(&args(&format!(
+            "guided os_boot --exits 150 --budget 400 --jobs 2 --corpus {}",
+            corpus.display()
+        )))
+        .unwrap();
+        assert!(out.contains("corpus written"), "{out}");
+        let saved = Corpus::load(&corpus).unwrap();
+        assert!(
+            saved.observed() > 0,
+            "a 400-execution run crashes something"
+        );
+        std::fs::remove_file(&corpus).ok();
+    }
+
+    #[test]
+    fn guided_surfaces_corpus_write_errors() {
+        let bad = std::env::temp_dir()
+            .join("iris-no-such-dir")
+            .join("guided-corpus.json");
+        let err = run(&args(&format!(
+            "guided os_boot --exits 120 --budget 200 --corpus {}",
+            bad.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io(_)), "{err}");
+        assert!(err.to_string().contains("iris-no-such-dir"), "{err}");
+    }
+
+    #[test]
+    fn json_write_error_does_not_cost_the_corpus_artifact() {
+        // Both artifacts are attempted even when one fails: a bad
+        // --json path must still leave the --corpus snapshot on disk
+        // (and the writer joined), with the JSON error surfaced.
+        let corpus = std::env::temp_dir().join("iris-cli-guided-json-err-corpus.json");
+        std::fs::remove_file(&corpus).ok();
+        let bad_json = std::env::temp_dir()
+            .join("iris-no-such-dir")
+            .join("result.json");
+        let err = run(&args(&format!(
+            "guided os_boot --exits 150 --budget 400 --json {} --corpus {}",
+            bad_json.display(),
+            corpus.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io(_)), "{err}");
+        let saved = Corpus::load(&corpus).expect("corpus artifact must still be written");
+        assert!(saved.observed() > 0);
+        std::fs::remove_file(&corpus).ok();
+    }
+
+    #[test]
+    fn guided_ensemble_runs_independent_instances() {
+        let out = run(&args(
+            "guided os_boot --exits 150 --budget 150 --jobs 2 --mode ensemble",
+        ))
+        .unwrap();
+        assert!(out.contains("mode ensemble"), "{out}");
+        assert!(out.contains("seed  42"), "{out}");
+        assert!(out.contains("seed  43"), "{out}");
+        assert!(out.contains("best instance"), "{out}");
+    }
+
+    #[test]
+    fn guided_rejects_bad_mode_and_zero_gen() {
+        assert!(matches!(
+            run(&args("guided os_boot --exits 100 --mode martian")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("guided os_boot --exits 100 --gen 0")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! The shared work-stealing executor every parallel driver runs on.
+//!
+//! PR 4 built the worker-pool mechanics inside
+//! [`crate::parallel::ParallelCampaign`]: an **atomic-cursor claim**
+//! over a precomputed, indexed work list (one uncontended `fetch_add`
+//! per claim — measured 5.6 vs 13.7 ns against the old
+//! `Mutex<VecDeque>` queue), worker threads streaming `(index, output)`
+//! pairs to the aggregating thread over an `mpsc` channel, and an
+//! aggregator that re-establishes **item order** whatever the
+//! completion order was. This module extracts that core so the chunked
+//! campaign executor, the guided ensembles, and the generational
+//! shared-corpus guided engine ([`crate::guided::run_guided_shared`])
+//! all shard on one engine instead of three hand-rolled pools.
+//!
+//! The primitive is [`run_ordered`]: claim items off the cursor, run
+//! each through `work` on whichever worker stole it, and deliver every
+//! output to `sink` **in item-index order** on the calling thread —
+//! eagerly, as soon as the next-in-order output exists, so a
+//! deterministic fold can consume results while workers are still
+//! running. Out-of-order arrivals are parked in a map keyed by index,
+//! so memory scales with the *out-of-order window* (bounded by how far
+//! the fastest worker runs ahead), not with the work list.
+//!
+//! Workers can carry state across the items they claim:
+//! `worker_ctx` builds one context per worker thread, **lazily** on its
+//! first claim — a worker that never steals anything never pays for a
+//! context. This is how the guided engine gives every worker a private
+//! booted [`crate::target::FuzzTarget`] instance that serves all the
+//! slots the worker steals in a generation, instead of paying one
+//! boot-to-`s1` per work item.
+//!
+//! Determinism contract: the executor guarantees *delivery order*
+//! (index order) and nothing else. Byte-identical results across
+//! worker counts additionally require each item's output to be
+//! independent of which worker ran it and of the other items that
+//! worker ran before — the per-index RNG law
+//! ([`crate::mutation::mutant_rng`]) plus history-independent
+//! submissions from the canonical target state, exactly the properties
+//! the campaign and guided determinism suites pin.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Shard `items` across at most `jobs` worker threads and deliver each
+/// item's output to `sink` in **item-index order**, eagerly.
+///
+/// * Workers claim indices off an atomic cursor (one `fetch_add` per
+///   claim, no lock on the hot path).
+/// * `worker_ctx` runs on the worker thread, once per worker, lazily at
+///   its first successful claim; the context is handed to every `work`
+///   call that worker makes.
+/// * `sink` runs on the calling thread, concurrently with the workers;
+///   out-of-order completions are parked until the gap before them
+///   fills.
+pub fn run_ordered<T, R, C, B, W, S>(items: &[T], jobs: usize, worker_ctx: B, work: W, mut sink: S)
+where
+    T: Sync,
+    R: Send,
+    B: Fn() -> C + Sync,
+    W: Fn(&mut C, usize, &T) -> R + Sync,
+    S: FnMut(usize, R),
+{
+    if items.is_empty() {
+        return;
+    }
+    let workers = jobs.min(items.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let tx = tx.clone();
+            let worker_ctx = &worker_ctx;
+            let work = &work;
+            scope.spawn(move || {
+                let mut ctx: Option<C> = None;
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= items.len() {
+                        break;
+                    }
+                    let ctx = ctx.get_or_insert_with(worker_ctx);
+                    if tx.send((index, work(ctx, index, &items[index]))).is_err() {
+                        break; // aggregator gone; nothing left to do
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Re-establish item order: deliver eagerly when the next index
+        // arrives, park everything that ran ahead of a gap.
+        let mut parked: BTreeMap<usize, R> = BTreeMap::new();
+        let mut next = 0usize;
+        for (index, out) in rx {
+            if index == next {
+                sink(next, out);
+                next += 1;
+                while let Some(out) = parked.remove(&next) {
+                    sink(next, out);
+                    next += 1;
+                }
+            } else {
+                parked.insert(index, out);
+            }
+        }
+        debug_assert_eq!(next, items.len(), "every index was delivered");
+        debug_assert!(parked.is_empty());
+    });
+}
+
+/// [`run_ordered`] collecting the outputs into a `Vec` in item order —
+/// the barrier form the guided ensembles use (one indivisible work item
+/// per instance, no per-worker state).
+pub fn run_indexed<T, R, F>(items: &[T], jobs: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_indexed_ctx(items, jobs, || (), |(), index, item| work(index, item))
+}
+
+/// [`run_ordered`] with per-worker context, collecting the outputs into
+/// a `Vec` in item order — the generational guided engine's batch form:
+/// every worker builds one booted target and serves all the slots it
+/// steals on it.
+pub fn run_indexed_ctx<T, R, C, B, W>(items: &[T], jobs: usize, worker_ctx: B, work: W) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    B: Fn() -> C + Sync,
+    W: Fn(&mut C, usize, &T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    run_ordered(items, jobs, worker_ctx, work, |_, r| out.push(r));
+    out
+}
+
+/// Worker count of the host (`std::thread::available_parallelism`),
+/// falling back to 1 where the hint is unavailable.
+#[must_use]
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn outputs_come_back_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1usize, 2, 8] {
+            let out = run_indexed(&items, jobs, |i, &v| {
+                assert_eq!(i, v);
+                v * 3
+            });
+            assert_eq!(out, (0..100).map(|v| v * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sink_sees_strictly_increasing_indices() {
+        let items: Vec<u32> = (0..64).collect();
+        let mut seen = Vec::new();
+        run_ordered(
+            &items,
+            4,
+            || (),
+            |(), _, &v| v,
+            |index, v| {
+                seen.push(index);
+                assert_eq!(v as usize, index);
+            },
+        );
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_contexts_are_lazy_and_bounded_by_jobs() {
+        let items: Vec<usize> = (0..40).collect();
+        let built = AtomicUsize::new(0);
+        let out = run_indexed_ctx(
+            &items,
+            3,
+            || built.fetch_add(1, Ordering::Relaxed),
+            |_ctx, _, &v| v,
+        );
+        assert_eq!(out.len(), 40);
+        let built = built.load(Ordering::Relaxed);
+        assert!(
+            (1..=3).contains(&built),
+            "contexts must be built once per stealing worker, got {built}"
+        );
+    }
+
+    #[test]
+    fn context_persists_across_a_workers_claims() {
+        // With one worker, a single context serves every item, so a
+        // per-context counter ends at the item count.
+        let items: Vec<usize> = (0..25).collect();
+        let out = run_indexed_ctx(
+            &items,
+            1,
+            || 0usize,
+            |count, _, _| {
+                *count += 1;
+                *count
+            },
+        );
+        assert_eq!(out, (1..=25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_items_are_a_no_op() {
+        let out = run_indexed::<u32, u32, _>(&[], 4, |_, &v| v);
+        assert!(out.is_empty());
+        let mut fired = false;
+        run_ordered::<u32, u32, (), _, _, _>(&[], 4, || (), |(), _, &v| v, |_, _| fired = true);
+        assert!(!fired);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let items = [7u64, 8, 9];
+        assert_eq!(run_indexed(&items, 64, |_, &v| v + 1), vec![8, 9, 10]);
+    }
+}

@@ -8,20 +8,53 @@
 //! crashes are recorded, and the loop continues for a fixed budget —
 //! the classic AFL feedback cycle, with IRIS seeds as the input format
 //! and the hypervisor's basic-block bitmap as the feedback channel.
+//!
+//! Three drivers share that cycle:
+//!
+//! * [`run_guided`] — the classic **sequential** loop: one long-lived
+//!   target, one RNG threaded through the budget, promotions take
+//!   effect immediately.
+//! * [`run_guided_parallel`] — **ensembles**: N independent sequential
+//!   instances (typically differing in `rng_seed`) sharded over the
+//!   worker pool; N jobs buy N disjoint corpora.
+//! * [`run_guided_shared`] — the **generational shared-corpus** engine:
+//!   one corpus, N workers, deterministic results for any worker
+//!   count. The budget is cut into *generations*
+//!   ([`GuidedConfig::generation`] slots each). Each generation
+//!   snapshots the corpus and the coverage map, expands
+//!   deterministically into an indexed batch of slots — slot `g` is a
+//!   pure function of `(corpus, rng_seed, g)` per the scheduling law
+//!   ([`crate::strategies::scheduled_mutant`], RNG =
+//!   `SmallRng(rng_seed ⊕ g)`) — and executes the batch on the shared
+//!   work-stealing executor ([`crate::executor`]): every worker builds
+//!   one private booted target and serves all the slots it steals on
+//!   it, resetting only after crashes. At the **generation barrier**
+//!   the outcomes merge in slot order against the generation-start
+//!   coverage map: promotions append to the corpus in slot order,
+//!   crash records fold into the crash corpus in slot order, and the
+//!   growth curve records one point per generation. Because the slot
+//!   outcomes are history-independent from the canonical post-boot
+//!   state (the same empirical property the chunked campaign executor
+//!   rests on, pinned by the conformance proptest) and the merge order
+//!   is defined, the serialized [`GuidedResult`] is **byte-identical
+//!   for any `jobs` count** — jobs=1 is the reference semantics.
 
+use crate::corpus::{Corpus, CrashRecord};
 use crate::failure::FailureStats;
-use crate::mutation::SeedArea;
-use crate::strategies::{mutate_with, Strategy};
-use crate::target::{BootPlan, FuzzTarget, IrisHvTarget, TargetFactory};
+use crate::strategies::{mutate_with, scheduled_mutant, Strategy};
+use crate::target::{BootPlan, CrashVerdict, FuzzTarget, IrisHvTarget, TargetFactory};
+use crate::testcase::TestCase;
 use iris_core::seed::VmSeed;
 use iris_core::trace::RecordedTrace;
+use iris_guest::workloads::Workload;
 use iris_hv::coverage::CoverageMap;
+use iris_vtx::exit::ExitReason;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Result of a guided run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct GuidedResult {
     /// Mutants executed.
     pub executions: u64,
@@ -35,8 +68,17 @@ pub struct GuidedResult {
     pub baseline_lines: u64,
     /// Failure statistics.
     pub failures: FailureStats,
-    /// Coverage growth: total lines after each 1/16 of the budget.
+    /// Coverage growth: total lines after each sync point — each 1/16
+    /// of the budget for the sequential loop, each generation barrier
+    /// for the shared engine.
     pub growth: Vec<u64>,
+    /// The promoted mutants, in promotion order — the shared-corpus
+    /// determinism guarantee covers the corpus *order*, so the
+    /// serialized result carries it.
+    pub promoted: Vec<VmSeed>,
+    /// Crash corpus over the run (signature-deduplicated records, every
+    /// observation counted) — what `iris guided --corpus` persists.
+    pub crashes: Corpus,
 }
 
 /// Configuration for a guided run.
@@ -48,6 +90,11 @@ pub struct GuidedConfig {
     pub rng_seed: u64,
     /// Dummy-VM RAM.
     pub ram_bytes: u64,
+    /// Slots per generation of the shared-corpus engine (clamped to
+    /// ≥ 1; the sequential loop ignores it). Smaller generations fold
+    /// discoveries back into the scheduling corpus sooner; larger ones
+    /// expose more parallelism between sync points.
+    pub generation: u64,
 }
 
 impl Default for GuidedConfig {
@@ -56,7 +103,66 @@ impl Default for GuidedConfig {
             budget: 2_000,
             rng_seed: 42,
             ram_bytes: 16 << 20,
+            generation: 256,
         }
+    }
+}
+
+/// The initial corpus: the first seed of each distinct exit reason —
+/// the trace's "dictionary" of behaviours. Shared by every driver.
+fn initial_corpus(trace: &RecordedTrace) -> Vec<VmSeed> {
+    let mut corpus: Vec<VmSeed> = Vec::new();
+    for seed in &trace.seeds {
+        if !corpus.iter().any(|s| s.reason == seed.reason) {
+            corpus.push(seed.clone());
+        }
+    }
+    corpus
+}
+
+/// The baseline pass every driver shares: submit the initial corpus
+/// once on a fresh booted target and return the union of its coverage
+/// (resetting on crashes). The shared engine runs this outside the
+/// batch, so its baseline is identical to the sequential loop's for
+/// every `jobs` count.
+fn baseline_coverage<F: TargetFactory>(
+    target: &mut F::Target<'_>,
+    corpus: &[VmSeed],
+) -> CoverageMap {
+    let mut seen = CoverageMap::new();
+    for seed in corpus {
+        let out = target.submit(seed);
+        seen.merge(&out.coverage);
+        if out.crash.is_some() {
+            target.reset();
+        }
+    }
+    seen
+}
+
+/// The workload a trace was recorded from, by label (crash records name
+/// their test case's workload). Unlabelled/custom traces fall back to
+/// OS BOOT.
+fn workload_of(trace: &RecordedTrace) -> Workload {
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.label() == trace.label)
+        .unwrap_or(Workload::OsBoot)
+}
+
+/// The synthetic test case a guided crash record carries: `seed_index`
+/// is the mutation base's index within the scheduling corpus (not a
+/// trace index), `mutants` is the run's budget.
+fn guided_testcase(
+    workload: Workload,
+    base_index: usize,
+    reason: ExitReason,
+    area: crate::mutation::SeedArea,
+    config: GuidedConfig,
+) -> TestCase {
+    TestCase {
+        mutants: config.budget as usize,
+        ..TestCase::new(workload, base_index, reason, area, config.rng_seed)
     }
 }
 
@@ -79,24 +185,11 @@ pub fn run_guided_with<F: TargetFactory>(
     config: GuidedConfig,
 ) -> GuidedResult {
     let mut rng = SmallRng::seed_from_u64(config.rng_seed);
+    let workload = workload_of(trace);
 
-    // Initial corpus: first seed of each distinct reason.
-    let mut corpus: Vec<VmSeed> = Vec::new();
-    for seed in &trace.seeds {
-        if !corpus.iter().any(|s| s.reason == seed.reason) {
-            corpus.push(seed.clone());
-        }
-    }
+    let mut corpus = initial_corpus(trace);
     if corpus.is_empty() {
-        return GuidedResult {
-            executions: 0,
-            corpus_size: 0,
-            promotions: 0,
-            total_lines: 0,
-            baseline_lines: 0,
-            failures: FailureStats::default(),
-            growth: Vec::new(),
-        };
+        return GuidedResult::default();
     }
 
     // One long-lived target: `s1` is the post-boot snapshot, so crash
@@ -106,18 +199,13 @@ pub fn run_guided_with<F: TargetFactory>(
     target.boot();
 
     // Baseline: run the initial corpus once.
-    let mut seen = CoverageMap::new();
-    for seed in &corpus {
-        let out = target.submit(seed);
-        seen.merge(&out.coverage);
-        if out.crash.is_some() {
-            target.reset();
-        }
-    }
+    let mut seen = baseline_coverage::<F>(&mut target, &corpus);
     let baseline_lines = seen.lines();
 
     let mut failures = FailureStats::default();
     let mut promotions = 0u64;
+    let mut promoted = Vec::new();
+    let mut crashes = Corpus::new();
     let mut growth = Vec::new();
     let checkpoint = (config.budget / 16).max(1);
 
@@ -125,24 +213,38 @@ pub fn run_guided_with<F: TargetFactory>(
         let base_idx = (i % corpus.len() as u64) as usize;
         let strategy = Strategy::ALL[(i as usize / corpus.len()) % Strategy::ALL.len()];
         let area = if rng.gen_bool(0.7) {
-            SeedArea::Vmcs
+            crate::mutation::SeedArea::Vmcs
         } else {
-            SeedArea::Gpr
+            crate::mutation::SeedArea::Gpr
         };
         let donor_idx = rng.gen_range(0..corpus.len());
-        let mutant = {
+        let (mutant, reason) = {
             let base = &corpus[base_idx];
             let donor = &corpus[donor_idx];
-            mutate_with(base, area, strategy, Some(donor), &mut rng)
+            (
+                mutate_with(base, area, strategy, Some(donor), &mut rng),
+                base.reason,
+            )
         };
 
         let out = target.submit(&mutant);
         failures.record_kind(out.crash.as_ref().map(|v| v.kind));
+        if let Some(verdict) = &out.crash {
+            crashes.push(CrashRecord {
+                testcase: guided_testcase(workload, base_idx, reason, area, config),
+                mutant_index: i as usize,
+                seed: mutant.clone(),
+                mutation: None,
+                kind: verdict.kind,
+                console: verdict.console.clone(),
+            });
+        }
 
         let new_lines = seen.new_lines_from(&out.coverage);
         if new_lines > 0 {
             seen.merge(&out.coverage);
             // Feedback: interesting mutants join the corpus.
+            promoted.push(mutant.clone());
             corpus.push(mutant);
             promotions += 1;
         }
@@ -163,6 +265,230 @@ pub fn run_guided_with<F: TargetFactory>(
         baseline_lines,
         failures,
         growth,
+        promoted,
+        crashes,
+    }
+}
+
+/// Progress snapshot handed to [`run_guided_shared_observed`]'s
+/// observer at every generation barrier, after the merge — drive
+/// progress lines or persist the crash corpus incrementally (pair with
+/// [`crate::corpus::CorpusWriter`] to keep the JSON I/O off the
+/// engine's thread).
+#[derive(Debug)]
+pub struct GenerationProgress<'a> {
+    /// Generations completed so far (1-based after the first barrier).
+    pub generation: usize,
+    /// Slots executed so far.
+    pub executed: u64,
+    /// The run's total budget.
+    pub budget: u64,
+    /// Unique lines covered so far.
+    pub total_lines: u64,
+    /// Scheduling-corpus size (initial seeds + promotions so far).
+    pub corpus_size: usize,
+    /// Promotions so far.
+    pub promotions: u64,
+    /// The crash corpus so far.
+    pub crashes: &'a Corpus,
+}
+
+/// What one slot of a generation produced — everything the barrier
+/// merge needs, shipped from whichever worker ran the slot. Coverage is
+/// only carried when the slot discovered something new against the
+/// generation-start map (a superset check of the barrier's evolving
+/// map, so pre-filtering loses nothing), keeping the channel traffic
+/// per slot small on the common path.
+struct SlotOutcome {
+    /// The mutation base's index within the generation-start corpus.
+    base_index: usize,
+    /// The base's exit reason (for the crash record's test case).
+    reason: ExitReason,
+    /// The area the scheduling law picked.
+    area: crate::mutation::SeedArea,
+    /// Crash verdict plus the crashing mutant, if the slot crashed.
+    crash: Option<(CrashVerdict, VmSeed)>,
+    /// The mutant and its coverage, if it touched blocks beyond the
+    /// generation-start map (a promotion candidate).
+    discovery: Option<(VmSeed, CoverageMap)>,
+}
+
+/// Execute one slot on a worker's private target: schedule the mutant
+/// per the slot law, submit it, and reset on a crash. Pure in
+/// `(corpus, seen, rng_seed, slot)` given the target contract
+/// (history-independent submissions from the canonical state).
+fn run_slot<T: FuzzTarget>(
+    target: &mut T,
+    corpus: &[VmSeed],
+    seen: &CoverageMap,
+    rng_seed: u64,
+    slot: u64,
+) -> SlotOutcome {
+    let scheduled = scheduled_mutant(corpus, rng_seed, slot);
+    let out = target.submit(&scheduled.mutant);
+    let crash = out.crash.map(|verdict| (verdict, scheduled.mutant.clone()));
+    if crash.is_some() {
+        target.reset();
+    }
+    let discovery =
+        (seen.new_lines_from(&out.coverage) > 0).then_some((scheduled.mutant, out.coverage));
+    SlotOutcome {
+        base_index: scheduled.base_index,
+        reason: corpus[scheduled.base_index].reason,
+        area: scheduled.area,
+        crash,
+        discovery,
+    }
+}
+
+/// The generational shared-corpus parallel guided engine on the stock
+/// backend — see the module docs for the protocol. The serialized
+/// result is byte-identical for any `jobs`; jobs=1 is the reference.
+#[must_use]
+pub fn run_guided_shared(trace: &RecordedTrace, config: GuidedConfig, jobs: usize) -> GuidedResult {
+    run_guided_shared_with(
+        &IrisHvTarget::with_ram(config.ram_bytes),
+        trace,
+        config,
+        jobs,
+    )
+}
+
+/// [`run_guided_shared`] over an explicit backend factory.
+#[must_use]
+pub fn run_guided_shared_with<F: TargetFactory>(
+    factory: &F,
+    trace: &RecordedTrace,
+    config: GuidedConfig,
+    jobs: usize,
+) -> GuidedResult {
+    run_guided_shared_observed(factory, trace, config, jobs, |_| {})
+}
+
+/// [`run_guided_shared_with`] with an observer called at every
+/// generation barrier (after the merge) — the hook `iris guided
+/// --corpus` persists the crash corpus through.
+#[must_use]
+pub fn run_guided_shared_observed<F, O>(
+    factory: &F,
+    trace: &RecordedTrace,
+    config: GuidedConfig,
+    jobs: usize,
+    mut observe: O,
+) -> GuidedResult
+where
+    F: TargetFactory,
+    O: FnMut(GenerationProgress<'_>),
+{
+    let workload = workload_of(trace);
+    let mut corpus = initial_corpus(trace);
+    if corpus.is_empty() {
+        return GuidedResult::default();
+    }
+
+    // Baseline: one target, the initial corpus once — identical for
+    // every jobs count (the baseline is not part of the batch).
+    let mut seen = {
+        let mut target = factory.build(BootPlan::post_boot(trace));
+        target.boot();
+        baseline_coverage::<F>(&mut target, &corpus)
+    };
+    let baseline_lines = seen.lines();
+
+    let mut failures = FailureStats::default();
+    let mut promotions = 0u64;
+    let mut promoted = Vec::new();
+    let mut crashes = Corpus::new();
+    let mut growth = Vec::new();
+
+    let generation = config.generation.max(1);
+    let mut next_slot = 0u64;
+    let mut generations_done = 0usize;
+    while next_slot < config.budget {
+        let len = generation.min(config.budget - next_slot);
+        // The generation's indexed batch: one work item per slot. The
+        // items carry nothing — the executor's item index *is* the slot
+        // offset (global slot = next_slot + index), so no slot array is
+        // materialized (a `Vec` of zero-sized items never allocates).
+        // The corpus and coverage snapshots stay frozen while the batch
+        // runs — workers only read them.
+        let batch = vec![(); len as usize];
+        let gen_corpus: &[VmSeed] = &corpus;
+        let gen_seen = &seen;
+        let outcomes = crate::executor::run_indexed_ctx(
+            &batch,
+            jobs,
+            || {
+                // One private booted target per worker, serving every
+                // slot the worker steals this generation; crashes reset
+                // it (run_slot), so each slot starts from a state the
+                // submit contract makes equivalent to `s1`.
+                let mut target = factory.build(BootPlan::post_boot(trace));
+                target.boot();
+                target
+            },
+            |target, index, ()| {
+                let slot = next_slot + index as u64;
+                run_slot(target, gen_corpus, gen_seen, config.rng_seed, slot)
+            },
+        );
+
+        // The generation barrier: fold outcomes in slot order against
+        // the generation-start map. Promotions are re-checked against
+        // the *evolving* map so the first slot to reach a block wins,
+        // exactly like a sequential sweep of the batch.
+        for (offset, out) in outcomes.into_iter().enumerate() {
+            let slot = next_slot + offset as u64;
+            failures.record_kind(out.crash.as_ref().map(|(v, _)| v.kind));
+            if let Some((verdict, seed)) = out.crash {
+                crashes.push(CrashRecord {
+                    testcase: guided_testcase(
+                        workload,
+                        out.base_index,
+                        out.reason,
+                        out.area,
+                        config,
+                    ),
+                    mutant_index: slot as usize,
+                    seed,
+                    mutation: None,
+                    kind: verdict.kind,
+                    console: verdict.console,
+                });
+            }
+            if let Some((mutant, coverage)) = out.discovery {
+                if seen.new_lines_from(&coverage) > 0 {
+                    seen.merge(&coverage);
+                    promoted.push(mutant.clone());
+                    corpus.push(mutant);
+                    promotions += 1;
+                }
+            }
+        }
+        next_slot += len;
+        generations_done += 1;
+        growth.push(seen.lines());
+        observe(GenerationProgress {
+            generation: generations_done,
+            executed: next_slot,
+            budget: config.budget,
+            total_lines: seen.lines(),
+            corpus_size: corpus.len(),
+            promotions,
+            crashes: &crashes,
+        });
+    }
+
+    GuidedResult {
+        executions: config.budget,
+        corpus_size: corpus.len(),
+        promotions,
+        total_lines: seen.lines(),
+        baseline_lines,
+        failures,
+        growth,
+        promoted,
+        crashes,
     }
 }
 
@@ -171,23 +497,21 @@ pub fn run_guided_with<F: TargetFactory>(
 /// feedback loops (one per config, typically differing in `rng_seed`)
 /// instead of one, using every available core.
 ///
-/// The feedback loop itself is inherently sequential (each promotion
-/// feeds later scheduling decisions), so parallelism lives *across*
-/// instances: each instance is self-contained and deterministic in its
-/// config, and results come back in config order, so the returned
-/// vector is identical for any `jobs` value. Ensemble arms ride the
-/// same lock-free worker pool the chunked campaign executor uses
-/// (`run_indexed`'s atomic cursor) — an instance is one indivisible
-/// work item, so the campaign's mutant-range chunking does not apply
-/// here; sub-instance parallelism needs the deterministic
-/// promotion-merge protocol ROADMAP sketches.
+/// Each instance's feedback loop is the sequential [`run_guided`]
+/// (promotions feed later scheduling decisions immediately), so
+/// parallelism lives *across* instances: each is self-contained and
+/// deterministic in its config, and results come back in config order
+/// (the shared executor's [`crate::executor::run_indexed`]), so the
+/// returned vector is identical for any `jobs` value. N jobs buy N
+/// disjoint corpora; for N workers on **one** corpus, use
+/// [`run_guided_shared`].
 #[must_use]
 pub fn run_guided_parallel(
     trace: &RecordedTrace,
     configs: &[GuidedConfig],
     jobs: usize,
 ) -> Vec<GuidedResult> {
-    crate::parallel::run_indexed(configs, jobs, |_, config| run_guided(trace, *config))
+    crate::executor::run_indexed(configs, jobs, |_, config| run_guided(trace, *config))
 }
 
 /// [`run_guided_parallel`] over an explicit backend factory, shared by
@@ -199,7 +523,7 @@ pub fn run_guided_parallel_with<F: TargetFactory>(
     configs: &[GuidedConfig],
     jobs: usize,
 ) -> Vec<GuidedResult> {
-    crate::parallel::run_indexed(configs, jobs, |_, config| {
+    crate::executor::run_indexed(configs, jobs, |_, config| {
         run_guided_with(factory, trace, *config)
     })
 }
@@ -228,6 +552,7 @@ mod tests {
         assert!(r.total_lines > r.baseline_lines, "{r:?}");
         assert!(r.promotions > 0, "feedback must promote mutants");
         assert!(r.corpus_size > 5);
+        assert_eq!(r.promoted.len() as u64, r.promotions);
         // Growth curve is monotone.
         assert!(r.growth.windows(2).all(|w| w[0] <= w[1]));
     }
@@ -244,13 +569,120 @@ mod tests {
         assert_eq!(a.total_lines, b.total_lines);
         assert_eq!(a.promotions, b.promotions);
         assert_eq!(a.failures, b.failures);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
     }
 
     #[test]
-    fn empty_trace_is_a_no_op() {
-        let r = run_guided(&RecordedTrace::new("empty"), GuidedConfig::default());
-        assert_eq!(r.executions, 0);
-        assert_eq!(r.corpus_size, 0);
+    fn guided_loop_records_crash_corpus() {
+        let trace = boot_trace();
+        let r = run_guided(
+            &trace,
+            GuidedConfig {
+                budget: 400,
+                ..GuidedConfig::default()
+            },
+        );
+        assert_eq!(
+            r.crashes.observed(),
+            r.failures.vm_crashes + r.failures.hv_crashes,
+            "every observed crash is counted"
+        );
+        assert!(r.crashes.unique() > 0, "a 400-mutant run crashes something");
+        assert!(r
+            .crashes
+            .crashes
+            .iter()
+            .all(|c| c.testcase.workload == Workload::OsBoot));
+    }
+
+    #[test]
+    fn empty_trace_is_a_default_result_in_both_modes() {
+        let empty = RecordedTrace::new("empty");
+        let sequential = run_guided(&empty, GuidedConfig::default());
+        let shared = run_guided_shared(&empty, GuidedConfig::default(), 2);
+        for r in [&sequential, &shared] {
+            assert_eq!(r.executions, 0);
+            assert_eq!(r.corpus_size, 0);
+            assert!(r.growth.is_empty());
+            assert!(r.promoted.is_empty());
+            assert!(r.crashes.is_empty());
+        }
+        // Both are exactly the derived zero value.
+        let zero = serde_json::to_string(&GuidedResult::default()).unwrap();
+        assert_eq!(serde_json::to_string(&sequential).unwrap(), zero);
+        assert_eq!(serde_json::to_string(&shared).unwrap(), zero);
+    }
+
+    #[test]
+    fn shared_engine_is_byte_identical_across_worker_counts() {
+        let trace = boot_trace();
+        let cfg = GuidedConfig {
+            budget: 300,
+            generation: 64,
+            ..GuidedConfig::default()
+        };
+        let reference = run_guided_shared(&trace, cfg, 1);
+        assert!(reference.promotions > 0, "{reference:?}");
+        assert!(reference.total_lines > reference.baseline_lines);
+        assert_eq!(
+            reference.growth.len(),
+            (cfg.budget as usize).div_ceil(cfg.generation as usize),
+            "one growth point per generation"
+        );
+        let baseline = serde_json::to_string(&reference).unwrap();
+        for jobs in [2usize, 8] {
+            let r = run_guided_shared(&trace, cfg, jobs);
+            assert_eq!(
+                serde_json::to_string(&r).unwrap(),
+                baseline,
+                "jobs={jobs} diverged from the jobs=1 reference"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_engine_promotions_feed_later_generations() {
+        // With a generation smaller than the budget, promoted mutants
+        // become scheduling bases in later generations: the corpus the
+        // final generation schedules over is larger than the initial
+        // one whenever anything was promoted.
+        let trace = boot_trace();
+        let r = run_guided_shared(
+            &trace,
+            GuidedConfig {
+                budget: 300,
+                generation: 50,
+                ..GuidedConfig::default()
+            },
+            2,
+        );
+        assert!(r.promotions > 0);
+        assert_eq!(
+            r.corpus_size,
+            r.promoted.len() + initial_corpus(&trace).len()
+        );
+        assert!(r.growth.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(
+            r.crashes.observed(),
+            r.failures.vm_crashes + r.failures.hv_crashes
+        );
+    }
+
+    #[test]
+    fn shared_engine_ragged_final_generation_spends_the_whole_budget() {
+        let trace = boot_trace();
+        let cfg = GuidedConfig {
+            budget: 70,
+            generation: 32, // 32 + 32 + 6
+            ..GuidedConfig::default()
+        };
+        let r = run_guided_shared(&trace, cfg, 2);
+        assert_eq!(r.executions, 70);
+        assert_eq!(r.failures.submitted, 70);
+        assert_eq!(r.growth.len(), 3);
     }
 
     #[test]

@@ -13,11 +13,16 @@
 //! * [`mutation`] — the bit-flip rules over the two seed areas.
 //! * [`strategies`] — extended greybox mutations (havoc, arith,
 //!   interesting values, splice) per the paper's §IX future work.
-//! * [`guided`] — a coverage-guided feedback loop over the replay
-//!   engine, also from §IX.
+//! * [`guided`] — the §IX coverage-guided feedback loop over the
+//!   replay engine: the classic sequential loop, independent
+//!   ensembles, and the generational shared-corpus parallel engine
+//!   ([`guided::run_guided_shared`]).
 //! * [`testcase`] — `(W, VM_seed_R, A, M)` test-case planning.
 //! * [`campaign`] — baseline, fuzzing sequence, crash recovery, all
 //!   through [`FuzzTarget`].
+//! * [`executor`] — the shared work-stealing executor (atomic-cursor
+//!   claim, per-worker context, index-ordered delivery) every parallel
+//!   driver runs on.
 //! * [`parallel`] — sharded multi-worker campaign execution with
 //!   deterministic (worker-count-independent) aggregation; workers
 //!   build private target instances from a shared factory.
@@ -63,6 +68,7 @@
 
 pub mod campaign;
 pub mod corpus;
+pub mod executor;
 pub mod failure;
 pub mod guided;
 pub mod mutation;
@@ -76,8 +82,9 @@ pub use campaign::{Campaign, TestCaseResult};
 pub use corpus::{Corpus, CrashRecord};
 pub use failure::{FailureKind, FailureStats};
 pub use guided::{
-    run_guided, run_guided_parallel, run_guided_parallel_with, run_guided_with, GuidedConfig,
-    GuidedResult,
+    run_guided, run_guided_parallel, run_guided_parallel_with, run_guided_shared,
+    run_guided_shared_observed, run_guided_shared_with, run_guided_with, GenerationProgress,
+    GuidedConfig, GuidedResult,
 };
 pub use mutation::{mutate, AppliedMutation, SeedArea};
 pub use parallel::{available_jobs, CampaignReport, ParallelCampaign};

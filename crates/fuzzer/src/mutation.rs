@@ -66,6 +66,11 @@ pub enum AppliedMutation {
 /// combination (asserted by `chunked_partition_matches_unchunked` in
 /// `tests/proptest_invariants.rs`).
 ///
+/// The guided engine extends the same law to **slot indices**: slot `g`
+/// of a shared-corpus run draws from `mutant_rng(rng_seed, g)` (see
+/// [`crate::strategies::scheduled_mutant`]), which is what makes the
+/// generational batch partition-invariant over workers too.
+///
 /// `SmallRng` is xoshiro256++ seeded through SplitMix64 expansion, so
 /// adjacent indices yield decorrelated streams.
 #[must_use]

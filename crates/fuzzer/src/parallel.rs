@@ -8,17 +8,19 @@
 //! [`ParallelCampaign`] therefore steals work at **chunk** granularity
 //! ([`TestCase::chunks`], default [`crate::testcase::DEFAULT_CHUNK`]):
 //! the plan is precomputed into a flat chunk list in
-//! `(test_case_index, range_start)` order, N worker threads claim
-//! chunks off an **atomic cursor** (one `fetch_add` per claim — no lock
-//! on the hot path), each worker runs its chunk on a private target
-//! stack ([`crate::campaign::run_mutant_range_with`] — boot to `s1`
-//! once per chunk, snapshot-restore per crash), and streams one
-//! [`ChunkOutput`] per chunk (not per seed) to the aggregator over an
-//! `mpsc` channel. The aggregator reassembles each test case's chunks
-//! in `range_start` order ([`crate::campaign::assemble_test_case`]) and
-//! folds completed test cases into the report in **plan order** —
-//! coverage word-merged, [`FailureStats`] folded, chunk-local
-//! [`Corpus`] shards absorbed by move.
+//! `(test_case_index, range_start)` order and handed to the shared
+//! work-stealing executor ([`crate::executor`]) — N worker threads
+//! claim chunks off an **atomic cursor** (one `fetch_add` per claim —
+//! no lock on the hot path), each worker runs its chunk on a private
+//! target stack ([`crate::campaign::run_mutant_range_with`] — boot to
+//! `s1` once per chunk, snapshot-restore per crash), and the executor
+//! delivers one [`ChunkOutput`] per chunk (not per seed) back in
+//! chunk-index order. The aggregator therefore sees each test case's
+//! chunks contiguously and in `range_start` order, assembles them
+//! ([`crate::campaign::assemble_test_case`]) and folds completed test
+//! cases into the report in **plan order** — coverage word-merged,
+//! [`FailureStats`] folded, chunk-local [`Corpus`] shards absorbed by
+//! move.
 //!
 //! Chunking is what keeps one huge-`M` cell (the paper's 10 000-mutant
 //! test cases) from pinning a single worker while the rest of the pool
@@ -45,8 +47,8 @@ use iris_guest::workloads::Workload;
 use iris_hv::coverage::CoverageMap;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+
+pub use crate::executor::available_jobs;
 
 /// Aggregated outcome of a campaign plan — everything Table I needs,
 /// plus the merged coverage and the deduplicated crash corpus.
@@ -96,51 +98,6 @@ pub struct CampaignProgress {
     pub mutants_total: u64,
     /// Test cases fully assembled and folded into the report so far.
     pub results_folded: usize,
-}
-
-/// The lock-free worker-pool core shared by [`ParallelCampaign`] and
-/// [`crate::guided::run_guided_parallel`]: shard `items` across at most
-/// `jobs` worker threads claiming indices off an atomic cursor (one
-/// uncontended `fetch_add` per claim — the old `Mutex<VecDeque>` queue
-/// serialized every claim through a lock), stream `(index, output)`
-/// pairs to the aggregating thread over an `mpsc` channel as they
-/// finish, and return the outputs in **item order** — the property
-/// every deterministic-aggregation guarantee above rests on.
-pub(crate) fn run_indexed<T, R, F>(items: &[T], jobs: usize, work: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let workers = jobs.min(items.len()).max(1);
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let cursor = &cursor;
-            let tx = tx.clone();
-            let work = &work;
-            scope.spawn(move || loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                if index >= items.len() {
-                    break;
-                }
-                if tx.send((index, work(index, &items[index]))).is_err() {
-                    break; // aggregator gone; nothing left to do
-                }
-            });
-        }
-        drop(tx);
-        // Drain concurrently with the workers; indices slot arrivals
-        // back into item order whatever the completion order was.
-        for (index, r) in rx {
-            out[index] = Some(r);
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("every index was delivered"))
-        .collect()
 }
 
 /// A campaign executor that shards the planned test cases' mutant
@@ -252,12 +209,17 @@ impl<F: TargetFactory> ParallelCampaign<F> {
     }
 
     /// The executor core: flatten `plan` into the precomputed chunk
-    /// list, let `self.jobs` workers claim chunks off an atomic cursor,
-    /// and stream one [`ChunkOutput`] per chunk to this (aggregator)
-    /// thread, which assembles each test case's chunks in `range_start`
-    /// order and folds completed test cases in plan order — eagerly, so
-    /// a folded test case's chunk outputs are dropped instead of
-    /// accumulating for the whole plan.
+    /// list, run it on the shared work-stealing executor
+    /// ([`crate::executor::run_ordered`] — atomic-cursor claim,
+    /// chunk-index-ordered delivery), and fold on this (aggregator)
+    /// thread: because the chunk list is in `(test_case_index,
+    /// range_start)` order and delivery follows it, each test case's
+    /// chunks arrive contiguously and in `range_start` order, so a
+    /// completed test case assembles and folds eagerly — its chunk
+    /// outputs are dropped instead of accumulating for the whole plan.
+    /// (Out-of-order completions park inside the executor, bounded by
+    /// the out-of-order window, not the chunk-list length — each
+    /// `ChunkOutput` carries two ~3.5 KB inline coverage maps.)
     fn run_with<'t, G, O>(&self, plan: &[TestCase], trace_of: G, mut observe: O) -> CampaignReport
     where
         G: Fn(&TestCase) -> &'t RecordedTrace + Sync,
@@ -271,67 +233,32 @@ impl<F: TargetFactory> ParallelCampaign<F> {
             .enumerate()
             .flat_map(|(tc_idx, tc)| tc.chunks(self.chunk).map(move |r| (tc_idx, r)))
             .collect();
-        let mut span = vec![(0usize, 0usize); plan.len()]; // (first job, chunk count)
-        for (job, &(tc_idx, _)) in jobs_list.iter().enumerate() {
-            if span[tc_idx].1 == 0 {
-                span[tc_idx].0 = job;
-            }
-            span[tc_idx].1 += 1;
+        let mut span = vec![0usize; plan.len()]; // chunk count per test case
+        for &(tc_idx, _) in &jobs_list {
+            span[tc_idx] += 1;
         }
         let mutants_total: u64 = plan.iter().map(|tc| tc.mutants as u64).sum();
 
         let factory = &self.factory;
-        let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, ChunkOutput)>();
         let mut report = CampaignReport::new();
-        std::thread::scope(|scope| {
-            let workers = self.jobs.min(jobs_list.len()).max(1);
-            for _ in 0..workers {
-                let cursor = &cursor;
-                let tx = tx.clone();
-                let jobs_list = &jobs_list;
-                let trace_of = &trace_of;
-                scope.spawn(move || loop {
-                    let job = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(tc_idx, range)) = jobs_list.get(job) else {
-                        break;
-                    };
-                    let tc = &plan[tc_idx];
-                    let out = run_mutant_range_with(factory, trace_of(tc), tc, range);
-                    if tx.send((job, out)).is_err() {
-                        break; // aggregator gone; nothing left to do
-                    }
-                });
-            }
-            drop(tx);
-
-            // Aggregate concurrently with the workers: park arrivals
-            // keyed by job index, and whenever the next-in-plan test
-            // case has all its chunks, assemble and fold it. A map, not
-            // a plan-sized slot vector: each `ChunkOutput` carries two
-            // ~3.5 KB inline coverage maps, so memory must scale with
-            // the *outstanding* chunks (bounded by the out-of-order
-            // window — folded test cases drain eagerly), not with the
-            // whole chunk list (a paper-scale plan at `--chunk 1` has
-            // hundreds of thousands of chunks).
-            let mut pending: std::collections::BTreeMap<usize, ChunkOutput> =
-                std::collections::BTreeMap::new();
-            let mut arrived = vec![0usize; plan.len()];
-            let mut next_tc = 0usize;
-            let mut mutants_done = 0u64;
-            for (job, out) in rx {
+        let mut pending: Vec<ChunkOutput> = Vec::new();
+        let mut mutants_done = 0u64;
+        crate::executor::run_ordered(
+            &jobs_list,
+            self.jobs,
+            || (),
+            |(), _, &(tc_idx, range)| {
+                let tc = &plan[tc_idx];
+                run_mutant_range_with(factory, trace_of(tc), tc, range)
+            },
+            |job, out| {
                 mutants_done += out.range.len as u64;
                 let tc_idx = jobs_list[job].0;
-                pending.insert(job, out);
-                arrived[tc_idx] += 1;
-                while next_tc < plan.len() && arrived[next_tc] == span[next_tc].1 {
-                    let (first, count) = span[next_tc];
-                    let chunks = (first..first + count)
-                        .map(|job| pending.remove(&job).expect("all chunks arrived"));
+                pending.push(out);
+                if pending.len() == span[tc_idx] {
                     let (result, coverage) =
-                        assemble_test_case(&plan[next_tc], chunks, &mut report.corpus);
+                        assemble_test_case(&plan[tc_idx], pending.drain(..), &mut report.corpus);
                     report.fold_assembled(result, &coverage);
-                    next_tc += 1;
                 }
                 observe(
                     CampaignProgress {
@@ -341,8 +268,8 @@ impl<F: TargetFactory> ParallelCampaign<F> {
                     },
                     &report,
                 );
-            }
-        });
+            },
+        );
         report
     }
 
@@ -376,15 +303,6 @@ impl ParallelCampaign {
     ) -> CampaignReport {
         Self::run_sequential_with(&IrisHvTarget::with_ram(ram_bytes), traces, plan)
     }
-}
-
-/// Worker count of the host (`std::thread::available_parallelism`),
-/// falling back to 1 where the hint is unavailable.
-#[must_use]
-pub fn available_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
 }
 
 #[cfg(test)]

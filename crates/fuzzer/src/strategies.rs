@@ -8,7 +8,7 @@
 //! cross-seed splicing. Every strategy preserves seed well-formedness
 //! (the wire format still round-trips), so mutants remain submittable.
 
-use crate::mutation::SeedArea;
+use crate::mutation::{mutant_rng, SeedArea};
 use iris_core::seed::VmSeed;
 use iris_vtx::gpr::Gpr;
 use rand::Rng;
@@ -148,6 +148,73 @@ pub fn mutate_with<R: Rng>(
     m
 }
 
+/// One slot of a guided generation, fully scheduled: the mutant to
+/// submit plus the deterministic choices that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledMutant {
+    /// The mutant seed to submit.
+    pub mutant: VmSeed,
+    /// Index of the mutation base within the generation-start corpus.
+    pub base_index: usize,
+    /// The strategy that was applied.
+    pub strategy: Strategy,
+    /// The seed area that was mutated.
+    pub area: SeedArea,
+}
+
+/// The generational scheduling law — the guided twin of the campaign's
+/// per-range RNG law ([`crate::mutation::mutant_rng`]).
+///
+/// Slot `slot` of a guided run is a **pure function** of
+/// `(corpus, rng_seed, slot)`, where `corpus` is the generation-start
+/// corpus snapshot:
+///
+/// * base: `corpus[slot % corpus.len()]` (round-robin, like the
+///   sequential loop's scheduler);
+/// * strategy: [`Strategy::ALL`] rotated once per corpus sweep
+///   (`(slot / corpus.len()) % |ALL|`);
+/// * everything random — the area split (70 % VMCS / 30 % GPR), the
+///   splice donor, and the mutation's own draws — comes from
+///   `mutant_rng(rng_seed, slot)`, i.e. `SmallRng(rng_seed ⊕ slot)`.
+///
+/// Because no state threads from one slot to the next, **any**
+/// partition of a generation's slot range over workers generates
+/// exactly the mutants the sequential sweep generates — the invariance
+/// the shared-corpus engine's byte-identical-for-any-`jobs` guarantee
+/// rests on, extending the PR-4 law from campaign mutant indices to
+/// guided slot indices.
+///
+/// # Panics
+/// Panics if `corpus` is empty — the engine returns before scheduling
+/// anything when there is nothing to mutate.
+#[must_use]
+pub fn scheduled_mutant(corpus: &[VmSeed], rng_seed: u64, slot: u64) -> ScheduledMutant {
+    assert!(!corpus.is_empty(), "cannot schedule over an empty corpus");
+    let len = corpus.len() as u64;
+    let base_index = (slot % len) as usize;
+    let strategy = Strategy::ALL[((slot / len) % Strategy::ALL.len() as u64) as usize];
+    let mut rng = mutant_rng(rng_seed, slot);
+    let area = if rng.gen_bool(0.7) {
+        SeedArea::Vmcs
+    } else {
+        SeedArea::Gpr
+    };
+    let donor_index = rng.gen_range(0..corpus.len());
+    let mutant = mutate_with(
+        &corpus[base_index],
+        area,
+        strategy,
+        Some(&corpus[donor_index]),
+        &mut rng,
+    );
+    ScheduledMutant {
+        mutant,
+        base_index,
+        strategy,
+        area,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +306,35 @@ mod tests {
             bb.sort_unstable();
             assert_eq!(ba, bb, "byte swap permutes, never invents");
         }
+    }
+
+    #[test]
+    fn scheduled_mutant_is_a_pure_function_of_corpus_seed_and_slot() {
+        let corpus = vec![seed(), {
+            let mut d = seed();
+            d.reads[1].1 = 0x20;
+            d
+        }];
+        for slot in [0u64, 1, 5, 12, 255, u64::MAX] {
+            let a = scheduled_mutant(&corpus, 9, slot);
+            let b = scheduled_mutant(&corpus, 9, slot);
+            assert_eq!(a, b, "slot {slot} must be deterministic");
+            assert_eq!(a.base_index, (slot % 2) as usize, "round-robin base");
+        }
+        // The strategy rotates once per corpus sweep.
+        assert_eq!(scheduled_mutant(&corpus, 9, 0).strategy, Strategy::ALL[0]);
+        assert_eq!(scheduled_mutant(&corpus, 9, 2).strategy, Strategy::ALL[1]);
+        // Adjacent slots decorrelate (not all identical mutants).
+        let mutants: Vec<_> = (0..16)
+            .map(|s| scheduled_mutant(&corpus, 9, s).mutant)
+            .collect();
+        assert!(mutants.iter().any(|m| m != &mutants[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty corpus")]
+    fn scheduling_over_an_empty_corpus_is_a_driver_bug() {
+        let _ = scheduled_mutant(&[], 1, 0);
     }
 
     #[test]

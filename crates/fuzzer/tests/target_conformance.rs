@@ -8,6 +8,7 @@
 //! registering a new backend fails this file until the suite covers it.
 
 use iris_core::trace::RecordedTrace;
+use iris_fuzzer::guided::{run_guided_shared_with, GuidedConfig};
 use iris_fuzzer::mutation::SeedArea;
 use iris_fuzzer::parallel::ParallelCampaign;
 use iris_fuzzer::target::{
@@ -17,6 +18,8 @@ use iris_fuzzer::testcase::TestCase;
 use iris_guest::workloads::Workload;
 use iris_vtx::exit::ExitReason;
 use iris_vtx::fields::VmcsField;
+use proptest::prelude::*;
+use std::sync::OnceLock;
 
 /// Run `$body` once per registered backend with `$factory` bound to that
 /// backend's factory. Exhaustive over [`Backend`] by construction.
@@ -266,6 +269,86 @@ fn chunked_reports_are_byte_identical_across_jobs_and_chunks() {
             }
         }
     });
+}
+
+#[test]
+fn guided_shared_reports_are_byte_identical_across_jobs() {
+    // The generational shared-corpus engine's acceptance cross product:
+    // for every registered backend, jobs ∈ {1, 2, 8} must serialize a
+    // byte-identical GuidedResult (promotions, corpus order, coverage,
+    // growth curve, failures, crash corpus) — jobs=1 is the reference.
+    let trace = boot_trace(150);
+    for_every_backend!(|factory, backend| {
+        let cfg = GuidedConfig {
+            budget: 250,
+            generation: 48,
+            rng_seed: 7,
+            ..GuidedConfig::default()
+        };
+        let reference = run_guided_shared_with(&factory, &trace, cfg, 1);
+        assert!(
+            reference.promotions > 0,
+            "{backend:?}: the reference run must exercise promotion"
+        );
+        assert!(
+            reference.failures.vm_crashes + reference.failures.hv_crashes > 0,
+            "{backend:?}: the reference run must exercise crash recovery"
+        );
+        let baseline = serde_json::to_string(&reference).unwrap();
+        for jobs in [2usize, 8] {
+            let r = run_guided_shared_with(&factory, &trace, cfg, jobs);
+            assert_eq!(
+                serde_json::to_string(&r).unwrap(),
+                baseline,
+                "{backend:?}: jobs={jobs} diverged from the jobs=1 reference"
+            );
+        }
+    });
+}
+
+/// One shared trace for the proptest cases — recording is the expensive
+/// part, and every case reads it immutably.
+fn proptest_trace() -> &'static RecordedTrace {
+    static TRACE: OnceLock<RecordedTrace> = OnceLock::new();
+    TRACE.get_or_init(|| boot_trace(120))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The generational promotion-merge protocol is
+    /// partition-independent: for arbitrary (jobs, generation size,
+    /// budget, rng seed) — generation=1 makes every slot its own sync
+    /// point, budgets that are not generation multiples exercise the
+    /// ragged final generation — the shared-mode GuidedResult
+    /// serializes byte-identically to the jobs=1 reference on every
+    /// registered backend.
+    #[test]
+    fn generational_promotion_merge_is_partition_independent(
+        jobs in 2usize..6,
+        generation in 1u64..40,
+        budget in 0u64..120,
+        rng_seed in any::<u64>(),
+    ) {
+        let trace = proptest_trace();
+        for_every_backend!(|factory, backend| {
+            let cfg = GuidedConfig {
+                budget,
+                generation,
+                rng_seed,
+                ..GuidedConfig::default()
+            };
+            let reference = run_guided_shared_with(&factory, trace, cfg, 1);
+            let sharded = run_guided_shared_with(&factory, trace, cfg, jobs);
+            let sharded = serde_json::to_string(&sharded).expect("serializes");
+            let reference = serde_json::to_string(&reference).expect("serializes");
+            prop_assert!(
+                sharded == reference,
+                "{backend:?}: jobs={jobs} generation={generation} budget={budget} \
+                 diverged from the jobs=1 reference"
+            );
+        });
+    }
 }
 
 #[test]
