@@ -87,15 +87,19 @@ pub fn json_arg() -> Option<PathBuf> {
         .map(PathBuf::from)
 }
 
-/// Convert the harness registry's measurements and write them to `path`.
+/// Convert the harness registry's measurements and write them to
+/// `path` — atomically (tmp-file + rename), so an interrupted bench bin
+/// never leaves a torn trajectory file for a later session to diff.
 pub fn write_records(path: &Path, measurements: &[Measurement]) -> io::Result<()> {
     let records: Vec<BenchRecord> = measurements
         .iter()
         .map(BenchRecord::from_measurement)
         .collect();
-    std::fs::write(
+    iris_fuzzer::checkpoint::atomic_write_json(
         path,
-        serde_json::to_string_pretty(&records).expect("bench records serialize"),
+        serde_json::to_string_pretty(&records)
+            .expect("bench records serialize")
+            .as_bytes(),
     )
 }
 

@@ -13,12 +13,18 @@ use iris_core::manager::{IrisManager, Mode};
 use iris_core::metrics;
 use iris_core::record::RecordConfig;
 use iris_core::seed_db::SeedDb;
+use iris_fuzzer::checkpoint::{
+    atomic_write_json, campaign_fingerprint, guided_fingerprint, CampaignCheckpoint,
+    GuidedCheckpoint, JsonWriter, CHECKPOINT_VERSION,
+};
 use iris_fuzzer::corpus::{Corpus, CorpusWriter};
+use iris_fuzzer::executor::{ExecutorError, RunPolicy};
 use iris_fuzzer::guided::{
-    run_guided_parallel_with, run_guided_shared_observed, GuidedConfig, GuidedResult,
+    run_guided_parallel_with, run_guided_shared_session, GuidedConfig, GuidedResult,
+    SharedRunOptions,
 };
 use iris_fuzzer::mutation::SeedArea;
-use iris_fuzzer::parallel::{available_jobs, CampaignReport, ParallelCampaign};
+use iris_fuzzer::parallel::{available_jobs, CampaignReport, CampaignRunOptions, ParallelCampaign};
 use iris_fuzzer::table1::Table1;
 use iris_fuzzer::target::{render_planted_fault_report, Backend, TargetFactory};
 use iris_fuzzer::testcase::{TestCase, DEFAULT_CHUNK};
@@ -33,6 +39,9 @@ pub enum CliError {
     Usage(String),
     /// IO failure.
     Io(std::io::Error),
+    /// A fault-tolerant run gave up (e.g. the worker restart budget was
+    /// exhausted by persistent panics).
+    Run(ExecutorError),
 }
 
 impl From<std::io::Error> for CliError {
@@ -46,6 +55,7 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Usage(s) => write!(f, "{s}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Run(e) => write!(f, "run failed: {e}"),
         }
     }
 }
@@ -60,8 +70,8 @@ USAGE:
     iris record   <workload> [--exits N] [--seed S] [--out FILE.json]
     iris replay   <workload> [--exits N] [--seed S] [--cold] [--memory]
     iris fuzz     <workload> [--exits N] [--mutants M] [--area vmcs|gpr] [--reason R] [--jobs N] [--chunk C] [--target T]
-    iris campaign <workload> [--exits N] [--mutants M] [--jobs N] [--chunk C] [--target T] [--json FILE] [--corpus FILE]
-    iris guided   <workload> [--exits N] [--budget B] [--gen G] [--jobs N] [--mode shared|ensemble] [--target T] [--json FILE] [--corpus FILE]
+    iris campaign <workload> [--exits N] [--mutants M] [--jobs N] [--chunk C] [--target T] [--json FILE] [--corpus FILE] [--checkpoint FILE] [--resume FILE]
+    iris guided   <workload> [--exits N] [--budget B] [--gen G] [--jobs N] [--mode shared|ensemble] [--target T] [--json FILE] [--corpus FILE] [--checkpoint FILE] [--resume FILE]
     iris targets
     iris report   <FILE.json>
 
@@ -88,6 +98,20 @@ curve, crashes — is byte-identical for any N (`--json` writes it for
 diffing). `ensemble` instead runs N independent loops with distinct RNG
 seeds (N disjoint corpora). `--corpus` persists the crash corpus (per
 generation in shared mode) through the background writer.
+
+Fault tolerance: worker panics are absorbed — the lost work is re-run
+byte-identically on a fresh worker context, up to a restart budget.
+`--checkpoint` persists progress durably (atomic tmp-file + rename) at
+every test-case fold (`campaign`) or generation barrier (`guided`
+shared mode), so a killed run loses at most one boundary's work.
+`--resume` continues from such a file: a missing file simply starts
+fresh, but a checkpoint from a different run configuration (workload,
+seed, target, budget…) is rejected by its fingerprint. Worker count
+and chunk size may change across a resume — the final report stays
+byte-identical to an uninterrupted run. Ctrl-C stops gracefully: the
+run finishes in-flight work, writes a final checkpoint, and still
+flushes the --json/--corpus artifacts (a second Ctrl-C kills
+immediately). `--checkpoint`/`--resume` reject `--mode ensemble`.
 ";
 
 fn parse_workload(name: &str) -> Result<Workload, CliError> {
@@ -337,6 +361,49 @@ fn parse_target(args: &[String]) -> Result<Backend, CliError> {
     }
 }
 
+/// `--checkpoint FILE` / `--resume FILE`: the durable-progress flags
+/// shared by `campaign` and `guided` (shared mode).
+fn parse_durability(args: &[String]) -> (Option<PathBuf>, Option<PathBuf>) {
+    (
+        flag_value(args, "--checkpoint").map(PathBuf::from),
+        flag_value(args, "--resume").map(PathBuf::from),
+    )
+}
+
+/// Resolve `--resume`: a missing file is a fresh start (so a crash
+/// before the first checkpoint write — or a stale path — cannot strand
+/// the user), while a present one must load and match this
+/// invocation's `fingerprint`. Returns the loaded checkpoint (if any)
+/// plus a note line for the report header.
+fn load_resume<T>(
+    resume: Option<&PathBuf>,
+    fingerprint: &str,
+    load: impl FnOnce(&std::path::Path, &str) -> std::io::Result<T>,
+) -> Result<(Option<T>, String), CliError> {
+    match resume {
+        None => Ok((None, String::new())),
+        Some(path) if !path.exists() => Ok((
+            None,
+            format!("no checkpoint at {} — starting fresh\n", path.display()),
+        )),
+        Some(path) => {
+            let cp = load(path, fingerprint)?;
+            Ok((Some(cp), format!("resumed from {}\n", path.display())))
+        }
+    }
+}
+
+/// The interruption note appended when a Ctrl-C stopped the run short,
+/// with the resume hint if the progress was checkpointed.
+fn interrupted_note(done: u64, total: u64, what: &str, checkpoint: Option<&PathBuf>) -> String {
+    let mut note = format!("interrupted — {done}/{total} {what} finished");
+    if let Some(path) = checkpoint {
+        note.push_str(&format!("; resume with --resume {}", path.display()));
+    }
+    note.push('\n');
+    note
+}
+
 fn cmd_targets() -> String {
     let mut out = String::from("registered fuzz targets (select with --target NAME):\n");
     for b in Backend::ALL {
@@ -373,40 +440,78 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
         ));
     }
 
-    // Corpus snapshots persist on a background writer thread, so the
-    // aggregator never pauses on JSON I/O; write errors surface after
-    // the run. The progress line is mutant-granular (one update per
-    // aggregated chunk) so huge-M cells visibly move, and goes to
-    // stderr only when that is a terminal — reports stay clean.
+    let fingerprint =
+        campaign_fingerprint(backend.name(), w.label(), exits, seed, mutants, plan.len());
+    let (checkpoint_path, resume_path) = parse_durability(args);
+    let (resume, resume_note) =
+        load_resume(resume_path.as_ref(), &fingerprint, CampaignCheckpoint::load)?;
+
+    // Corpus and checkpoint snapshots persist on background writer
+    // threads, so the aggregator never pauses on JSON I/O; write errors
+    // surface after the run. The progress line is mutant-granular (one
+    // update per aggregated chunk) so huge-M cells visibly move, and
+    // goes to stderr only when that is a terminal — reports stay clean.
     let corpus_path = flag_value(args, "--corpus").map(PathBuf::from);
     let writer = corpus_path.as_ref().map(|p| CorpusWriter::spawn(p.clone()));
+    let ckpt_writer = checkpoint_path
+        .as_ref()
+        .map(|p| JsonWriter::<CampaignCheckpoint>::spawn(p.clone()));
+    let stop = sigint::install();
     let show_progress = std::io::stderr().is_terminal();
     let mut last_observed = 0u64;
+    let mut last_folded = resume.as_ref().map_or(0, |cp| cp.folded);
     let report = ParallelCampaign::with_factory(jobs, backend)
         .with_chunk(chunk)
-        .run_observed(&traces, &plan, |p, partial: &CampaignReport| {
-            if show_progress {
-                eprint!(
-                    "\rfuzzing: {}/{} mutants, {}/{} test cases",
-                    p.mutants_done,
-                    p.mutants_total,
-                    p.results_folded,
-                    plan.len()
-                );
-            }
-            if let Some(writer) = &writer {
-                // Snapshot only when the corpus actually grew —
-                // crash-free test cases would otherwise clone and
-                // rewrite byte-identical JSON once per fold.
-                if partial.corpus.observed() > last_observed {
-                    last_observed = partial.corpus.observed();
-                    writer.persist(partial.corpus.clone());
+        .run_session(
+            &traces,
+            &plan,
+            CampaignRunOptions {
+                policy: RunPolicy {
+                    stop: Some(stop),
+                    ..RunPolicy::default()
+                },
+                resume,
+            },
+            |p, partial: &CampaignReport| {
+                if show_progress {
+                    eprint!(
+                        "\rfuzzing: {}/{} mutants, {}/{} test cases",
+                        p.mutants_done,
+                        p.mutants_total,
+                        p.results_folded,
+                        plan.len()
+                    );
                 }
-            }
-        });
+                if let Some(writer) = &writer {
+                    // Snapshot only when the corpus actually grew —
+                    // crash-free test cases would otherwise clone and
+                    // rewrite byte-identical JSON once per fold.
+                    if partial.corpus.observed() > last_observed {
+                        last_observed = partial.corpus.observed();
+                        writer.persist(partial.corpus.clone());
+                    }
+                }
+                if let Some(ckpt) = &ckpt_writer {
+                    // Checkpoints live at test-case fold boundaries:
+                    // the report is exactly a folded plan prefix there,
+                    // which is what a resume can continue from.
+                    if partial.results.len() > last_folded {
+                        last_folded = partial.results.len();
+                        ckpt.persist(CampaignCheckpoint {
+                            version: CHECKPOINT_VERSION,
+                            fingerprint: fingerprint.clone(),
+                            folded: partial.results.len(),
+                            report: partial.clone(),
+                        });
+                    }
+                }
+            },
+        )
+        .map_err(CliError::Run)?;
     if show_progress {
         eprintln!();
     }
+    let interrupted = report.results.len() < plan.len();
 
     let mut out = format!(
         "campaign over {} — {} test cases ({} mutants each), {} worker{}, chunk {}, target {}\n",
@@ -418,6 +523,7 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
         chunk,
         backend.name()
     );
+    out.push_str(&resume_note);
     for r in &report.results {
         out.push_str(&format!(
             "  {:<14} {:<5} +{:>3.0}%  ({} new lines, {} VM / {} HV crashes)\n",
@@ -448,10 +554,20 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
         // the planted handler bugs this campaign detected.
         out.push_str(&render_planted_fault_report(&report.corpus));
     }
+    if interrupted {
+        out.push_str(&interrupted_note(
+            report.results.len() as u64,
+            plan.len() as u64,
+            "test cases",
+            checkpoint_path.as_ref(),
+        ));
+    }
     // The serialized report is byte-identical across (jobs, chunk) —
     // the artifact CI diffs for the determinism smoke. The corpus gets
     // a final snapshot (the incremental ones may have been coalesced)
-    // and its first background write error surfaces at campaign end.
+    // and the background writers' errors surface at campaign end. All
+    // of this runs even when the run was interrupted — an operator's
+    // Ctrl-C must not cost the artifacts gathered so far.
     finish_artifacts(
         &mut out,
         "report JSON",
@@ -464,6 +580,9 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
         writer
             .zip(corpus_path)
             .map(|(writer, path)| (writer, path, report.corpus.clone())),
+        ckpt_writer
+            .zip(checkpoint_path)
+            .map(|(writer, path)| (path, writer.finish())),
     )?;
     Ok(out)
 }
@@ -488,8 +607,19 @@ fn cmd_guided(args: &[String]) -> Result<String, CliError> {
         ..GuidedConfig::default()
     };
     match mode.as_str() {
-        "shared" => cmd_guided_shared(args, w, &trace, config, jobs, backend),
-        "ensemble" => cmd_guided_ensemble(args, w, &trace, config, jobs, backend),
+        "shared" => cmd_guided_shared(args, w, &trace, config, exits, jobs, backend),
+        "ensemble" => {
+            let (checkpoint, resume) = parse_durability(args);
+            if checkpoint.is_some() || resume.is_some() {
+                // The ensemble is N independent runs with N disjoint
+                // corpora — there is no single progress point to
+                // snapshot, so durability is a shared-mode feature.
+                return Err(CliError::Usage(
+                    "--checkpoint/--resume require --mode shared".to_owned(),
+                ));
+            }
+            cmd_guided_ensemble(args, w, &trace, config, jobs, backend)
+        }
         other => Err(CliError::Usage(format!(
             "bad --mode '{other}' (shared | ensemble)"
         ))),
@@ -497,28 +627,48 @@ fn cmd_guided(args: &[String]) -> Result<String, CliError> {
 }
 
 /// Finalize a run's on-disk artifacts: write the `--json` report (if
-/// requested) and join the `--corpus` background writer (if any) with a
-/// final snapshot. Both are **attempted unconditionally** — a JSON
+/// requested), join the `--corpus` background writer (if any) with a
+/// final snapshot, and surface the already-joined `--checkpoint`
+/// writer's result. All are **attempted unconditionally** — a JSON
 /// write error must not leave the corpus snapshot unwritten or its
-/// latched background error silently dropped, and vice versa — then the
-/// first failure (JSON first, matching the output line order) is
-/// surfaced. On success, one line per artifact is appended to `out`.
+/// latched background errors silently dropped, and vice versa — then
+/// the first failure (in output line order) is surfaced. On success,
+/// one line per artifact is appended to `out`.
+///
+/// The JSON report goes through the same atomic tmp-file + rename as
+/// the checkpoints: a crash mid-write can strand a `.tmp` sibling, but
+/// never a torn artifact at the requested path.
 fn finish_artifacts(
     out: &mut String,
     json_label: &str,
     json: Option<(String, String)>,
     corpus: Option<(CorpusWriter, PathBuf, Corpus)>,
+    checkpoint: Option<(PathBuf, std::io::Result<u64>)>,
 ) -> Result<(), CliError> {
-    let json_result = json.map(|(path, payload)| std::fs::write(&path, payload).map(|()| path));
+    let json_result = json.map(|(path, payload)| {
+        atomic_write_json(std::path::Path::new(&path), payload.as_bytes()).map(|()| path)
+    });
     let corpus_result = corpus.map(|(writer, path, snapshot)| {
         writer.persist(snapshot);
         writer.finish().map(|_| path)
     });
+    let checkpoint_result = checkpoint.map(|(path, result)| result.map(|saves| (path, saves)));
     if let Some(result) = json_result {
         out.push_str(&format!("{json_label} written to {}\n", result?));
     }
     if let Some(result) = corpus_result {
         out.push_str(&format!("corpus written to {}\n", result?.display()));
+    }
+    if let Some(result) = checkpoint_result {
+        let (path, saves) = result?;
+        // Zero saves happens when the run folded nothing new (e.g. a
+        // resume from an already-complete checkpoint) — the file on
+        // disk is still the authoritative final state.
+        out.push_str(&format!(
+            "checkpoint at {} ({saves} snapshot{} written)\n",
+            path.display(),
+            if saves == 1 { "" } else { "s" }
+        ));
     }
     Ok(())
 }
@@ -550,14 +700,31 @@ fn cmd_guided_shared(
     w: Workload,
     trace: &iris_core::trace::RecordedTrace,
     config: GuidedConfig,
+    exits: usize,
     jobs: usize,
     backend: Backend,
 ) -> Result<String, CliError> {
+    let fingerprint = guided_fingerprint(backend.name(), w.label(), exits, &config);
+    let (checkpoint_path, resume_path) = parse_durability(args);
+    let (resume, resume_note) =
+        load_resume(resume_path.as_ref(), &fingerprint, GuidedCheckpoint::load)?;
+
     let corpus_path = flag_value(args, "--corpus").map(PathBuf::from);
     let writer = corpus_path.as_ref().map(|p| CorpusWriter::spawn(p.clone()));
+    let ckpt_writer = checkpoint_path
+        .as_ref()
+        .map(|p| JsonWriter::<GuidedCheckpoint>::spawn(p.clone()));
+    let stop = sigint::install();
     let show_progress = std::io::stderr().is_terminal();
     let mut last_observed = 0u64;
-    let r = run_guided_shared_observed(&backend, trace, config, jobs, |p| {
+    let options = SharedRunOptions {
+        policy: RunPolicy {
+            stop: Some(stop),
+            ..RunPolicy::default()
+        },
+        resume,
+    };
+    let r = run_guided_shared_session(&backend, trace, config, jobs, options, |p| {
         if show_progress {
             eprint!(
                 "\rguided: {}/{} executions, {} lines, corpus {}",
@@ -573,10 +740,17 @@ fn cmd_guided_shared(
                 writer.persist(p.crashes.clone());
             }
         }
-    });
+        if let Some(ckpt) = &ckpt_writer {
+            // Every generation barrier is a resumable point; the
+            // newest-wins background writer coalesces the stream.
+            ckpt.persist(p.checkpoint(&fingerprint));
+        }
+    })
+    .map_err(CliError::Run)?;
     if show_progress {
         eprintln!();
     }
+    let interrupted = r.executions < config.budget;
 
     let mut out = format!(
         "guided fuzzing over {} ({} executions, target {})\n\
@@ -589,11 +763,21 @@ fn cmd_guided_shared(
         r.growth.len(),
         config.generation
     );
+    out.push_str(&resume_note);
     out.push_str(&render_guided_result(&r));
+    if interrupted {
+        out.push_str(&interrupted_note(
+            r.executions,
+            config.budget,
+            "executions",
+            checkpoint_path.as_ref(),
+        ));
+    }
     // The result JSON is byte-identical across --jobs — the artifact CI
     // diffs for the shared-mode determinism smoke. The corpus gets a
     // final snapshot (crashes may have arrived since the last grow-only
-    // persist) and its first background write error surfaces at exit.
+    // persist) and the background writers' errors surface at exit. All
+    // of this runs even when the run was interrupted.
     finish_artifacts(
         &mut out,
         "result JSON",
@@ -606,6 +790,9 @@ fn cmd_guided_shared(
         writer
             .zip(corpus_path)
             .map(|(writer, path)| (writer, path, r.crashes.clone())),
+        ckpt_writer
+            .zip(checkpoint_path)
+            .map(|(writer, path)| (path, writer.finish())),
     )?;
     Ok(out)
 }
@@ -672,6 +859,7 @@ fn cmd_guided_ensemble(
             }
             (CorpusWriter::spawn(path.clone()), path, merged)
         }),
+        None,
     )?;
     Ok(out)
 }
@@ -1032,6 +1220,117 @@ mod tests {
             run(&args("guided os_boot --exits 100 --gen 0")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn campaign_checkpoint_then_resume_is_byte_identical() {
+        let dir = std::env::temp_dir();
+        let ckpt = dir.join("iris-cli-campaign-ckpt.json");
+        let j1 = dir.join("iris-cli-campaign-ckpt-ref.json");
+        let j2 = dir.join("iris-cli-campaign-ckpt-resumed.json");
+        std::fs::remove_file(&ckpt).ok();
+        let first = run(&args(&format!(
+            "campaign os_boot --exits 120 --mutants 25 --jobs 2 --checkpoint {} --json {}",
+            ckpt.display(),
+            j1.display()
+        )))
+        .unwrap();
+        assert!(first.contains("checkpoint at"), "{first}");
+        assert!(!first.contains("interrupted"), "{first}");
+        // The completed run left a complete checkpoint; resuming from
+        // it (with different sharding) is instant and byte-identical.
+        let resumed = run(&args(&format!(
+            "campaign os_boot --exits 120 --mutants 25 --jobs 1 --chunk 7 --resume {} --json {}",
+            ckpt.display(),
+            j2.display()
+        )))
+        .unwrap();
+        assert!(resumed.contains("resumed from"), "{resumed}");
+        assert_eq!(
+            std::fs::read_to_string(&j1).unwrap(),
+            std::fs::read_to_string(&j2).unwrap(),
+            "resumed report must be byte-identical to the original"
+        );
+        for p in [&ckpt, &j1, &j2] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn guided_checkpoint_then_resume_is_byte_identical() {
+        let dir = std::env::temp_dir();
+        let ckpt = dir.join("iris-cli-guided-ckpt.json");
+        let j1 = dir.join("iris-cli-guided-ckpt-ref.json");
+        let j2 = dir.join("iris-cli-guided-ckpt-resumed.json");
+        std::fs::remove_file(&ckpt).ok();
+        let first = run(&args(&format!(
+            "guided os_boot --exits 150 --budget 300 --gen 64 --jobs 2 --checkpoint {} --json {}",
+            ckpt.display(),
+            j1.display()
+        )))
+        .unwrap();
+        assert!(first.contains("checkpoint at"), "{first}");
+        let resumed = run(&args(&format!(
+            "guided os_boot --exits 150 --budget 300 --gen 64 --jobs 1 --resume {} --json {}",
+            ckpt.display(),
+            j2.display()
+        )))
+        .unwrap();
+        assert!(resumed.contains("resumed from"), "{resumed}");
+        assert_eq!(
+            std::fs::read_to_string(&j1).unwrap(),
+            std::fs::read_to_string(&j2).unwrap(),
+            "resumed result must be byte-identical to the original"
+        );
+        for p in [&ckpt, &j1, &j2] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn resume_from_a_missing_file_starts_fresh() {
+        let missing = std::env::temp_dir().join("iris-cli-no-such-checkpoint.json");
+        std::fs::remove_file(&missing).ok();
+        let out = run(&args(&format!(
+            "guided os_boot --exits 150 --budget 200 --resume {}",
+            missing.display()
+        )))
+        .unwrap();
+        assert!(out.contains("starting fresh"), "{out}");
+        assert!(out.contains("promotions"), "{out}");
+    }
+
+    #[test]
+    fn resume_rejects_a_checkpoint_from_a_different_run() {
+        let ckpt = std::env::temp_dir().join("iris-cli-mismatch-ckpt.json");
+        std::fs::remove_file(&ckpt).ok();
+        run(&args(&format!(
+            "campaign os_boot --exits 120 --mutants 25 --checkpoint {}",
+            ckpt.display()
+        )))
+        .unwrap();
+        // Same file, different configuration (mutant count) — the
+        // fingerprint embedded in the checkpoint must reject it.
+        let err = run(&args(&format!(
+            "campaign os_boot --exits 120 --mutants 30 --resume {}",
+            ckpt.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io(_)), "{err}");
+        assert!(err.to_string().contains("different run"), "{err}");
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn ensemble_mode_rejects_durability_flags() {
+        for flag in ["--checkpoint", "--resume"] {
+            let err = run(&args(&format!(
+                "guided os_boot --exits 100 --budget 100 --mode ensemble {flag} x.json"
+            )))
+            .unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{err}");
+            assert!(err.to_string().contains("--mode shared"), "{err}");
+        }
     }
 
     #[test]

@@ -164,23 +164,16 @@ impl Corpus {
         self.crashes.iter().filter(move |c| c.kind == kind)
     }
 
-    /// Persist as JSON, atomically: the bytes go to a `.tmp` sibling
-    /// first and are `rename`d into place, so a campaign interrupted
-    /// mid-save can never leave a torn corpus behind — the previous
-    /// complete corpus (if any) survives intact. Errors carry the path
-    /// they happened on.
+    /// Persist as JSON, atomically, through the shared
+    /// [`crate::checkpoint::atomic_write_json`] helper: the bytes go to
+    /// a `.tmp` sibling first and are `rename`d into place, so a
+    /// campaign interrupted mid-save can never leave a torn corpus
+    /// behind — the previous complete corpus (if any) survives intact.
+    /// Errors carry the path they happened on.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let json = serde_json::to_vec_pretty(self)
             .map_err(|e| annotate(e.into(), "serializing corpus for", path))?;
-        let mut tmp_name = path.file_name().unwrap_or_default().to_owned();
-        tmp_name.push(".tmp");
-        let tmp = path.with_file_name(tmp_name);
-        std::fs::write(&tmp, json).map_err(|e| annotate(e, "writing corpus to", &tmp))?;
-        std::fs::rename(&tmp, path).map_err(|e| {
-            // Don't leave the orphan sibling behind on a failed rename.
-            std::fs::remove_file(&tmp).ok();
-            annotate(e, "committing corpus to", path)
-        })
+        crate::checkpoint::atomic_write_json(path, &json)
     }
 
     /// Load from JSON. Errors carry the path they happened on.
@@ -190,15 +183,12 @@ impl Corpus {
     }
 }
 
-/// Wrap an I/O error with the operation and path it happened on, keeping
-/// the original [`io::ErrorKind`] so callers can still match on it.
-fn annotate(e: io::Error, what: &str, path: &Path) -> io::Error {
-    io::Error::new(e.kind(), format!("{what} {}: {e}", path.display()))
-}
+pub(crate) use crate::checkpoint::annotate;
 
 /// Background corpus persistence: a dedicated writer thread that
 /// serializes and saves corpus snapshots off the campaign's aggregator
-/// thread, so long campaigns never pause on JSON I/O.
+/// thread, so long campaigns never pause on JSON I/O. A thin wrapper
+/// over the shared [`crate::checkpoint::JsonWriter`] loop:
 ///
 /// * [`CorpusWriter::persist`] enqueues a snapshot and returns
 ///   immediately (the channel is unbounded — the aggregator never
@@ -207,75 +197,42 @@ fn annotate(e: io::Error, what: &str, path: &Path) -> io::Error {
 ///   can absorb them, only the **newest** pending snapshot is written
 ///   (each snapshot is cumulative, so intermediates carry no extra
 ///   information);
-/// * every write goes through [`Corpus::save`], keeping the atomic
-///   `.tmp`-sibling + rename semantics — an interrupted campaign never
-///   leaves a torn corpus;
-/// * write errors are latched (first error wins, later snapshots are
-///   skipped) and surfaced at campaign end by [`CorpusWriter::finish`].
+/// * every write keeps the atomic `.tmp`-sibling + rename semantics
+///   ([`crate::checkpoint::atomic_write_json`]) — an interrupted
+///   campaign never leaves a torn corpus;
+/// * **every** write error is collected — later snapshots are still
+///   attempted — and surfaced joined, each with its path, by
+///   [`CorpusWriter::finish`]; a panicking writer thread surfaces as
+///   an error there too instead of re-panicking.
 ///
 /// Dropping the writer without calling `finish` detaches the thread: it
 /// still drains and writes pending snapshots, but errors are lost.
 #[derive(Debug)]
 pub struct CorpusWriter {
-    tx: Option<std::sync::mpsc::Sender<Corpus>>,
-    handle: Option<std::thread::JoinHandle<(u64, Option<io::Error>)>>,
+    inner: crate::checkpoint::JsonWriter<Corpus>,
 }
 
 impl CorpusWriter {
     /// Spawn the writer thread; every snapshot is saved to `path`.
     #[must_use]
     pub fn spawn(path: std::path::PathBuf) -> Self {
-        let (tx, rx) = std::sync::mpsc::channel::<Corpus>();
-        let handle = std::thread::spawn(move || {
-            let mut saves = 0u64;
-            let mut first_err: Option<io::Error> = None;
-            while let Ok(mut snapshot) = rx.recv() {
-                // Coalesce the backlog: later snapshots supersede
-                // earlier ones, so skip straight to the newest.
-                while let Ok(newer) = rx.try_recv() {
-                    snapshot = newer;
-                }
-                if first_err.is_none() {
-                    match snapshot.save(&path) {
-                        Ok(()) => saves += 1,
-                        Err(e) => first_err = Some(e),
-                    }
-                }
-            }
-            (saves, first_err)
-        });
         Self {
-            tx: Some(tx),
-            handle: Some(handle),
+            inner: crate::checkpoint::JsonWriter::spawn(path),
         }
     }
 
     /// Enqueue a snapshot for persistence. Non-blocking; serialization
     /// and I/O happen on the writer thread.
     pub fn persist(&self, snapshot: Corpus) {
-        if let Some(tx) = &self.tx {
-            // A send can only fail if the writer thread died, and the
-            // writer only exits when the channel closes — unreachable
-            // while `tx` lives, so losing the snapshot here is fine.
-            let _ = tx.send(snapshot);
-        }
+        self.inner.persist(snapshot);
     }
 
     /// Close the channel, wait for every outstanding write, and surface
-    /// the first write error (if any). Returns the number of snapshots
-    /// actually written (coalesced snapshots count once).
-    pub fn finish(mut self) -> io::Result<u64> {
-        drop(self.tx.take());
-        let (saves, err) = self
-            .handle
-            .take()
-            .expect("finish consumes the writer")
-            .join()
-            .expect("corpus writer thread panicked");
-        match err {
-            None => Ok(saves),
-            Some(e) => Err(e),
-        }
+    /// **all** collected errors, joined (each carries its path).
+    /// Returns the number of snapshots actually written (coalesced
+    /// snapshots count once).
+    pub fn finish(self) -> io::Result<u64> {
+        self.inner.finish()
     }
 }
 
@@ -495,6 +452,31 @@ mod tests {
             err.to_string().contains("iris-no-such-dir"),
             "path context missing: {err}"
         );
+    }
+
+    #[test]
+    fn corpus_writer_keeps_writing_after_an_error() {
+        // The old behavior latched the first error and skipped every
+        // later snapshot; now each snapshot is attempted and all
+        // errors surface joined at finish.
+        let dir = std::env::temp_dir().join("iris-corpus-writer-late-dir");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("corpus.json");
+        let writer = CorpusWriter::spawn(path.clone());
+        writer.persist(Corpus::new()); // fails: the parent dir is missing
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut c = Corpus::new();
+        c.push(record(FailureKind::VmCrash));
+        writer.persist(c.clone());
+        let err = writer.finish().unwrap_err();
+        assert!(
+            err.to_string().contains("corpus.json"),
+            "path context missing: {err}"
+        );
+        // The error did not latch-skip the later snapshot.
+        assert_eq!(Corpus::load(&path).unwrap(), c);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -28,18 +28,24 @@
 //!   `SmallRng(rng_seed ⊕ g)`) — and executes the batch on the shared
 //!   work-stealing executor ([`crate::executor`]): every worker builds
 //!   one private booted target and serves all the slots it steals on
-//!   it, resetting only after crashes. At the **generation barrier**
-//!   the outcomes merge in slot order against the generation-start
-//!   coverage map: promotions append to the corpus in slot order,
-//!   crash records fold into the crash corpus in slot order, and the
-//!   growth curve records one point per generation. Because the slot
-//!   outcomes are history-independent from the canonical post-boot
-//!   state (the same empirical property the chunked campaign executor
-//!   rests on, pinned by the conformance proptest) and the merge order
-//!   is defined, the serialized [`GuidedResult`] is **byte-identical
-//!   for any `jobs` count** — jobs=1 is the reference semantics.
+//!   it, resetting to the canonical `s1` state after **every** submit.
+//!   At the **generation barrier** the outcomes merge in slot order
+//!   against the generation-start coverage map: promotions append to
+//!   the corpus in slot order, crash records fold into the crash
+//!   corpus in slot order, and the growth curve records one point per
+//!   generation. Because the unconditional reset makes every slot
+//!   outcome an *exact* pure function of
+//!   `(corpus, coverage snapshot, rng_seed, g)` — no residual target
+//!   state leaks between the slots a worker serves — and the merge
+//!   order is defined, the serialized [`GuidedResult`] is
+//!   **byte-identical for any `jobs` count** — jobs=1 is the
+//!   reference semantics. The same law is what lets a panicked
+//!   worker's lost slots be re-executed byte-identically (see
+//!   RELIABILITY.md).
 
+use crate::checkpoint::{GuidedCheckpoint, CHECKPOINT_VERSION};
 use crate::corpus::{Corpus, CrashRecord};
+use crate::executor::{ExecutorError, RunPolicy};
 use crate::failure::FailureStats;
 use crate::strategies::{mutate_with, scheduled_mutant, Strategy};
 use crate::target::{BootPlan, CrashVerdict, FuzzTarget, IrisHvTarget, TargetFactory};
@@ -272,9 +278,11 @@ pub fn run_guided_with<F: TargetFactory>(
 
 /// Progress snapshot handed to [`run_guided_shared_observed`]'s
 /// observer at every generation barrier, after the merge — drive
-/// progress lines or persist the crash corpus incrementally (pair with
+/// progress lines, persist the crash corpus incrementally, or build a
+/// durable checkpoint ([`GenerationProgress::checkpoint`]); pair with
+/// [`crate::checkpoint::JsonWriter`] /
 /// [`crate::corpus::CorpusWriter`] to keep the JSON I/O off the
-/// engine's thread).
+/// engine's thread.
 #[derive(Debug)]
 pub struct GenerationProgress<'a> {
     /// Generations completed so far (1-based after the first barrier).
@@ -291,6 +299,53 @@ pub struct GenerationProgress<'a> {
     pub promotions: u64,
     /// The crash corpus so far.
     pub crashes: &'a Corpus,
+    /// Lines the initial corpus alone covered.
+    pub baseline_lines: u64,
+    /// Failure counters folded so far.
+    pub failures: FailureStats,
+    /// The evolving coverage map at this barrier.
+    pub seen: &'a CoverageMap,
+    /// The promoted mutants so far, in promotion order.
+    pub promoted: &'a [VmSeed],
+    /// The growth curve so far (one point per completed generation).
+    pub growth: &'a [u64],
+}
+
+impl GenerationProgress<'_> {
+    /// Snapshot this barrier's state as a durable
+    /// [`GuidedCheckpoint`] carrying `fingerprint` — a barrier is the
+    /// one point where the engine's state is complete and
+    /// deterministic, so the snapshot resumes byte-identically.
+    #[must_use]
+    pub fn checkpoint(&self, fingerprint: &str) -> GuidedCheckpoint {
+        GuidedCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: fingerprint.to_owned(),
+            next_slot: self.executed,
+            baseline_lines: self.baseline_lines,
+            seen: self.seen.clone(),
+            promotions: self.promotions,
+            promoted: self.promoted.to_vec(),
+            failures: self.failures,
+            crashes: self.crashes.clone(),
+            growth: self.growth.to_vec(),
+        }
+    }
+}
+
+/// Options for [`run_guided_shared_session`]: where to resume from and
+/// how to react to worker panics and stop requests. The default is a
+/// fresh, uninterruptible run under the executor's default restart
+/// budget — exactly [`run_guided_shared_observed`]'s behavior.
+#[derive(Debug, Default)]
+pub struct SharedRunOptions<'a> {
+    /// Executor fault policy: restart budget, cooperative stop flag,
+    /// fault injection. The stop flag is honoured at generation-loop
+    /// boundaries as well as the executor's claim points.
+    pub policy: RunPolicy<'a>,
+    /// Resume from a generation-barrier checkpoint (validate it with
+    /// [`GuidedCheckpoint::load`] first — the engine trusts it).
+    pub resume: Option<GuidedCheckpoint>,
 }
 
 /// What one slot of a generation produced — everything the barrier
@@ -314,9 +369,16 @@ struct SlotOutcome {
 }
 
 /// Execute one slot on a worker's private target: schedule the mutant
-/// per the slot law, submit it, and reset on a crash. Pure in
-/// `(corpus, seen, rng_seed, slot)` given the target contract
-/// (history-independent submissions from the canonical state).
+/// per the slot law, submit it against the canonical `s1` state, and
+/// reset. Pure in `(corpus, seen, rng_seed, slot)` — **exactly**, not
+/// empirically: the unconditional reset discards whatever residual
+/// hypervisor/device state the submission accumulated, so a slot's
+/// outcome cannot depend on which other slots its worker happened to
+/// serve first. That independence is what the engine's partition law
+/// (byte-identical results for any `jobs`) and the executor's re-lease
+/// law (a panicked slot re-runs identically on a fresh context) rest
+/// on; with crash-only resets, rare state-sensitive mutants diverged
+/// across worker counts once budgets reached a few thousand slots.
 fn run_slot<T: FuzzTarget>(
     target: &mut T,
     corpus: &[VmSeed],
@@ -327,9 +389,7 @@ fn run_slot<T: FuzzTarget>(
     let scheduled = scheduled_mutant(corpus, rng_seed, slot);
     let out = target.submit(&scheduled.mutant);
     let crash = out.crash.map(|verdict| (verdict, scheduled.mutant.clone()));
-    if crash.is_some() {
-        target.reset();
-    }
+    target.reset();
     let discovery =
         (seen.new_lines_from(&out.coverage) > 0).then_some((scheduled.mutant, out.coverage));
     SlotOutcome {
@@ -368,14 +428,68 @@ pub fn run_guided_shared_with<F: TargetFactory>(
 /// [`run_guided_shared_with`] with an observer called at every
 /// generation barrier (after the merge) — the hook `iris guided
 /// --corpus` persists the crash corpus through.
+///
+/// # Panics
+/// Panics if worker panics exhaust the default executor restart budget
+/// (a persistent crash-loop) — use [`run_guided_shared_session`] for
+/// the typed error.
 #[must_use]
 pub fn run_guided_shared_observed<F, O>(
     factory: &F,
     trace: &RecordedTrace,
     config: GuidedConfig,
     jobs: usize,
-    mut observe: O,
+    observe: O,
 ) -> GuidedResult
+where
+    F: TargetFactory,
+    O: FnMut(GenerationProgress<'_>),
+{
+    match run_guided_shared_session(
+        factory,
+        trace,
+        config,
+        jobs,
+        SharedRunOptions::default(),
+        observe,
+    ) {
+        Ok(result) => result,
+        // The default options carry no stop flag, so the only
+        // reachable error is restart-budget exhaustion.
+        Err(err) => panic!("guided shared run failed: {err}"),
+    }
+}
+
+/// The fault-tolerant form of the generational shared-corpus engine:
+/// [`run_guided_shared_observed`] plus [`SharedRunOptions`] — resume
+/// from a generation-barrier checkpoint, absorb worker panics under an
+/// explicit restart budget, and honour a cooperative stop flag.
+///
+/// Interruption semantics: when the stop flag trips, the generation in
+/// flight is **discarded** (a generation is all-or-nothing — its
+/// barrier never ran) and the run returns `Ok` with the state through
+/// the last completed barrier; `executions` then reads `< budget`, and
+/// the observer's last checkpoint resumes the run. A resumed run's
+/// final result is byte-identical to an uninterrupted one — the
+/// conformance suite pins this over every backend.
+///
+/// # Errors
+/// [`ExecutorError::RestartBudgetExhausted`] when worker panics exceed
+/// the policy's budget.
+///
+/// # Panics
+/// Panics on a malformed resume checkpoint (a `next_slot` beyond the
+/// budget or off a generation boundary) — checkpoints are
+/// fingerprint-validated at load, so this indicates tampering, not a
+/// runtime condition.
+pub fn run_guided_shared_session<F, O>(
+    factory: &F,
+    trace: &RecordedTrace,
+    config: GuidedConfig,
+    jobs: usize,
+    options: SharedRunOptions<'_>,
+    mut observe: O,
+) -> Result<GuidedResult, ExecutorError>
 where
     F: TargetFactory,
     O: FnMut(GenerationProgress<'_>),
@@ -383,28 +497,73 @@ where
     let workload = workload_of(trace);
     let mut corpus = initial_corpus(trace);
     if corpus.is_empty() {
-        return GuidedResult::default();
+        return Ok(GuidedResult::default());
     }
 
-    // Baseline: one target, the initial corpus once — identical for
-    // every jobs count (the baseline is not part of the batch).
-    let mut seen = {
-        let mut target = factory.build(BootPlan::post_boot(trace));
-        target.boot();
-        baseline_coverage::<F>(&mut target, &corpus)
-    };
-    let baseline_lines = seen.lines();
-
-    let mut failures = FailureStats::default();
-    let mut promotions = 0u64;
-    let mut promoted = Vec::new();
-    let mut crashes = Corpus::new();
-    let mut growth = Vec::new();
-
     let generation = config.generation.max(1);
-    let mut next_slot = 0u64;
-    let mut generations_done = 0usize;
+    let mut seen: CoverageMap;
+    let baseline_lines: u64;
+    let mut failures: FailureStats;
+    let mut promotions: u64;
+    let mut promoted: Vec<VmSeed>;
+    let mut crashes: Corpus;
+    let mut growth: Vec<u64>;
+    let mut next_slot: u64;
+    match options.resume {
+        Some(cp) => {
+            // The checkpoint's fingerprint was validated at load; what
+            // remains is structural sanity — a checkpoint is only
+            // taken at a barrier, so `next_slot` must sit on one.
+            assert!(
+                cp.next_slot <= config.budget,
+                "guided checkpoint is past the budget: {} > {}",
+                cp.next_slot,
+                config.budget
+            );
+            assert!(
+                cp.next_slot == config.budget || cp.next_slot % generation == 0,
+                "guided checkpoint slot {} is not a generation boundary (generation {})",
+                cp.next_slot,
+                generation
+            );
+            // The scheduling corpus is always the initial corpus plus
+            // the promotions, in promotion order — rebuild it instead
+            // of storing it.
+            corpus.extend(cp.promoted.iter().cloned());
+            seen = cp.seen;
+            baseline_lines = cp.baseline_lines;
+            failures = cp.failures;
+            promotions = cp.promotions;
+            promoted = cp.promoted;
+            crashes = cp.crashes;
+            growth = cp.growth;
+            next_slot = cp.next_slot;
+        }
+        None => {
+            // Baseline: one target, the initial corpus once — identical
+            // for every jobs count (the baseline is not part of the
+            // batch).
+            seen = {
+                let mut target = factory.build(BootPlan::post_boot(trace));
+                target.boot();
+                baseline_coverage::<F>(&mut target, &corpus)
+            };
+            baseline_lines = seen.lines();
+            failures = FailureStats::default();
+            promotions = 0;
+            promoted = Vec::new();
+            crashes = Corpus::new();
+            growth = Vec::new();
+            next_slot = 0;
+        }
+    }
+    let mut generations_done = growth.len();
     while next_slot < config.budget {
+        // Stop check at the generation boundary: don't launch a batch
+        // that a tripped flag would immediately abandon.
+        if options.policy.stop_requested() {
+            break;
+        }
         let len = generation.min(config.budget - next_slot);
         // The generation's indexed batch: one work item per slot. The
         // items carry nothing — the executor's item index *is* the slot
@@ -415,14 +574,18 @@ where
         let batch = vec![(); len as usize];
         let gen_corpus: &[VmSeed] = &corpus;
         let gen_seen = &seen;
-        let outcomes = crate::executor::run_indexed_ctx(
+        let outcomes = match crate::executor::run_indexed_ctx_with(
             &batch,
             jobs,
+            &options.policy,
             || {
                 // One private booted target per worker, serving every
                 // slot the worker steals this generation; crashes reset
                 // it (run_slot), so each slot starts from a state the
-                // submit contract makes equivalent to `s1`.
+                // submit contract makes equivalent to `s1`. A worker
+                // that panics is torn down and rebuilt here, and its
+                // slot re-executes byte-identically (the slot law is
+                // history-independent).
                 let mut target = factory.build(BootPlan::post_boot(trace));
                 target.boot();
                 target
@@ -431,7 +594,14 @@ where
                 let slot = next_slot + index as u64;
                 run_slot(target, gen_corpus, gen_seen, config.rng_seed, slot)
             },
-        );
+        ) {
+            Ok(outcomes) => outcomes,
+            // A generation is all-or-nothing: an interrupted batch is
+            // discarded (its barrier never ran), and the run winds
+            // down with the state through the last completed barrier.
+            Err(ExecutorError::Interrupted { .. }) => break,
+            Err(err) => return Err(err),
+        };
 
         // The generation barrier: fold outcomes in slot order against
         // the generation-start map. Promotions are re-checked against
@@ -476,11 +646,19 @@ where
             corpus_size: corpus.len(),
             promotions,
             crashes: &crashes,
+            baseline_lines,
+            failures,
+            seen: &seen,
+            promoted: &promoted,
+            growth: &growth,
         });
     }
 
-    GuidedResult {
-        executions: config.budget,
+    // `executions` reads the slots actually folded through a barrier:
+    // equal to the budget on a completed run, `< budget` on an
+    // interrupted one (the resumable prefix).
+    Ok(GuidedResult {
+        executions: next_slot,
         corpus_size: corpus.len(),
         promotions,
         total_lines: seen.lines(),
@@ -489,7 +667,7 @@ where
         growth,
         promoted,
         crashes,
-    }
+    })
 }
 
 /// Run an ensemble of guided campaigns, sharded over `jobs` worker

@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod corpus;
 pub mod executor;
 pub mod failure;
@@ -79,15 +80,17 @@ pub mod target;
 pub mod testcase;
 
 pub use campaign::{Campaign, TestCaseResult};
+pub use checkpoint::{atomic_write_json, CampaignCheckpoint, GuidedCheckpoint, JsonWriter};
 pub use corpus::{Corpus, CrashRecord};
+pub use executor::{ExecutorError, FaultPlan, RunPolicy};
 pub use failure::{FailureKind, FailureStats};
 pub use guided::{
     run_guided, run_guided_parallel, run_guided_parallel_with, run_guided_shared,
-    run_guided_shared_observed, run_guided_shared_with, run_guided_with, GenerationProgress,
-    GuidedConfig, GuidedResult,
+    run_guided_shared_observed, run_guided_shared_session, run_guided_shared_with, run_guided_with,
+    GenerationProgress, GuidedConfig, GuidedResult, SharedRunOptions,
 };
 pub use mutation::{mutate, AppliedMutation, SeedArea};
-pub use parallel::{available_jobs, CampaignReport, ParallelCampaign};
+pub use parallel::{available_jobs, CampaignReport, CampaignRunOptions, ParallelCampaign};
 pub use strategies::{mutate_with, Strategy};
 pub use table1::Table1;
 pub use target::{

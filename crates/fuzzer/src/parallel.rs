@@ -38,7 +38,9 @@
 use crate::campaign::{
     assemble_test_case, run_mutant_range_with, run_test_case_with, ChunkOutput, TestCaseResult,
 };
+use crate::checkpoint::CampaignCheckpoint;
 use crate::corpus::Corpus;
+use crate::executor::{ExecutorError, RunPolicy};
 use crate::failure::FailureStats;
 use crate::target::{IrisHvTarget, TargetFactory};
 use crate::testcase::{MutantRange, TestCase, DEFAULT_CHUNK};
@@ -98,6 +100,21 @@ pub struct CampaignProgress {
     pub mutants_total: u64,
     /// Test cases fully assembled and folded into the report so far.
     pub results_folded: usize,
+}
+
+/// Options for [`ParallelCampaign::run_session`]: where to resume from
+/// and how to react to worker panics and stop requests. The default is
+/// a fresh, uninterruptible run under the executor's default restart
+/// budget — exactly [`ParallelCampaign::run_observed`]'s behavior.
+#[derive(Debug, Default)]
+pub struct CampaignRunOptions<'a> {
+    /// Executor fault policy: restart budget, cooperative stop flag,
+    /// fault injection.
+    pub policy: RunPolicy<'a>,
+    /// Resume from a fold-boundary checkpoint (validate it with
+    /// [`CampaignCheckpoint::load`] first — the engine only
+    /// structurally cross-checks it against the plan).
+    pub resume: Option<CampaignCheckpoint>,
 }
 
 /// A campaign executor that shards the planned test cases' mutant
@@ -199,13 +216,105 @@ impl<F: TargetFactory> ParallelCampaign<F> {
                 tc.workload
             );
         }
-        self.run_with(plan, |tc| &traces[&tc.workload], observe)
+        match self.run_with(
+            plan,
+            |tc| &traces[&tc.workload],
+            0,
+            CampaignReport::new(),
+            &RunPolicy::default(),
+            observe,
+        ) {
+            Ok(report) => report,
+            // The default policy carries no stop flag, so the only
+            // reachable error is restart-budget exhaustion.
+            Err(err) => panic!("campaign run failed: {err}"),
+        }
+    }
+
+    /// The fault-tolerant form of [`ParallelCampaign::run_observed`]:
+    /// resume from a fold-boundary checkpoint, absorb worker panics
+    /// under an explicit restart budget, and honour a cooperative stop
+    /// flag.
+    ///
+    /// Interruption semantics: when the stop flag trips, the test case
+    /// being assembled is **discarded** (folding is all-or-nothing per
+    /// test case) and the run returns `Ok` with the report over the
+    /// folded plan prefix — `report.results.len() < plan.len()` then
+    /// marks the run as partial, and a [`CampaignCheckpoint`] built
+    /// from it resumes the remainder. A resumed run's final report is
+    /// byte-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    /// [`ExecutorError::RestartBudgetExhausted`] when worker panics
+    /// exceed the policy's budget.
+    ///
+    /// # Panics
+    /// Panics on a malformed plan (a workload with no trace) or a
+    /// checkpoint whose folded prefix does not match the plan —
+    /// configuration errors, not runtime conditions.
+    pub fn run_session<O>(
+        &self,
+        traces: &BTreeMap<Workload, RecordedTrace>,
+        plan: &[TestCase],
+        options: CampaignRunOptions<'_>,
+        observe: O,
+    ) -> Result<CampaignReport, ExecutorError>
+    where
+        O: FnMut(CampaignProgress, &CampaignReport),
+    {
+        for tc in plan {
+            assert!(
+                traces.contains_key(&tc.workload),
+                "plan references workload {:?} with no recorded trace",
+                tc.workload
+            );
+        }
+        let (skip, report) = match options.resume {
+            Some(cp) => {
+                // The fingerprint was validated at load; cross-check
+                // the structure against this plan: the checkpointed
+                // results must be exactly the plan's folded prefix.
+                assert!(
+                    cp.folded <= plan.len() && cp.folded == cp.report.results.len(),
+                    "campaign checkpoint is malformed: folded={} results={} plan={}",
+                    cp.folded,
+                    cp.report.results.len(),
+                    plan.len()
+                );
+                for (tc, result) in plan.iter().zip(&cp.report.results) {
+                    assert!(
+                        *tc == result.testcase,
+                        "campaign checkpoint does not match the plan prefix"
+                    );
+                }
+                (cp.folded, cp.report)
+            }
+            None => (0, CampaignReport::new()),
+        };
+        self.run_with(
+            plan,
+            |tc| &traces[&tc.workload],
+            skip,
+            report,
+            &options.policy,
+            observe,
+        )
     }
 
     /// Run a single-trace plan (every test case targets `trace`).
     #[must_use]
     pub fn run_trace(&self, trace: &RecordedTrace, plan: &[TestCase]) -> CampaignReport {
-        self.run_with(plan, |_| trace, |_, _| {})
+        match self.run_with(
+            plan,
+            |_| trace,
+            0,
+            CampaignReport::new(),
+            &RunPolicy::default(),
+            |_, _| {},
+        ) {
+            Ok(report) => report,
+            Err(err) => panic!("campaign run failed: {err}"),
+        }
     }
 
     /// The executor core: flatten `plan` into the precomputed chunk
@@ -220,17 +329,28 @@ impl<F: TargetFactory> ParallelCampaign<F> {
     /// (Out-of-order completions park inside the executor, bounded by
     /// the out-of-order window, not the chunk-list length — each
     /// `ChunkOutput` carries two ~3.5 KB inline coverage maps.)
-    fn run_with<'t, G, O>(&self, plan: &[TestCase], trace_of: G, mut observe: O) -> CampaignReport
+    fn run_with<'t, G, O>(
+        &self,
+        plan: &[TestCase],
+        trace_of: G,
+        skip: usize,
+        mut report: CampaignReport,
+        policy: &RunPolicy<'_>,
+        mut observe: O,
+    ) -> Result<CampaignReport, ExecutorError>
     where
         G: Fn(&TestCase) -> &'t RecordedTrace + Sync,
         O: FnMut(CampaignProgress, &CampaignReport),
     {
         // The chunk list is in (test_case_index, range_start) order, so
         // each test case's chunks occupy one contiguous span of job
-        // indices.
+        // indices. `skip` drops the test cases already folded into the
+        // resumed `report`; mutant range RNG seeding depends only on
+        // the test case itself, so the remainder runs identically.
         let jobs_list: Vec<(usize, MutantRange)> = plan
             .iter()
             .enumerate()
+            .skip(skip)
             .flat_map(|(tc_idx, tc)| tc.chunks(self.chunk).map(move |r| (tc_idx, r)))
             .collect();
         let mut span = vec![0usize; plan.len()]; // chunk count per test case
@@ -240,12 +360,12 @@ impl<F: TargetFactory> ParallelCampaign<F> {
         let mutants_total: u64 = plan.iter().map(|tc| tc.mutants as u64).sum();
 
         let factory = &self.factory;
-        let mut report = CampaignReport::new();
         let mut pending: Vec<ChunkOutput> = Vec::new();
-        let mut mutants_done = 0u64;
-        crate::executor::run_ordered(
+        let mut mutants_done: u64 = plan[..skip].iter().map(|tc| tc.mutants as u64).sum();
+        let outcome = crate::executor::run_ordered_with(
             &jobs_list,
             self.jobs,
+            policy,
             || (),
             |(), _, &(tc_idx, range)| {
                 let tc = &plan[tc_idx];
@@ -270,7 +390,14 @@ impl<F: TargetFactory> ParallelCampaign<F> {
                 );
             },
         );
-        report
+        match outcome {
+            Ok(()) => Ok(report),
+            // Folding is all-or-nothing per test case: the partial
+            // chunk outputs of the test case in flight are discarded,
+            // so the report covers exactly the folded plan prefix.
+            Err(ExecutorError::Interrupted { .. }) => Ok(report),
+            Err(err) => Err(err),
+        }
     }
 
     /// The sequential reference: one shared corpus over the plan, in
@@ -515,6 +642,149 @@ mod tests {
         assert_eq!(report.failures, FailureStats::default());
         assert!(report.corpus.is_empty());
         assert_eq!(report.coverage, CoverageMap::new());
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_byte_identically() {
+        use crate::checkpoint::{CampaignCheckpoint, CHECKPOINT_VERSION};
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let trace = boot_trace(100);
+        let plan = plan_over(&trace, 20);
+        assert!(plan.len() >= 6, "plan too small to interrupt meaningfully");
+        let mut traces = BTreeMap::new();
+        traces.insert(iris_guest::workloads::Workload::OsBoot, trace);
+
+        let reference = ParallelCampaign::new(2).run(&traces, &plan);
+        let baseline = serde_json::to_string(&reference).unwrap();
+
+        // Trip the stop flag from the observer after the first fold;
+        // with one worker the claim loop sees it before the plan runs
+        // dry, so the partial report is a strict prefix.
+        let stop = AtomicBool::new(false);
+        let partial = ParallelCampaign::new(1)
+            .run_session(
+                &traces,
+                &plan,
+                CampaignRunOptions {
+                    policy: RunPolicy {
+                        stop: Some(&stop),
+                        ..RunPolicy::default()
+                    },
+                    resume: None,
+                },
+                |p, _| {
+                    if p.results_folded >= 1 {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                },
+            )
+            .expect("interruption is not an error");
+        assert!(
+            !partial.results.is_empty() && partial.results.len() < plan.len(),
+            "expected a strict prefix, folded {} of {}",
+            partial.results.len(),
+            plan.len()
+        );
+
+        let checkpoint = CampaignCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: String::from("test-fingerprint"),
+            folded: partial.results.len(),
+            report: partial,
+        };
+        let resumed = ParallelCampaign::new(2)
+            .run_session(
+                &traces,
+                &plan,
+                CampaignRunOptions {
+                    policy: RunPolicy::default(),
+                    resume: Some(checkpoint),
+                },
+                |_, _| {},
+            )
+            .expect("resumed run completes");
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            baseline,
+            "interrupt + resume diverged from the uninterrupted reference"
+        );
+    }
+
+    #[test]
+    fn campaign_survives_injected_worker_panics_byte_identically() {
+        use crate::executor::{quiet_injected_faults, FaultPlan};
+
+        quiet_injected_faults();
+        let trace = boot_trace(100);
+        let plan = plan_over(&trace, 20);
+        let mut traces = BTreeMap::new();
+        traces.insert(iris_guest::workloads::Workload::OsBoot, trace);
+
+        let reference = ParallelCampaign::new(2).with_chunk(8).run(&traces, &plan);
+        let baseline = serde_json::to_string(&reference).unwrap();
+
+        // Small chunks so the job list is long enough for faults in the
+        // middle; each tripped index is re-leased and re-run clean.
+        let faults = FaultPlan::new()
+            .panic_once_at(1)
+            .panic_once_at(5)
+            .panic_once_at(9);
+        let report = ParallelCampaign::new(2)
+            .with_chunk(8)
+            .run_session(
+                &traces,
+                &plan,
+                CampaignRunOptions {
+                    policy: RunPolicy {
+                        faults: Some(&faults),
+                        ..RunPolicy::default()
+                    },
+                    resume: None,
+                },
+                |_, _| {},
+            )
+            .expect("panics within budget are absorbed");
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            baseline,
+            "injected worker panics changed the report"
+        );
+    }
+
+    #[test]
+    fn campaign_restart_budget_exhaustion_is_a_typed_error() {
+        use crate::executor::{quiet_injected_faults, FaultPlan};
+
+        quiet_injected_faults();
+        let trace = boot_trace(80);
+        let plan = plan_over(&trace, 10);
+        let mut traces = BTreeMap::new();
+        traces.insert(iris_guest::workloads::Workload::OsBoot, trace);
+
+        let faults = FaultPlan::new().panic_always_at(0);
+        let err = ParallelCampaign::new(2)
+            .run_session(
+                &traces,
+                &plan,
+                CampaignRunOptions {
+                    policy: RunPolicy {
+                        max_worker_restarts: Some(1),
+                        faults: Some(&faults),
+                        ..RunPolicy::default()
+                    },
+                    resume: None,
+                },
+                |_, _| {},
+            )
+            .expect_err("a persistent fault must exhaust the budget");
+        match err {
+            ExecutorError::RestartBudgetExhausted { budget, panics, .. } => {
+                assert_eq!(budget, 1);
+                assert!(panics > budget);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //! registering a new backend fails this file until the suite covers it.
 
 use iris_core::trace::RecordedTrace;
-use iris_fuzzer::guided::{run_guided_shared_with, GuidedConfig};
+use iris_fuzzer::checkpoint::GuidedCheckpoint;
+use iris_fuzzer::executor::{quiet_injected_faults, FaultPlan, RunPolicy};
+use iris_fuzzer::guided::{
+    run_guided_shared_session, run_guided_shared_with, GuidedConfig, SharedRunOptions,
+};
 use iris_fuzzer::mutation::SeedArea;
 use iris_fuzzer::parallel::ParallelCampaign;
 use iris_fuzzer::target::{
@@ -306,6 +310,49 @@ fn guided_shared_reports_are_byte_identical_across_jobs() {
     });
 }
 
+#[test]
+fn injected_worker_panics_leave_guided_results_byte_identical() {
+    // The re-lease law: a worker panicking mid-generation loses its
+    // claimed slot to the re-lease list, a fresh context re-runs it,
+    // and — because submissions are derived from canonical target
+    // state, not worker history — the jobs=2 run with three injected
+    // panics still serializes byte-identically to the clean jobs=1
+    // reference on every registered backend.
+    quiet_injected_faults();
+    let trace = boot_trace(150);
+    for_every_backend!(|factory, backend| {
+        let cfg = GuidedConfig {
+            budget: 250,
+            generation: 48,
+            rng_seed: 7,
+            ..GuidedConfig::default()
+        };
+        let reference = run_guided_shared_with(&factory, &trace, cfg, 1);
+        let baseline = serde_json::to_string(&reference).unwrap();
+
+        // Two slot-indexed faults (tripping in the first batch that
+        // reaches them) plus one claim-ordinal fault mid-batch.
+        let faults = FaultPlan::new()
+            .panic_once_at(3)
+            .panic_once_at(17)
+            .panic_at_claim(10);
+        let options = SharedRunOptions {
+            policy: RunPolicy {
+                faults: Some(&faults),
+                ..RunPolicy::default()
+            },
+            resume: None,
+        };
+        let r = run_guided_shared_session(&factory, &trace, cfg, 2, options, |_| {})
+            .expect("panics within the restart budget are absorbed");
+        assert_eq!(
+            serde_json::to_string(&r).unwrap(),
+            baseline,
+            "{backend:?}: injected worker panics changed the guided result"
+        );
+    });
+}
+
 /// One shared trace for the proptest cases — recording is the expensive
 /// part, and every case reads it immutably.
 fn proptest_trace() -> &'static RecordedTrace {
@@ -346,6 +393,81 @@ proptest! {
                 sharded == reference,
                 "{backend:?}: jobs={jobs} generation={generation} budget={budget} \
                  diverged from the jobs=1 reference"
+            );
+        });
+    }
+
+    /// Interrupt-then-resume is exact at every generation barrier: for
+    /// arbitrary (jobs, generation size, budget, interruption point) —
+    /// including stops after the final barrier, i.e. resuming an
+    /// already-complete checkpoint — capturing the barrier checkpoint,
+    /// stopping cooperatively, and resuming from it serializes
+    /// byte-identically to the uninterrupted jobs=1 reference on every
+    /// registered backend.
+    #[test]
+    fn interrupt_at_any_barrier_then_resume_is_byte_identical(
+        jobs in 1usize..4,
+        generation in 1u64..24,
+        budget in 1u64..80,
+        stop_after in 0usize..6,
+        rng_seed in any::<u64>(),
+    ) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let trace = proptest_trace();
+        for_every_backend!(|factory, backend| {
+            let cfg = GuidedConfig {
+                budget,
+                generation,
+                rng_seed,
+                ..GuidedConfig::default()
+            };
+            let reference = run_guided_shared_with(&factory, trace, cfg, 1);
+            let reference = serde_json::to_string(&reference).expect("serializes");
+
+            // First leg: capture the checkpoint at every barrier (the
+            // newest one mirrors what a durable writer would hold) and
+            // trip the stop flag once `stop_after` generations are in.
+            let stop = AtomicBool::new(false);
+            let mut captured: Option<GuidedCheckpoint> = None;
+            let first = run_guided_shared_session(
+                &factory,
+                trace,
+                cfg,
+                jobs,
+                SharedRunOptions {
+                    policy: RunPolicy { stop: Some(&stop), ..RunPolicy::default() },
+                    resume: None,
+                },
+                |p| {
+                    captured = Some(p.checkpoint("prop-fingerprint"));
+                    if p.generation >= stop_after {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                },
+            )
+            .expect("interruption is not an error");
+            prop_assert!(
+                first.executions <= budget,
+                "{backend:?}: interrupted leg overran its budget"
+            );
+
+            // Second leg: resume from the captured barrier state.
+            let resumed = run_guided_shared_session(
+                &factory,
+                trace,
+                cfg,
+                jobs,
+                SharedRunOptions { policy: RunPolicy::default(), resume: captured },
+                |_| {},
+            )
+            .expect("resumed run completes");
+            let resumed = serde_json::to_string(&resumed).expect("serializes");
+            prop_assert!(
+                resumed == reference,
+                "{backend:?}: jobs={jobs} generation={generation} budget={budget} \
+                 stop_after={stop_after} — interrupt+resume diverged from the \
+                 uninterrupted jobs=1 reference"
             );
         });
     }

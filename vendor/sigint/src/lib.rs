@@ -1,0 +1,113 @@
+//! Offline stand-in for the `ctrlc` crate: a minimal SIGINT-to-flag
+//! bridge for cooperative shutdown.
+//!
+//! [`install`] registers a `SIGINT` handler (once) whose only action is
+//! an atomic store into a process-wide flag — the sole async-signal-safe
+//! operation a Rust signal handler can rely on — and returns the flag
+//! for the application to poll at its cancellation points. On the first
+//! `SIGINT` the handler also resets the disposition to `SIG_DFL`, so a
+//! second Ctrl-C terminates the process the classic way instead of
+//! being swallowed by a run that is slow to wind down.
+//!
+//! On non-Unix targets [`install`] degrades gracefully: it returns the
+//! same flag, which then simply never trips.
+//!
+//! This is the one vendored crate that needs `unsafe` (the `signal(2)`
+//! FFI call); every product crate in the workspace stays
+//! `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+/// The process-wide interruption flag; set by the first `SIGINT` after
+/// [`install`].
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, STOP};
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        // `signal(2)`: declared by hand because the workspace is
+        // air-gapped and does not carry the `libc` crate. The handler
+        // slot is a plain function-pointer-sized integer so `SIG_DFL`
+        // (0) and a real handler share one type.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // An atomic store is async-signal-safe; nothing else here is
+        // allowed to allocate, lock, or call back into Rust runtime
+        // machinery.
+        STOP.store(true, Ordering::SeqCst);
+        // Restore the default disposition so a second Ctrl-C kills the
+        // process even if the cooperative shutdown stalls.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    pub(super) fn install_handler() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install_handler() {}
+}
+
+/// Install the `SIGINT` handler (idempotent) and return the flag it
+/// trips. Poll the flag with `Ordering::Relaxed` at cancellation
+/// points; it latches and is never cleared.
+pub fn install() -> &'static AtomicBool {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(imp::install_handler);
+    &STOP
+}
+
+/// The flag [`install`] returns, without installing the handler — for
+/// code that only observes an interruption requested elsewhere.
+#[must_use]
+pub fn stop_flag() -> &'static AtomicBool {
+    &STOP
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not several: the flag and the signal disposition are
+    // process-wide, so a second test racing this one would observe its
+    // side effects.
+    #[test]
+    fn install_is_idempotent_and_a_raised_sigint_trips_the_flag() {
+        let a = install();
+        let b = install();
+        assert!(std::ptr::eq(a, b));
+        assert!(std::ptr::eq(a, stop_flag()));
+        // Nothing has raised SIGINT in this test process yet.
+        assert!(!a.load(Ordering::Relaxed));
+
+        // Raising SIGINT at ourselves must latch the flag instead of
+        // killing the process. (The handler resets to SIG_DFL
+        // afterwards, so raise exactly once.)
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn raise(signum: i32) -> i32;
+            }
+            unsafe {
+                raise(2);
+            }
+            assert!(a.load(Ordering::Relaxed));
+        }
+    }
+}
