@@ -42,6 +42,10 @@ pub enum CliError {
     /// A fault-tolerant run gave up (e.g. the worker restart budget was
     /// exhausted by persistent panics).
     Run(ExecutorError),
+    /// `iris lint` found law violations; the string is the rendered
+    /// report. Carried as an error so the binary exits nonzero — the
+    /// contract CI relies on.
+    Lint(String),
 }
 
 impl From<std::io::Error> for CliError {
@@ -56,6 +60,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(s) => write!(f, "{s}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Run(e) => write!(f, "run failed: {e}"),
+            CliError::Lint(report) => write!(f, "{report}"),
         }
     }
 }
@@ -74,6 +79,7 @@ USAGE:
     iris guided   <workload> [--exits N] [--budget B] [--gen G] [--jobs N] [--mode shared|ensemble] [--target T] [--json FILE] [--corpus FILE] [--checkpoint FILE] [--resume FILE]
     iris targets
     iris report   <FILE.json>
+    iris lint     [--root PATH] [--json FILE]
 
 WORKLOADS: os_boot | cpu_bound | mem_bound | io_bound | idle
 
@@ -112,6 +118,12 @@ byte-identical to an uninterrupted run. Ctrl-C stops gracefully: the
 run finishes in-flight work, writes a final checkpoint, and still
 flushes the --json/--corpus artifacts (a second Ctrl-C kills
 immediately). `--checkpoint`/`--resume` reject `--mode ensemble`.
+
+`lint` runs iris-lint, the workspace's own static analyzer, over the
+source tree (ANALYSIS.md documents the rules: determinism laws, unsafe
+audit, panic-path audit). The workspace root is found by walking up
+from the current directory; `--root` overrides it. `--json FILE`
+writes the machine-readable report. Findings make the command fail.
 ";
 
 fn parse_workload(name: &str) -> Result<Workload, CliError> {
@@ -157,6 +169,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "guided" => cmd_guided(&args[1..]),
         "targets" => Ok(cmd_targets()),
         "report" => cmd_report(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'\n\n{USAGE}"
@@ -882,6 +895,34 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `iris lint`: the workspace's own static analyzer as a subcommand,
+/// so the laws are checkable from the tool operators already have. The
+/// report text is identical to the standalone `iris-lint` binary's;
+/// findings surface as [`CliError::Lint`] so the process exits nonzero.
+fn cmd_lint(args: &[String]) -> Result<String, CliError> {
+    let root = match flag_value(args, "--root") {
+        Some(path) => PathBuf::from(path),
+        None => iris_lint::find_workspace_root(&std::env::current_dir()?).ok_or_else(|| {
+            CliError::Usage(
+                "no workspace root (a Cargo.toml with [workspace]) above the current \
+                 directory — pass --root PATH"
+                    .to_owned(),
+            )
+        })?,
+    };
+    let report = iris_lint::lint_workspace(&root)?;
+    // The JSON artifact is written before the pass/fail decision, so a
+    // failing run still leaves the machine-readable report for CI.
+    if let Some(path) = flag_value(args, "--json") {
+        atomic_write_json(std::path::Path::new(&path), report.render_json().as_bytes())?;
+    }
+    if report.is_clean() {
+        Ok(report.render_text())
+    } else {
+        Err(CliError::Lint(report.render_text()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1344,6 +1385,45 @@ mod tests {
         let out = run(&args("guided os_boot --exits 150 --budget 200")).unwrap();
         assert!(out.contains("guided fuzzing"), "{out}");
         assert!(out.contains("promotions"));
+    }
+
+    #[test]
+    fn lint_reports_the_workspace_clean() {
+        // The shipped tree must satisfy its own laws: every violation
+        // is either fixed or carries a reasoned `lint:allow`.
+        let out = run(&args("lint")).unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(out.contains("files scanned"), "{out}");
+    }
+
+    #[test]
+    fn lint_flags_a_violating_tree_and_still_writes_json() {
+        let root = std::env::temp_dir().join("iris-cli-lint-bad");
+        std::fs::create_dir_all(root.join("src")).unwrap();
+        std::fs::write(
+            root.join("Cargo.toml"),
+            "[workspace]\n[package]\nname = \"bad\"\n",
+        )
+        .unwrap();
+        std::fs::write(
+            root.join("src/lib.rs"),
+            "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+        )
+        .unwrap();
+        let json = root.join("lint-report.json");
+        let err = run(&args(&format!(
+            "lint --root {} --json {}",
+            root.display(),
+            json.display()
+        )))
+        .unwrap_err();
+        // An unsafe block without a SAFETY comment is a finding, the
+        // command fails, and the JSON artifact is written anyway.
+        assert!(matches!(err, CliError::Lint(_)), "{err}");
+        assert!(err.to_string().contains("unsafe-audit"), "{err}");
+        let payload = std::fs::read_to_string(&json).unwrap();
+        assert!(payload.contains("\"unsafe-audit\""), "{payload}");
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -151,6 +151,7 @@ pub fn run_mutant_range_with<F: TargetFactory>(
     // bounds-checks the seed index.)
     let mut target = factory.build(BootPlan::for_test_case(trace, testcase.seed_index));
     target.boot();
+    // lint:allow(panic-path-audit) -- for_test_case bounds-checked testcase.seed_index against trace.seeds two lines above
     let target_seed = &trace.seeds[testcase.seed_index];
     let baseline = target.submit(target_seed).coverage;
 
@@ -241,6 +242,7 @@ pub fn assemble_test_case(
         corpus.absorb(chunk.corpus);
     }
     debug_assert_eq!(next, testcase.mutants, "chunks must cover 0..mutants");
+    // lint:allow(panic-path-audit) -- TestCase::chunks always yields at least one chunk (debug-asserted above), so the first chunk set the baseline
     let baseline = baseline.expect("every test case yields at least one chunk");
 
     let baseline_lines = baseline.lines();

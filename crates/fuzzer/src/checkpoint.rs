@@ -262,6 +262,7 @@ pub(crate) fn join_write_errors(mut errors: Vec<io::Error>) -> Option<io::Error>
         0 => None,
         1 => Some(errors.remove(0)),
         _ => {
+            // lint:allow(panic-path-audit) -- the surrounding match arm guarantees errors.len() >= 2
             let kind = errors[0].kind();
             let joined = errors
                 .iter()
@@ -363,6 +364,7 @@ impl<T: Serialize + Send + 'static> JsonWriter<T> {
         let Ok((saves, errors)) = self
             .handle
             .take()
+            // lint:allow(panic-path-audit) -- finish consumes self, and handle is Some from construction until here
             .expect("finish consumes the writer")
             .join()
         else {

@@ -125,6 +125,8 @@ impl FaultPlan {
     /// of the same index run clean.
     #[must_use]
     pub fn panic_once_at(mut self, index: usize) -> Self {
+        // lint:allow(panic-path-audit) -- builder holds &mut self: the lock is
+        // uncontended and cannot have been poisoned before the run starts
         self.once.get_mut().expect("fault plan lock").insert(index);
         self
     }
@@ -144,6 +146,8 @@ impl FaultPlan {
     pub fn panic_at_claim(mut self, ordinal: u64) -> Self {
         self.claims
             .get_mut()
+            // lint:allow(panic-path-audit) -- builder holds &mut self: the lock is
+            // uncontended and cannot have been poisoned before the run starts
             .expect("fault plan lock")
             .insert(ordinal);
         self
@@ -152,18 +156,28 @@ impl FaultPlan {
     /// Called by the executor after each claim, before the item runs;
     /// panics if a trigger fires.
     pub fn trip(&self, index: usize, claim_ordinal: u64) {
+        // lint:allow(panic-path-audit) -- trip() holds the lock only for this
+        // remove; no injected panic can fire while it is held, so no poisoning
         if self.once.lock().expect("fault plan lock").remove(&index) {
+            // lint:allow(panic-path-audit) -- deliberate: FaultPlan exists to
+            // inject worker panics and exercise the production recovery path
             panic!("{INJECTED_FAULT}: one-shot panic at item {index} (claim {claim_ordinal})");
         }
         if self.always.contains(&index) {
+            // lint:allow(panic-path-audit) -- deliberate: FaultPlan exists to
+            // inject worker panics and exercise the production recovery path
             panic!("{INJECTED_FAULT}: persistent panic at item {index} (claim {claim_ordinal})");
         }
         if self
             .claims
             .lock()
+            // lint:allow(panic-path-audit) -- trip() holds the lock only for this
+            // remove; no injected panic can fire while it is held, so no poisoning
             .expect("fault plan lock")
             .remove(&claim_ordinal)
         {
+            // lint:allow(panic-path-audit) -- deliberate: FaultPlan exists to
+            // inject worker panics and exercise the production recovery path
             panic!("{INJECTED_FAULT}: panic at claim {claim_ordinal} (item {index})");
         }
     }
@@ -331,6 +345,8 @@ impl FaultState {
         if self.released.load(Ordering::Acquire) == 0 {
             return None;
         }
+        // lint:allow(panic-path-audit) -- lock guards a bare Vec pop; no user
+        // code runs under it, so it cannot be poisoned
         let mut releases = self.releases.lock().expect("re-lease lock");
         let index = releases.pop();
         self.released.store(releases.len(), Ordering::Release);
@@ -338,6 +354,8 @@ impl FaultState {
     }
 
     fn push_release(&self, index: usize) {
+        // lint:allow(panic-path-audit) -- lock guards a bare Vec push; no user
+        // code runs under it, so it cannot be poisoned
         let mut releases = self.releases.lock().expect("re-lease lock");
         releases.push(index);
         self.released.store(releases.len(), Ordering::Release);
@@ -345,7 +363,11 @@ impl FaultState {
 
     /// Collect every index that was claimed but never delivered.
     fn lost_indices(&self) -> Vec<usize> {
+        // lint:allow(panic-path-audit) -- both locks guard bare Vec clones; no
+        // user code runs under them, so they cannot be poisoned
         let mut lost: Vec<usize> = self.lost.lock().expect("lost lock").clone();
+        // lint:allow(panic-path-audit) -- both locks guard bare Vec clones; no
+        // user code runs under them, so they cannot be poisoned
         lost.extend(self.releases.lock().expect("re-lease lock").iter().copied());
         lost.sort_unstable();
         lost
@@ -438,6 +460,8 @@ where
                             plan.trip(index, ordinal);
                         }
                         let ctx = ctx.get_or_insert_with(worker_ctx);
+                        // lint:allow(panic-path-audit) -- index comes from the claim
+                        // cursor or the re-lease list, both bounded by items.len()
                         work(ctx, index, &items[index])
                     }));
                     match attempt {
@@ -451,6 +475,8 @@ where
                             // next claim rebuilds a fresh one (the
                             // worker "respawns" in place).
                             ctx = None;
+                            // lint:allow(panic-path-audit) -- lock guards a bare String
+                            // store; no user code runs under it, so it cannot be poisoned
                             *faults.last_panic.lock().expect("last panic lock") =
                                 panic_message(payload.as_ref());
                             drop(payload);
@@ -461,6 +487,8 @@ where
                                 // rescue it: budget exhaustion must
                                 // surface deterministically.
                                 faults.poisoned.store(true, Ordering::Release);
+                                // lint:allow(panic-path-audit) -- lock guards a bare Vec
+                                // push; no user code runs under it, so no poisoning
                                 faults.lost.lock().expect("lost lock").push(index);
                                 break;
                             }
@@ -496,6 +524,8 @@ where
                 budget,
                 panics: faults.panics.load(Ordering::Acquire),
                 lost: faults.lost_indices(),
+                // lint:allow(panic-path-audit) -- lock guards a bare String clone;
+                // no user code runs under it, so it cannot be poisoned
                 last_panic: faults.last_panic.lock().expect("last panic lock").clone(),
             });
         }
@@ -534,6 +564,8 @@ where
     if let Err(err) = run_ordered_with(items, jobs, &RunPolicy::default(), worker_ctx, work, sink) {
         // No stop flag in the default policy, so the only reachable
         // error is budget exhaustion — a persistent crash-loop.
+        // lint:allow(panic-path-audit) -- infallible wrapper by contract: a
+        // persistent crash-loop past the default budget is itself a panic
         panic!("executor run failed: {err}");
     }
 }

@@ -140,6 +140,7 @@ fn baseline_coverage<F: TargetFactory>(
         let out = target.submit(seed);
         seen.merge(&out.coverage);
         if out.crash.is_some() {
+            // lint:allow(slot-reset-law) -- sequential corpus warm-up outside the slot protocol: this reset is crash recovery, not slot state; run_slot resets unconditionally
             target.reset();
         }
     }
@@ -190,6 +191,7 @@ pub fn run_guided_with<F: TargetFactory>(
     trace: &RecordedTrace,
     config: GuidedConfig,
 ) -> GuidedResult {
+    // lint:allow(rng-law) -- the guided driver's scheduling RNG is seeded from config.rng_seed, a recorded input; mutant bytes still flow through mutation::mutant_rng
     let mut rng = SmallRng::seed_from_u64(config.rng_seed);
     let workload = workload_of(trace);
 
@@ -217,6 +219,7 @@ pub fn run_guided_with<F: TargetFactory>(
 
     for i in 0..config.budget {
         let base_idx = (i % corpus.len() as u64) as usize;
+        // lint:allow(panic-path-audit) -- the index is reduced modulo Strategy::ALL.len() in the expression itself
         let strategy = Strategy::ALL[(i as usize / corpus.len()) % Strategy::ALL.len()];
         let area = if rng.gen_bool(0.7) {
             crate::mutation::SeedArea::Vmcs
@@ -225,7 +228,9 @@ pub fn run_guided_with<F: TargetFactory>(
         };
         let donor_idx = rng.gen_range(0..corpus.len());
         let (mutant, reason) = {
+            // lint:allow(panic-path-audit) -- base_idx is i % corpus.len(), in bounds by construction
             let base = &corpus[base_idx];
+            // lint:allow(panic-path-audit) -- donor_idx is drawn from gen_range(0..corpus.len()), in bounds by construction
             let donor = &corpus[donor_idx];
             (
                 mutate_with(base, area, strategy, Some(donor), &mut rng),
@@ -256,6 +261,7 @@ pub fn run_guided_with<F: TargetFactory>(
         }
 
         if out.crash.is_some() {
+            // lint:allow(slot-reset-law) -- sequential reference path, not a slot: conditional reset is crash recovery; the parallel slot path resets unconditionally in run_slot
             target.reset();
         }
         if (i + 1) % checkpoint == 0 {
@@ -394,6 +400,7 @@ fn run_slot<T: FuzzTarget>(
         (seen.new_lines_from(&out.coverage) > 0).then_some((scheduled.mutant, out.coverage));
     SlotOutcome {
         base_index: scheduled.base_index,
+        // lint:allow(panic-path-audit) -- scheduled.base_index was issued by the scheduler from this same corpus snapshot
         reason: corpus[scheduled.base_index].reason,
         area: scheduled.area,
         crash,
@@ -456,6 +463,7 @@ where
         Ok(result) => result,
         // The default options carry no stop flag, so the only
         // reachable error is restart-budget exhaustion.
+        // lint:allow(panic-path-audit) -- infallible wrapper by contract: the default options carry no stop flag, so the only error is a persistent crash loop, itself worth a panic
         Err(err) => panic!("guided shared run failed: {err}"),
     }
 }

@@ -218,6 +218,7 @@ impl<F: TargetFactory> ParallelCampaign<F> {
         }
         match self.run_with(
             plan,
+            // lint:allow(panic-path-audit) -- the loop above asserts every plan workload has a recorded trace
             |tc| &traces[&tc.workload],
             0,
             CampaignReport::new(),
@@ -227,6 +228,7 @@ impl<F: TargetFactory> ParallelCampaign<F> {
             Ok(report) => report,
             // The default policy carries no stop flag, so the only
             // reachable error is restart-budget exhaustion.
+            // lint:allow(panic-path-audit) -- infallible wrapper by contract: the default policy carries no stop flag, so the only error is restart-budget exhaustion, a crash loop worth a panic
             Err(err) => panic!("campaign run failed: {err}"),
         }
     }
@@ -293,6 +295,7 @@ impl<F: TargetFactory> ParallelCampaign<F> {
         };
         self.run_with(
             plan,
+            // lint:allow(panic-path-audit) -- run_resumable asserts every plan workload has a recorded trace before this call
             |tc| &traces[&tc.workload],
             skip,
             report,
@@ -313,6 +316,7 @@ impl<F: TargetFactory> ParallelCampaign<F> {
             |_, _| {},
         ) {
             Ok(report) => report,
+            // lint:allow(panic-path-audit) -- infallible wrapper by contract: the default policy carries no stop flag, so the only error is restart-budget exhaustion, a crash loop worth a panic
             Err(err) => panic!("campaign run failed: {err}"),
         }
     }
@@ -355,12 +359,14 @@ impl<F: TargetFactory> ParallelCampaign<F> {
             .collect();
         let mut span = vec![0usize; plan.len()]; // chunk count per test case
         for &(tc_idx, _) in &jobs_list {
+            // lint:allow(panic-path-audit) -- span has plan.len() entries and tc_idx comes from enumerate() over plan
             span[tc_idx] += 1;
         }
         let mutants_total: u64 = plan.iter().map(|tc| tc.mutants as u64).sum();
 
         let factory = &self.factory;
         let mut pending: Vec<ChunkOutput> = Vec::new();
+        // lint:allow(panic-path-audit) -- skip is asserted <= plan.len() when the checkpoint is validated
         let mut mutants_done: u64 = plan[..skip].iter().map(|tc| tc.mutants as u64).sum();
         let outcome = crate::executor::run_ordered_with(
             &jobs_list,
@@ -368,15 +374,19 @@ impl<F: TargetFactory> ParallelCampaign<F> {
             policy,
             || (),
             |(), _, &(tc_idx, range)| {
+                // lint:allow(panic-path-audit) -- tc_idx comes from enumerate() over plan
                 let tc = &plan[tc_idx];
                 run_mutant_range_with(factory, trace_of(tc), tc, range)
             },
             |job, out| {
                 mutants_done += out.range.len as u64;
+                // lint:allow(panic-path-audit) -- job is an index run_ordered_with issues over jobs_list
                 let tc_idx = jobs_list[job].0;
                 pending.push(out);
+                // lint:allow(panic-path-audit) -- span has plan.len() entries and tc_idx comes from enumerate() over plan
                 if pending.len() == span[tc_idx] {
                     let (result, coverage) =
+                        // lint:allow(panic-path-audit) -- tc_idx comes from enumerate() over plan
                         assemble_test_case(&plan[tc_idx], pending.drain(..), &mut report.corpus);
                     report.fold_assembled(result, &coverage);
                 }
@@ -411,6 +421,7 @@ impl<F: TargetFactory> ParallelCampaign<F> {
     ) -> CampaignReport {
         let mut report = CampaignReport::new();
         for tc in plan {
+            // lint:allow(panic-path-audit) -- the sequential reference mirrors run_observed's contract: a plan workload without a trace is a caller bug worth a panic
             let trace = &traces[&tc.workload];
             let (result, coverage) = run_test_case_with(factory, &mut report.corpus, trace, tc);
             report.fold_assembled(result, &coverage);

@@ -1,0 +1,480 @@
+//! Comment- and string-aware source scanning.
+//!
+//! `iris-lint` deliberately carries no parser dependency (`syn` is not
+//! available in the air-gapped build environment, and a full AST is not
+//! needed to check the workspace laws). Instead, [`scan`] walks a file
+//! character by character and produces one [`LineInfo`] per source
+//! line with:
+//!
+//! * the line's **code** text with comments removed and string/char
+//!   literal *contents* blanked (the delimiting quotes survive, so the
+//!   syntactic shape of the line is preserved) — rule patterns match
+//!   against this, never against comments or string data;
+//! * the line's **comment** text (line comments, doc comments, and any
+//!   block-comment fragments) — the allowlist and `SAFETY:` checks
+//!   read this;
+//! * **context flags** derived from brace tracking: whether any point
+//!   of the line is inside a `#[cfg(test)]` item, inside a conditional
+//!   (`if` / `else` / `match`) block, or inside an `unsafe` token's
+//!   line, plus the stack of enclosing function names.
+//!
+//! The tracker understands nested block comments, raw strings
+//! (`r"…"`, `r#"…"#`), byte strings, char literals vs. lifetimes, and
+//! treats `unsafe_code` (one identifier) as distinct from the `unsafe`
+//! keyword.
+
+/// Everything a rule needs to know about one source line.
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// Code text: comments stripped, literal contents blanked.
+    pub code: String,
+    /// Comment text carried by this line (all fragments concatenated).
+    pub comment: String,
+    /// Any point of the line lies inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// Any point of the line lies inside an `if`/`else`/`match` block.
+    pub in_conditional: bool,
+    /// The `unsafe` keyword occurs in this line's code.
+    pub has_unsafe: bool,
+    /// Names of the enclosing functions at this line (innermost last),
+    /// including a function whose body opens on this line.
+    pub fns: Vec<String>,
+}
+
+/// What kind of construct opened a brace-delimited block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BlockKind {
+    /// `if` / `else` / `match` — the conditional kinds the
+    /// `slot-reset-law` rule cares about.
+    Conditional,
+    /// A function body; carries the function's name.
+    Function(String),
+    /// Anything else (modules, impls, loops, plain blocks…).
+    Other,
+}
+
+#[derive(Debug, Clone)]
+struct BlockFrame {
+    kind: BlockKind,
+    /// The block is a `#[cfg(test)]` item (or nested inside one).
+    test: bool,
+}
+
+/// Lexer mode for the character walk.
+enum Mode {
+    Code,
+    LineComment,
+    /// Nested block comment; the payload is the nesting depth.
+    BlockComment(u32),
+    /// Ordinary (or byte) string literal.
+    Str,
+    /// Raw string literal; the payload is the number of `#` marks.
+    RawStr(u32),
+    /// Char or byte-char literal.
+    CharLit,
+}
+
+/// Scan `src` into per-line [`LineInfo`] records.
+#[must_use]
+pub fn scan(src: &str) -> Vec<LineInfo> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines: Vec<LineInfo> = Vec::new();
+
+    let mut mode = Mode::Code;
+    let mut stack: Vec<BlockFrame> = Vec::new();
+
+    // Pending state between tokens and the `{` that consumes it.
+    #[derive(Default)]
+    struct Pending {
+        kind: Option<BlockKind>,
+        test: bool,
+        expect_fn_name: bool,
+    }
+    impl Pending {
+        /// Fold a finished identifier/keyword token into the pending
+        /// block classification. Returns true when the token is the
+        /// `unsafe` keyword (the caller marks the line).
+        fn take_token(&mut self, tok: &str) -> bool {
+            match tok {
+                "fn" => {
+                    self.expect_fn_name = true;
+                    self.kind = Some(BlockKind::Function(String::new()));
+                }
+                "if" | "else" | "match" => {
+                    self.kind = Some(BlockKind::Conditional);
+                    self.expect_fn_name = false;
+                }
+                "while" | "for" | "loop" | "impl" | "mod" | "struct" | "enum" | "trait"
+                | "union" => {
+                    self.kind = Some(BlockKind::Other);
+                    self.expect_fn_name = false;
+                }
+                "unsafe" => {
+                    // `unsafe { … }` with no preceding keyword opens
+                    // an Other block; `unsafe fn` is overridden by
+                    // the `fn` token that follows.
+                    if self.kind.is_none() {
+                        self.kind = Some(BlockKind::Other);
+                    }
+                    return true;
+                }
+                name if self.expect_fn_name => {
+                    self.kind = Some(BlockKind::Function(name.to_string()));
+                    self.expect_fn_name = false;
+                }
+                _ => {}
+            }
+            false
+        }
+    }
+    let mut pending = Pending::default();
+
+    let mut tok = String::new();
+    let mut cur = LineInfo::default();
+    let mut cur_started = false;
+
+    // Initialize a line's flags from the surrounding block stack.
+    let start_line = |stack: &[BlockFrame]| -> LineInfo {
+        LineInfo {
+            in_test: stack.iter().any(|f| f.test),
+            in_conditional: stack.iter().any(|f| f.kind == BlockKind::Conditional),
+            fns: stack
+                .iter()
+                .filter_map(|f| match &f.kind {
+                    BlockKind::Function(name) => Some(name.clone()),
+                    _ => None,
+                })
+                .collect(),
+            ..LineInfo::default()
+        }
+    };
+
+    macro_rules! finish_token {
+        () => {
+            if !tok.is_empty() {
+                if pending.take_token(&tok) {
+                    cur.has_unsafe = true;
+                }
+                tok.clear();
+            }
+        };
+    }
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if !cur_started {
+            cur = start_line(&stack);
+            cur_started = true;
+        }
+        if c == '\n' {
+            finish_token!();
+            if matches!(mode, Mode::LineComment) {
+                mode = Mode::Code;
+            }
+            // A `#[cfg(test)]` attribute arms the *next* block.
+            if line_has_cfg_test(&cur.code) {
+                pending.test = true;
+            }
+            lines.push(std::mem::take(&mut cur));
+            cur_started = false;
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    finish_token!();
+                    mode = Mode::LineComment;
+                    i += 2;
+                    continue;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    finish_token!();
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    // `r"…"` / `br"…"` raw strings have no escapes; a
+                    // plain or `b"…"` string does.
+                    let raw = tok == "r" || tok == "br";
+                    if raw || tok == "b" {
+                        tok.clear();
+                    }
+                    finish_token!();
+                    cur.code.push('"');
+                    mode = if raw { Mode::RawStr(0) } else { Mode::Str };
+                }
+                '#' if tok == "r" || tok == "br" => {
+                    // Raw string with hash guards: r#"…"# etc.
+                    tok.clear();
+                    let mut hashes = 1u32;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        cur.code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                    // `r#ident` raw identifier: fall through as code.
+                    cur.code.push('#');
+                }
+                '\'' => {
+                    finish_token!();
+                    // Distinguish a char literal from a lifetime:
+                    // 'x' / '\n' are literals, 'a> / 'static are not.
+                    let is_char = chars.get(i + 1) == Some(&'\\')
+                        || (chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\''));
+                    if is_char {
+                        cur.code.push('\'');
+                        mode = Mode::CharLit;
+                    } else {
+                        cur.code.push('\'');
+                    }
+                }
+                '{' => {
+                    finish_token!();
+                    let kind = pending.kind.take().unwrap_or(BlockKind::Other);
+                    let test = pending.test || stack.iter().any(|f| f.test);
+                    pending.test = false;
+                    pending.expect_fn_name = false;
+                    if test {
+                        cur.in_test = true;
+                    }
+                    if kind == BlockKind::Conditional {
+                        cur.in_conditional = true;
+                    }
+                    if let BlockKind::Function(name) = &kind {
+                        if !name.is_empty() {
+                            cur.fns.push(name.clone());
+                        }
+                    }
+                    stack.push(BlockFrame { kind, test });
+                    cur.code.push('{');
+                }
+                '}' => {
+                    finish_token!();
+                    stack.pop();
+                    cur.code.push('}');
+                }
+                ';' => {
+                    finish_token!();
+                    pending.kind = None;
+                    pending.expect_fn_name = false;
+                    cur.code.push(';');
+                }
+                c if c.is_alphanumeric() || c == '_' => {
+                    tok.push(c);
+                    cur.code.push(c);
+                }
+                other => {
+                    finish_token!();
+                    cur.code.push(other);
+                }
+            },
+            Mode::LineComment => cur.comment.push(c),
+            Mode::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    cur.comment.push(c);
+                    i += 2;
+                    continue;
+                }
+                cur.comment.push(c);
+            }
+            Mode::Str => {
+                // Only `\"` and `\\` matter for finding the closing
+                // quote; skipping other escapes wholesale would eat
+                // the newline of a `\`-continued multi-line string
+                // and shift every following line number.
+                if c == '\\' && matches!(chars.get(i + 1), Some('"') | Some('\\')) {
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        cur.code.push('"');
+                        mode = Mode::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+            }
+            Mode::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    cur.code.push('\'');
+                    mode = Mode::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    if cur_started {
+        finish_token!();
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Whether a code line arms test-only scanning for the next item.
+fn line_has_cfg_test(code: &str) -> bool {
+    code.contains("cfg(test)") || code.contains("cfg(all(test") || code.contains("cfg(any(test")
+}
+
+/// `pat` occurs in `code` with identifier boundaries on both sides
+/// (non-identifier pattern edges need no boundary).
+#[must_use]
+pub fn has_token(code: &str, pat: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let first_is_ident = pat.chars().next().is_some_and(is_ident);
+    let last_is_ident = pat.chars().last().is_some_and(is_ident);
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(pat) {
+        let start = from + pos;
+        let end = start + pat.len();
+        let ok_before = !first_is_ident || !code[..start].chars().next_back().is_some_and(is_ident);
+        let ok_after = !last_is_ident || !code[end..].chars().next().is_some_and(is_ident);
+        if ok_before && ok_after {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// Column (0-based) of the first indexing *expression* on the line —
+/// a `[` directly following an identifier character, `)`, or `]` —
+/// or `None`. Attribute lines (`#[…]`, `#![…]`) never count.
+#[must_use]
+pub fn index_expr_col(code: &str) -> Option<usize> {
+    if code.trim_start().starts_with('#') {
+        return None;
+    }
+    let chars: Vec<char> = code.chars().collect();
+    for i in 1..chars.len() {
+        if chars[i] == '['
+            && (chars[i - 1].is_alphanumeric() || matches!(chars[i - 1], '_' | ')' | ']'))
+        {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped_from_code() {
+        let lines = scan("let x = \"Instant::now()\"; // Instant::now()\n/* Instant::now() */ y");
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].comment.contains("Instant::now()"));
+        assert!(!lines[1].code.contains("Instant"));
+        assert_eq!(lines[1].code.trim(), "y");
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let lines = scan("let s = r#\"unsafe { panic!() }\"#; let c = '['; let l: &'static str;");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(!lines[0].code.contains("panic"));
+        assert!(!lines[0].has_unsafe);
+        // The '[' literal must not register as an index expression.
+        assert_eq!(index_expr_col(&lines[0].code), None);
+        assert!(lines[0].code.contains("'static"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lines = scan("/* a /* b */ still comment */ code_here();\n");
+        assert_eq!(lines[0].code.trim(), "code_here();");
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "fn live() { body(); }\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn after() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn conditional_blocks_are_tracked_through_nesting() {
+        let src = "fn f() {\n    step();\n    if cond {\n        reset();\n    }\n    match x {\n        A => {\n            arm();\n        }\n    }\n    tail();\n}\n";
+        let lines = scan(src);
+        assert!(!lines[1].in_conditional); // step();
+        assert!(lines[3].in_conditional); // reset();
+        assert!(lines[7].in_conditional); // arm(); (match arm)
+        assert!(!lines[10].in_conditional); // tail();
+    }
+
+    #[test]
+    fn single_line_conditional_counts_as_conditional() {
+        let lines = scan("fn f() { if c { reset(); } }\n");
+        assert!(lines[0].in_conditional);
+    }
+
+    #[test]
+    fn function_names_are_tracked() {
+        let src = "pub fn mutant_rng(seed: u64) -> SmallRng {\n    SmallRng::seed_from_u64(seed)\n}\nfn other() {\n    body();\n}\n";
+        let lines = scan(src);
+        assert_eq!(lines[1].fns, vec!["mutant_rng".to_string()]);
+        assert_eq!(lines[4].fns, vec!["other".to_string()]);
+    }
+
+    #[test]
+    fn unsafe_keyword_is_distinct_from_unsafe_code_ident() {
+        let lines = scan("#![forbid(unsafe_code)]\nunsafe { ffi(); }\n");
+        assert!(!lines[0].has_unsafe);
+        assert!(lines[1].has_unsafe);
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(has_token("let r = thread_rng();", "thread_rng"));
+        assert!(!has_token("let r = my_thread_rng();", "thread_rng"));
+        assert!(!has_token("thread_rng_like()", "thread_rng"));
+        assert!(has_token("Instant::now()", "Instant::now"));
+    }
+
+    #[test]
+    fn index_expressions_found_and_attributes_skipped() {
+        assert!(index_expr_col("let x = items[i];").is_some());
+        assert!(index_expr_col("let y = &plan[..skip];").is_some());
+        assert!(index_expr_col("#[derive(Debug)]").is_none());
+        assert!(index_expr_col("let v: [u8; 4] = x;").is_none());
+        assert!(index_expr_col("vec![1, 2]").is_none());
+    }
+}

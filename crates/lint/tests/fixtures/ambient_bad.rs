@@ -1,0 +1,13 @@
+//! Positive fixture for `no-ambient-nondeterminism`: wall clocks and
+//! OS entropy inside the deterministic core.
+
+pub fn stamp_report(report: &mut Report) {
+    let t0 = std::time::Instant::now();
+    report.wall = t0.elapsed();
+    report.stamp = std::time::SystemTime::now();
+}
+
+pub fn rogue_entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

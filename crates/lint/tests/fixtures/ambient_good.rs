@@ -1,0 +1,14 @@
+//! Negative fixture for `no-ambient-nondeterminism`: time and
+//! randomness derived from recorded inputs only. The string literal
+//! and comment below mention Instant::now to prove the scanner only
+//! looks at code.
+
+pub fn stamp_report(report: &mut Report, trace: &RecordedTrace) {
+    // Wall time comes from the trace, never from Instant::now().
+    report.wall_ms = trace.wall_time_ms();
+    report.note = "no Instant::now here, honest";
+}
+
+pub fn derived_entropy(seed: u64, index: u64) -> u64 {
+    seed ^ index
+}

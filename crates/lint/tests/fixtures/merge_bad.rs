@@ -1,0 +1,16 @@
+//! Positive fixture for `no-unordered-merge`: hash containers in an
+//! aggregation module, where iteration order leaks into the report.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn fold_outputs(outputs: &[ChunkOutput]) -> HashMap<Workload, Summary> {
+    let mut merged: HashMap<Workload, Summary> = HashMap::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    for out in outputs {
+        if seen.insert(out.signature) {
+            merged.entry(out.workload).or_default().fold(out);
+        }
+    }
+    merged
+}

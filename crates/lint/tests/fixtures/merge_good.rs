@@ -1,0 +1,16 @@
+//! Negative fixture for `no-unordered-merge`: ordered containers keep
+//! the fold independent of partition and schedule.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn fold_outputs(outputs: &[ChunkOutput]) -> BTreeMap<Workload, Summary> {
+    let mut merged: BTreeMap<Workload, Summary> = BTreeMap::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    for out in outputs {
+        if seen.insert(out.signature) {
+            merged.entry(out.workload).or_default().fold(out);
+        }
+    }
+    merged
+}

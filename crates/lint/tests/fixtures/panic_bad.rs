@@ -1,0 +1,17 @@
+//! Positive fixture for `panic-path-audit`: unwaived panic paths in
+//! executor-scope code, plus two broken allowlist annotations.
+
+pub fn claim_next(items: &[Job], cursor: &Mutex<usize>) -> Job {
+    let mut at = cursor.lock().unwrap();
+    let job = items[*at];
+    *at += 1;
+    job
+}
+
+pub fn finish(outcome: Option<Outcome>) -> Outcome {
+    // lint:allow(panic-path-audit)
+    outcome.expect("finish called after completion")
+}
+
+// lint:allow(rng-law) -- this allow matches nothing and must be reported as unused
+pub fn quiet() {}

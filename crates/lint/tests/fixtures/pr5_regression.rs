@@ -1,0 +1,21 @@
+//! The PR-5 bug class, distilled: a slot runner that (a) resets its
+//! target only on crash, making slot outcomes depend on which worker
+//! ran the previous slot, and (b) seeds a rogue per-worker RNG instead
+//! of going through `mutation::mutant_rng`. This exact shape shipped
+//! in PR 5 and survived until a proptest tripped at budget ≳5000;
+//! iris-lint must flag both halves.
+
+pub fn run_slot(target: &mut Target, scheduled: &Scheduled, worker_id: u64) -> SlotOutcome {
+    let mut rng = SmallRng::seed_from_u64(worker_id);
+    let mutant = perturb(&scheduled.mutant, rng.gen());
+    let out = target.submit(&mutant);
+    let crash = out.crash;
+    if crash.is_some() {
+        target.reset();
+    }
+    SlotOutcome {
+        base_index: scheduled.base_index,
+        crash,
+        coverage: out.coverage,
+    }
+}

@@ -1,0 +1,15 @@
+//! Positive fixture for `rng-law`: RNG construction outside
+//! `mutation::mutant_rng`.
+
+pub fn run_range(range: &MutantRange) -> RangeOutput {
+    let mut rng = SmallRng::seed_from_u64(range.start);
+    let mut out = RangeOutput::default();
+    for _ in 0..range.len {
+        out.fold(rng.gen());
+    }
+    out
+}
+
+pub fn clone_stream(parent: &mut SmallRng) -> SmallRng {
+    SmallRng::from_rng(parent)
+}

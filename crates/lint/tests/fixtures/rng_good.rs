@@ -1,0 +1,13 @@
+//! Negative fixture for `rng-law`: randomness obtained through the
+//! blessed constructor only.
+
+use crate::mutation::mutant_rng;
+
+pub fn run_range(seed: u64, range: &MutantRange) -> RangeOutput {
+    let mut out = RangeOutput::default();
+    for i in range.start..range.start + range.len {
+        let mut rng = mutant_rng(seed, i);
+        out.fold(rng.gen());
+    }
+    out
+}

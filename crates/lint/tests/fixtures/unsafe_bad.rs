@@ -1,0 +1,6 @@
+//! Positive fixture for `unsafe-audit`: an `unsafe` block with no
+//! `SAFETY:` comment anywhere near it.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

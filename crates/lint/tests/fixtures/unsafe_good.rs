@@ -1,0 +1,8 @@
+//! Negative fixture for `unsafe-audit`: the block is justified by a
+//! `SAFETY:` comment on the preceding line.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points into the live mapping
+    // established at boot; it is never null or dangling.
+    unsafe { *p }
+}

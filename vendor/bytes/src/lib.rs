@@ -1,6 +1,8 @@
 //! Offline stand-in for the `bytes` crate: just enough of
 //! `Bytes`/`BytesMut`/`Buf`/`BufMut` for the IRIS seed codec.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 
 /// An immutable byte buffer.

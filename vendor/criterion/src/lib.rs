@@ -9,6 +9,8 @@
 //! bins with a hand-written `main` can post-process results — e.g. emit
 //! machine-readable JSON for trajectory tracking.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -84,6 +86,9 @@ pub struct Bencher {
 
 impl Bencher {
     /// Time a closure. Runs it once in `--test` mode.
+    // The bench harness is the one legitimate wall-clock consumer in
+    // the workspace; everything else is covered by the clippy.toml ban.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         if self.test_mode {
             black_box(f());

@@ -3,6 +3,8 @@
 //! (`any`, integer ranges, `Just`, `prop_map`, `prop_oneof!`,
 //! `proptest::collection::vec`, `prop_assert!`/`prop_assert_eq!`).
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

@@ -2,6 +2,8 @@
 //! plus the `Rng`/`SeedableRng` subset this workspace uses
 //! (`gen_range` over integer ranges, `gen_bool`).
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level random source.

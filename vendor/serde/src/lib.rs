@@ -7,6 +7,8 @@
 //! `from_value` implementations. The `serde_json` stub renders and parses
 //! the tree. Only the surface this repository uses is implemented.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod value;
 

@@ -12,6 +12,8 @@
 //!   discriminants), newtype, tuple, or struct-shaped — externally
 //!   tagged, like real serde's default representation.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize, attributes(serde))]

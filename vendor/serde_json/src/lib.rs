@@ -1,6 +1,8 @@
 //! Offline stand-in for `serde_json`: a thin JSON front-end over the
 //! vendored `serde` value tree.
 
+#![forbid(unsafe_code)]
+
 use serde::{json, Deserialize, Serialize};
 
 /// JSON (de)serialization failure.

@@ -47,12 +47,17 @@ mod imp {
         STOP.store(true, Ordering::SeqCst);
         // Restore the default disposition so a second Ctrl-C kills the
         // process even if the cooperative shutdown stalls.
+        // SAFETY: `signal(2)` is async-signal-safe and may be called
+        // from a handler; `SIG_DFL` (0) is a valid disposition value.
         unsafe {
             signal(SIGINT, SIG_DFL);
         }
     }
 
     pub(super) fn install_handler() {
+        // SAFETY: `on_sigint` is an `extern "C"` fn whose address is a
+        // valid handler; it performs only async-signal-safe work (one
+        // atomic store and a `signal` call), as `signal(2)` requires.
         unsafe {
             signal(SIGINT, on_sigint as *const () as usize);
         }
@@ -104,6 +109,8 @@ mod tests {
             extern "C" {
                 fn raise(signum: i32) -> i32;
             }
+            // SAFETY: `raise(2)` delivers SIGINT to this process; the
+            // handler installed above absorbs it into the atomic flag.
             unsafe {
                 raise(2);
             }
