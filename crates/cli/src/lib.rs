@@ -13,6 +13,11 @@ use iris_core::manager::{IrisManager, Mode};
 use iris_core::metrics;
 use iris_core::record::RecordConfig;
 use iris_core::seed_db::SeedDb;
+use iris_dist::client::submit as dist_submit;
+use iris_dist::coordinator::{ServeOptions, Server};
+use iris_dist::job::{JobKind, JobSpec};
+use iris_dist::worker::{run_worker, WorkerOptions};
+use iris_dist::DistError;
 use iris_fuzzer::checkpoint::{
     atomic_write_json, campaign_fingerprint, guided_fingerprint, CampaignCheckpoint,
     GuidedCheckpoint, JsonWriter, CHECKPOINT_VERSION,
@@ -46,6 +51,10 @@ pub enum CliError {
     /// report. Carried as an error so the binary exits nonzero — the
     /// contract CI relies on.
     Lint(String),
+    /// A distributed-service failure (`iris serve|worker|submit`):
+    /// connection loss past the reconnect budget, protocol violations,
+    /// typed coordinator rejections.
+    Dist(DistError),
 }
 
 impl From<std::io::Error> for CliError {
@@ -61,7 +70,14 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Run(e) => write!(f, "run failed: {e}"),
             CliError::Lint(report) => write!(f, "{report}"),
+            CliError::Dist(e) => write!(f, "distributed service error: {e}"),
         }
+    }
+}
+
+impl From<DistError> for CliError {
+    fn from(e: DistError) -> Self {
+        CliError::Dist(e)
     }
 }
 
@@ -80,6 +96,10 @@ USAGE:
     iris targets
     iris report   <FILE.json>
     iris lint     [--root PATH] [--json FILE]
+    iris serve    [--listen ADDR] [--checkpoint FILE] [--resume FILE] [--progress FILE] [--lease-timeout-ms N]
+    iris worker   --connect ADDR [--target T] [--once] [--heartbeat-ms N]
+    iris submit   campaign <workload> --connect ADDR [--exits N] [--seed S] [--mutants M] [--chunk C] [--target T] [--json FILE]
+    iris submit   guided   <workload> --connect ADDR [--exits N] [--seed S] [--budget B] [--gen G] [--target T] [--json FILE]
 
 WORKLOADS: os_boot | cpu_bound | mem_bound | io_bound | idle
 
@@ -118,6 +138,17 @@ byte-identical to an uninterrupted run. Ctrl-C stops gracefully: the
 run finishes in-flight work, writes a final checkpoint, and still
 flushes the --json/--corpus artifacts (a second Ctrl-C kills
 immediately). `--checkpoint`/`--resume` reject `--mode ensemble`.
+
+Distributed service (DISTRIBUTED.md): `serve` runs the coordinator
+daemon (default --listen 127.0.0.1:7331); `worker` processes connect to
+it and compute leased chunk/slot ranges, surviving coordinator restarts
+by reconnecting; `submit` delivers a campaign or guided job and waits
+for the report — byte-identical to the same run's in-process
+`campaign`/`guided` with `--jobs 1`, for any fleet size, including
+under worker death (ranges re-lease and re-execute identically) and
+coordinator kill + `--resume` (checkpoints at every fold boundary, same
+files as the in-process `--checkpoint` flow). `submit --json` writes
+the received report; defaults mirror the in-process subcommands.
 
 `lint` runs iris-lint, the workspace's own static analyzer, over the
 source tree (ANALYSIS.md documents the rules: determinism laws, unsafe
@@ -170,6 +201,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "targets" => Ok(cmd_targets()),
         "report" => cmd_report(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "worker" => cmd_worker(&args[1..]),
+        "submit" => cmd_submit(&args[1..]),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'\n\n{USAGE}"
@@ -923,6 +957,155 @@ fn cmd_lint(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// `iris serve`: the distributed-fuzzing coordinator daemon. Runs until
+/// Ctrl-C; `--checkpoint`/`--resume` give jobs the same durable fold-
+/// boundary checkpoints as the in-process flow (and interoperate with
+/// its files — the fingerprints match), `--progress` streams a small
+/// JSON progress artifact.
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let listen = flag_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:7331".to_owned());
+    let (checkpoint, resume) = parse_durability(args);
+    let progress = flag_value(args, "--progress").map(PathBuf::from);
+    let lease_timeout_ms: u64 = parse_num(args, "--lease-timeout-ms", 10_000)?;
+    if lease_timeout_ms == 0 {
+        return Err(CliError::Usage(
+            "--lease-timeout-ms must be at least 1".to_owned(),
+        ));
+    }
+    let server = Server::start(ServeOptions {
+        listen,
+        checkpoint,
+        resume,
+        progress,
+        lease_timeout_ms,
+    })?;
+    eprintln!("iris serve: listening on {}", server.addr());
+    let stop = sigint::install();
+    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let jobs = server.stop();
+    Ok(format!(
+        "coordinator stopped — {jobs} job{} completed\n",
+        if jobs == 1 { "" } else { "s" }
+    ))
+}
+
+/// `iris worker`: connect to a coordinator and compute leased ranges
+/// until Ctrl-C (or `--once` after the first completed job). The worker
+/// re-derives traces/plans/corpora locally from job specs and runs the
+/// in-process range cores, so its results are byte-identical to the
+/// coordinator-local ones.
+fn cmd_worker(args: &[String]) -> Result<String, CliError> {
+    let connect = flag_value(args, "--connect")
+        .ok_or_else(|| CliError::Usage("worker requires --connect ADDR".to_owned()))?;
+    let backend = parse_target(args)?;
+    let heartbeat_ms: u64 = parse_num(args, "--heartbeat-ms", 1_000)?;
+    let opts = WorkerOptions {
+        connect,
+        target: backend.name().to_owned(),
+        once: args.iter().any(|a| a == "--once"),
+        heartbeat_ms,
+        stop: Some(sigint::install()),
+        ..WorkerOptions::default()
+    };
+    let summary = run_worker(&opts)?;
+    Ok(format!(
+        "worker stopped — {} lease{} computed across {} job{}\n",
+        summary.chunks_done,
+        if summary.chunks_done == 1 { "" } else { "s" },
+        summary.jobs_done,
+        if summary.jobs_done == 1 { "" } else { "s" }
+    ))
+}
+
+/// `iris submit`: deliver a campaign/guided job to a coordinator fleet
+/// and wait for the report. Defaults mirror the in-process subcommands,
+/// and `--json` writes the **received bytes** verbatim — the artifact
+/// CI byte-diffs against the in-process `--jobs 1` run's.
+fn cmd_submit(args: &[String]) -> Result<String, CliError> {
+    let family = args
+        .first()
+        .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?
+        .clone();
+    let rest = &args[1..];
+    let w = parse_workload(
+        rest.first()
+            .ok_or_else(|| CliError::Usage(USAGE.to_owned()))?,
+    )?;
+    let connect = flag_value(rest, "--connect")
+        .ok_or_else(|| CliError::Usage("submit requires --connect ADDR".to_owned()))?;
+    let exits: usize = parse_num(rest, "--exits", 5000)?;
+    let seed: u64 = parse_num(rest, "--seed", 42)?;
+    let backend = parse_target(rest)?;
+    let kind = match family.as_str() {
+        "campaign" => JobKind::Campaign {
+            mutants: parse_num(rest, "--mutants", 200)?,
+            chunk: parse_chunk(rest)?,
+        },
+        "guided" => {
+            let generation: u64 = parse_num(rest, "--gen", GuidedConfig::default().generation)?;
+            if generation == 0 {
+                return Err(CliError::Usage("--gen must be at least 1".to_owned()));
+            }
+            JobKind::Guided {
+                budget: parse_num(rest, "--budget", 1500)?,
+                generation,
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown submit family '{other}' (campaign | guided)\n\n{USAGE}"
+            )))
+        }
+    };
+    let spec = JobSpec {
+        target: backend.name().to_owned(),
+        workload: w.label().to_owned(),
+        exits,
+        seed,
+        kind,
+    };
+    let show_progress = std::io::stderr().is_terminal();
+    let outcome = dist_submit(&connect, &spec, |done, total, folded| {
+        if show_progress {
+            eprint!("\rdistributed: {done}/{total} units, {folded} folds");
+        }
+    })?;
+    if show_progress {
+        eprintln!();
+    }
+    let mut out = format!(
+        "job #{} complete on the fleet at {connect}\nfingerprint: {}\n",
+        outcome.job_id, outcome.fingerprint
+    );
+    // Summarize from the received report; the bytes themselves are the
+    // artifact.
+    match spec.kind {
+        JobKind::Campaign { .. } => {
+            if let Ok(report) = serde_json::from_str::<CampaignReport>(&outcome.report) {
+                out.push_str(&format!(
+                    "total: {} mutants, {} lines covered, crashes {} VM / {} hypervisor\n",
+                    report.failures.submitted,
+                    report.coverage.lines(),
+                    report.failures.vm_crashes,
+                    report.failures.hv_crashes
+                ));
+            }
+        }
+        JobKind::Guided { .. } => {
+            if let Ok(result) = serde_json::from_str::<GuidedResult>(&outcome.report) {
+                out.push_str(&render_guided_result(&result));
+            }
+        }
+    }
+    if let Some(path) = flag_value(rest, "--json") {
+        atomic_write_json(std::path::Path::new(&path), outcome.report.as_bytes())?;
+        out.push_str(&format!("report JSON written to {path}\n"));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1424,6 +1607,49 @@ mod tests {
         let payload = std::fs::read_to_string(&json).unwrap();
         assert!(payload.contains("\"unsafe-audit\""), "{payload}");
         std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn distributed_subcommands_validate_their_usage() {
+        // `worker`/`submit` require a coordinator address; `submit`
+        // requires a known family and workload. All are usage errors
+        // before any socket is touched.
+        assert!(matches!(
+            run(&args("worker")),
+            Err(CliError::Usage(s)) if s.contains("--connect")
+        ));
+        assert!(matches!(run(&args("submit")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args("submit replay os_boot --connect 127.0.0.1:1")),
+            Err(CliError::Usage(s)) if s.contains("campaign | guided")
+        ));
+        assert!(matches!(
+            run(&args("submit campaign os_boot")),
+            Err(CliError::Usage(s)) if s.contains("--connect")
+        ));
+        assert!(matches!(
+            run(&args("submit campaign martian --connect 127.0.0.1:1")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("submit guided os_boot --connect 127.0.0.1:1 --gen 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("serve --lease-timeout-ms 0")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn submit_against_a_dead_coordinator_is_a_dist_error() {
+        // Port 1 on loopback is never a coordinator; the connection
+        // failure surfaces as the typed Dist variant, not a panic.
+        let err = run(&args(
+            "submit campaign os_boot --connect 127.0.0.1:1 --exits 50",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Dist(_)), "{err}");
     }
 
     #[test]

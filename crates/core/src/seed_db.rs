@@ -11,6 +11,13 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
+/// Annotate an I/O error with the file it concerns: a bare
+/// "No such file or directory" from a save/load helper is useless to a
+/// caller juggling several artifact paths.
+fn at_path(path: &Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+}
+
 /// In-memory seed store with file persistence.
 #[derive(Debug, Default)]
 pub struct SeedDb {
@@ -93,25 +100,25 @@ impl SeedDb {
     /// Persist one trace as JSON (seeds + metrics).
     pub fn save_json(trace: &RecordedTrace, path: &Path) -> io::Result<()> {
         let json = serde_json::to_vec_pretty(trace)?;
-        std::fs::write(path, json)
+        std::fs::write(path, json).map_err(|e| at_path(path, e))
     }
 
     /// Load a JSON trace.
     pub fn load_json(path: &Path) -> io::Result<RecordedTrace> {
-        let data = std::fs::read(path)?;
-        Ok(serde_json::from_slice(&data)?)
+        let data = std::fs::read(path).map_err(|e| at_path(path, e))?;
+        serde_json::from_slice(&data).map_err(|e| at_path(path, e.into()))
     }
 
     /// Persist one trace's seeds in the binary format.
     pub fn save_seeds_binary(trace: &RecordedTrace, path: &Path) -> io::Result<()> {
-        std::fs::write(path, Self::encode_seeds(trace))
+        std::fs::write(path, Self::encode_seeds(trace)).map_err(|e| at_path(path, e))
     }
 
     /// Load binary seeds as a bare trace (no metrics).
     pub fn load_seeds_binary(label: &str, path: &Path) -> io::Result<RecordedTrace> {
-        let data = std::fs::read(path)?;
+        let data = std::fs::read(path).map_err(|e| at_path(path, e))?;
         let mut t = RecordedTrace::new(label);
-        t.seeds = Self::decode_seeds(&data)?;
+        t.seeds = Self::decode_seeds(&data).map_err(|e| at_path(path, e))?;
         Ok(t)
     }
 }
@@ -156,6 +163,27 @@ mod tests {
         let enc = SeedDb::encode_seeds(&t);
         assert!(SeedDb::decode_seeds(&enc[..enc.len() - 3]).is_err());
         assert!(SeedDb::decode_seeds(&[1]).is_err());
+    }
+
+    #[test]
+    fn file_errors_name_the_offending_path() {
+        let missing = std::env::temp_dir().join("iris-seed-db-no-such-file.json");
+        let err = SeedDb::load_json(&missing).unwrap_err();
+        assert!(
+            err.to_string().contains("iris-seed-db-no-such-file.json"),
+            "{err}"
+        );
+        let err = SeedDb::load_seeds_binary("x", &missing).unwrap_err();
+        assert!(
+            err.to_string().contains("iris-seed-db-no-such-file.json"),
+            "{err}"
+        );
+
+        let unwritable = Path::new("/proc/iris-no-such-dir/t.json");
+        let err = SeedDb::save_json(&sample_trace(), unwritable).unwrap_err();
+        assert!(err.to_string().contains("iris-no-such-dir"), "{err}");
+        let err = SeedDb::save_seeds_binary(&sample_trace(), unwritable).unwrap_err();
+        assert!(err.to_string().contains("iris-no-such-dir"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! The submission client behind `iris submit`.
+//!
+//! A client delivers a [`JobSpec`] to the coordinator and blocks on the
+//! same connection for progress frames and the final report — whose
+//! bytes match the in-process `--jobs 1` run's `--json` artifact
+//! exactly (the coordinator folds through the same merge).
+
+use crate::job::JobSpec;
+use crate::proto::{read_frame, write_frame, Frame, PROTO_VERSION};
+use crate::DistError;
+use std::net::TcpStream;
+
+/// A completed submission.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// The coordinator-assigned job id.
+    pub job_id: u64,
+    /// The job's run-configuration fingerprint.
+    pub fingerprint: String,
+    /// The final report JSON — byte-identical to the in-process run's.
+    pub report: String,
+}
+
+/// Submit `spec` to the coordinator at `connect` and wait for the
+/// report, feeding `(done, total, folded)` progress updates to
+/// `on_progress` as they stream in.
+///
+/// # Errors
+/// Connection failures, protocol violations, and typed coordinator
+/// rejections ([`DistError::Remote`] — version/fingerprint mismatch,
+/// bad spec, shutdown).
+pub fn submit(
+    connect: &str,
+    spec: &JobSpec,
+    mut on_progress: impl FnMut(u64, u64, u64),
+) -> Result<SubmitOutcome, DistError> {
+    let mut stream = TcpStream::connect(connect)?;
+    let _ = stream.set_nodelay(true);
+    write_frame(
+        &mut stream,
+        &Frame::Submit {
+            proto_version: PROTO_VERSION,
+            spec: spec.clone(),
+        },
+    )?;
+    loop {
+        match read_frame(&mut stream)? {
+            Frame::Progress {
+                done,
+                total,
+                folded,
+            } => on_progress(done, total, folded),
+            Frame::JobDone {
+                job_id,
+                fingerprint,
+                report,
+            } => {
+                return Ok(SubmitOutcome {
+                    job_id,
+                    fingerprint,
+                    report,
+                })
+            }
+            Frame::Error { code, detail } => return Err(DistError::Remote { code, detail }),
+            _ => {
+                return Err(DistError::Protocol(
+                    "coordinator sent a frame submitters never receive".to_owned(),
+                ))
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The coordinator's lease table: who holds which work range, until
+//! when.
+//!
+//! One table entry per leasable unit (a campaign chunk or a guided slot
+//! sub-range), in fold order. Claims hand out the **lowest-indexed**
+//! available entry — pending, or leased past its deadline — so results
+//! arrive roughly in fold order and the coordinator's contiguous-prefix
+//! fold drains promptly. Expiry is passive: nothing scans the table on
+//! a timer; an expired lease is simply claimable again, and the
+//! connection handler that owned it drops the dead socket on its own
+//! read timeout. Re-leasing is semantically free — the per-range RNG
+//! law makes the re-execution byte-identical (RELIABILITY.md §1,
+//! DISTRIBUTED.md).
+//!
+//! Time is an explicit `now_ms` parameter rather than an ambient clock
+//! read, so expiry logic is unit-testable with a fake clock and the
+//! table itself stays deterministic in its inputs.
+
+/// One entry's lifecycle. `Pending → Leased → Done`, with
+/// `Leased → Pending` on release and `Leased → Leased` on an expired
+/// lease being re-claimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Not yet handed out (or returned by a release/expiry).
+    Pending,
+    /// Held by a worker until the deadline.
+    Leased {
+        /// The holder's worker id.
+        holder: u64,
+        /// Expiry instant, in the coordinator's monotone milliseconds.
+        deadline_ms: u64,
+    },
+    /// Result received and folded (or parked for folding).
+    Done,
+}
+
+/// The lease table. Index order is fold order; the table never reorders
+/// entries (ordered `Vec`, not a hash container — the fold depends on
+/// it).
+#[derive(Debug)]
+pub struct LeaseTable {
+    slots: Vec<SlotState>,
+    timeout_ms: u64,
+    done: usize,
+}
+
+impl LeaseTable {
+    /// A table of `len` pending entries whose leases expire `timeout_ms`
+    /// after claim/renewal.
+    #[must_use]
+    pub fn new(len: usize, timeout_ms: u64) -> Self {
+        Self {
+            slots: vec![SlotState::Pending; len],
+            timeout_ms: timeout_ms.max(1),
+            done: 0,
+        }
+    }
+
+    /// Total entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the table has no entries at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Entries completed so far.
+    #[must_use]
+    pub fn done(&self) -> usize {
+        self.done
+    }
+
+    /// True when every entry is done.
+    #[must_use]
+    pub fn all_done(&self) -> bool {
+        self.done == self.slots.len()
+    }
+
+    /// Claim the lowest-indexed available entry for `holder`: the first
+    /// entry that is pending or whose lease expired before `now_ms`.
+    /// Returns the claimed index, or `None` when nothing is claimable.
+    pub fn claim(&mut self, holder: u64, now_ms: u64) -> Option<usize> {
+        let deadline_ms = now_ms.saturating_add(self.timeout_ms);
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            let claimable = match *slot {
+                SlotState::Pending => true,
+                SlotState::Leased { deadline_ms, .. } => deadline_ms < now_ms,
+                SlotState::Done => false,
+            };
+            if claimable {
+                *slot = SlotState::Leased {
+                    holder,
+                    deadline_ms,
+                };
+                return Some(index);
+            }
+        }
+        None
+    }
+
+    /// Extend `holder`'s lease on `index` (a heartbeat landed). Returns
+    /// false when the entry is no longer leased to `holder` — it
+    /// expired and was re-claimed, or completed.
+    pub fn renew(&mut self, index: usize, holder: u64, now_ms: u64) -> bool {
+        let deadline_ms = now_ms.saturating_add(self.timeout_ms);
+        match self.slots.get_mut(index) {
+            Some(slot) => match *slot {
+                SlotState::Leased { holder: h, .. } if h == holder => {
+                    *slot = SlotState::Leased {
+                        holder,
+                        deadline_ms,
+                    };
+                    true
+                }
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Return every lease `holder` still holds to pending — the
+    /// holder's connection died. Completed entries stay done (their
+    /// results already folded). Returns how many leases were released.
+    pub fn release_holder(&mut self, holder: u64) -> usize {
+        let mut released = 0;
+        for slot in &mut self.slots {
+            if matches!(*slot, SlotState::Leased { holder: h, .. } if h == holder) {
+                *slot = SlotState::Pending;
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Mark `index` done. Returns true when the entry was **newly**
+    /// completed — false for an unknown index or a duplicate result
+    /// (e.g. an expired lease whose original holder also finished; the
+    /// re-execution is byte-identical, so the duplicate is simply
+    /// dropped).
+    pub fn complete(&mut self, index: usize) -> bool {
+        match self.slots.get_mut(index) {
+            Some(slot) if *slot != SlotState::Done => {
+                *slot = SlotState::Done;
+                self.done += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The state of entry `index`, if it exists.
+    #[must_use]
+    pub fn state(&self, index: usize) -> Option<SlotState> {
+        self.slots.get(index).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hand_out_entries_in_index_order() {
+        let mut t = LeaseTable::new(3, 1_000);
+        assert_eq!(t.claim(1, 0), Some(0));
+        assert_eq!(t.claim(2, 0), Some(1));
+        assert_eq!(t.claim(1, 0), Some(2));
+        assert_eq!(t.claim(3, 0), None, "all leased, none expired");
+    }
+
+    #[test]
+    fn expired_leases_are_reclaimable_and_renewal_extends_them() {
+        let mut t = LeaseTable::new(1, 1_000);
+        assert_eq!(t.claim(1, 0), Some(0));
+        // Before the deadline the lease holds…
+        assert_eq!(t.claim(2, 500), None);
+        // …a heartbeat extends it past the original deadline…
+        assert!(t.renew(0, 1, 900));
+        assert_eq!(t.claim(2, 1_500), None);
+        // …and only silence lets another worker take it over.
+        assert_eq!(t.claim(2, 2_000), Some(0));
+        // The usurped original holder can no longer renew.
+        assert!(!t.renew(0, 1, 2_000));
+    }
+
+    #[test]
+    fn release_returns_a_dead_holders_leases_only() {
+        let mut t = LeaseTable::new(3, 1_000);
+        assert_eq!(t.claim(1, 0), Some(0));
+        assert_eq!(t.claim(2, 0), Some(1));
+        assert!(t.complete(0));
+        assert_eq!(t.release_holder(1), 0, "done entries stay done");
+        assert_eq!(t.release_holder(2), 1);
+        assert_eq!(t.state(1), Some(SlotState::Pending));
+        assert_eq!(t.state(0), Some(SlotState::Done));
+    }
+
+    #[test]
+    fn duplicate_completions_fold_once() {
+        let mut t = LeaseTable::new(2, 1_000);
+        assert_eq!(t.claim(1, 0), Some(0));
+        assert!(t.complete(0), "first result folds");
+        assert!(!t.complete(0), "the re-leased duplicate is dropped");
+        assert!(!t.complete(7), "unknown indices are refused");
+        assert_eq!(t.done(), 1);
+        assert!(!t.all_done());
+        assert!(t.complete(1));
+        assert!(t.all_done());
+    }
+
+    #[test]
+    fn empty_tables_are_born_done() {
+        let t = LeaseTable::new(0, 1_000);
+        assert!(t.is_empty());
+        assert!(t.all_done());
+    }
+}

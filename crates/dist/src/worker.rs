@@ -1,0 +1,468 @@
+//! The worker loop behind `iris worker --connect`.
+//!
+//! A worker is stateless between leases: it re-derives the job's trace,
+//! plan, and initial corpus from the [`JobSpec`] the coordinator's
+//! `Assign` frame carries (determinism makes the derivation
+//! byte-identical on every host), builds a **private target stack** per
+//! lease via `TargetFactory`, and runs the exact in-process cores —
+//! [`run_mutant_range_with`] for campaign chunks, [`run_slot`] per slot
+//! for guided ranges — so a distributed range's bytes match the
+//! single-process run's by construction.
+//!
+//! Liveness: while a lease computes, a sibling thread owns nothing but
+//! the clock and the main thread writes `Heartbeat` frames between
+//! result polls, renewing the coordinator-side lease. Workers survive a
+//! coordinator restart by reconnecting (with the last job fingerprint
+//! in `Hello`) and accepting a fresh `Assign`.
+
+use crate::job::{JobKind, JobSpec};
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, Frame, LeaseKind, LeaseRange, RangeOutput, PROTO_VERSION,
+};
+use crate::DistError;
+use iris_core::seed::VmSeed;
+use iris_core::trace::RecordedTrace;
+use iris_fuzzer::campaign::run_mutant_range_with;
+use iris_fuzzer::guided::{initial_corpus, run_slot, SlotOutcome};
+use iris_fuzzer::target::{Backend, BootPlan, FuzzTarget, TargetFactory};
+use iris_fuzzer::testcase::{MutantRange, TestCase};
+use iris_hv::coverage::CoverageMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Configuration for [`run_worker`].
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Coordinator address, e.g. `127.0.0.1:7331`.
+    pub connect: String,
+    /// Backend registry name this worker serves (`iris` | `faulty`) —
+    /// the coordinator only leases matching jobs to it.
+    pub target: String,
+    /// Exit after the first completed job instead of waiting for more.
+    pub once: bool,
+    /// Heartbeat cadence while a lease computes. Must be comfortably
+    /// below the coordinator's lease timeout.
+    pub heartbeat_ms: u64,
+    /// Consecutive connection failures tolerated before giving up.
+    pub reconnect_attempts: u32,
+    /// Pause between reconnection attempts.
+    pub reconnect_delay_ms: u64,
+    /// Cooperative stop flag (SIGINT wiring — `sigint::install`'s
+    /// static flag plugs in directly); checked between frames.
+    pub stop: Option<&'static AtomicBool>,
+    /// Test hook simulating a SIGKILL'd worker: after this many
+    /// completed chunks, the next granted lease is abandoned and the
+    /// connection dropped abruptly — the coordinator must re-lease the
+    /// range and the run must stay byte-identical.
+    pub fail_after_chunks: Option<u64>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        Self {
+            connect: String::new(),
+            target: "iris".to_owned(),
+            once: false,
+            heartbeat_ms: 1_000,
+            reconnect_attempts: 20,
+            reconnect_delay_ms: 250,
+            stop: None,
+            fail_after_chunks: None,
+        }
+    }
+}
+
+/// What a worker did before returning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Leases computed and delivered.
+    pub chunks_done: u64,
+    /// Jobs this worker saw complete.
+    pub jobs_done: u64,
+    /// True when the `fail_after_chunks` test hook fired.
+    pub fault_injected: bool,
+}
+
+/// The job state a worker caches per `Assign` — everything re-derived
+/// locally from the spec.
+struct WorkerJob {
+    id: u64,
+    fingerprint: String,
+    trace: RecordedTrace,
+    plan: Vec<TestCase>,
+    corpus0: Vec<VmSeed>,
+    /// The guided generation the cached corpus/coverage belong to.
+    epoch: Option<u64>,
+    epoch_corpus: Vec<VmSeed>,
+    epoch_seen: CoverageMap,
+}
+
+enum Served {
+    /// Connection lost or coordinator shutting down — reconnect.
+    Lost(DistError),
+    /// `--once` satisfied.
+    Once,
+    /// Cooperative stop requested.
+    Stop,
+    /// The `fail_after_chunks` hook fired.
+    FaultInjected,
+}
+
+fn stop_requested(opts: &WorkerOptions) -> bool {
+    opts.stop.is_some_and(|s| s.load(Ordering::SeqCst))
+}
+
+/// Errors that reconnecting cannot fix: speaking to an incompatible
+/// coordinator, or a protocol bug on either side.
+fn is_fatal(e: &DistError) -> bool {
+    match e {
+        DistError::VersionMismatch { .. }
+        | DistError::FingerprintMismatch { .. }
+        | DistError::Protocol(_)
+        | DistError::FrameTooLarge { .. } => true,
+        DistError::Remote { code, .. } => !matches!(code, ErrorCode::Shutdown),
+        DistError::Disconnected { .. } | DistError::Io(_) => false,
+    }
+}
+
+/// Run the worker loop: connect, serve leases, reconnect on loss, until
+/// stopped, `--once` is satisfied, or the coordinator stays unreachable
+/// past `reconnect_attempts`.
+///
+/// # Errors
+/// Terminal protocol failures (version mismatch, protocol violations)
+/// and connection loss beyond the reconnect budget.
+pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerSummary, DistError> {
+    let backend = Backend::parse(&opts.target)
+        .ok_or_else(|| DistError::Protocol(format!("unknown target '{}'", opts.target)))?;
+    let mut summary = WorkerSummary::default();
+    let mut job: Option<WorkerJob> = None;
+    let mut failures: u32 = 0;
+    loop {
+        if stop_requested(opts) {
+            return Ok(summary);
+        }
+        let stream = match TcpStream::connect(&opts.connect) {
+            Ok(s) => s,
+            Err(e) => {
+                failures += 1;
+                if failures > opts.reconnect_attempts {
+                    return Err(e.into());
+                }
+                std::thread::sleep(Duration::from_millis(opts.reconnect_delay_ms));
+                continue;
+            }
+        };
+        match serve(stream, opts, backend, &mut job, &mut summary) {
+            Ok(Served::Once) | Ok(Served::Stop) => return Ok(summary),
+            Ok(Served::FaultInjected) => {
+                summary.fault_injected = true;
+                return Ok(summary);
+            }
+            Ok(Served::Lost(e)) => {
+                failures += 1;
+                if failures > opts.reconnect_attempts {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(opts.reconnect_delay_ms));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serve one connection until it ends. `Err` is fatal for the whole
+/// worker; `Ok(Served::Lost)` asks the caller to reconnect.
+fn serve(
+    mut stream: TcpStream,
+    opts: &WorkerOptions,
+    backend: Backend,
+    job: &mut Option<WorkerJob>,
+    summary: &mut WorkerSummary,
+) -> Result<Served, DistError> {
+    let _ = stream.set_nodelay(true);
+    let hello = Frame::Hello {
+        proto_version: PROTO_VERSION,
+        job_fingerprint: job
+            .as_ref()
+            .map(|j| j.fingerprint.clone())
+            .unwrap_or_default(),
+        target: opts.target.clone(),
+    };
+    if let Err(e) = write_frame(&mut stream, &hello) {
+        return Ok(Served::Lost(e));
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    loop {
+        if stop_requested(opts) {
+            return Ok(Served::Stop);
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(e) if e.is_poll_timeout() => continue,
+            Err(e) if is_fatal(&e) => return Err(e),
+            Err(e) => return Ok(Served::Lost(e)),
+        };
+        match frame {
+            Frame::Assign {
+                job_id,
+                fingerprint,
+                spec,
+            } => {
+                if spec.target != opts.target {
+                    return Err(DistError::Protocol(format!(
+                        "assigned job targets '{}' but this worker serves '{}'",
+                        spec.target, opts.target
+                    )));
+                }
+                *job = Some(derive_job(job_id, fingerprint, &spec)?);
+            }
+            Frame::Epoch {
+                job_id,
+                epoch,
+                promoted,
+                seen,
+            } => {
+                let Some(j) = job.as_mut().filter(|j| j.id == job_id) else {
+                    return Err(DistError::Protocol(
+                        "epoch update for a job this worker was never assigned".to_owned(),
+                    ));
+                };
+                // The scheduling corpus is `initial ++ promoted` — the
+                // exact shape SharedEngine maintains coordinator-side.
+                let mut corpus = j.corpus0.clone();
+                corpus.extend(promoted);
+                j.epoch_corpus = corpus;
+                j.epoch_seen = *seen;
+                j.epoch = Some(epoch);
+            }
+            Frame::Lease {
+                job_id,
+                kind,
+                range,
+                rng_seed,
+                epoch,
+            } => {
+                let Some(j) = job.as_ref().filter(|j| j.id == job_id) else {
+                    return Err(DistError::Protocol(
+                        "lease for a job this worker was never assigned".to_owned(),
+                    ));
+                };
+                if opts
+                    .fail_after_chunks
+                    .is_some_and(|n| summary.chunks_done >= n)
+                {
+                    // Simulated SIGKILL: drop the socket while holding
+                    // the lease. The coordinator re-leases the range.
+                    return Ok(Served::FaultInjected);
+                }
+                let output = compute_with_heartbeats(
+                    &mut stream,
+                    opts,
+                    backend,
+                    j,
+                    &kind,
+                    range,
+                    rng_seed,
+                    epoch,
+                )?;
+                let done = Frame::ChunkDone {
+                    job_id,
+                    range_start: range.start,
+                    output,
+                };
+                match write_frame(&mut stream, &done) {
+                    Ok(()) => summary.chunks_done += 1,
+                    Err(e) => return Ok(Served::Lost(e)),
+                }
+            }
+            Frame::JobDone { .. } => {
+                summary.jobs_done += 1;
+                *job = None;
+                if opts.once {
+                    return Ok(Served::Once);
+                }
+            }
+            Frame::Error { code, detail } => {
+                let e = DistError::Remote { code, detail };
+                if is_fatal(&e) {
+                    return Err(e);
+                }
+                return Ok(Served::Lost(e));
+            }
+            Frame::Heartbeat | Frame::Progress { .. } => {}
+            Frame::Hello { .. } | Frame::Submit { .. } | Frame::ChunkDone { .. } => {
+                return Err(DistError::Protocol(
+                    "coordinator sent a client/worker-bound frame".to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+/// Re-derive a job's local state from its spec.
+fn derive_job(id: u64, fingerprint: String, spec: &JobSpec) -> Result<WorkerJob, DistError> {
+    let trace = spec.record_trace()?;
+    let plan = spec.plan(&trace)?;
+    let corpus0 = match spec.kind {
+        JobKind::Guided { .. } => initial_corpus(&trace),
+        JobKind::Campaign { .. } => Vec::new(),
+    };
+    Ok(WorkerJob {
+        id,
+        fingerprint,
+        trace,
+        plan,
+        corpus0,
+        epoch: None,
+        epoch_corpus: Vec::new(),
+        epoch_seen: CoverageMap::default(),
+    })
+}
+
+/// Run one lease on a compute thread while the main thread heartbeats,
+/// keeping the coordinator-side lease alive however long the range
+/// takes.
+#[allow(clippy::too_many_arguments)]
+fn compute_with_heartbeats(
+    stream: &mut TcpStream,
+    opts: &WorkerOptions,
+    backend: Backend,
+    job: &WorkerJob,
+    kind: &LeaseKind,
+    range: LeaseRange,
+    rng_seed: u64,
+    epoch: u64,
+) -> Result<RangeOutput, DistError> {
+    validate_lease(job, kind, range, rng_seed, epoch)?;
+    let heartbeat = Duration::from_millis(opts.heartbeat_ms.max(1));
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let _ = tx.send(compute_lease(backend, job, kind, range, rng_seed));
+        });
+        let mut link_lost = false;
+        loop {
+            match rx.recv_timeout(heartbeat) {
+                Ok(output) => {
+                    return if link_lost {
+                        // The result is computed but undeliverable; the
+                        // coordinator will re-lease and the re-run is
+                        // byte-identical, so dropping it is safe.
+                        Err(DistError::Disconnected {
+                            during: "heartbeat delivery",
+                            mid_frame: false,
+                        })
+                    } else {
+                        output
+                    };
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if !link_lost && write_frame(stream, &Frame::Heartbeat).is_err() {
+                        link_lost = true;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(DistError::Protocol(
+                        "lease compute thread died before delivering a result".to_owned(),
+                    ));
+                }
+            }
+        }
+    })
+}
+
+fn validate_lease(
+    job: &WorkerJob,
+    kind: &LeaseKind,
+    range: LeaseRange,
+    rng_seed: u64,
+    epoch: u64,
+) -> Result<(), DistError> {
+    match *kind {
+        LeaseKind::CampaignChunk { testcase_index } => {
+            let Some(tc) = job.plan.get(testcase_index) else {
+                return Err(DistError::Protocol(format!(
+                    "lease names test case {testcase_index} outside the {}-entry plan",
+                    job.plan.len()
+                )));
+            };
+            if tc.rng_seed != rng_seed {
+                return Err(DistError::Protocol(
+                    "lease rng seed disagrees with the locally derived plan".to_owned(),
+                ));
+            }
+            if range.start.saturating_add(range.len) > tc.mutants as u64 {
+                return Err(DistError::Protocol(format!(
+                    "lease range {}..{} beyond the test case's {} mutants",
+                    range.start,
+                    range.start + range.len,
+                    tc.mutants
+                )));
+            }
+            Ok(())
+        }
+        LeaseKind::GuidedSlotRange => {
+            if job.epoch != Some(epoch) {
+                return Err(DistError::Protocol(format!(
+                    "guided lease for epoch {epoch} but worker holds {:?}",
+                    job.epoch
+                )));
+            }
+            if job.epoch_corpus.is_empty() {
+                return Err(DistError::Protocol(
+                    "guided lease with an empty scheduling corpus".to_owned(),
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The actual range execution — the same cores the in-process drivers
+/// run, on a private target stack.
+fn compute_lease(
+    backend: Backend,
+    job: &WorkerJob,
+    kind: &LeaseKind,
+    range: LeaseRange,
+    rng_seed: u64,
+) -> Result<RangeOutput, DistError> {
+    match *kind {
+        LeaseKind::CampaignChunk { testcase_index } => {
+            let Some(tc) = job.plan.get(testcase_index) else {
+                return Err(DistError::Protocol("lease outran the plan".to_owned()));
+            };
+            let mutant_range = MutantRange {
+                start: range.start as usize,
+                len: range.len as usize,
+            };
+            Ok(RangeOutput::Campaign(Box::new(run_mutant_range_with(
+                &backend,
+                &job.trace,
+                tc,
+                mutant_range,
+            ))))
+        }
+        LeaseKind::GuidedSlotRange => {
+            // One private booted target per lease; crashes inside a
+            // slot reset it (run_slot), exactly as in-process workers
+            // behave.
+            let mut target = backend.build(BootPlan::post_boot(&job.trace));
+            target.boot();
+            let mut outcomes: Vec<SlotOutcome> = Vec::with_capacity(range.len as usize);
+            for slot in range.start..range.start + range.len {
+                outcomes.push(run_slot(
+                    &mut target,
+                    &job.epoch_corpus,
+                    &job.epoch_seen,
+                    rng_seed,
+                    slot,
+                ));
+            }
+            Ok(RangeOutput::Guided(outcomes))
+        }
+    }
+}

@@ -99,8 +99,10 @@ impl<F: TargetFactory> Campaign<F> {
 /// Partial output of one mutant-range run — everything the aggregator
 /// needs to reassemble the test case's [`TestCaseResult`]. One value is
 /// produced per chunk, so the parallel executor's channel carries one
-/// message per chunk, not per seed.
-#[derive(Debug, Clone)]
+/// message per chunk, not per seed. Serializable because `crates/dist`
+/// ships exactly this value over the wire as a `ChunkDone` frame — the
+/// wire protocol adds nothing to what the in-process channel carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChunkOutput {
     /// The mutant range this output covers.
     pub range: MutantRange,

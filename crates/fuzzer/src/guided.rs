@@ -115,8 +115,13 @@ impl Default for GuidedConfig {
 }
 
 /// The initial corpus: the first seed of each distinct exit reason —
-/// the trace's "dictionary" of behaviours. Shared by every driver.
-fn initial_corpus(trace: &RecordedTrace) -> Vec<VmSeed> {
+/// the trace's "dictionary" of behaviours. Shared by every driver, and
+/// public because distributed workers rebuild the scheduling corpus
+/// locally as `initial_corpus(trace) ++ promoted` instead of shipping
+/// it over the wire (the trace re-records deterministically from the
+/// job spec).
+#[must_use]
+pub fn initial_corpus(trace: &RecordedTrace) -> Vec<VmSeed> {
     let mut corpus: Vec<VmSeed> = Vec::new();
     for seed in &trace.seeds {
         if !corpus.iter().any(|s| s.reason == seed.reason) {
@@ -155,6 +160,23 @@ fn workload_of(trace: &RecordedTrace) -> Workload {
         .into_iter()
         .find(|w| w.label() == trace.label)
         .unwrap_or(Workload::OsBoot)
+}
+
+/// The baseline pass over an explicit factory: build one private booted
+/// target and run the initial corpus through `baseline_coverage`'s
+/// sequential warm-up. The shared engine (and the `crates/dist`
+/// coordinator, which runs this on the serving host) measures the
+/// baseline *outside* the batch, so it is identical for every jobs
+/// count and every fleet size.
+#[must_use]
+pub fn measure_baseline<F: TargetFactory>(
+    factory: &F,
+    trace: &RecordedTrace,
+    corpus: &[VmSeed],
+) -> CoverageMap {
+    let mut target = factory.build(BootPlan::post_boot(trace));
+    target.boot();
+    baseline_coverage::<F>(&mut target, corpus)
 }
 
 /// The synthetic test case a guided crash record carries: `seed_index`
@@ -359,19 +381,34 @@ pub struct SharedRunOptions<'a> {
 /// only carried when the slot discovered something new against the
 /// generation-start map (a superset check of the barrier's evolving
 /// map, so pre-filtering loses nothing), keeping the channel traffic
-/// per slot small on the common path.
-struct SlotOutcome {
+/// per slot small on the common path. Serializable because this is
+/// exactly what a distributed worker ships back per guided slot — the
+/// wire carries what the in-process channel carries, nothing more.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotOutcome {
     /// The mutation base's index within the generation-start corpus.
-    base_index: usize,
+    pub base_index: usize,
     /// The base's exit reason (for the crash record's test case).
-    reason: ExitReason,
+    pub reason: ExitReason,
     /// The area the scheduling law picked.
-    area: crate::mutation::SeedArea,
+    pub area: crate::mutation::SeedArea,
     /// Crash verdict plus the crashing mutant, if the slot crashed.
-    crash: Option<(CrashVerdict, VmSeed)>,
+    pub crash: Option<(CrashVerdict, VmSeed)>,
     /// The mutant and its coverage, if it touched blocks beyond the
     /// generation-start map (a promotion candidate).
-    discovery: Option<(VmSeed, CoverageMap)>,
+    pub discovery: Option<(VmSeed, CoverageMap)>,
+}
+
+/// A contiguous range of global slot indices `[start, start + len)` —
+/// what [`SharedEngine::batch`] freezes for execution, and the unit a
+/// distributed guided slot lease covers (a lease is a sub-range of the
+/// frozen batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotRange {
+    /// First global slot index.
+    pub start: u64,
+    /// Number of slots.
+    pub len: u64,
 }
 
 /// Execute one slot on a worker's private target: schedule the mutant
@@ -385,7 +422,7 @@ struct SlotOutcome {
 /// law (a panicked slot re-runs identically on a fresh context) rest
 /// on; with crash-only resets, rare state-sensitive mutants diverged
 /// across worker counts once budgets reached a few thousand slots.
-fn run_slot<T: FuzzTarget>(
+pub fn run_slot<T: FuzzTarget>(
     target: &mut T,
     corpus: &[VmSeed],
     seen: &CoverageMap,
@@ -405,6 +442,260 @@ fn run_slot<T: FuzzTarget>(
         area: scheduled.area,
         crash,
         discovery,
+    }
+}
+
+/// The generational shared-corpus engine as an explicit state machine:
+/// freeze a batch ([`SharedEngine::batch`]), execute its slots anywhere
+/// — in-process workers, or a distributed fleet shipping
+/// [`SlotOutcome`]s over TCP — fold them back in slot order
+/// ([`SharedEngine::fold_generation`]), repeat until the budget is
+/// spent.
+///
+/// [`run_guided_shared_session`] drives this machine on the in-process
+/// work-stealing executor; the `crates/dist` coordinator drives the
+/// *same* machine over the wire. Because slot `g` is a pure function of
+/// `(corpus, seen, rng_seed, g)` and the fold order is defined, both
+/// drivers produce byte-identical serialized results for any worker
+/// count, fleet size, or re-lease history — jobs=1 in-process is the
+/// reference semantics for all of them.
+#[derive(Debug)]
+pub struct SharedEngine {
+    workload: Workload,
+    config: GuidedConfig,
+    /// `config.generation` clamped to ≥ 1.
+    generation: u64,
+    corpus: Vec<VmSeed>,
+    seen: CoverageMap,
+    baseline_lines: u64,
+    failures: FailureStats,
+    promotions: u64,
+    promoted: Vec<VmSeed>,
+    crashes: Corpus,
+    growth: Vec<u64>,
+    next_slot: u64,
+}
+
+impl SharedEngine {
+    /// A fresh engine over `trace`'s initial corpus, with the baseline
+    /// coverage already measured (see [`measure_baseline`] — the
+    /// baseline runs outside the batch so it is jobs-independent).
+    ///
+    /// # Panics
+    /// Panics if the trace's initial corpus is empty — callers gate on
+    /// [`initial_corpus`] first (an empty corpus is a default
+    /// [`GuidedResult`], not an engine run).
+    #[must_use]
+    pub fn fresh(trace: &RecordedTrace, config: GuidedConfig, baseline: CoverageMap) -> Self {
+        let corpus = initial_corpus(trace);
+        assert!(
+            !corpus.is_empty(),
+            "guided engine requires a non-empty initial corpus"
+        );
+        let baseline_lines = baseline.lines();
+        Self {
+            workload: workload_of(trace),
+            config,
+            generation: config.generation.max(1),
+            corpus,
+            seen: baseline,
+            baseline_lines,
+            failures: FailureStats::default(),
+            promotions: 0,
+            promoted: Vec::new(),
+            crashes: Corpus::new(),
+            growth: Vec::new(),
+            next_slot: 0,
+        }
+    }
+
+    /// Rebuild an engine from a generation-barrier checkpoint. The
+    /// checkpoint's fingerprint was validated at load
+    /// ([`GuidedCheckpoint::load`]) — what remains is structural
+    /// sanity: a checkpoint is only taken at a barrier, so `next_slot`
+    /// must sit on one. The scheduling corpus is always the initial
+    /// corpus plus the promotions, in promotion order — rebuilt here
+    /// instead of stored.
+    ///
+    /// # Panics
+    /// Panics on a malformed checkpoint (a `next_slot` beyond the
+    /// budget or off a generation boundary) or an empty initial corpus.
+    #[must_use]
+    pub fn resume(trace: &RecordedTrace, config: GuidedConfig, cp: GuidedCheckpoint) -> Self {
+        let generation = config.generation.max(1);
+        assert!(
+            cp.next_slot <= config.budget,
+            "guided checkpoint is past the budget: {} > {}",
+            cp.next_slot,
+            config.budget
+        );
+        assert!(
+            cp.next_slot == config.budget || cp.next_slot.is_multiple_of(generation),
+            "guided checkpoint slot {} is not a generation boundary (generation {})",
+            cp.next_slot,
+            generation
+        );
+        let mut corpus = initial_corpus(trace);
+        assert!(
+            !corpus.is_empty(),
+            "guided engine requires a non-empty initial corpus"
+        );
+        corpus.extend(cp.promoted.iter().cloned());
+        Self {
+            workload: workload_of(trace),
+            config,
+            generation,
+            corpus,
+            seen: cp.seen,
+            baseline_lines: cp.baseline_lines,
+            failures: cp.failures,
+            promotions: cp.promotions,
+            promoted: cp.promoted,
+            crashes: cp.crashes,
+            growth: cp.growth,
+            next_slot: cp.next_slot,
+        }
+    }
+
+    /// The next generation to execute — a frozen batch of slots — or
+    /// `None` when the budget is spent. The corpus and coverage
+    /// snapshots ([`SharedEngine::corpus`], [`SharedEngine::seen`])
+    /// stay frozen while the batch runs; executors only read them.
+    #[must_use]
+    pub fn batch(&self) -> Option<SlotRange> {
+        (self.next_slot < self.config.budget).then(|| SlotRange {
+            start: self.next_slot,
+            len: self.generation.min(self.config.budget - self.next_slot),
+        })
+    }
+
+    /// The scheduling corpus frozen for the current batch.
+    #[must_use]
+    pub fn corpus(&self) -> &[VmSeed] {
+        &self.corpus
+    }
+
+    /// The coverage map frozen for the current batch.
+    #[must_use]
+    pub fn seen(&self) -> &CoverageMap {
+        &self.seen
+    }
+
+    /// Mutants promoted so far, in promotion order. Together with
+    /// [`initial_corpus`] this is everything a remote worker needs to
+    /// rebuild [`SharedEngine::corpus`] without the wire ever shipping
+    /// the full corpus.
+    #[must_use]
+    pub fn promoted(&self) -> &[VmSeed] {
+        &self.promoted
+    }
+
+    /// The run's scheduling RNG seed (the slot law's `rng_seed`).
+    #[must_use]
+    pub fn rng_seed(&self) -> u64 {
+        self.config.rng_seed
+    }
+
+    /// Slots folded through a barrier so far — the resumable prefix.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.next_slot
+    }
+
+    /// The run's total slot budget.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.config.budget
+    }
+
+    /// Fold one executed generation back in: the barrier. Outcomes must
+    /// arrive in slot order and cover exactly the current
+    /// [`SharedEngine::batch`]. Promotions are re-checked against the
+    /// *evolving* map so the first slot to reach a block wins, exactly
+    /// like a sequential sweep of the batch; crash records and failure
+    /// counters fold in slot order; the growth curve gains one point.
+    ///
+    /// # Panics
+    /// Panics when `outcomes` does not cover exactly the current batch
+    /// — a protocol violation by the driver, not a runtime condition.
+    pub fn fold_generation(&mut self, outcomes: Vec<SlotOutcome>) {
+        let len = self.batch().map_or(0, |b| b.len);
+        assert!(
+            outcomes.len() as u64 == len,
+            "generation fold of {} outcomes against a batch of {len}",
+            outcomes.len()
+        );
+        for (offset, out) in outcomes.into_iter().enumerate() {
+            let slot = self.next_slot + offset as u64;
+            self.failures
+                .record_kind(out.crash.as_ref().map(|(v, _)| v.kind));
+            if let Some((verdict, seed)) = out.crash {
+                self.crashes.push(CrashRecord {
+                    testcase: guided_testcase(
+                        self.workload,
+                        out.base_index,
+                        out.reason,
+                        out.area,
+                        self.config,
+                    ),
+                    mutant_index: slot as usize,
+                    seed,
+                    mutation: None,
+                    kind: verdict.kind,
+                    console: verdict.console,
+                });
+            }
+            if let Some((mutant, coverage)) = out.discovery {
+                if self.seen.new_lines_from(&coverage) > 0 {
+                    self.seen.merge(&coverage);
+                    self.promoted.push(mutant.clone());
+                    self.corpus.push(mutant);
+                    self.promotions += 1;
+                }
+            }
+        }
+        self.next_slot += len;
+        self.growth.push(self.seen.lines());
+    }
+
+    /// Progress through the last completed barrier — the one point
+    /// where the engine's state is complete and deterministic, hence
+    /// where [`GenerationProgress::checkpoint`] snapshots resume
+    /// byte-identically.
+    #[must_use]
+    pub fn progress(&self) -> GenerationProgress<'_> {
+        GenerationProgress {
+            generation: self.growth.len(),
+            executed: self.next_slot,
+            budget: self.config.budget,
+            total_lines: self.seen.lines(),
+            corpus_size: self.corpus.len(),
+            promotions: self.promotions,
+            crashes: &self.crashes,
+            baseline_lines: self.baseline_lines,
+            failures: self.failures,
+            seen: &self.seen,
+            promoted: &self.promoted,
+            growth: &self.growth,
+        }
+    }
+
+    /// The run's result through the last completed barrier:
+    /// `executions` equals the budget on a completed run, `< budget` on
+    /// an interrupted one (the resumable prefix).
+    #[must_use]
+    pub fn result(&self) -> GuidedResult {
+        GuidedResult {
+            executions: self.next_slot,
+            corpus_size: self.corpus.len(),
+            promotions: self.promotions,
+            total_lines: self.seen.lines(),
+            baseline_lines: self.baseline_lines,
+            failures: self.failures,
+            growth: self.growth.clone(),
+            promoted: self.promoted.clone(),
+            crashes: self.crashes.clone(),
+        }
     }
 }
 
@@ -502,88 +793,37 @@ where
     F: TargetFactory,
     O: FnMut(GenerationProgress<'_>),
 {
-    let workload = workload_of(trace);
-    let mut corpus = initial_corpus(trace);
-    if corpus.is_empty() {
+    let corpus0 = initial_corpus(trace);
+    if corpus0.is_empty() {
         return Ok(GuidedResult::default());
     }
-
-    let generation = config.generation.max(1);
-    let mut seen: CoverageMap;
-    let baseline_lines: u64;
-    let mut failures: FailureStats;
-    let mut promotions: u64;
-    let mut promoted: Vec<VmSeed>;
-    let mut crashes: Corpus;
-    let mut growth: Vec<u64>;
-    let mut next_slot: u64;
-    match options.resume {
-        Some(cp) => {
-            // The checkpoint's fingerprint was validated at load; what
-            // remains is structural sanity — a checkpoint is only
-            // taken at a barrier, so `next_slot` must sit on one.
-            assert!(
-                cp.next_slot <= config.budget,
-                "guided checkpoint is past the budget: {} > {}",
-                cp.next_slot,
-                config.budget
-            );
-            assert!(
-                cp.next_slot == config.budget || cp.next_slot % generation == 0,
-                "guided checkpoint slot {} is not a generation boundary (generation {})",
-                cp.next_slot,
-                generation
-            );
-            // The scheduling corpus is always the initial corpus plus
-            // the promotions, in promotion order — rebuild it instead
-            // of storing it.
-            corpus.extend(cp.promoted.iter().cloned());
-            seen = cp.seen;
-            baseline_lines = cp.baseline_lines;
-            failures = cp.failures;
-            promotions = cp.promotions;
-            promoted = cp.promoted;
-            crashes = cp.crashes;
-            growth = cp.growth;
-            next_slot = cp.next_slot;
-        }
+    let mut engine = match options.resume {
+        Some(cp) => SharedEngine::resume(trace, config, cp),
         None => {
             // Baseline: one target, the initial corpus once — identical
             // for every jobs count (the baseline is not part of the
             // batch).
-            seen = {
-                let mut target = factory.build(BootPlan::post_boot(trace));
-                target.boot();
-                baseline_coverage::<F>(&mut target, &corpus)
-            };
-            baseline_lines = seen.lines();
-            failures = FailureStats::default();
-            promotions = 0;
-            promoted = Vec::new();
-            crashes = Corpus::new();
-            growth = Vec::new();
-            next_slot = 0;
+            let baseline = measure_baseline(factory, trace, &corpus0);
+            SharedEngine::fresh(trace, config, baseline)
         }
-    }
-    let mut generations_done = growth.len();
-    while next_slot < config.budget {
+    };
+    while let Some(batch) = engine.batch() {
         // Stop check at the generation boundary: don't launch a batch
         // that a tripped flag would immediately abandon.
         if options.policy.stop_requested() {
             break;
         }
-        let len = generation.min(config.budget - next_slot);
         // The generation's indexed batch: one work item per slot. The
         // items carry nothing — the executor's item index *is* the slot
-        // offset (global slot = next_slot + index), so no slot array is
-        // materialized (a `Vec` of zero-sized items never allocates).
-        // The corpus and coverage snapshots stay frozen while the batch
-        // runs — workers only read them.
-        let batch = vec![(); len as usize];
-        let gen_corpus: &[VmSeed] = &corpus;
-        let gen_seen = &seen;
+        // offset (global slot = batch.start + index), so no slot array
+        // is materialized (a `Vec` of zero-sized items never
+        // allocates). The corpus and coverage snapshots stay frozen
+        // while the batch runs — workers only read them.
+        let items = vec![(); batch.len as usize];
+        let gen_corpus = engine.corpus();
+        let gen_seen = engine.seen();
         let outcomes = match crate::executor::run_indexed_ctx_with(
-            &batch,
+            &items,
             jobs,
             &options.policy,
             || {
@@ -599,8 +839,13 @@ where
                 target
             },
             |target, index, ()| {
-                let slot = next_slot + index as u64;
-                run_slot(target, gen_corpus, gen_seen, config.rng_seed, slot)
+                run_slot(
+                    target,
+                    gen_corpus,
+                    gen_seen,
+                    config.rng_seed,
+                    batch.start + index as u64,
+                )
             },
         ) {
             Ok(outcomes) => outcomes,
@@ -610,72 +855,10 @@ where
             Err(ExecutorError::Interrupted { .. }) => break,
             Err(err) => return Err(err),
         };
-
-        // The generation barrier: fold outcomes in slot order against
-        // the generation-start map. Promotions are re-checked against
-        // the *evolving* map so the first slot to reach a block wins,
-        // exactly like a sequential sweep of the batch.
-        for (offset, out) in outcomes.into_iter().enumerate() {
-            let slot = next_slot + offset as u64;
-            failures.record_kind(out.crash.as_ref().map(|(v, _)| v.kind));
-            if let Some((verdict, seed)) = out.crash {
-                crashes.push(CrashRecord {
-                    testcase: guided_testcase(
-                        workload,
-                        out.base_index,
-                        out.reason,
-                        out.area,
-                        config,
-                    ),
-                    mutant_index: slot as usize,
-                    seed,
-                    mutation: None,
-                    kind: verdict.kind,
-                    console: verdict.console,
-                });
-            }
-            if let Some((mutant, coverage)) = out.discovery {
-                if seen.new_lines_from(&coverage) > 0 {
-                    seen.merge(&coverage);
-                    promoted.push(mutant.clone());
-                    corpus.push(mutant);
-                    promotions += 1;
-                }
-            }
-        }
-        next_slot += len;
-        generations_done += 1;
-        growth.push(seen.lines());
-        observe(GenerationProgress {
-            generation: generations_done,
-            executed: next_slot,
-            budget: config.budget,
-            total_lines: seen.lines(),
-            corpus_size: corpus.len(),
-            promotions,
-            crashes: &crashes,
-            baseline_lines,
-            failures,
-            seen: &seen,
-            promoted: &promoted,
-            growth: &growth,
-        });
+        engine.fold_generation(outcomes);
+        observe(engine.progress());
     }
-
-    // `executions` reads the slots actually folded through a barrier:
-    // equal to the budget on a completed run, `< budget` on an
-    // interrupted one (the resumable prefix).
-    Ok(GuidedResult {
-        executions: next_slot,
-        corpus_size: corpus.len(),
-        promotions,
-        total_lines: seen.lines(),
-        baseline_lines,
-        failures,
-        growth,
-        promoted,
-        crashes,
-    })
+    Ok(engine.result())
 }
 
 /// Run an ensemble of guided campaigns, sharded over `jobs` worker

@@ -68,7 +68,11 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    fn new() -> Self {
+    /// An empty report — the fold's starting state. Public so external
+    /// aggregators (the `crates/dist` coordinator) can run the same
+    /// fold the in-process driver runs.
+    #[must_use]
+    pub fn new() -> Self {
         Self {
             results: Vec::new(),
             coverage: CoverageMap::new(),
@@ -81,11 +85,19 @@ impl CampaignReport {
     /// the corpus dedup keeps the *first* record per signature, and plan
     /// order is what makes that choice schedule-independent. (The corpus
     /// itself is absorbed chunk-by-chunk in `self.corpus` by
-    /// [`assemble_test_case`] before this runs.)
-    fn fold_assembled(&mut self, result: TestCaseResult, coverage: &CoverageMap) {
+    /// [`assemble_test_case`] before this runs.) Public for the same
+    /// reason as [`CampaignReport::new`]: the distributed coordinator
+    /// folds wire-delivered chunks through this exact path.
+    pub fn fold_assembled(&mut self, result: TestCaseResult, coverage: &CoverageMap) {
         self.failures.merge(&result.failures);
         self.coverage.merge(coverage);
         self.results.push(result);
+    }
+}
+
+impl Default for CampaignReport {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -93,8 +93,9 @@ impl<'t> BootPlan<'t> {
     }
 }
 
-/// The crash half of a submission verdict.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The crash half of a submission verdict. Serializable so distributed
+/// workers can ship slot/chunk outcomes over the wire (`crates/dist`).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CrashVerdict {
     /// VM crash or hypervisor crash (the paper's §VII-3 taxonomy).
     pub kind: FailureKind,

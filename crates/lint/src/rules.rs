@@ -96,7 +96,7 @@ const DET_CORE_FILES: [&str; 7] = [
 
 /// Aggregation / merge modules: anywhere worker outputs are folded
 /// into a report, iteration order is part of the byte-identity law.
-const MERGE_FILES: [&str; 8] = [
+const MERGE_FILES: [&str; 10] = [
     "crates/fuzzer/src/parallel.rs",
     "crates/fuzzer/src/executor.rs",
     "crates/fuzzer/src/guided.rs",
@@ -105,16 +105,26 @@ const MERGE_FILES: [&str; 8] = [
     "crates/fuzzer/src/corpus.rs",
     "crates/fuzzer/src/failure.rs",
     "crates/hv/src/coverage.rs",
+    // The distributed coordinator folds worker results arriving in
+    // arbitrary network order; its fold and lease bookkeeping carry the
+    // same ordered-iteration obligation as the in-process merge.
+    "crates/dist/src/coordinator.rs",
+    "crates/dist/src/lease.rs",
 ];
 
 /// Executor worker closures and slot/range run functions: the modules
 /// where a panic silently burns the worker-restart budget.
-const PANIC_SCOPE_FILES: [&str; 5] = [
+const PANIC_SCOPE_FILES: [&str; 7] = [
     "crates/fuzzer/src/executor.rs",
     "crates/fuzzer/src/guided.rs",
     "crates/fuzzer/src/campaign.rs",
     "crates/fuzzer/src/parallel.rs",
     "crates/fuzzer/src/checkpoint.rs",
+    // A panic in the coordinator's fold/lease path poisons the daemon's
+    // shared state and strands every connected worker — malformed
+    // remote input must surface as typed protocol errors instead.
+    "crates/dist/src/coordinator.rs",
+    "crates/dist/src/lease.rs",
 ];
 
 /// Slot/range execution modules for the unconditional-reset law.

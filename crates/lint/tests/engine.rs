@@ -131,6 +131,50 @@ fn fixtures_are_inert_outside_their_rule_scope() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+#[test]
+fn dist_scope_carries_merge_and_panic_rules() {
+    // The distributed coordinator's fold and lease modules are inside
+    // both the ordered-merge and panic-path scopes: a hash-container
+    // fold and remote-input panics must both be flagged there…
+    let bad = fixture("dist_fold_bad.rs");
+    let diags = lint_source_scoped("crates/dist/src/coordinator.rs", &bad);
+    let rules = rules_hit(&diags);
+    assert!(
+        rules.contains(&"no-unordered-merge"),
+        "HashMap fold in the coordinator must be flagged: {diags:?}"
+    );
+    assert!(
+        rules.contains(&"panic-path-audit"),
+        "panicking access to remote-controlled state must be flagged: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "panic-path-audit" && d.message.contains("unwrap")),
+        "{diags:?}"
+    );
+
+    // …and the ordered, fallible rewrite is clean under the same path.
+    let good = fixture("dist_fold_good.rs");
+    let diags = lint_source_scoped("crates/dist/src/lease.rs", &good);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn dist_fixture_is_inert_outside_the_dist_scope() {
+    // The same source under a path outside both scopes draws no merge
+    // or panic findings — the dist coverage is scoping, not a global
+    // tightening.
+    let bad = fixture("dist_fold_bad.rs");
+    let diags = lint_source_scoped("crates/dist/src/proto.rs", &bad);
+    assert!(
+        !rules_hit(&diags)
+            .iter()
+            .any(|r| *r == "no-unordered-merge" || *r == "panic-path-audit"),
+        "{diags:?}"
+    );
+}
+
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

@@ -1,0 +1,26 @@
+//! Positive fixture for the `crates/dist` lint scope: a coordinator
+//! fold that parks worker results in a hash container (iteration order
+//! leaks schedule into the report) and trusts remote input with
+//! panicking access paths.
+
+use std::collections::HashMap;
+
+pub fn fold_worker_results(results: &[(usize, ChunkOutput)]) -> Report {
+    let mut parked: HashMap<usize, ChunkOutput> = HashMap::new();
+    for (index, output) in results {
+        parked.insert(*index, output.clone());
+    }
+    let mut report = Report::default();
+    for (_, output) in parked.iter() {
+        report.fold(output);
+    }
+    report
+}
+
+pub fn lease_for(table: &[SlotState], index: usize) -> SlotState {
+    // Remote workers choose `index`; indexing panics the daemon on a
+    // malformed frame instead of returning a protocol error.
+    let slot = table[index];
+    let deadline = slot.deadline().unwrap();
+    SlotState::leased(deadline)
+}

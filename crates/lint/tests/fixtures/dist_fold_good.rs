@@ -1,0 +1,23 @@
+//! Negative fixture for the `crates/dist` lint scope: out-of-order
+//! worker results are parked in an ordered container and drained as a
+//! contiguous prefix, and remote-controlled access is fallible.
+
+use std::collections::BTreeMap;
+
+pub fn fold_worker_results(results: &[(usize, ChunkOutput)]) -> Result<Report, FoldError> {
+    let mut parked: BTreeMap<usize, ChunkOutput> = BTreeMap::new();
+    for (index, output) in results {
+        parked.insert(*index, output.clone());
+    }
+    let mut report = Report::default();
+    for (_, output) in parked.iter() {
+        report.fold(output);
+    }
+    Ok(report)
+}
+
+pub fn lease_for(table: &[SlotState], index: usize) -> Result<SlotState, FoldError> {
+    let slot = table.get(index).ok_or(FoldError::BadIndex)?;
+    let deadline = slot.deadline().ok_or(FoldError::NoDeadline)?;
+    Ok(SlotState::leased(deadline))
+}
