@@ -13,6 +13,8 @@ use iris_core::manager::{IrisManager, Mode};
 use iris_core::metrics;
 use iris_core::record::RecordConfig;
 use iris_core::seed_db::SeedDb;
+use iris_dist::backoff::BackoffPolicy;
+use iris_dist::chaos::{ChaosOptions, ChaosProxy};
 use iris_dist::client::submit as dist_submit;
 use iris_dist::coordinator::{ServeOptions, Server};
 use iris_dist::job::{JobKind, JobSpec};
@@ -97,9 +99,12 @@ USAGE:
     iris report   <FILE.json>
     iris lint     [--root PATH] [--json FILE]
     iris serve    [--listen ADDR] [--checkpoint FILE] [--resume FILE] [--progress FILE] [--lease-timeout-ms N]
+                  [--redundancy K] [--spot-check N] [--max-queue N] [--read-deadline-ms N]
     iris worker   --connect ADDR [--target T] [--once] [--heartbeat-ms N]
+                  [--reconnect-attempts N] [--reconnect-base-ms N] [--reconnect-max-ms N] [--jitter-seed S] [--corrupt-after N]
     iris submit   campaign <workload> --connect ADDR [--exits N] [--seed S] [--mutants M] [--chunk C] [--target T] [--json FILE]
     iris submit   guided   <workload> --connect ADDR [--exits N] [--seed S] [--budget B] [--gen G] [--target T] [--json FILE]
+    iris chaos    --connect ADDR [--listen ADDR] [--seed S] [--budget N]
 
 WORKLOADS: os_boot | cpu_bound | mem_bound | io_bound | idle
 
@@ -149,6 +154,24 @@ under worker death (ranges re-lease and re-execute identically) and
 coordinator kill + `--resume` (checkpoints at every fold boundary, same
 files as the in-process `--checkpoint` flow). `submit --json` writes
 the received report; defaults mirror the in-process subcommands.
+
+Adversarial hardening (DISTRIBUTED.md, Failure and trust model):
+`serve --redundancy K` leases every range to K distinct workers and
+folds only on digest agreement — divergence triggers a local
+re-execution and quarantines the lying workers (a typed event in the
+--progress artifact); `--spot-check N` audits a deterministic 1-in-N
+sample of accepted ranges the same way; `--max-queue` bounds waiting
+submissions (typed Busy rejection); `--read-deadline-ms` bounds the
+wall time any peer may spend inside one frame (slowloris defense).
+Workers reconnect under bounded exponential backoff with deterministic
+jitter (`--reconnect-*`, `--jitter-seed`); `--corrupt-after N` is a
+test hook that deterministically falsifies results after N honest
+chunks — for exercising quarantine, never for real runs. `chaos` runs
+a seeded in-process TCP proxy (`--connect` upstream coordinator) that
+deterministically splits, delays, garbles, truncates, and drops
+connections — point workers at it to make network failure a
+reproducible test case; faults stop after `--budget` connections so
+reconnecting workers always make progress.
 
 `lint` runs iris-lint, the workspace's own static analyzer, over the
 source tree (ANALYSIS.md documents the rules: determinism laws, unsafe
@@ -204,6 +227,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "serve" => cmd_serve(&args[1..]),
         "worker" => cmd_worker(&args[1..]),
         "submit" => cmd_submit(&args[1..]),
+        "chaos" => cmd_chaos(&args[1..]),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'\n\n{USAGE}"
@@ -972,12 +996,30 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             "--lease-timeout-ms must be at least 1".to_owned(),
         ));
     }
+    let redundancy: u32 = parse_num(args, "--redundancy", 1)?;
+    if redundancy == 0 {
+        return Err(CliError::Usage(
+            "--redundancy must be at least 1".to_owned(),
+        ));
+    }
+    let spot_check: u64 = parse_num(args, "--spot-check", 0)?;
+    let max_queue: u64 = parse_num(args, "--max-queue", 4)?;
+    let read_deadline_ms: u64 = parse_num(args, "--read-deadline-ms", 10_000)?;
+    if read_deadline_ms == 0 {
+        return Err(CliError::Usage(
+            "--read-deadline-ms must be at least 1".to_owned(),
+        ));
+    }
     let server = Server::start(ServeOptions {
         listen,
         checkpoint,
         resume,
         progress,
         lease_timeout_ms,
+        redundancy,
+        spot_check,
+        max_queue,
+        read_deadline_ms,
     })?;
     eprintln!("iris serve: listening on {}", server.addr());
     let stop = sigint::install();
@@ -1001,21 +1043,82 @@ fn cmd_worker(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| CliError::Usage("worker requires --connect ADDR".to_owned()))?;
     let backend = parse_target(args)?;
     let heartbeat_ms: u64 = parse_num(args, "--heartbeat-ms", 1_000)?;
+    let default_backoff = BackoffPolicy::default();
+    let backoff = BackoffPolicy {
+        attempts: parse_num(args, "--reconnect-attempts", default_backoff.attempts)?,
+        base_ms: parse_num(args, "--reconnect-base-ms", default_backoff.base_ms)?,
+        max_ms: parse_num(args, "--reconnect-max-ms", default_backoff.max_ms)?,
+        jitter_seed: parse_num(args, "--jitter-seed", default_backoff.jitter_seed)?,
+    };
+    let corrupt_after: Option<u64> = match flag_value(args, "--corrupt-after") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("bad value for --corrupt-after: {v}")))?,
+        ),
+    };
     let opts = WorkerOptions {
         connect,
         target: backend.name().to_owned(),
         once: args.iter().any(|a| a == "--once"),
         heartbeat_ms,
+        backoff,
+        corrupt_after,
         stop: Some(sigint::install()),
         ..WorkerOptions::default()
     };
     let summary = run_worker(&opts)?;
-    Ok(format!(
+    let mut out = format!(
         "worker stopped — {} lease{} computed across {} job{}\n",
         summary.chunks_done,
         if summary.chunks_done == 1 { "" } else { "s" },
         summary.jobs_done,
         if summary.jobs_done == 1 { "" } else { "s" }
+    );
+    if summary.results_corrupted > 0 {
+        out.push_str(&format!(
+            "byzantine test hook: {} result{} deliberately falsified\n",
+            summary.results_corrupted,
+            if summary.results_corrupted == 1 {
+                ""
+            } else {
+                "s"
+            }
+        ));
+    }
+    Ok(out)
+}
+
+/// `iris chaos`: a deterministic network-chaos proxy between workers
+/// and a coordinator. Every accepted connection gets a fault plan
+/// derived purely from `(--seed, connection index)` — split writes,
+/// delays, garbage, truncation, drops — so a failure a fleet hits
+/// through the proxy replays exactly from the same seed. Connections
+/// past `--budget` relay cleanly (the deterministic liveness
+/// guarantee). Runs until Ctrl-C.
+fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
+    let upstream = flag_value(args, "--connect").ok_or_else(|| {
+        CliError::Usage("chaos requires --connect ADDR (the upstream coordinator)".to_owned())
+    })?;
+    let listen = flag_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    let seed: u64 = parse_num(args, "--seed", 0)?;
+    let destructive_budget: u64 = parse_num(args, "--budget", 4)?;
+    let proxy = ChaosProxy::start(ChaosOptions {
+        listen,
+        upstream,
+        seed,
+        destructive_budget,
+    })?;
+    eprintln!("iris chaos: listening on {} (seed {seed})", proxy.addr());
+    let stop = sigint::install();
+    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let conns = proxy.connections();
+    proxy.stop();
+    Ok(format!(
+        "chaos proxy stopped — {conns} connection{} relayed\n",
+        if conns == 1 { "" } else { "s" }
     ))
 }
 

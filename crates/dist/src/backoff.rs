@@ -1,0 +1,148 @@
+//! Bounded exponential reconnect backoff with deterministic jitter.
+//!
+//! Workers that lose the coordinator must neither hammer it (immediate
+//! retry) nor stampede it in lockstep (pure exponential — every worker
+//! that died together retries together). The classic fix is jitter, but
+//! ambient randomness is banned workspace-wide, so the jitter here is
+//! **deterministic**: derived from a per-worker seed and the attempt
+//! number through the same RNG-law construction as
+//! `iris_fuzzer::mutation::mutant_rng` — `SmallRng::seed_from_u64(seed
+//! ^ attempt)`. Two workers with different seeds spread out; the same
+//! worker re-run with the same seed replays the exact same schedule,
+//! so a reconnect storm is a reproducible test case like everything
+//! else in this workspace.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Reconnect schedule: capped exponential delays plus deterministic
+/// jitter, giving up after a bounded number of attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First retry delay (attempt 1); doubles per attempt.
+    pub base_ms: u64,
+    /// Delay ceiling, pre-jitter.
+    pub max_ms: u64,
+    /// Attempts before the caller surfaces
+    /// [`crate::DistError::RetriesExhausted`].
+    pub attempts: u32,
+    /// Jitter seed — worker-specific so a fleet spreads out, fixed so a
+    /// given worker's schedule replays exactly.
+    pub jitter_seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base_ms: 250,
+            max_ms: 10_000,
+            attempts: 20,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before retry `attempt` (1-based), in milliseconds:
+    /// `min(base << (attempt - 1), max)` capped, then up to half of it
+    /// again as deterministic jitter. A pure function of `(self,
+    /// attempt)` — no clocks, no ambient entropy.
+    #[must_use]
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let base = self.base_ms.max(1);
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = base.checked_shl(exp).unwrap_or(u64::MAX);
+        let capped = raw.min(self.max_ms.max(base));
+        // The RNG law's construction: seed ^ index, one stream per
+        // attempt, replayable from the policy alone.
+        let mut rng = SmallRng::seed_from_u64(self.jitter_seed ^ u64::from(attempt));
+        let jitter_span = capped / 2;
+        if jitter_span == 0 {
+            capped
+        } else {
+            capped.saturating_add(rng.gen_range(0..=jitter_span))
+        }
+    }
+
+    /// True when `attempt` (1-based) exceeds the budget — time to give
+    /// up with a typed error.
+    #[must_use]
+    pub fn exhausted(&self, attempt: u32) -> bool {
+        attempt > self.attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_in_policy_and_attempt() {
+        let p = BackoffPolicy {
+            base_ms: 100,
+            max_ms: 5_000,
+            attempts: 10,
+            jitter_seed: 7,
+        };
+        for attempt in 1..=12 {
+            assert_eq!(p.delay_ms(attempt), p.delay_ms(attempt));
+        }
+        // A different jitter seed spreads a fleet out: at least one
+        // attempt must differ.
+        let q = BackoffPolicy {
+            jitter_seed: 8,
+            ..p
+        };
+        assert!((1..=12).any(|a| p.delay_ms(a) != q.delay_ms(a)));
+    }
+
+    #[test]
+    fn delays_grow_exponentially_then_cap() {
+        let p = BackoffPolicy {
+            base_ms: 100,
+            max_ms: 1_600,
+            attempts: 10,
+            jitter_seed: 0,
+        };
+        // Pre-jitter ladder: 100, 200, 400, 800, 1600, 1600, …
+        // Jitter adds at most half, so bounds are [capped, 1.5*capped].
+        for (attempt, capped) in [
+            (1, 100),
+            (2, 200),
+            (3, 400),
+            (4, 800),
+            (5, 1_600),
+            (9, 1_600),
+        ] {
+            let d = p.delay_ms(attempt);
+            assert!(
+                d >= capped && d <= capped + capped / 2,
+                "attempt {attempt}: {d} outside [{capped}, {}]",
+                capped + capped / 2
+            );
+        }
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let p = BackoffPolicy {
+            base_ms: u64::MAX / 2,
+            max_ms: u64::MAX,
+            attempts: u32::MAX,
+            jitter_seed: 3,
+        };
+        // Saturates instead of wrapping; jitter may push to the cap.
+        let _ = p.delay_ms(u32::MAX);
+        assert!(!p.exhausted(u32::MAX));
+    }
+
+    #[test]
+    fn exhaustion_is_strictly_past_the_budget() {
+        let p = BackoffPolicy {
+            attempts: 3,
+            ..BackoffPolicy::default()
+        };
+        assert!(!p.exhausted(3));
+        assert!(p.exhausted(4));
+    }
+}

@@ -6,7 +6,7 @@
 //! exactly (the coordinator folds through the same merge).
 
 use crate::job::JobSpec;
-use crate::proto::{read_frame, write_frame, Frame, PROTO_VERSION};
+use crate::proto::{read_frame, write_frame, ErrorCode, Frame, PROTO_VERSION};
 use crate::DistError;
 use std::net::TcpStream;
 
@@ -28,7 +28,8 @@ pub struct SubmitOutcome {
 /// # Errors
 /// Connection failures, protocol violations, and typed coordinator
 /// rejections ([`DistError::Remote`] — version/fingerprint mismatch,
-/// bad spec, shutdown).
+/// bad spec, shutdown; a full submission queue surfaces as
+/// [`DistError::Busy`]).
 pub fn submit(
     connect: &str,
     spec: &JobSpec,
@@ -61,6 +62,10 @@ pub fn submit(
                     report,
                 })
             }
+            Frame::Error {
+                code: ErrorCode::Busy { queued },
+                ..
+            } => return Err(DistError::Busy { queued }),
             Frame::Error { code, detail } => return Err(DistError::Remote { code, detail }),
             _ => {
                 return Err(DistError::Protocol(

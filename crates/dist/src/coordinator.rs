@@ -21,10 +21,17 @@
 //! `--checkpoint`/`--resume` flow.
 
 use crate::job::{JobKind, JobSpec};
-use crate::lease::LeaseTable;
+use crate::lease::{LeaseTable, VoteOutcome};
 use crate::proto::{
-    read_frame, write_frame, ErrorCode, Frame, LeaseKind, LeaseRange, RangeOutput, PROTO_VERSION,
+    read_frame_polled, read_frame_within, write_frame, ErrorCode, Frame, LeaseKind, LeaseRange,
+    RangeOutput, PROTO_VERSION,
 };
+use crate::verify::{
+    digest_output, disagreeing_holders, execute_range, spot_check_due, Candidate, ExecDetail,
+    Submission, Verifier,
+};
+use iris_core::seed::VmSeed;
+use iris_core::trace::RecordedTrace;
 use iris_fuzzer::campaign::{assemble_test_case, ChunkOutput};
 use iris_fuzzer::checkpoint::{
     CampaignCheckpoint, GuidedCheckpoint, JsonWriter, CHECKPOINT_VERSION,
@@ -33,9 +40,11 @@ use iris_fuzzer::guided::{
     initial_corpus, measure_baseline, GuidedResult, SharedEngine, SlotOutcome, SlotRange,
 };
 use iris_fuzzer::parallel::CampaignReport;
+use iris_fuzzer::target::Backend;
 use iris_fuzzer::testcase::{MutantRange, TestCase};
+use iris_hv::coverage::CoverageMap;
 use serde::Serialize;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -77,6 +86,27 @@ pub struct ServeOptions {
     /// Lease expiry: a worker silent for this long loses its lease (and
     /// its connection).
     pub lease_timeout_ms: u64,
+    /// Untrusted-worker redundancy: each range is leased to this many
+    /// **distinct** workers and folds only when all their content
+    /// digests agree; on divergence the coordinator re-executes the
+    /// range itself and quarantines the workers whose digest disagrees
+    /// with the local truth. `1` (the default) trusts single results.
+    pub redundancy: u32,
+    /// Spot-check rate: a deterministic 1-in-`spot_check` sample of
+    /// accepted ranges is re-executed on the coordinator and compared by
+    /// digest ([`crate::verify::spot_check_due`]); a mismatch
+    /// quarantines the worker and folds the local result. `0` disables
+    /// sampling.
+    pub spot_check: u64,
+    /// Submissions allowed to wait behind the active job before new
+    /// ones are refused with a typed [`ErrorCode::Busy`] — bounding the
+    /// memory a submission flood can pin.
+    pub max_queue: u64,
+    /// Slowloris defense: total wall time a peer may spend inside one
+    /// frame (handshake or result) before its connection is dropped.
+    /// Plain read timeouts cannot catch a byte-dripping peer — every
+    /// read succeeds — so this bounds the whole frame.
+    pub read_deadline_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -87,8 +117,32 @@ impl Default for ServeOptions {
             resume: None,
             progress: None,
             lease_timeout_ms: 10_000,
+            redundancy: 1,
+            spot_check: 0,
+            max_queue: 4,
+            read_deadline_ms: 10_000,
         }
     }
+}
+
+/// A typed operational event recorded in the progress artifact — the
+/// audit trail of the coordinator's trust decisions.
+#[derive(Debug, Clone, Serialize)]
+pub enum ServeEvent {
+    /// A worker's result digest disagreed with the adjudicated truth:
+    /// the coordinator stopped leasing to it, voided its pending votes,
+    /// and re-leased its outstanding ranges.
+    WorkerQuarantined {
+        /// The job the divergence surfaced in.
+        job_id: u64,
+        /// The quarantined worker's connection-scoped holder id (see
+        /// DISTRIBUTED.md "Failure and trust model" on identity).
+        holder: u64,
+        /// The lease entry whose result diverged.
+        lease_index: u64,
+        /// Human-readable divergence detail.
+        detail: String,
+    },
 }
 
 /// The progress artifact `--progress` persists at every fold.
@@ -104,6 +158,8 @@ pub struct ServeProgress {
     pub total: u64,
     /// Fold boundaries completed (test cases / generations).
     pub folded: u64,
+    /// Operational events so far (quarantines), oldest first.
+    pub events: Vec<ServeEvent>,
 }
 
 struct FinishedJob {
@@ -131,6 +187,7 @@ struct CampaignJob {
     mutants_done: u64,
     mutants_total: u64,
     writer: Option<JsonWriter<CampaignCheckpoint>>,
+    verifier: Verifier,
 }
 
 impl CampaignJob {
@@ -195,7 +252,12 @@ struct GuidedJob {
     /// order.
     parked: BTreeMap<usize, Vec<SlotOutcome>>,
     timeout_ms: u64,
+    redundancy: u32,
+    /// The trace-derived initial corpus — the epoch scheduling corpus
+    /// is `corpus0 ++ promoted`, cloned for adjudicating re-execution.
+    corpus0: Vec<VmSeed>,
     writer: Option<JsonWriter<GuidedCheckpoint>>,
+    verifier: Verifier,
 }
 
 impl GuidedJob {
@@ -210,9 +272,12 @@ impl GuidedJob {
             leases.push(SlotRange { start, len });
             start += len;
         }
-        self.table = LeaseTable::new(leases.len(), self.timeout_ms);
+        self.table = LeaseTable::with_redundancy(leases.len(), self.timeout_ms, self.redundancy);
         self.leases = leases;
         self.parked = BTreeMap::new();
+        // Lease indices restart each generation; so does the quorum
+        // bookkeeping (the barrier guarantees nothing was pending).
+        self.verifier = Verifier::new(self.redundancy);
     }
 
     /// Fold one completed slot range; at the generation barrier the
@@ -269,7 +334,39 @@ struct Job {
     id: u64,
     fingerprint: String,
     spec: JobSpec,
+    /// For adjudicating re-execution ([`execute_range`]) — shared with
+    /// the exec contexts handed out to connection handlers.
+    backend: Backend,
+    trace: Arc<RecordedTrace>,
     body: JobBody,
+}
+
+/// Everything an adjudicating re-execution needs, cloned out of the
+/// job so the actual execution runs **outside** the state lock.
+struct ExecCtx {
+    backend: Backend,
+    trace: Arc<RecordedTrace>,
+    detail: VerifyDetail,
+}
+
+enum VerifyDetail {
+    Campaign(TestCase),
+    Guided {
+        corpus: Vec<VmSeed>,
+        // Boxed: the dense coverage bitmap is ~3.5 KB and would
+        // dominate the Campaign arm's size.
+        seen: Box<CoverageMap>,
+    },
+}
+
+impl ExecCtx {
+    fn run(&self, range: LeaseRange, rng_seed: u64) -> RangeOutput {
+        let detail = match &self.detail {
+            VerifyDetail::Campaign(tc) => ExecDetail::Campaign(tc),
+            VerifyDetail::Guided { corpus, seen } => ExecDetail::Guided { corpus, seen },
+        };
+        execute_range(&self.backend, &self.trace, &detail, range, rng_seed)
+    }
 }
 
 impl Job {
@@ -308,13 +405,14 @@ impl Job {
                     start: range.start as u64,
                     len: range.len as u64,
                 };
+                let rng_seed = c.plan.get(tc_idx).map_or(0, |tc| tc.rng_seed);
                 frames.push(Frame::Lease {
                     job_id: self.id,
                     kind: LeaseKind::CampaignChunk {
                         testcase_index: tc_idx,
                     },
                     range: wire,
-                    rng_seed: c.plan.get(tc_idx).map_or(0, |tc| tc.rng_seed),
+                    rng_seed,
                     epoch: 0,
                 });
                 Some(LeaseGrant {
@@ -323,6 +421,7 @@ impl Job {
                     job_id: self.id,
                     epoch: 0,
                     range: wire,
+                    rng_seed,
                 })
             }
             JobBody::Guided(g) => {
@@ -340,11 +439,12 @@ impl Job {
                     start: range.start,
                     len: range.len,
                 };
+                let rng_seed = g.engine.rng_seed();
                 frames.push(Frame::Lease {
                     job_id: self.id,
                     kind: LeaseKind::GuidedSlotRange,
                     range: wire,
-                    rng_seed: g.engine.rng_seed(),
+                    rng_seed,
                     epoch: g.epoch,
                 });
                 Some(LeaseGrant {
@@ -353,6 +453,7 @@ impl Job {
                     job_id: self.id,
                     epoch: g.epoch,
                     range: wire,
+                    rng_seed,
                 })
             }
         }
@@ -367,6 +468,95 @@ impl Job {
                 g.table.release_holder(holder);
             }
         }
+    }
+
+    /// Structural validation of a delivered result against its lease —
+    /// **before** any vote is recorded, so a malformed result costs the
+    /// sender its connection without poisoning the quorum bookkeeping.
+    fn validate_output(&self, index: usize, output: &RangeOutput) -> Result<(), &'static str> {
+        match (&self.body, output) {
+            (JobBody::Campaign(c), RangeOutput::Campaign(chunk)) => {
+                let Some(&(_, range)) = c.chunks.get(index) else {
+                    return Err("result for an unknown campaign lease");
+                };
+                if chunk.range != range {
+                    return Err("campaign chunk range does not match its lease");
+                }
+                Ok(())
+            }
+            (JobBody::Guided(g), RangeOutput::Guided(outcomes)) => {
+                let Some(&range) = g.leases.get(index) else {
+                    return Err("result for an unknown guided lease");
+                };
+                if outcomes.len() as u64 != range.len {
+                    return Err("guided outcome count does not match its lease range");
+                }
+                Ok(())
+            }
+            _ => Err("result kind does not match the lease kind"),
+        }
+    }
+
+    /// Convert `holder`'s lease on `index` into a vote (distinctness is
+    /// the lease table's guarantee).
+    fn record_vote(&mut self, index: usize, holder: u64) -> VoteOutcome {
+        match &mut self.body {
+            JobBody::Campaign(c) => c.table.record_vote(index, holder),
+            JobBody::Guided(g) => g.table.record_vote(index, holder),
+        }
+    }
+
+    /// Feed a digested result into the quorum bookkeeping.
+    fn verifier_submit(
+        &mut self,
+        index: usize,
+        holder: u64,
+        digest: u64,
+        output: RangeOutput,
+    ) -> Submission {
+        match &mut self.body {
+            JobBody::Campaign(c) => c.verifier.submit(index, holder, digest, output),
+            JobBody::Guided(g) => g.verifier.submit(index, holder, digest, output),
+        }
+    }
+
+    /// Quarantine `holder` inside this job: drop its leases and void
+    /// its not-yet-folded votes so honest workers re-earn those slots.
+    fn disqualify(&mut self, holder: u64) {
+        match &mut self.body {
+            JobBody::Campaign(c) => {
+                c.table.disqualify(holder);
+                c.verifier.disqualify(holder);
+            }
+            JobBody::Guided(g) => {
+                g.table.disqualify(holder);
+                g.verifier.disqualify(holder);
+            }
+        }
+    }
+
+    /// Clone out what an adjudicating re-execution of `index` needs, so
+    /// the execution itself can run outside the state lock.
+    fn exec_ctx(&self, index: usize) -> Option<ExecCtx> {
+        let detail = match &self.body {
+            JobBody::Campaign(c) => {
+                let &(tc_idx, _) = c.chunks.get(index)?;
+                VerifyDetail::Campaign(c.plan.get(tc_idx)?.clone())
+            }
+            JobBody::Guided(g) => {
+                let mut corpus = g.corpus0.clone();
+                corpus.extend_from_slice(g.engine.promoted());
+                VerifyDetail::Guided {
+                    corpus,
+                    seen: Box::new(g.engine.seen().clone()),
+                }
+            }
+        };
+        Some(ExecCtx {
+            backend: self.backend,
+            trace: Arc::clone(&self.trace),
+            detail,
+        })
     }
 
     /// The finished job's report JSON — byte-identical to the
@@ -386,6 +576,7 @@ struct LeaseGrant {
     job_id: u64,
     epoch: u64,
     range: LeaseRange,
+    rng_seed: u64,
 }
 
 struct State {
@@ -398,6 +589,17 @@ struct State {
     completed_through: u64,
     jobs_completed: u64,
     progress_writer: Option<JsonWriter<ServeProgress>>,
+    /// Holders whose results diverged from adjudicated truth: no new
+    /// leases, votes voided, connections refused with
+    /// [`ErrorCode::Quarantined`]. Holder ids are per-connection — see
+    /// DISTRIBUTED.md on the identity caveat.
+    quarantined: BTreeSet<u64>,
+    /// Submissions admitted but not yet installed as the active job —
+    /// bounded by [`ServeOptions::max_queue`].
+    queued: u64,
+    /// Operational events (quarantines), mirrored into every progress
+    /// artifact snapshot.
+    events: Vec<ServeEvent>,
 }
 
 struct Shared {
@@ -407,6 +609,10 @@ struct Shared {
     checkpoint: Option<PathBuf>,
     resume: Option<PathBuf>,
     lease_timeout_ms: u64,
+    redundancy: u32,
+    spot_check: u64,
+    max_queue: u64,
+    read_deadline: Duration,
     started: Instant,
 }
 
@@ -463,12 +669,19 @@ impl Server {
                 completed_through: 0,
                 jobs_completed: 0,
                 progress_writer: opts.progress.as_ref().map(|p| JsonWriter::spawn(p.clone())),
+                quarantined: BTreeSet::new(),
+                queued: 0,
+                events: Vec::new(),
             }),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             checkpoint: opts.checkpoint,
             resume: opts.resume,
             lease_timeout_ms: opts.lease_timeout_ms.max(1),
+            redundancy: opts.redundancy.max(1),
+            spot_check: opts.spot_check,
+            max_queue: opts.max_queue,
+            read_deadline: Duration::from_millis(opts.read_deadline_ms.max(1)),
             // Wall-clock here drives lease deadlines and liveness only;
             // the determinism laws make fold results schedule-independent,
             // so timing never reaches the report bytes.
@@ -494,6 +707,18 @@ impl Server {
     #[must_use]
     pub fn jobs_completed(&self) -> u64 {
         self.shared.lock().jobs_completed
+    }
+
+    /// Operational events so far (quarantines), oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<ServeEvent> {
+        self.shared.lock().events.clone()
+    }
+
+    /// Holder ids currently quarantined.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<u64> {
+        self.shared.lock().quarantined.iter().copied().collect()
     }
 
     /// Stop the daemon: connections drop, an in-flight job is abandoned
@@ -574,10 +799,13 @@ fn send_error(stream: &mut TcpStream, code: ErrorCode, detail: String) {
 }
 
 /// Dispatch a fresh connection by its first frame: `Hello` is a worker,
-/// `Submit` is a client.
+/// `Submit` is a client. The handshake read is deadline-bounded
+/// ([`read_frame_within`]) so silent, garbage-spewing, byte-dripping,
+/// or oversized-frame connections cost one handler thread for at most
+/// `read_deadline_ms` and die without touching job state — the daemon
+/// itself never goes down with a connection.
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    match read_frame(&mut stream) {
+    match read_frame_within(&mut stream, shared.read_deadline) {
         Ok(Frame::Hello {
             proto_version,
             job_fingerprint,
@@ -621,7 +849,12 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
 /// recording and the guided baseline are seconds of work).
 enum PreparedJob {
     /// A job with outstanding work.
-    Run { fingerprint: String, body: JobBody },
+    Run {
+        fingerprint: String,
+        backend: Backend,
+        trace: Arc<RecordedTrace>,
+        body: JobBody,
+    },
     /// A job that is already complete at install time (fully-resumed
     /// checkpoint, or a guided trace with an empty corpus — mirroring
     /// the in-process drivers' outputs byte-for-byte).
@@ -702,13 +935,19 @@ fn prepare_job(shared: &Shared, spec: &JobSpec) -> Result<PreparedJob, (ErrorCod
             }
             let mutants_total = plan.iter().map(|tc| tc.mutants as u64).sum();
             let mutants_done = plan.iter().take(folded0).map(|tc| tc.mutants as u64).sum();
-            let table = LeaseTable::new(chunks.len(), shared.lease_timeout_ms);
+            let table = LeaseTable::with_redundancy(
+                chunks.len(),
+                shared.lease_timeout_ms,
+                shared.redundancy,
+            );
             let writer = shared
                 .checkpoint
                 .as_ref()
                 .map(|p| JsonWriter::spawn(p.clone()));
             Ok(PreparedJob::Run {
                 fingerprint: fingerprint.clone(),
+                backend,
+                trace: Arc::new(trace),
                 body: JobBody::Campaign(Box::new(CampaignJob {
                     fingerprint,
                     plan,
@@ -723,6 +962,7 @@ fn prepare_job(shared: &Shared, spec: &JobSpec) -> Result<PreparedJob, (ErrorCod
                     mutants_done,
                     mutants_total,
                     writer,
+                    verifier: Verifier::new(shared.redundancy),
                 })),
             })
         }
@@ -771,13 +1011,18 @@ fn prepare_job(shared: &Shared, spec: &JobSpec) -> Result<PreparedJob, (ErrorCod
                 table: LeaseTable::new(0, shared.lease_timeout_ms),
                 parked: BTreeMap::new(),
                 timeout_ms: shared.lease_timeout_ms,
+                redundancy: shared.redundancy,
+                corpus0,
                 writer,
+                verifier: Verifier::new(shared.redundancy),
             };
             match job.engine.batch() {
                 Some(batch) => {
                     job.freeze(batch);
                     Ok(PreparedJob::Run {
                         fingerprint,
+                        backend,
+                        trace: Arc::new(trace),
                         body: JobBody::Guided(Box::new(job)),
                     })
                 }
@@ -810,6 +1055,7 @@ fn finish_job(st: &mut State, job: Job) -> Vec<Box<dyn FnOnce() + Send>> {
             done,
             total,
             folded,
+            events: st.events.clone(),
         });
     }
     st.finished.insert(
@@ -844,9 +1090,39 @@ fn finish_job(st: &mut State, job: Job) -> Vec<Box<dyn FnOnce() + Send>> {
 }
 
 fn handle_submit(shared: &Arc<Shared>, mut stream: TcpStream, spec: JobSpec) {
+    // Admission control FIRST — before the expensive prepare (trace
+    // recording, baselines), so a submission flood is refused with a
+    // typed Busy at the cost of one frame, not pinned preparation work.
+    {
+        let mut st = shared.lock();
+        if shared.down() {
+            drop(st);
+            send_error(
+                &mut stream,
+                ErrorCode::Shutdown,
+                "coordinator is shutting down".to_owned(),
+            );
+            return;
+        }
+        let waiting = st.queued;
+        if (st.job.is_some() || waiting > 0) && waiting >= shared.max_queue {
+            drop(st);
+            send_error(
+                &mut stream,
+                ErrorCode::Busy { queued: waiting },
+                format!("submission queue is full ({waiting} waiting) — retry later"),
+            );
+            return;
+        }
+        st.queued += 1;
+    }
     let prepared = match prepare_job(shared, &spec) {
         Ok(p) => p,
         Err((code, detail)) => {
+            {
+                let mut st = shared.lock();
+                st.queued = st.queued.saturating_sub(1);
+            }
             send_error(&mut stream, code, detail);
             return;
         }
@@ -857,6 +1133,7 @@ fn handle_submit(shared: &Arc<Shared>, mut stream: TcpStream, spec: JobSpec) {
         let mut st = shared.lock();
         loop {
             if shared.down() {
+                st.queued = st.queued.saturating_sub(1);
                 drop(st);
                 send_error(
                     &mut stream,
@@ -870,6 +1147,7 @@ fn handle_submit(shared: &Arc<Shared>, mut stream: TcpStream, spec: JobSpec) {
             }
             st = shared.wait_tick(st);
         }
+        st.queued = st.queued.saturating_sub(1);
         let id = st.next_job_id;
         st.next_job_id += 1;
         match prepared {
@@ -887,11 +1165,18 @@ fn handle_submit(shared: &Arc<Shared>, mut stream: TcpStream, spec: JobSpec) {
                 st.completed_through = st.completed_through.max(id);
                 st.jobs_completed += 1;
             }
-            PreparedJob::Run { fingerprint, body } => {
+            PreparedJob::Run {
+                fingerprint,
+                backend,
+                trace,
+                body,
+            } => {
                 st.job = Some(Job {
                     id,
                     fingerprint,
                     spec,
+                    backend,
+                    trace,
                     body,
                 });
             }
@@ -991,6 +1276,15 @@ fn handle_worker(shared: &Arc<Shared>, mut stream: TcpStream, target: &str) {
                 if shared.down() {
                     return;
                 }
+                if st.quarantined.contains(&holder) {
+                    drop(st);
+                    send_error(
+                        &mut stream,
+                        ErrorCode::Quarantined,
+                        "this worker's results diverged from adjudicated truth".to_owned(),
+                    );
+                    return;
+                }
                 let active = st.job.as_ref().map(|j| j.id);
                 if conn_job != 0 && st.completed_through >= conn_job && active != Some(conn_job) {
                     // Tell the worker its job finished, outside the
@@ -1030,7 +1324,9 @@ fn handle_worker(shared: &Arc<Shared>, mut stream: TcpStream, target: &str) {
             }
         }
         // Phase 2: await the result, renewing the lease on heartbeats
-        // and dropping the connection after prolonged silence.
+        // and dropping the connection after prolonged silence. Each
+        // frame, once started, must complete within the read deadline —
+        // a byte-dripping worker cannot pin this handler (slowloris).
         // (Wall-clock is liveness-only: a slow worker is released and
         // its range re-leased byte-identically, so timing never reaches
         // the report bytes.)
@@ -1038,7 +1334,7 @@ fn handle_worker(shared: &Arc<Shared>, mut stream: TcpStream, target: &str) {
         let mut last_heard = Instant::now();
         let silence_limit = Duration::from_millis(shared.lease_timeout_ms);
         loop {
-            match read_frame(&mut stream) {
+            match read_frame_polled(&mut stream, TICK, shared.read_deadline) {
                 Ok(Frame::Heartbeat) => {
                     #[allow(clippy::disallowed_methods)]
                     {
@@ -1104,8 +1400,101 @@ fn release_lease(shared: &Arc<Shared>, holder: u64) {
     shared.cv.notify_all();
 }
 
-/// Fold a delivered result under the lock; returns false when the
-/// connection must close (protocol violation).
+/// Quarantine `holder` under the lock: record the typed event, stop
+/// leasing to it, void its pending votes so honest workers re-earn
+/// those slots, and snapshot the progress artifact so the event is
+/// durable even if nothing folds afterwards.
+fn quarantine_holder(st: &mut State, job_id: u64, holder: u64, lease_index: usize, detail: String) {
+    st.quarantined.insert(holder);
+    st.events.push(ServeEvent::WorkerQuarantined {
+        job_id,
+        holder,
+        lease_index: lease_index as u64,
+        detail,
+    });
+    let snapshot = st.job.as_mut().filter(|j| j.id == job_id).map(|job| {
+        job.disqualify(holder);
+        (job.progress(), job.fingerprint.clone())
+    });
+    if let (Some(((done, total, folded), fingerprint)), Some(w)) = (snapshot, &st.progress_writer) {
+        w.persist(ServeProgress {
+            job_id,
+            fingerprint,
+            done,
+            total,
+            folded,
+            events: st.events.clone(),
+        });
+    }
+}
+
+/// Fold an accepted output under the (held) lock and finish the job if
+/// it completed. Returns false when the connection must close.
+fn fold_accepted(
+    shared: &Arc<Shared>,
+    mut st: MutexGuard<'_, State>,
+    grant: &LeaseGrant,
+    holder: u64,
+    output: RangeOutput,
+    stream: &mut TcpStream,
+) -> bool {
+    let Some(job) = st.job.as_mut().filter(|j| j.id == grant.job_id) else {
+        shared.cv.notify_all();
+        return true;
+    };
+    let folded = match (&mut job.body, output) {
+        (JobBody::Campaign(c), RangeOutput::Campaign(chunk)) => c.fold(grant.index, *chunk),
+        (JobBody::Guided(g), RangeOutput::Guided(outcomes)) => g.fold(grant.index, outcomes),
+        _ => Err("result kind does not match the lease kind"),
+    };
+    let complete = match folded {
+        Ok(complete) => complete,
+        Err(detail) => {
+            job.release(holder);
+            drop(st);
+            send_error(stream, ErrorCode::Protocol, detail.to_owned());
+            release_lease(shared, holder);
+            return false;
+        }
+    };
+    let (done, total, folded_units) = job.progress();
+    let (job_id, fingerprint) = (job.id, job.fingerprint.clone());
+    if let Some(w) = &st.progress_writer {
+        w.persist(ServeProgress {
+            job_id,
+            fingerprint,
+            done,
+            total,
+            folded: folded_units,
+            events: st.events.clone(),
+        });
+    }
+    let after = if complete {
+        match st.job.take() {
+            Some(job) => finish_job(&mut st, job),
+            None => Vec::new(),
+        }
+    } else {
+        Vec::new()
+    };
+    shared.cv.notify_all();
+    drop(st);
+    for finish in after {
+        finish();
+    }
+    true
+}
+
+/// What a delivered result needs beyond the fast path: an adjudicating
+/// re-execution outside the lock.
+struct Adjudication {
+    candidates: Vec<Candidate>,
+    ctx: ExecCtx,
+}
+
+/// Validate, vote, and fold (or adjudicate) a delivered result; returns
+/// false when the connection must close (protocol violation or a
+/// quarantined sender).
 fn apply_result(
     shared: &Arc<Shared>,
     grant: &LeaseGrant,
@@ -1113,54 +1502,143 @@ fn apply_result(
     output: RangeOutput,
     stream: &mut TcpStream,
 ) -> bool {
-    let after = {
+    let digest = match digest_output(&output) {
+        Ok(d) => d,
+        Err(e) => {
+            send_error(stream, ErrorCode::Protocol, e.to_string());
+            release_lease(shared, holder);
+            return false;
+        }
+    };
+    // Phase 1 (locked): structural validation, the distinctness vote,
+    // and the digest quorum. The common path — quorum of one, no spot
+    // check — folds right here and returns.
+    let adjudication = {
         let mut st = shared.lock();
+        if st.quarantined.contains(&holder) {
+            drop(st);
+            send_error(
+                stream,
+                ErrorCode::Quarantined,
+                "this worker's results diverged from adjudicated truth".to_owned(),
+            );
+            return false;
+        }
         let Some(job) = st.job.as_mut().filter(|j| j.id == grant.job_id) else {
             // The job completed without this result (a re-lease race):
             // drop the duplicate.
             shared.cv.notify_all();
             return true;
         };
-        let folded = match (&mut job.body, output) {
-            (JobBody::Campaign(c), RangeOutput::Campaign(chunk)) => c.fold(grant.index, *chunk),
-            (JobBody::Guided(g), RangeOutput::Guided(outcomes)) => g.fold(grant.index, outcomes),
-            _ => Err("result kind does not match the lease kind"),
-        };
-        let complete = match folded {
-            Ok(complete) => complete,
-            Err(detail) => {
-                job.release(holder);
-                drop(st);
-                send_error(stream, ErrorCode::Protocol, detail.to_owned());
-                release_lease(shared, holder);
-                return false;
-            }
-        };
-        let (done, total, folded_units) = job.progress();
-        let (job_id, fingerprint) = (job.id, job.fingerprint.clone());
-        if let Some(w) = &st.progress_writer {
-            w.persist(ServeProgress {
-                job_id,
-                fingerprint,
-                done,
-                total,
-                folded: folded_units,
-            });
+        if let Err(detail) = job.validate_output(grant.index, &output) {
+            job.release(holder);
+            drop(st);
+            send_error(stream, ErrorCode::Protocol, detail.to_owned());
+            release_lease(shared, holder);
+            return false;
         }
-        let after = if complete {
-            match st.job.take() {
-                Some(job) => finish_job(&mut st, job),
-                None => Vec::new(),
+        if matches!(job.record_vote(grant.index, holder), VoteOutcome::Duplicate) {
+            // A re-lease race duplicate — byte-identical by the RNG
+            // law, so dropping it is safe.
+            shared.cv.notify_all();
+            return true;
+        }
+        match job.verifier_submit(grant.index, holder, digest, output) {
+            Submission::Pending { .. } => {
+                // Quorum open: the range stays out with other workers.
+                shared.cv.notify_all();
+                return true;
             }
-        } else {
-            Vec::new()
-        };
-        shared.cv.notify_all();
-        after
+            Submission::Accepted(out) => {
+                let audit = shared.spot_check != 0
+                    && spot_check_due(shared.spot_check, &job.fingerprint, grant.index as u64);
+                if !audit {
+                    return fold_accepted(shared, st, grant, holder, *out, stream);
+                }
+                match job.exec_ctx(grant.index) {
+                    Some(ctx) => Adjudication {
+                        candidates: vec![Candidate {
+                            digest,
+                            holders: vec![holder],
+                            output: *out,
+                        }],
+                        ctx,
+                    },
+                    None => return fold_accepted(shared, st, grant, holder, *out, stream),
+                }
+            }
+            Submission::Divergent(candidates) => {
+                let Some(ctx) = job.exec_ctx(grant.index) else {
+                    // Unreachable in practice (the lease exists); treat
+                    // as a protocol failure rather than guessing.
+                    job.release(holder);
+                    drop(st);
+                    send_error(
+                        stream,
+                        ErrorCode::Protocol,
+                        "divergent result for an unknown lease".to_owned(),
+                    );
+                    release_lease(shared, holder);
+                    return false;
+                };
+                Adjudication { candidates, ctx }
+            }
+        }
     };
-    for finish in after {
-        finish();
+    // Phase 2 (unlocked): the adjudicating re-execution. Expensive, but
+    // rare — only digest divergence or a sampled audit lands here — and
+    // exact: the per-range RNG law makes the local bytes ground truth.
+    let local = adjudication.ctx.run(grant.range, grant.rng_seed);
+    let truth = match digest_output(&local) {
+        Ok(d) => d,
+        Err(e) => {
+            send_error(stream, ErrorCode::Protocol, e.to_string());
+            release_lease(shared, holder);
+            return false;
+        }
+    };
+    let liars = disagreeing_holders(&adjudication.candidates, truth);
+    // Phase 3 (locked): quarantine the disagreeing holders and fold the
+    // locally verified output.
+    let st = {
+        let mut st = shared.lock();
+        if st.job.as_ref().is_none_or(|j| j.id != grant.job_id) {
+            // The job ended while we re-executed; nothing to fold, and
+            // with it gone the votes are moot.
+            shared.cv.notify_all();
+            return true;
+        }
+        for &liar in &liars {
+            quarantine_holder(
+                &mut st,
+                grant.job_id,
+                liar,
+                grant.index,
+                format!(
+                    "result digest {:#018x} diverged from adjudicated truth {truth:#018x}",
+                    adjudication
+                        .candidates
+                        .iter()
+                        .find(|c| c.holders.contains(&liar))
+                        .map_or(0, |c| c.digest)
+                ),
+            );
+        }
+        st
+    };
+    let folded_ok = fold_accepted(shared, st, grant, holder, local, stream);
+    if !folded_ok {
+        return false;
     }
-    let _ = holder;
+    if liars.contains(&holder) {
+        // This very connection delivered a forged result: tell it, then
+        // drop it. (Its vote already folded as the local truth.)
+        send_error(
+            stream,
+            ErrorCode::Quarantined,
+            "this worker's results diverged from adjudicated truth".to_owned(),
+        );
+        return false;
+    }
     true
 }

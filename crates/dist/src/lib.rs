@@ -33,15 +33,25 @@
 //!   `run_mutant_range_with`/`run_slot` cores; `iris submit` delivers a
 //!   spec and receives the final report, byte-identical to
 //!   `iris campaign|guided --jobs 1`.
+//!
+//! Plus the adversarial-robustness layer (DISTRIBUTED.md "Failure and
+//! trust model"): [`chaos`] is a seeded in-process TCP proxy that turns
+//! network failure into reproducible test cases; [`verify`] digests and
+//! cross-checks untrusted worker results (`--redundancy K`, spot-check
+//! re-execution, quarantine); [`backoff`] is the workers' bounded
+//! exponential reconnect policy with deterministic jitter.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
+pub mod chaos;
 pub mod client;
 pub mod coordinator;
 pub mod job;
 pub mod lease;
 pub mod proto;
+pub mod verify;
 pub mod worker;
 
 use std::fmt;
@@ -94,6 +104,21 @@ pub enum DistError {
         /// The peer's human-readable detail.
         detail: String,
     },
+    /// The coordinator's submission queue is full — the job was never
+    /// accepted. Retry after the active job drains.
+    Busy {
+        /// How many submissions were already queued when this one was
+        /// refused.
+        queued: u64,
+    },
+    /// The reconnect budget is spent: the peer stayed unreachable
+    /// through every backoff attempt ([`backoff::BackoffPolicy`]).
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The error the final attempt died on.
+        last: Box<DistError>,
+    },
     /// Transport-level I/O failure (including read timeouts used for
     /// polling — see [`DistError::is_poll_timeout`]).
     Io(io::Error),
@@ -136,6 +161,13 @@ impl fmt::Display for DistError {
             DistError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
             DistError::Remote { code, detail } => {
                 write!(f, "peer reported {code:?}: {detail}")
+            }
+            DistError::Busy { queued } => write!(
+                f,
+                "coordinator is busy: submission queue is full ({queued} queued) — retry later"
+            ),
+            DistError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} reconnect attempts: {last}")
             }
             DistError::Io(e) => write!(f, "transport error: {e}"),
         }

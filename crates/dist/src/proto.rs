@@ -29,7 +29,10 @@ use std::io::{Read, Write};
 /// The protocol generation this build speaks. Bumped on any frame or
 /// law change; peers with different versions refuse each other with
 /// [`DistError::VersionMismatch`] at the handshake.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// v2: [`ErrorCode`] gained `Busy` (bounded submission queue) and
+/// `Quarantined` (untrusted-worker validation).
+pub const PROTO_VERSION: u32 = 2;
 
 /// Hard cap on a frame body. Large enough for a `JobDone` report or an
 /// `Epoch` corpus broadcast with room to spare, small enough that a
@@ -87,6 +90,18 @@ pub enum ErrorCode {
     /// The submitted spec is invalid (unknown workload/target, empty
     /// plan).
     BadSpec,
+    /// The submission queue is full; the job was refused before any
+    /// preparation work. The client surfaces this as
+    /// [`DistError::Busy`].
+    Busy {
+        /// Submissions already queued when this one was refused.
+        queued: u64,
+    },
+    /// The coordinator quarantined this worker: one of its results
+    /// diverged from a verified re-execution, so it gets no further
+    /// leases. Fatal for the worker (reconnecting cannot help — the
+    /// divergence is deterministic).
+    Quarantined,
 }
 
 /// One protocol message. Externally tagged JSON, length-prefixed on the
@@ -279,6 +294,148 @@ fn read_exact_frame<R: Read>(
                     during,
                     mid_frame: true,
                 });
+            }
+            Err(e) => return Err(DistError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame from a socket, bounding the **total wall time spent
+/// inside the frame** by `deadline` — the slowloris defense. A peer
+/// dripping one byte per poll interval defeats plain read timeouts
+/// (every read succeeds), so once the first header byte lands the clock
+/// runs and a frame that has not completed by the deadline surfaces as
+/// a mid-frame [`DistError::Disconnected`]; the connection is dead.
+///
+/// The deadline clock also covers the wait for the first byte: use this
+/// on handshakes, where a silent connection should be dropped too. For
+/// poll loops that must stay responsive between frames, use
+/// [`read_frame_polled`].
+///
+/// # Errors
+/// As [`read_frame`], plus the deadline expiry above. The socket's read
+/// timeout is clobbered; set it again if the caller needs another
+/// value.
+pub fn read_frame_within(
+    stream: &mut std::net::TcpStream,
+    deadline: std::time::Duration,
+) -> Result<Frame, DistError> {
+    // Wall-clock here bounds hostile-peer stalls only (liveness); frame
+    // *contents* — and therefore report bytes — never depend on it.
+    #[allow(clippy::disallowed_methods)]
+    let started = std::time::Instant::now();
+    finish_frame_deadline(stream, started, deadline, [0u8; 4], 0)
+}
+
+/// Read one frame from a socket with two clocks: before the first
+/// header byte, wait at most `poll` and surface a recoverable
+/// poll-timeout ([`DistError::is_poll_timeout`]) so the caller's loop
+/// can check shutdown/silence conditions; once a frame starts, the
+/// whole frame must complete within `deadline` or the read fails
+/// mid-frame (see [`read_frame_within`]).
+///
+/// # Errors
+/// As [`read_frame`], plus the in-frame deadline expiry.
+pub fn read_frame_polled(
+    stream: &mut std::net::TcpStream,
+    poll: std::time::Duration,
+    deadline: std::time::Duration,
+) -> Result<Frame, DistError> {
+    stream.set_read_timeout(Some(poll.max(std::time::Duration::from_millis(1))))?;
+    let mut header = [0u8; 4];
+    let filled = loop {
+        match stream.read(&mut header[..]) {
+            Ok(0) => {
+                return Err(DistError::Disconnected {
+                    during: "frame header",
+                    mid_frame: false,
+                })
+            }
+            Ok(n) => break n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // No frame yet: the caller polls again.
+                return Err(DistError::Io(e));
+            }
+            Err(e) => return Err(DistError::Io(e)),
+        }
+    };
+    // A frame began: the deadline clock starts at its first byte.
+    // Wall-clock is liveness-only (see read_frame_within).
+    #[allow(clippy::disallowed_methods)]
+    let started = std::time::Instant::now();
+    finish_frame_deadline(stream, started, deadline, header, filled)
+}
+
+/// Finish reading a frame whose first `filled` header bytes are already
+/// in, failing once `started + deadline` passes.
+fn finish_frame_deadline(
+    stream: &mut std::net::TcpStream,
+    started: std::time::Instant,
+    deadline: std::time::Duration,
+    mut header: [u8; 4],
+    filled: usize,
+) -> Result<Frame, DistError> {
+    if filled < header.len() {
+        let more = header.get_mut(filled..).unwrap_or(&mut []);
+        read_exact_deadline(stream, more, started, deadline, "frame header", filled > 0)?;
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME_BYTES {
+        return Err(DistError::FrameTooLarge {
+            len: u64::from(len),
+            max: MAX_FRAME_BYTES,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    read_exact_deadline(stream, &mut body, started, deadline, "frame body", true)?;
+    serde_json::from_slice(&body).map_err(|e| DistError::Protocol(format!("decoding frame: {e}")))
+}
+
+/// `read_exact` against a total deadline. Timeouts here are *not*
+/// recoverable polls: the frame has (conceptually) started, so running
+/// out of time is truncation — `mid_frame: true`.
+fn read_exact_deadline(
+    stream: &mut std::net::TcpStream,
+    buf: &mut [u8],
+    started: std::time::Instant,
+    deadline: std::time::Duration,
+    during: &'static str,
+    any_bytes: bool,
+) -> Result<(), DistError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let elapsed = started.elapsed();
+        if elapsed >= deadline {
+            return Err(DistError::Disconnected {
+                during,
+                mid_frame: true,
+            });
+        }
+        let remaining = (deadline - elapsed).max(std::time::Duration::from_millis(1));
+        stream.set_read_timeout(Some(remaining))?;
+        match stream.read(buf.get_mut(filled..).unwrap_or(&mut [])) {
+            Ok(0) => {
+                return Err(DistError::Disconnected {
+                    during,
+                    mid_frame: any_bytes || filled > 0 || during == "frame body",
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Loop: the elapsed check at the top decides expiry.
             }
             Err(e) => return Err(DistError::Io(e)),
         }

@@ -5,27 +5,32 @@
 //! `Assign` frame carries (determinism makes the derivation
 //! byte-identical on every host), builds a **private target stack** per
 //! lease via `TargetFactory`, and runs the exact in-process cores —
-//! [`run_mutant_range_with`] for campaign chunks, [`run_slot`] per slot
-//! for guided ranges — so a distributed range's bytes match the
-//! single-process run's by construction.
+//! [`execute_range`] wraps `run_mutant_range_with` for campaign chunks
+//! and `run_slot` per slot for guided ranges — so a distributed range's
+//! bytes match the single-process run's by construction.
 //!
 //! Liveness: while a lease computes, a sibling thread owns nothing but
-//! the clock and the main thread writes `Heartbeat` frames between
-//! result polls, renewing the coordinator-side lease. Workers survive a
-//! coordinator restart by reconnecting (with the last job fingerprint
-//! in `Hello`) and accepting a fresh `Assign`.
+//! the heartbeat cadence, writing `Heartbeat` frames that renew the
+//! coordinator-side lease; the sibling is woken and joined the moment
+//! the compute finishes, so no heartbeat thread outlives its lease.
+//! Workers survive a coordinator restart by reconnecting — under the
+//! bounded exponential [`BackoffPolicy`] with deterministic jitter —
+//! with the last job fingerprint in `Hello`, and accepting a fresh
+//! `Assign`. A coordinator that stays unreachable past the backoff
+//! budget surfaces as a typed [`DistError::RetriesExhausted`].
 
+use crate::backoff::BackoffPolicy;
 use crate::job::{JobKind, JobSpec};
 use crate::proto::{
     read_frame, write_frame, ErrorCode, Frame, LeaseKind, LeaseRange, RangeOutput, PROTO_VERSION,
 };
+use crate::verify::{execute_range, ExecDetail};
 use crate::DistError;
 use iris_core::seed::VmSeed;
 use iris_core::trace::RecordedTrace;
-use iris_fuzzer::campaign::run_mutant_range_with;
-use iris_fuzzer::guided::{initial_corpus, run_slot, SlotOutcome};
-use iris_fuzzer::target::{Backend, BootPlan, FuzzTarget, TargetFactory};
-use iris_fuzzer::testcase::{MutantRange, TestCase};
+use iris_fuzzer::guided::initial_corpus;
+use iris_fuzzer::target::Backend;
+use iris_fuzzer::testcase::TestCase;
 use iris_hv::coverage::CoverageMap;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,18 +50,26 @@ pub struct WorkerOptions {
     /// Heartbeat cadence while a lease computes. Must be comfortably
     /// below the coordinator's lease timeout.
     pub heartbeat_ms: u64,
-    /// Consecutive connection failures tolerated before giving up.
-    pub reconnect_attempts: u32,
-    /// Pause between reconnection attempts.
-    pub reconnect_delay_ms: u64,
+    /// Reconnect schedule after connection loss: bounded exponential
+    /// delays with deterministic jitter, then a typed give-up
+    /// ([`DistError::RetriesExhausted`]). The attempt counter resets
+    /// whenever a connection makes progress (a frame arrives).
+    pub backoff: BackoffPolicy,
     /// Cooperative stop flag (SIGINT wiring — `sigint::install`'s
-    /// static flag plugs in directly); checked between frames.
+    /// static flag plugs in directly); checked between frames and
+    /// during backoff sleeps.
     pub stop: Option<&'static AtomicBool>,
     /// Test hook simulating a SIGKILL'd worker: after this many
     /// completed chunks, the next granted lease is abandoned and the
     /// connection dropped abruptly — the coordinator must re-lease the
     /// range and the run must stay byte-identical.
     pub fail_after_chunks: Option<u64>,
+    /// Test hook simulating a byzantine worker: after this many honest
+    /// chunks, every subsequent result is deterministically falsified
+    /// (wrong but well-formed) before delivery — the coordinator's
+    /// `--redundancy`/spot-check validation must quarantine this worker
+    /// and keep the report byte-identical.
+    pub corrupt_after: Option<u64>,
 }
 
 impl Default for WorkerOptions {
@@ -66,10 +79,10 @@ impl Default for WorkerOptions {
             target: "iris".to_owned(),
             once: false,
             heartbeat_ms: 1_000,
-            reconnect_attempts: 20,
-            reconnect_delay_ms: 250,
+            backoff: BackoffPolicy::default(),
             stop: None,
             fail_after_chunks: None,
+            corrupt_after: None,
         }
     }
 }
@@ -83,6 +96,8 @@ pub struct WorkerSummary {
     pub jobs_done: u64,
     /// True when the `fail_after_chunks` test hook fired.
     pub fault_injected: bool,
+    /// Results the `corrupt_after` test hook falsified before delivery.
+    pub results_corrupted: u64,
 }
 
 /// The job state a worker caches per `Assign` — everything re-derived
@@ -115,72 +130,102 @@ fn stop_requested(opts: &WorkerOptions) -> bool {
 }
 
 /// Errors that reconnecting cannot fix: speaking to an incompatible
-/// coordinator, or a protocol bug on either side.
+/// coordinator, a protocol bug on either side, or being quarantined
+/// (the divergence is deterministic — reconnecting reproduces it).
 fn is_fatal(e: &DistError) -> bool {
     match e {
         DistError::VersionMismatch { .. }
         | DistError::FingerprintMismatch { .. }
         | DistError::Protocol(_)
-        | DistError::FrameTooLarge { .. } => true,
+        | DistError::FrameTooLarge { .. }
+        | DistError::RetriesExhausted { .. } => true,
         DistError::Remote { code, .. } => !matches!(code, ErrorCode::Shutdown),
-        DistError::Disconnected { .. } | DistError::Io(_) => false,
+        DistError::Disconnected { .. } | DistError::Io(_) | DistError::Busy { .. } => false,
     }
 }
 
-/// Run the worker loop: connect, serve leases, reconnect on loss, until
-/// stopped, `--once` is satisfied, or the coordinator stays unreachable
-/// past `reconnect_attempts`.
+/// Sleep `total_ms`, waking early when the stop flag trips.
+fn sleep_with_stop(total_ms: u64, opts: &WorkerOptions) {
+    let mut remaining = total_ms;
+    while remaining > 0 {
+        if stop_requested(opts) {
+            return;
+        }
+        let step = remaining.min(50);
+        std::thread::sleep(Duration::from_millis(step));
+        remaining -= step;
+    }
+}
+
+/// Run the worker loop: connect, serve leases, reconnect on loss under
+/// the backoff policy, until stopped, `--once` is satisfied, or the
+/// coordinator stays unreachable past the backoff budget.
 ///
 /// # Errors
-/// Terminal protocol failures (version mismatch, protocol violations)
-/// and connection loss beyond the reconnect budget.
+/// Terminal protocol failures (version mismatch, protocol violations,
+/// quarantine) and [`DistError::RetriesExhausted`] when the reconnect
+/// budget is spent.
 pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerSummary, DistError> {
     let backend = Backend::parse(&opts.target)
         .ok_or_else(|| DistError::Protocol(format!("unknown target '{}'", opts.target)))?;
     let mut summary = WorkerSummary::default();
     let mut job: Option<WorkerJob> = None;
-    let mut failures: u32 = 0;
+    let mut attempt: u32 = 0;
     loop {
         if stop_requested(opts) {
             return Ok(summary);
         }
-        let stream = match TcpStream::connect(&opts.connect) {
-            Ok(s) => s,
-            Err(e) => {
-                failures += 1;
-                if failures > opts.reconnect_attempts {
-                    return Err(e.into());
+        let last = match TcpStream::connect(&opts.connect) {
+            Ok(stream) => {
+                let mut progressed = false;
+                match serve(
+                    stream,
+                    opts,
+                    backend,
+                    &mut job,
+                    &mut summary,
+                    &mut progressed,
+                ) {
+                    Ok(Served::Once | Served::Stop) => return Ok(summary),
+                    Ok(Served::FaultInjected) => {
+                        summary.fault_injected = true;
+                        return Ok(summary);
+                    }
+                    Ok(Served::Lost(e)) => {
+                        if progressed {
+                            // The coordinator was alive this connection:
+                            // a fresh outage gets the full budget.
+                            attempt = 0;
+                        }
+                        e
+                    }
+                    Err(e) => return Err(e),
                 }
-                std::thread::sleep(Duration::from_millis(opts.reconnect_delay_ms));
-                continue;
             }
+            Err(e) => DistError::Io(e),
         };
-        match serve(stream, opts, backend, &mut job, &mut summary) {
-            Ok(Served::Once) | Ok(Served::Stop) => return Ok(summary),
-            Ok(Served::FaultInjected) => {
-                summary.fault_injected = true;
-                return Ok(summary);
-            }
-            Ok(Served::Lost(e)) => {
-                failures += 1;
-                if failures > opts.reconnect_attempts {
-                    return Err(e);
-                }
-                std::thread::sleep(Duration::from_millis(opts.reconnect_delay_ms));
-            }
-            Err(e) => return Err(e),
+        attempt += 1;
+        if opts.backoff.exhausted(attempt) {
+            return Err(DistError::RetriesExhausted {
+                attempts: attempt.saturating_sub(1),
+                last: Box::new(last),
+            });
         }
+        sleep_with_stop(opts.backoff.delay_ms(attempt), opts);
     }
 }
 
 /// Serve one connection until it ends. `Err` is fatal for the whole
 /// worker; `Ok(Served::Lost)` asks the caller to reconnect.
+/// `progressed` flips once any frame arrives — the caller's signal to
+/// reset the backoff attempt counter.
 fn serve(
     mut stream: TcpStream,
     opts: &WorkerOptions,
     backend: Backend,
     job: &mut Option<WorkerJob>,
     summary: &mut WorkerSummary,
+    progressed: &mut bool,
 ) -> Result<Served, DistError> {
     let _ = stream.set_nodelay(true);
     let hello = Frame::Hello {
@@ -205,6 +250,7 @@ fn serve(
             Err(e) if is_fatal(&e) => return Err(e),
             Err(e) => return Ok(Served::Lost(e)),
         };
+        *progressed = true;
         match frame {
             Frame::Assign {
                 job_id,
@@ -258,7 +304,7 @@ fn serve(
                     // the lease. The coordinator re-leases the range.
                     return Ok(Served::FaultInjected);
                 }
-                let output = compute_with_heartbeats(
+                let mut output = match compute_with_heartbeats(
                     &mut stream,
                     opts,
                     backend,
@@ -267,7 +313,15 @@ fn serve(
                     range,
                     rng_seed,
                     epoch,
-                )?;
+                ) {
+                    Ok(out) => out,
+                    Err(e) if is_fatal(&e) => return Err(e),
+                    Err(e) => return Ok(Served::Lost(e)),
+                };
+                if opts.corrupt_after.is_some_and(|n| summary.chunks_done >= n) {
+                    corrupt_output(&mut output);
+                    summary.results_corrupted += 1;
+                }
                 let done = Frame::ChunkDone {
                     job_id,
                     range_start: range.start,
@@ -302,6 +356,25 @@ fn serve(
     }
 }
 
+/// The byzantine test hook's falsification: wrong but well-formed, so
+/// it passes every structural check and only the content digest can
+/// catch it. Deterministic — the corrupted bytes are reproducible.
+fn corrupt_output(output: &mut RangeOutput) {
+    match output {
+        RangeOutput::Campaign(chunk) => {
+            // One phantom VM crash: counts stay plausible, digest flips.
+            chunk.failures.vm_crashes = chunk.failures.vm_crashes.wrapping_add(1);
+        }
+        RangeOutput::Guided(outcomes) => {
+            // Shift every outcome's scheduled base — outcome count (the
+            // structural invariant) is preserved.
+            for o in outcomes.iter_mut() {
+                o.base_index = o.base_index.wrapping_add(1);
+            }
+        }
+    }
+}
+
 /// Re-derive a job's local state from its spec.
 fn derive_job(id: u64, fingerprint: String, spec: &JobSpec) -> Result<WorkerJob, DistError> {
     let trace = spec.record_trace()?;
@@ -322,9 +395,53 @@ fn derive_job(id: u64, fingerprint: String, spec: &JobSpec) -> Result<WorkerJob,
     })
 }
 
-/// Run one lease on a compute thread while the main thread heartbeats,
-/// keeping the coordinator-side lease alive however long the range
-/// takes.
+/// Run `compute` on the calling thread while a sibling thread writes
+/// `Heartbeat` frames every `heartbeat`, keeping the coordinator-side
+/// lease alive however long the compute takes. The sibling is woken by
+/// the channel sender dropping and **joined before this returns** — it
+/// cannot linger past the lease (or past `--once`).
+fn run_with_heartbeats<T, F>(
+    stream: &TcpStream,
+    heartbeat: Duration,
+    compute: F,
+) -> Result<T, DistError>
+where
+    F: FnOnce() -> T,
+{
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let link_lost = AtomicBool::new(false);
+    let link_lost_ref = &link_lost;
+    std::thread::scope(|scope| {
+        let sibling = scope.spawn(move || loop {
+            match done_rx.recv_timeout(heartbeat) {
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let mut w = stream;
+                    if write_frame(&mut w, &Frame::Heartbeat).is_err() {
+                        link_lost_ref.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+                Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        });
+        let out = compute();
+        drop(done_tx);
+        let _ = sibling.join();
+        if link_lost.load(Ordering::SeqCst) {
+            // The result is computed but undeliverable; the coordinator
+            // will re-lease and the re-run is byte-identical, so
+            // dropping it is safe.
+            Err(DistError::Disconnected {
+                during: "heartbeat delivery",
+                mid_frame: false,
+            })
+        } else {
+            Ok(out)
+        }
+    })
+}
+
+/// Validate and execute one lease under heartbeats.
 #[allow(clippy::too_many_arguments)]
 fn compute_with_heartbeats(
     stream: &mut TcpStream,
@@ -338,40 +455,9 @@ fn compute_with_heartbeats(
 ) -> Result<RangeOutput, DistError> {
     validate_lease(job, kind, range, rng_seed, epoch)?;
     let heartbeat = Duration::from_millis(opts.heartbeat_ms.max(1));
-    let (tx, rx) = mpsc::channel();
-    std::thread::scope(|scope| {
-        scope.spawn(move || {
-            let _ = tx.send(compute_lease(backend, job, kind, range, rng_seed));
-        });
-        let mut link_lost = false;
-        loop {
-            match rx.recv_timeout(heartbeat) {
-                Ok(output) => {
-                    return if link_lost {
-                        // The result is computed but undeliverable; the
-                        // coordinator will re-lease and the re-run is
-                        // byte-identical, so dropping it is safe.
-                        Err(DistError::Disconnected {
-                            during: "heartbeat delivery",
-                            mid_frame: false,
-                        })
-                    } else {
-                        output
-                    };
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    if !link_lost && write_frame(stream, &Frame::Heartbeat).is_err() {
-                        link_lost = true;
-                    }
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    return Err(DistError::Protocol(
-                        "lease compute thread died before delivering a result".to_owned(),
-                    ));
-                }
-            }
-        }
-    })
+    run_with_heartbeats(stream, heartbeat, || {
+        compute_lease(backend, job, kind, range, rng_seed)
+    })?
 }
 
 fn validate_lease(
@@ -398,7 +484,7 @@ fn validate_lease(
                 return Err(DistError::Protocol(format!(
                     "lease range {}..{} beyond the test case's {} mutants",
                     range.start,
-                    range.start + range.len,
+                    range.start.saturating_add(range.len),
                     tc.mutants
                 )));
             }
@@ -421,8 +507,9 @@ fn validate_lease(
     }
 }
 
-/// The actual range execution — the same cores the in-process drivers
-/// run, on a private target stack.
+/// The actual range execution — [`execute_range`], the same core the
+/// coordinator's adjudicating re-execution runs, on a private target
+/// stack.
 fn compute_lease(
     backend: Backend,
     job: &WorkerJob,
@@ -435,34 +522,121 @@ fn compute_lease(
             let Some(tc) = job.plan.get(testcase_index) else {
                 return Err(DistError::Protocol("lease outran the plan".to_owned()));
             };
-            let mutant_range = MutantRange {
-                start: range.start as usize,
-                len: range.len as usize,
-            };
-            Ok(RangeOutput::Campaign(Box::new(run_mutant_range_with(
+            Ok(execute_range(
                 &backend,
                 &job.trace,
-                tc,
-                mutant_range,
-            ))))
+                &ExecDetail::Campaign(tc),
+                range,
+                rng_seed,
+            ))
         }
-        LeaseKind::GuidedSlotRange => {
-            // One private booted target per lease; crashes inside a
-            // slot reset it (run_slot), exactly as in-process workers
-            // behave.
-            let mut target = backend.build(BootPlan::post_boot(&job.trace));
-            target.boot();
-            let mut outcomes: Vec<SlotOutcome> = Vec::with_capacity(range.len as usize);
-            for slot in range.start..range.start + range.len {
-                outcomes.push(run_slot(
-                    &mut target,
-                    &job.epoch_corpus,
-                    &job.epoch_seen,
-                    rng_seed,
-                    slot,
-                ));
+        LeaseKind::GuidedSlotRange => Ok(execute_range(
+            &backend,
+            &job.trace,
+            &ExecDetail::Guided {
+                corpus: &job.epoch_corpus,
+                seen: &job.epoch_seen,
+            },
+            range,
+            rng_seed,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (peer, _) = listener.accept().unwrap();
+        (client, peer)
+    }
+
+    #[test]
+    fn heartbeat_sibling_shuts_down_promptly_after_compute() {
+        let (client, _peer) = loopback_pair();
+        // A 60 s cadence: if the join waited out the timer, this test
+        // would hang far past its assertion window.
+        #[allow(clippy::disallowed_methods)] // test-local stopwatch
+        let t0 = std::time::Instant::now();
+        let out = run_with_heartbeats(&client, Duration::from_secs(60), || 42u32).unwrap();
+        assert_eq!(out, 42);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "heartbeat sibling lingered past the lease: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn heartbeats_flow_while_compute_runs() {
+        let (client, mut peer) = loopback_pair();
+        let out = run_with_heartbeats(&client, Duration::from_millis(20), || {
+            std::thread::sleep(Duration::from_millis(200));
+            7u32
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        drop(client);
+        peer.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut beats = 0u32;
+        while let Ok(Frame::Heartbeat) = read_frame(&mut peer) {
+            beats += 1;
+        }
+        assert!(
+            beats >= 2,
+            "expected heartbeats during compute, saw {beats}"
+        );
+    }
+
+    #[test]
+    fn heartbeat_link_loss_surfaces_as_disconnect() {
+        let (client, peer) = loopback_pair();
+        drop(peer);
+        // Give the socket a moment to observe the close, then compute
+        // long enough for several heartbeat attempts.
+        let result = run_with_heartbeats(&client, Duration::from_millis(10), || {
+            std::thread::sleep(Duration::from_millis(300));
+            0u32
+        });
+        match result {
+            Err(DistError::Disconnected { during, .. }) => {
+                assert_eq!(during, "heartbeat delivery");
             }
-            Ok(RangeOutput::Guided(outcomes))
+            other => panic!("expected heartbeat-delivery disconnect, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn corruption_is_well_formed_and_digest_visible() {
+        use crate::verify::digest_output;
+        use iris_fuzzer::campaign::ChunkOutput;
+        use iris_fuzzer::testcase::MutantRange;
+        use iris_hv::coverage::CoverageMap;
+        let chunk = ChunkOutput {
+            range: MutantRange { start: 0, len: 8 },
+            baseline: CoverageMap::default(),
+            discovered: CoverageMap::default(),
+            failures: iris_fuzzer::failure::FailureStats::default(),
+            corpus: iris_fuzzer::corpus::Corpus::default(),
+        };
+        let honest = RangeOutput::Campaign(Box::new(chunk));
+        let mut forged = honest.clone();
+        corrupt_output(&mut forged);
+        // Structure intact (same range), content digest flipped.
+        match (&honest, &forged) {
+            (RangeOutput::Campaign(a), RangeOutput::Campaign(b)) => {
+                assert_eq!(a.range, b.range);
+            }
+            _ => panic!("corruption changed the output kind"),
+        }
+        assert_ne!(
+            digest_output(&honest).unwrap(),
+            digest_output(&forged).unwrap()
+        );
     }
 }

@@ -85,8 +85,12 @@ impl Fleet {
                     connect: addr.to_owned(),
                     target: target.to_owned(),
                     heartbeat_ms: 200,
-                    reconnect_attempts: 100,
-                    reconnect_delay_ms: 50,
+                    backoff: iris_dist::backoff::BackoffPolicy {
+                        base_ms: 25,
+                        max_ms: 100,
+                        attempts: 500,
+                        jitter_seed: 0,
+                    },
                     stop: Some(stop),
                     fail_after_chunks,
                     ..WorkerOptions::default()

@@ -1,0 +1,141 @@
+//! Codec properties under adversarial transport conditions: the frame
+//! codec must round-trip through arbitrary read-boundary splits (what
+//! the chaos proxy's split-writes produce on the receiving side), and
+//! hostile bytes — garbage prefixes, corrupt length headers — must
+//! surface as a typed [`DistError`] or a decoded frame, never a panic.
+
+use iris_dist::proto::{read_frame, write_frame, ErrorCode, Frame, LeaseKind, LeaseRange};
+use iris_dist::DistError;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::io::Read;
+
+/// A reader that hands back its buffer in caller-chosen chunk sizes,
+/// cycling through `splits` — the receive-side image of a peer whose
+/// writes were split at arbitrary byte boundaries.
+struct SplitReader {
+    data: Vec<u8>,
+    pos: usize,
+    splits: Vec<usize>,
+    turn: usize,
+}
+
+impl SplitReader {
+    fn new(data: Vec<u8>, splits: Vec<usize>) -> SplitReader {
+        SplitReader {
+            data,
+            pos: 0,
+            splits,
+            turn: 0,
+        }
+    }
+}
+
+impl Read for SplitReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.data.len() - self.pos;
+        if remaining == 0 || buf.is_empty() {
+            return Ok(0);
+        }
+        let planned = self
+            .splits
+            .get(self.turn % self.splits.len().max(1))
+            .copied()
+            .unwrap_or(remaining);
+        self.turn += 1;
+        let take = planned.max(1).min(remaining).min(buf.len());
+        let chunk = self
+            .data
+            .get(self.pos..self.pos + take)
+            .expect("take bounded by remaining");
+        buf.get_mut(..take)
+            .expect("take bounded by buf")
+            .copy_from_slice(chunk);
+        self.pos += take;
+        Ok(take)
+    }
+}
+
+fn sample_frames() -> Vec<Frame> {
+    vec![
+        Frame::Heartbeat,
+        Frame::Lease {
+            job_id: 3,
+            kind: LeaseKind::CampaignChunk { testcase_index: 7 },
+            range: LeaseRange { start: 16, len: 8 },
+            rng_seed: 42,
+            epoch: 0,
+        },
+        Frame::Progress {
+            done: 120,
+            total: 240,
+            folded: 6,
+        },
+        Frame::Error {
+            code: ErrorCode::Busy { queued: 3 },
+            detail: "submission queue full".to_owned(),
+        },
+        Frame::JobDone {
+            job_id: 9,
+            fingerprint: "campaign/iris/OS BOOT/exits=120/seed=42/mutants=20/plan=12".to_owned(),
+            report: "{\"verdict\":\"ok\"}".to_owned(),
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Back-to-back frames decode identically no matter how the wire
+    /// bytes are sliced into reads — the codec never depends on read
+    /// boundaries lining up with frame boundaries.
+    #[test]
+    fn frames_round_trip_under_arbitrary_split_boundaries(
+        splits in vec(1usize..97, 1..12),
+    ) {
+        let frames = sample_frames();
+        let mut wire = Vec::new();
+        for frame in &frames {
+            write_frame(&mut wire, frame).expect("encode");
+        }
+        let mut reader = SplitReader::new(wire, splits);
+        for frame in &frames {
+            let back = read_frame(&mut reader).expect("decode under splits");
+            prop_assert_eq!(&back, frame);
+        }
+        // The stream ends exactly at a frame boundary: clean EOF.
+        prop_assert!(matches!(
+            read_frame(&mut reader),
+            Err(DistError::Disconnected { mid_frame: false, .. })
+        ));
+    }
+
+    /// Garbage bytes ahead of (or instead of) a frame — under arbitrary
+    /// read splits — yield a typed error or a decoded frame, never a
+    /// panic: the adversary's prefix is interpreted as a length header
+    /// and body, and every way that goes wrong is a typed rejection
+    /// (oversized header, undecodable body, truncation).
+    #[test]
+    fn garbage_prefix_is_a_typed_error_never_a_panic(
+        garbage in vec(any::<u8>(), 1..64),
+        splits in vec(1usize..33, 1..8),
+    ) {
+        let mut wire = garbage;
+        write_frame(&mut wire, &Frame::Heartbeat).expect("encode");
+        let mut reader = SplitReader::new(wire, splits);
+        match read_frame(&mut reader) {
+            // A random prefix that happens to parse as a frame is
+            // legitimate (vanishingly rare but allowed) …
+            Ok(_) => {}
+            // … everything else must be one of the typed adversarial
+            // rejections a connection handler can act on.
+            Err(
+                DistError::FrameTooLarge { .. }
+                | DistError::Protocol(_)
+                | DistError::Disconnected { .. }
+                | DistError::Io(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+    }
+}

@@ -96,7 +96,7 @@ const DET_CORE_FILES: [&str; 7] = [
 
 /// Aggregation / merge modules: anywhere worker outputs are folded
 /// into a report, iteration order is part of the byte-identity law.
-const MERGE_FILES: [&str; 10] = [
+const MERGE_FILES: [&str; 13] = [
     "crates/fuzzer/src/parallel.rs",
     "crates/fuzzer/src/executor.rs",
     "crates/fuzzer/src/guided.rs",
@@ -110,11 +110,18 @@ const MERGE_FILES: [&str; 10] = [
     // same ordered-iteration obligation as the in-process merge.
     "crates/dist/src/coordinator.rs",
     "crates/dist/src/lease.rs",
+    // Workers execute the ranges the fold consumes, the client relays
+    // the folded report, and the chaos proxy sits on the wire between
+    // them — unordered iteration in any of these can scramble what
+    // reaches the merge.
+    "crates/dist/src/worker.rs",
+    "crates/dist/src/client.rs",
+    "crates/dist/src/chaos.rs",
 ];
 
 /// Executor worker closures and slot/range run functions: the modules
 /// where a panic silently burns the worker-restart budget.
-const PANIC_SCOPE_FILES: [&str; 7] = [
+const PANIC_SCOPE_FILES: [&str; 10] = [
     "crates/fuzzer/src/executor.rs",
     "crates/fuzzer/src/guided.rs",
     "crates/fuzzer/src/campaign.rs",
@@ -125,6 +132,13 @@ const PANIC_SCOPE_FILES: [&str; 7] = [
     // remote input must surface as typed protocol errors instead.
     "crates/dist/src/coordinator.rs",
     "crates/dist/src/lease.rs",
+    // Hostile bytes reach the worker and client loops straight off the
+    // network, and the chaos proxy's relay handles deliberately mangled
+    // streams — all three must turn bad input into typed errors, never
+    // panics.
+    "crates/dist/src/worker.rs",
+    "crates/dist/src/client.rs",
+    "crates/dist/src/chaos.rs",
 ];
 
 /// Slot/range execution modules for the unconditional-reset law.

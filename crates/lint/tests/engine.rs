@@ -161,11 +161,64 @@ fn dist_scope_carries_merge_and_panic_rules() {
 }
 
 #[test]
+fn dist_worker_and_chaos_scope_carries_merge_and_panic_rules() {
+    // PR 9 pulled the worker loop, submission client, and chaos relay
+    // into both scopes: hostile bytes reach all three straight off the
+    // network, so unordered folds and panicking access must be flagged
+    // under each of the newly scoped paths…
+    let bad = fixture("dist_chaos_bad.rs");
+    for path in [
+        "crates/dist/src/worker.rs",
+        "crates/dist/src/client.rs",
+        "crates/dist/src/chaos.rs",
+    ] {
+        let diags = lint_source_scoped(path, &bad);
+        let rules = rules_hit(&diags);
+        assert!(
+            rules.contains(&"no-unordered-merge"),
+            "HashMap tally under {path} must be flagged: {diags:?}"
+        );
+        assert!(
+            rules.contains(&"panic-path-audit"),
+            "panicking access to wire-controlled bytes under {path} must be flagged: {diags:?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "panic-path-audit" && d.message.contains("unwrap")),
+            "{diags:?}"
+        );
+    }
+
+    // …and the ordered, fallible rewrite is clean under the same paths.
+    let good = fixture("dist_chaos_good.rs");
+    for path in [
+        "crates/dist/src/worker.rs",
+        "crates/dist/src/client.rs",
+        "crates/dist/src/chaos.rs",
+    ] {
+        let diags = lint_source_scoped(path, &good);
+        assert!(diags.is_empty(), "{path}: {diags:?}");
+    }
+}
+
+#[test]
 fn dist_fixture_is_inert_outside_the_dist_scope() {
     // The same source under a path outside both scopes draws no merge
     // or panic findings — the dist coverage is scoping, not a global
     // tightening.
     let bad = fixture("dist_fold_bad.rs");
+    let diags = lint_source_scoped("crates/dist/src/proto.rs", &bad);
+    assert!(
+        !rules_hit(&diags)
+            .iter()
+            .any(|r| *r == "no-unordered-merge" || *r == "panic-path-audit"),
+        "{diags:?}"
+    );
+
+    // Same contract for the PR-9 relay fixture: the worker/client/chaos
+    // coverage is scoping, not a global tightening.
+    let bad = fixture("dist_chaos_bad.rs");
     let diags = lint_source_scoped("crates/dist/src/proto.rs", &bad);
     assert!(
         !rules_hit(&diags)

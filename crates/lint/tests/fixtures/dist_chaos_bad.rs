@@ -1,0 +1,32 @@
+//! Positive fixture for the extended `crates/dist` lint scope
+//! (worker / client / chaos relay): a relay loop that parks per-
+//! connection tallies in a hash container (iteration order leaks the
+//! accept schedule into the summary) and panics on bytes an adversary
+//! controls instead of surfacing typed errors.
+
+use std::collections::HashMap;
+
+pub fn summarize_relays(tallies: &[(u64, RelayTally)]) -> Summary {
+    let mut parked: HashMap<u64, RelayTally> = HashMap::new();
+    for (conn, tally) in tallies {
+        parked.insert(*conn, tally.clone());
+    }
+    let mut summary = Summary::default();
+    for (_, tally) in parked.iter() {
+        summary.fold(tally);
+    }
+    summary
+}
+
+pub fn split_header(buf: &[u8], len_from_wire: usize) -> (Vec<u8>, Vec<u8>) {
+    // The peer chose `len_from_wire`; slicing panics the relay thread
+    // on a hostile length instead of killing just the connection.
+    let head = buf[..len_from_wire].to_vec();
+    let rest = buf[len_from_wire..].to_vec();
+    (head, rest)
+}
+
+pub fn decode_lease(frame: &[u8]) -> Lease {
+    let parsed = parse_frame(frame).unwrap();
+    Lease::from(parsed)
+}

@@ -1,0 +1,31 @@
+//! Negative fixture for the extended `crates/dist` lint scope
+//! (worker / client / chaos relay): tallies are parked in an ordered
+//! container, and every byte the peer controls is handled fallibly —
+//! a hostile frame costs the connection, never the thread.
+
+use std::collections::BTreeMap;
+
+pub fn summarize_relays(tallies: &[(u64, RelayTally)]) -> Result<Summary, RelayError> {
+    let mut parked: BTreeMap<u64, RelayTally> = BTreeMap::new();
+    for (conn, tally) in tallies {
+        parked.insert(*conn, tally.clone());
+    }
+    let mut summary = Summary::default();
+    for (_, tally) in parked.iter() {
+        summary.fold(tally);
+    }
+    Ok(summary)
+}
+
+pub fn split_header(buf: &[u8], len_from_wire: usize) -> Result<(Vec<u8>, Vec<u8>), RelayError> {
+    if len_from_wire > buf.len() {
+        return Err(RelayError::BadLength);
+    }
+    let (head, rest) = buf.split_at(len_from_wire);
+    Ok((head.to_vec(), rest.to_vec()))
+}
+
+pub fn decode_lease(frame: &[u8]) -> Result<Lease, RelayError> {
+    let parsed = parse_frame(frame).map_err(|_| RelayError::BadFrame)?;
+    Ok(Lease::from(parsed))
+}
