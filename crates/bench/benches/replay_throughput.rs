@@ -19,18 +19,40 @@
 //!   PERFORMANCE.md's "the trait adds no per-exit dispatch cost" claim
 //!   rests on.
 //!
+//! A fifth pair measures the deep-prefix workload the snapshot forest
+//! exists for (PERFORMANCE.md §snapshot forest): a mutation base that
+//! sits behind a 200-seed replay prefix.
+//!
+//! * `prefix_replay/…` — the classic reset path: restore s1, replay the
+//!   whole 200-seed prefix, then submit the one probe seed. Per-probe
+//!   cost is O(prefix).
+//! * `forest/…` — the copy-on-write forest path: the post-prefix state
+//!   was pinned once as a forest node; each iteration restores that
+//!   leaf in O(delta) and submits the probe.
+//!
+//! Both arms declare ONE element per iteration (the probe — the only
+//! useful execution), so their seeds/s ratio is exactly the per-mutant
+//! speedup a deep-prefix guided run sees.
+//!
 //! `--json <path>` (conventionally `BENCH_replay_throughput.json`)
 //! emits every arm's seeds/s and ns/exit machine-readably for
 //! perf-trajectory tracking.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use iris_bench::experiments::record_workload;
+use iris_core::forest::ForestConfig;
 use iris_core::replay::ReplayEngine;
 use iris_core::snapshot::Snapshot;
-use iris_fuzzer::target::{BootPlan, FuzzTarget, IrisHvTarget, TargetFactory};
+use iris_fuzzer::target::{
+    Backend, BootPlan, ConfiguredBackend, FuzzTarget, IrisHvTarget, TargetFactory,
+};
 use iris_guest::runner::fast_forward_boot;
 use iris_guest::workloads::Workload;
 use iris_hv::hypervisor::Hypervisor;
+
+/// The deep-prefix arms' replay depth: the mutation base sits behind
+/// this many recorded seeds (the acceptance floor is 200).
+const DEEP_PREFIX: usize = 200;
 
 fn bench_replay(c: &mut Criterion) {
     let mut group = c.benchmark_group("replay_throughput");
@@ -126,6 +148,67 @@ fn bench_replay(c: &mut Criterion) {
                             crashes += u64::from(target.submit(seed).crash.is_some());
                         }
                         crashes
+                    });
+                },
+            );
+        }
+    }
+
+    // Deep-prefix pair: one probe submission per iteration, positioned
+    // 200 seeds into an OS-boot trace. `prefix_replay` pays the whole
+    // prefix every time; `forest` restores a pinned leaf in O(delta).
+    {
+        let (_, trace) = record_workload(Workload::OsBoot, 250, 42);
+        assert!(
+            trace.seeds.len() > DEEP_PREFIX,
+            "deep-prefix workload needs more than {DEEP_PREFIX} seeds"
+        );
+        let probe = &trace.seeds[DEEP_PREFIX];
+        group.throughput(Throughput::Elements(1));
+
+        {
+            let factory = IrisHvTarget::default();
+            let mut target = factory.build(BootPlan {
+                trace: &trace,
+                prefix: 0,
+                fast_forward: false,
+            });
+            target.boot();
+            group.bench_with_input(
+                BenchmarkId::new("prefix_replay", Workload::OsBoot.label()),
+                &trace,
+                |b, trace| {
+                    b.iter(|| {
+                        target.reset();
+                        for seed in &trace.seeds[..DEEP_PREFIX] {
+                            target.submit(seed);
+                        }
+                        u64::from(target.submit(probe).crash.is_some())
+                    });
+                },
+            );
+        }
+
+        {
+            let factory =
+                ConfiguredBackend::new(Backend::Iris).with_forest(Some(ForestConfig::default()));
+            let mut target = factory.build(BootPlan {
+                trace: &trace,
+                prefix: 0,
+                fast_forward: false,
+            });
+            target.boot();
+            for seed in &trace.seeds[..DEEP_PREFIX] {
+                target.submit(seed);
+            }
+            let leaf = target.pin_state().expect("forest targets pin state");
+            group.bench_with_input(
+                BenchmarkId::new("forest", Workload::OsBoot.label()),
+                &trace,
+                |b, _| {
+                    b.iter(|| {
+                        assert!(target.reset_to(leaf), "pinned leaf restores");
+                        u64::from(target.submit(probe).crash.is_some())
                     });
                 },
             );

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use iris_core::forest::ForestConfig;
 use iris_core::manager::{IrisManager, Mode};
 use iris_core::metrics;
 use iris_core::record::RecordConfig;
@@ -33,7 +34,7 @@ use iris_fuzzer::guided::{
 use iris_fuzzer::mutation::SeedArea;
 use iris_fuzzer::parallel::{available_jobs, CampaignReport, CampaignRunOptions, ParallelCampaign};
 use iris_fuzzer::table1::Table1;
-use iris_fuzzer::target::{render_planted_fault_report, Backend, TargetFactory};
+use iris_fuzzer::target::{render_planted_fault_report, Backend, ConfiguredBackend, TargetFactory};
 use iris_fuzzer::testcase::{TestCase, DEFAULT_CHUNK};
 use iris_guest::workloads::Workload;
 use std::io::IsTerminal;
@@ -93,8 +94,8 @@ USAGE:
     iris record   <workload> [--exits N] [--seed S] [--out FILE.json]
     iris replay   <workload> [--exits N] [--seed S] [--cold] [--memory]
     iris fuzz     <workload> [--exits N] [--mutants M] [--area vmcs|gpr] [--reason R] [--jobs N] [--chunk C] [--target T]
-    iris campaign <workload> [--exits N] [--mutants M] [--jobs N] [--chunk C] [--target T] [--json FILE] [--corpus FILE] [--checkpoint FILE] [--resume FILE]
-    iris guided   <workload> [--exits N] [--budget B] [--gen G] [--jobs N] [--mode shared|ensemble] [--target T] [--json FILE] [--corpus FILE] [--checkpoint FILE] [--resume FILE]
+    iris campaign <workload> [--exits N] [--mutants M] [--jobs N] [--chunk C] [--target T] [--forest] [--forest-cap N] [--json FILE] [--corpus FILE] [--checkpoint FILE] [--resume FILE]
+    iris guided   <workload> [--exits N] [--budget B] [--gen G] [--jobs N] [--mode shared|ensemble] [--target T] [--forest] [--forest-cap N] [--json FILE] [--corpus FILE] [--checkpoint FILE] [--resume FILE]
     iris targets
     iris report   <FILE.json>
     iris lint     [--root PATH] [--json FILE]
@@ -129,6 +130,16 @@ curve, crashes — is byte-identical for any N (`--json` writes it for
 diffing). `ensemble` instead runs N independent loops with distinct RNG
 seeds (N disjoint corpora). `--corpus` persists the crash corpus (per
 generation in shared mode) through the background writer.
+
+`--forest` turns on the copy-on-write snapshot forest (PERFORMANCE.md):
+targets pin post-execution state nodes and restore to them in O(delta)
+instead of replaying the whole seed prefix from s1. Reports are
+byte-identical with the forest on or off, for any --jobs/--chunk — the
+flag changes replay cost only. `--forest-cap N` bounds the live node
+count (default: 64; LRU nodes collapse into their parents). Forest
+mode covers `campaign` and `guided --mode shared`; `--mode ensemble`
+rejects it. Checkpoint fingerprints ignore the flag, so a resume may
+switch it freely (RELIABILITY.md).
 
 Fault tolerance: worker panics are absorbed — the lost work is re-run
 byte-identically on a fresh worker context, up to a restart budget.
@@ -418,6 +429,28 @@ fn parse_chunk(args: &[String]) -> Result<usize, CliError> {
     Ok(chunk)
 }
 
+/// `--forest` / `--forest-cap N`: the copy-on-write snapshot-forest
+/// reset strategy (default: off; cap default
+/// [`ForestConfig::DEFAULT_CAP`]). Reports are byte-identical with the
+/// forest on or off — only replay cost changes (O(delta) instead of
+/// O(prefix); PERFORMANCE.md §snapshot forest).
+fn parse_forest(args: &[String]) -> Result<Option<ForestConfig>, CliError> {
+    let enabled = args.iter().any(|a| a == "--forest");
+    if !enabled {
+        if flag_value(args, "--forest-cap").is_some() {
+            return Err(CliError::Usage("--forest-cap requires --forest".to_owned()));
+        }
+        return Ok(None);
+    }
+    let cap: usize = parse_num(args, "--forest-cap", ForestConfig::DEFAULT_CAP)?;
+    if cap == 0 {
+        return Err(CliError::Usage(
+            "--forest-cap must be at least 1".to_owned(),
+        ));
+    }
+    Ok(Some(ForestConfig { cap }))
+}
+
 /// `--target NAME` (default: the stock `iris` backend). The parsed
 /// [`Backend`] is itself a [`TargetFactory`], so it plugs straight into
 /// the drivers.
@@ -498,6 +531,7 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let jobs = parse_jobs(args)?;
     let chunk = parse_chunk(args)?;
     let backend = parse_target(args)?;
+    let forest = parse_forest(args)?;
     let ops = w.generate(exits, seed);
     mgr.record(w.label(), ops, RecordConfig::default());
     let trace = mgr.db.get(w.label()).expect("recorded").clone();
@@ -531,68 +565,70 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let show_progress = std::io::stderr().is_terminal();
     let mut last_observed = 0u64;
     let mut last_folded = resume.as_ref().map_or(0, |cp| cp.folded);
-    let report = ParallelCampaign::with_factory(jobs, backend)
-        .with_chunk(chunk)
-        .run_session(
-            &traces,
-            &plan,
-            CampaignRunOptions {
-                policy: RunPolicy {
-                    stop: Some(stop),
-                    ..RunPolicy::default()
+    let report =
+        ParallelCampaign::with_factory(jobs, ConfiguredBackend::new(backend).with_forest(forest))
+            .with_chunk(chunk)
+            .run_session(
+                &traces,
+                &plan,
+                CampaignRunOptions {
+                    policy: RunPolicy {
+                        stop: Some(stop),
+                        ..RunPolicy::default()
+                    },
+                    resume,
                 },
-                resume,
-            },
-            |p, partial: &CampaignReport| {
-                if show_progress {
-                    eprint!(
-                        "\rfuzzing: {}/{} mutants, {}/{} test cases",
-                        p.mutants_done,
-                        p.mutants_total,
-                        p.results_folded,
-                        plan.len()
-                    );
-                }
-                if let Some(writer) = &writer {
-                    // Snapshot only when the corpus actually grew —
-                    // crash-free test cases would otherwise clone and
-                    // rewrite byte-identical JSON once per fold.
-                    if partial.corpus.observed() > last_observed {
-                        last_observed = partial.corpus.observed();
-                        writer.persist(partial.corpus.clone());
+                |p, partial: &CampaignReport| {
+                    if show_progress {
+                        eprint!(
+                            "\rfuzzing: {}/{} mutants, {}/{} test cases",
+                            p.mutants_done,
+                            p.mutants_total,
+                            p.results_folded,
+                            plan.len()
+                        );
                     }
-                }
-                if let Some(ckpt) = &ckpt_writer {
-                    // Checkpoints live at test-case fold boundaries:
-                    // the report is exactly a folded plan prefix there,
-                    // which is what a resume can continue from.
-                    if partial.results.len() > last_folded {
-                        last_folded = partial.results.len();
-                        ckpt.persist(CampaignCheckpoint {
-                            version: CHECKPOINT_VERSION,
-                            fingerprint: fingerprint.clone(),
-                            folded: partial.results.len(),
-                            report: partial.clone(),
-                        });
+                    if let Some(writer) = &writer {
+                        // Snapshot only when the corpus actually grew —
+                        // crash-free test cases would otherwise clone and
+                        // rewrite byte-identical JSON once per fold.
+                        if partial.corpus.observed() > last_observed {
+                            last_observed = partial.corpus.observed();
+                            writer.persist(partial.corpus.clone());
+                        }
                     }
-                }
-            },
-        )
-        .map_err(CliError::Run)?;
+                    if let Some(ckpt) = &ckpt_writer {
+                        // Checkpoints live at test-case fold boundaries:
+                        // the report is exactly a folded plan prefix there,
+                        // which is what a resume can continue from.
+                        if partial.results.len() > last_folded {
+                            last_folded = partial.results.len();
+                            ckpt.persist(CampaignCheckpoint {
+                                version: CHECKPOINT_VERSION,
+                                fingerprint: fingerprint.clone(),
+                                folded: partial.results.len(),
+                                report: partial.clone(),
+                            });
+                        }
+                    }
+                },
+            )
+            .map_err(CliError::Run)?;
     if show_progress {
         eprintln!();
     }
     let interrupted = report.results.len() < plan.len();
 
     let mut out = format!(
-        "campaign over {} — {} test cases ({} mutants each), {} worker{}, chunk {}, target {}\n",
+        "campaign over {} — {} test cases ({} mutants each), {} worker{}, chunk {}, target {}{}\n",
         w.label(),
         plan.len(),
         mutants,
         jobs,
         if jobs == 1 { "" } else { "s" },
         chunk,
-        backend.name()
+        backend.name(),
+        forest.map_or(String::new(), |f| format!(", forest (cap {})", f.cap))
     );
     out.push_str(&resume_note);
     for r in &report.results {
@@ -677,8 +713,9 @@ fn cmd_guided(args: &[String]) -> Result<String, CliError> {
         generation,
         ..GuidedConfig::default()
     };
+    let forest = parse_forest(args)?;
     match mode.as_str() {
-        "shared" => cmd_guided_shared(args, w, &trace, config, exits, jobs, backend),
+        "shared" => cmd_guided_shared(args, w, &trace, config, exits, jobs, backend, forest),
         "ensemble" => {
             let (checkpoint, resume) = parse_durability(args);
             if checkpoint.is_some() || resume.is_some() {
@@ -687,6 +724,13 @@ fn cmd_guided(args: &[String]) -> Result<String, CliError> {
                 // snapshot, so durability is a shared-mode feature.
                 return Err(CliError::Usage(
                     "--checkpoint/--resume require --mode shared".to_owned(),
+                ));
+            }
+            if forest.is_some() {
+                // Ensemble loops are sequential per worker — no prefix
+                // replay to amortize, so the forest buys nothing there.
+                return Err(CliError::Usage(
+                    "--forest requires --mode shared".to_owned(),
                 ));
             }
             cmd_guided_ensemble(args, w, &trace, config, jobs, backend)
@@ -766,6 +810,7 @@ fn render_guided_result(r: &GuidedResult) -> String {
 /// byte-identical results for any worker count. The crash corpus
 /// persists per generation through the background writer; the report
 /// JSON is the determinism artifact CI byte-diffs.
+#[allow(clippy::too_many_arguments)]
 fn cmd_guided_shared(
     args: &[String],
     w: Workload,
@@ -774,6 +819,7 @@ fn cmd_guided_shared(
     exits: usize,
     jobs: usize,
     backend: Backend,
+    forest: Option<ForestConfig>,
 ) -> Result<String, CliError> {
     let fingerprint = guided_fingerprint(backend.name(), w.label(), exits, &config);
     let (checkpoint_path, resume_path) = parse_durability(args);
@@ -795,7 +841,11 @@ fn cmd_guided_shared(
         },
         resume,
     };
-    let r = run_guided_shared_session(&backend, trace, config, jobs, options, |p| {
+    // Fingerprints deliberately exclude the forest flag (like jobs and
+    // chunk): the report bytes are invariant under it, so a resume may
+    // switch it freely (RELIABILITY.md).
+    let factory = ConfiguredBackend::new(backend).with_forest(forest);
+    let r = run_guided_shared_session(&factory, trace, config, jobs, options, |p| {
         if show_progress {
             eprint!(
                 "\rguided: {}/{} executions, {} lines, corpus {}",
@@ -824,11 +874,12 @@ fn cmd_guided_shared(
     let interrupted = r.executions < config.budget;
 
     let mut out = format!(
-        "guided fuzzing over {} ({} executions, target {})\n\
+        "guided fuzzing over {} ({} executions, target {}{})\n\
          mode shared: {} worker{}, {} generations of ≤{} executions\n",
         w.label(),
         config.budget,
         backend.name(),
+        forest.map_or(String::new(), |f| format!(", forest cap {}", f.cap)),
         jobs,
         if jobs == 1 { "" } else { "s" },
         r.growth.len(),
@@ -1282,6 +1333,53 @@ mod tests {
             run(&args("campaign os_boot --exits 80 --jobs 0")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn forest_flag_is_validated() {
+        // A cap without the flag is a usage error, as is cap 0 and
+        // forest in ensemble mode (no prefix replay to amortize there).
+        assert!(matches!(
+            run(&args("campaign os_boot --exits 80 --forest-cap 8")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args("campaign os_boot --exits 80 --forest --forest-cap 0")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(
+                "guided os_boot --exits 80 --budget 100 --mode ensemble --forest"
+            )),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn campaign_forest_is_byte_identical_to_forest_off() {
+        // The snapshot forest changes replay cost, never report bytes:
+        // apart from the header's forest note the rendered output (and
+        // thus the underlying report) matches the classic reset path,
+        // under eviction pressure too.
+        let strip = |s: &str| {
+            s.lines()
+                .skip(1)
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let off = run(&args("campaign os_boot --exits 120 --mutants 25 --jobs 2")).unwrap();
+        let on = run(&args(
+            "campaign os_boot --exits 120 --mutants 25 --jobs 2 --forest",
+        ))
+        .unwrap();
+        let tight = run(&args(
+            "campaign os_boot --exits 120 --mutants 25 --jobs 2 --forest --forest-cap 2",
+        ))
+        .unwrap();
+        assert!(on.contains("forest (cap 64)"), "{on}");
+        assert_eq!(strip(&off), strip(&on));
+        assert_eq!(strip(&off), strip(&tight));
     }
 
     #[test]

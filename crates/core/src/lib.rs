@@ -12,6 +12,8 @@
 //! * [`metrics`] — accuracy (coverage fitting, VMWRITE fitting, diff
 //!   clustering) and efficiency summaries (§VI).
 //! * [`snapshot`] — test-VM snapshots for unbiased comparisons.
+//! * [`forest`] — the copy-on-write snapshot forest: O(delta) restores
+//!   to any pinned state instead of O(prefix) replay from `s1`.
 //! * [`seed_db`] — the VM-seed database of Fig. 3.
 //! * [`manager`] — the record/replay mode driver behind the
 //!   `xc_vmcs_fuzzing` hypercall (§IV-C).
@@ -31,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod forest;
 pub mod manager;
 pub mod metrics;
 pub mod record;
@@ -40,6 +43,7 @@ pub mod seed_db;
 pub mod snapshot;
 pub mod trace;
 
+pub use forest::{ForestConfig, SnapshotForest, StateId};
 pub use manager::{IrisManager, Mode};
 pub use record::{RecordConfig, Recorder};
 pub use replay::ReplayEngine;

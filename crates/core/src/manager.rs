@@ -91,7 +91,7 @@ impl IrisManager {
         assert_ne!(mode, Mode::Record, "use record() for record mode");
         if revert_to_baseline {
             if let Some(snap) = &self.baseline {
-                snap.revert_into(&mut self.hv, self.dummy_vm);
+                snap.restore_into(&mut self.hv, self.dummy_vm);
             }
         } else {
             // Fresh dummy VM (the §VI-B cold-start configuration).

@@ -30,24 +30,30 @@ impl Snapshot {
         }
     }
 
-    /// Revert the snapshot into a domain slot (usually the one it came
-    /// from, but the replay flow reverts the *test VM* image into the
-    /// *dummy VM* slot to start both sides from the same state).
-    pub fn revert_into(&self, hv: &mut Hypervisor, domain_id: u16) {
-        self.restore_into(hv, domain_id);
-    }
-
-    /// Fast-path restore: make the target domain slot identical to the
-    /// snapshot **in place**, reusing the slot's existing allocations.
+    /// The one restore entry point: make the target domain slot
+    /// identical to the snapshot **in place**, reusing the slot's
+    /// existing allocations. (There used to be a separate `revert_into`
+    /// alias; the snapshot forest made the distinction load-bearing, so
+    /// the API now has exactly this method — "revert" and "restore" are
+    /// the same operation. Usually the target is the slot the snapshot
+    /// came from, but the replay flow restores the *test VM* image into
+    /// the *dummy VM* slot to start both sides from the same state.)
     ///
-    /// The vCPU array, VMCS (a flat field store), devices, EPT, and IRQ
-    /// state are assigned with `clone_from` (which reuses buffers), and
-    /// guest memory goes through [`iris_hv::mm::GuestMemory::restore_from`]
-    /// — so the cost is proportional to the state that diverged since the
-    /// snapshot, not to a full `Hypervisor::new()` + boot replay. This is
-    /// what lets fuzzing campaigns reset the dummy VM to the post-boot
-    /// state `s1` once per crash instead of rebuilding the whole stack
-    /// per test case.
+    /// **Divergence-check semantics.** Every component is compared
+    /// before it is written: the vCPU array and guest memory diff at
+    /// page/element granularity inside their `clone_from`/
+    /// [`iris_hv::mm::GuestMemory::restore_from`] paths, and the EPT,
+    /// I/O bus, IRQ, and platform-timer blocks are equality-walked here
+    /// and skipped when unchanged (the walks are allocation-free and
+    /// far cheaper than rebuilding — the EPT alone holds thousands of
+    /// entries; replay rarely touches them). The cost is therefore
+    /// proportional to the state that actually diverged since the
+    /// snapshot, not to a full `Hypervisor::new()` + boot replay — and
+    /// clean components never dirty cache lines, which is also what
+    /// keeps the forest's page-granular dirty sets small when the two
+    /// mechanisms are stacked. This is what lets fuzzing campaigns
+    /// reset the dummy VM to the post-boot state `s1` once per crash
+    /// instead of rebuilding the whole stack per test case.
     pub fn restore_into(&self, hv: &mut Hypervisor, domain_id: u16) {
         let slot = &mut hv.domains[domain_id as usize];
         slot.kind = self.domain.kind;
@@ -102,7 +108,7 @@ mod tests {
             .vmcs
             .hw_write(VmcsField::GuestRip, 0x9999);
         hv.domains[dom as usize].memory.wipe();
-        snap.revert_into(&mut hv, dom);
+        snap.restore_into(&mut hv, dom);
 
         assert_eq!(
             hv.domains[dom as usize].vcpus[0]
@@ -167,7 +173,7 @@ mod tests {
             .hvm
             .update_cr0(iris_vtx::cr::cr0::PE | iris_vtx::cr::cr0::ET);
         let snap = Snapshot::take(&hv, test_vm);
-        snap.revert_into(&mut hv, dummy_vm);
+        snap.restore_into(&mut hv, dummy_vm);
         assert_eq!(
             hv.domains[dummy_vm as usize].vcpus[0].hvm.mode,
             iris_vtx::cr::OperatingMode::Mode2

@@ -353,6 +353,9 @@ enum VerifyDetail {
     Campaign(TestCase),
     Guided {
         corpus: Vec<VmSeed>,
+        /// Per-entry seed paths (the slot law's mutation-base
+        /// positioning), rebuilt from the engine's promotion lineage.
+        paths: Vec<Vec<usize>>,
         // Boxed: the dense coverage bitmap is ~3.5 KB and would
         // dominate the Campaign arm's size.
         seen: Box<CoverageMap>,
@@ -363,7 +366,15 @@ impl ExecCtx {
     fn run(&self, range: LeaseRange, rng_seed: u64) -> RangeOutput {
         let detail = match &self.detail {
             VerifyDetail::Campaign(tc) => ExecDetail::Campaign(tc),
-            VerifyDetail::Guided { corpus, seen } => ExecDetail::Guided { corpus, seen },
+            VerifyDetail::Guided {
+                corpus,
+                paths,
+                seen,
+            } => ExecDetail::Guided {
+                corpus,
+                paths,
+                seen,
+            },
         };
         execute_range(&self.backend, &self.trace, &detail, range, rng_seed)
     }
@@ -432,6 +443,7 @@ impl Job {
                         job_id: self.id,
                         epoch: g.epoch,
                         promoted: g.engine.promoted().to_vec(),
+                        lineage: g.engine.lineage().to_vec(),
                         seen: Box::new(g.engine.seen().clone()),
                     });
                 }
@@ -548,6 +560,7 @@ impl Job {
                 corpus.extend_from_slice(g.engine.promoted());
                 VerifyDetail::Guided {
                     corpus,
+                    paths: g.engine.paths().to_vec(),
                     seen: Box::new(g.engine.seen().clone()),
                 }
             }

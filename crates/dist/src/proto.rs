@@ -32,7 +32,11 @@ use std::io::{Read, Write};
 ///
 /// v2: [`ErrorCode`] gained `Busy` (bounded submission queue) and
 /// `Quarantined` (untrusted-worker validation).
-pub const PROTO_VERSION: u32 = 2;
+///
+/// v3: [`Frame::Epoch`] gained `lineage` — the promotion ancestry the
+/// guided slot law positions mutation bases with (snapshot-forest seed
+/// paths are rebuilt from it on the worker).
+pub const PROTO_VERSION: u32 = 3;
 
 /// Hard cap on a frame body. Large enough for a `JobDone` report or an
 /// `Epoch` corpus broadcast with room to spare, small enough that a
@@ -152,6 +156,12 @@ pub enum Frame {
         epoch: u64,
         /// Mutants promoted so far, in promotion order.
         promoted: Vec<VmSeed>,
+        /// Promotion lineage, parallel to `promoted`: `(base_index,
+        /// extended)` per promotion, from which the worker rebuilds
+        /// each corpus entry's seed path
+        /// ([`iris_fuzzer::guided::corpus_paths`]) — the state every
+        /// slot positions its target at before submitting.
+        lineage: Vec<(usize, bool)>,
         /// The generation-start coverage map (boxed: the dense bitmap
         /// is ~3.5 KB and would dominate every `Frame`'s stack size).
         seen: Box<CoverageMap>,

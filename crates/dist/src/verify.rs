@@ -22,9 +22,8 @@ use crate::DistError;
 use iris_core::seed::VmSeed;
 use iris_core::trace::RecordedTrace;
 use iris_fuzzer::campaign::run_mutant_range_with;
-use iris_fuzzer::guided::run_slot;
-use iris_fuzzer::guided::SlotOutcome;
-use iris_fuzzer::target::{Backend, BootPlan, FuzzTarget, TargetFactory};
+use iris_fuzzer::guided::{SlotContext, SlotOutcome};
+use iris_fuzzer::target::{Backend, BootPlan, TargetFactory};
 use iris_fuzzer::testcase::{MutantRange, TestCase};
 use iris_hv::coverage::CoverageMap;
 use std::collections::BTreeMap;
@@ -206,6 +205,10 @@ pub enum ExecDetail<'a> {
     Guided {
         /// The epoch's scheduling corpus (`initial ++ promoted`).
         corpus: &'a [VmSeed],
+        /// Seed path per corpus entry (rebuilt from the epoch's
+        /// promotion lineage by [`iris_fuzzer::guided::corpus_paths`]):
+        /// where each slot positions its target before submitting.
+        paths: &'a [Vec<usize>],
         /// The generation-start coverage map.
         seen: &'a CoverageMap,
     },
@@ -214,8 +217,9 @@ pub enum ExecDetail<'a> {
 /// Execute one lease range — the single implementation behind worker
 /// leases, divergence adjudication, and spot-checks, so "re-execute and
 /// compare" compares like with like by construction. Campaign chunks
-/// run [`run_mutant_range_with`]; guided ranges boot a private target
-/// and run [`run_slot`] per slot, exactly as the in-process drivers do.
+/// run [`run_mutant_range_with`]; guided ranges boot a private
+/// [`SlotContext`] and run its slot core per slot, exactly as the
+/// in-process drivers do.
 #[must_use]
 pub fn execute_range(
     backend: &Backend,
@@ -237,12 +241,15 @@ pub fn execute_range(
                 mutant_range,
             )))
         }
-        ExecDetail::Guided { corpus, seen } => {
-            let mut target = backend.build(BootPlan::post_boot(trace));
-            target.boot();
+        ExecDetail::Guided {
+            corpus,
+            paths,
+            seen,
+        } => {
+            let mut ctx = SlotContext::new(backend.build(BootPlan::post_boot(trace)));
             let mut outcomes: Vec<SlotOutcome> = Vec::with_capacity(range.len as usize);
             for slot in range.start..range.start.saturating_add(range.len) {
-                outcomes.push(run_slot(&mut target, corpus, seen, rng_seed, slot));
+                outcomes.push(ctx.run_slot(corpus, paths, seen, rng_seed, slot));
             }
             RangeOutput::Guided(outcomes)
         }

@@ -6,8 +6,9 @@
 //! byte-identical on every host), builds a **private target stack** per
 //! lease via `TargetFactory`, and runs the exact in-process cores —
 //! [`execute_range`] wraps `run_mutant_range_with` for campaign chunks
-//! and `run_slot` per slot for guided ranges — so a distributed range's
-//! bytes match the single-process run's by construction.
+//! and a `SlotContext` slot loop for guided ranges (seed paths rebuilt
+//! from the epoch's promotion lineage) — so a distributed range's bytes
+//! match the single-process run's by construction.
 //!
 //! Liveness: while a lease computes, a sibling thread owns nothing but
 //! the heartbeat cadence, writing `Heartbeat` frames that renew the
@@ -28,7 +29,7 @@ use crate::verify::{execute_range, ExecDetail};
 use crate::DistError;
 use iris_core::seed::VmSeed;
 use iris_core::trace::RecordedTrace;
-use iris_fuzzer::guided::initial_corpus;
+use iris_fuzzer::guided::{corpus_paths, initial_corpus};
 use iris_fuzzer::target::Backend;
 use iris_fuzzer::testcase::TestCase;
 use iris_hv::coverage::CoverageMap;
@@ -111,6 +112,10 @@ struct WorkerJob {
     /// The guided generation the cached corpus/coverage belong to.
     epoch: Option<u64>,
     epoch_corpus: Vec<VmSeed>,
+    /// Seed path per corpus entry, rebuilt from the epoch's promotion
+    /// lineage ([`corpus_paths`]) — where each slot positions its
+    /// target before submitting.
+    epoch_paths: Vec<Vec<usize>>,
     epoch_seen: CoverageMap,
 }
 
@@ -269,6 +274,7 @@ fn serve(
                 job_id,
                 epoch,
                 promoted,
+                lineage,
                 seen,
             } => {
                 let Some(j) = job.as_mut().filter(|j| j.id == job_id) else {
@@ -276,10 +282,20 @@ fn serve(
                         "epoch update for a job this worker was never assigned".to_owned(),
                     ));
                 };
+                if lineage.len() != promoted.len() {
+                    return Err(DistError::Protocol(format!(
+                        "epoch lineage ({}) does not match its promotions ({})",
+                        lineage.len(),
+                        promoted.len()
+                    )));
+                }
                 // The scheduling corpus is `initial ++ promoted` — the
-                // exact shape SharedEngine maintains coordinator-side.
+                // exact shape SharedEngine maintains coordinator-side —
+                // and the seed paths every slot positions with are a
+                // pure function of the lineage.
                 let mut corpus = j.corpus0.clone();
                 corpus.extend(promoted);
+                j.epoch_paths = corpus_paths(j.corpus0.len(), &lineage);
                 j.epoch_corpus = corpus;
                 j.epoch_seen = *seen;
                 j.epoch = Some(epoch);
@@ -391,6 +407,7 @@ fn derive_job(id: u64, fingerprint: String, spec: &JobSpec) -> Result<WorkerJob,
         corpus0,
         epoch: None,
         epoch_corpus: Vec::new(),
+        epoch_paths: Vec::new(),
         epoch_seen: CoverageMap::default(),
     })
 }
@@ -535,6 +552,7 @@ fn compute_lease(
             &job.trace,
             &ExecDetail::Guided {
                 corpus: &job.epoch_corpus,
+                paths: &job.epoch_paths,
                 seen: &job.epoch_seen,
             },
             range,

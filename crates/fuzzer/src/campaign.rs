@@ -141,19 +141,56 @@ pub fn run_mutant_range_with<F: TargetFactory>(
     testcase: &TestCase,
     range: MutantRange,
 ) -> ChunkOutput {
-    assert!(
-        range.end() <= testcase.mutants,
-        "chunk {range:?} beyond the test case's {} mutants",
-        testcase.mutants
-    );
-
     // Reach s1 once per chunk; the target snapshots it so crash
     // recovery is a restore in O(dirty state) instead of rebuilding the
     // stack and replaying the whole prefix again. (`for_test_case`
     // bounds-checks the seed index.)
     let mut target = factory.build(BootPlan::for_test_case(trace, testcase.seed_index));
     target.boot();
-    // lint:allow(panic-path-audit) -- for_test_case bounds-checked testcase.seed_index against trace.seeds two lines above
+    run_mutant_range_on(
+        &mut target,
+        &mut |t: &mut _| t.reset(),
+        trace,
+        testcase,
+        range,
+    )
+}
+
+/// The chunk core over an **already-positioned** target: `target` must
+/// sit in the test case's `s1` (the state right before `VM_seed_R`),
+/// and `restore_s1` must re-establish exactly that state — it is
+/// invoked after every crashing mutant, before the driver re-submits
+/// `VM_seed_R`. [`run_mutant_range_with`] passes a freshly booted
+/// target and [`FuzzTarget::reset`]; the forest-aware sharded executor
+/// instead passes a long-lived target positioned via a pinned
+/// [`iris_core::forest::SnapshotForest`] node, with a `restore_s1`
+/// that restores that node in O(delta). Because the positioned state is
+/// the same in both cases (a forest node's state is a pure function of
+/// the replayed prefix), the chunk output is byte-identical either way.
+///
+/// # Panics
+/// Panics if `range` reaches beyond `testcase.mutants` or
+/// `testcase.seed_index` beyond the trace — a malformed chunk list, not
+/// a runtime condition.
+pub fn run_mutant_range_on<T: FuzzTarget + ?Sized>(
+    target: &mut T,
+    restore_s1: &mut dyn FnMut(&mut T),
+    trace: &RecordedTrace,
+    testcase: &TestCase,
+    range: MutantRange,
+) -> ChunkOutput {
+    assert!(
+        range.end() <= testcase.mutants,
+        "chunk {range:?} beyond the test case's {} mutants",
+        testcase.mutants
+    );
+    assert!(
+        testcase.seed_index < trace.seeds.len(),
+        "test case seed index {} beyond the trace's {} seeds",
+        testcase.seed_index,
+        trace.seeds.len()
+    );
+    // lint:allow(panic-path-audit) -- seed_index asserted in range just above
     let target_seed = &trace.seeds[testcase.seed_index];
     let baseline = target.submit(target_seed).coverage;
 
@@ -183,10 +220,11 @@ pub fn run_mutant_range_with<F: TargetFactory>(
                 kind: verdict.kind,
                 console: verdict.console,
             });
-            // Reset to s1 (the paper's test-case restart after a
-            // failure — a snapshot restore, or a full rebuild when the
-            // SUT itself died), then re-establish the post-target state.
-            target.reset();
+            // Back to s1 (the paper's test-case restart after a
+            // failure — a snapshot or forest-node restore, or a full
+            // rebuild when the SUT itself died), then re-establish the
+            // post-target state.
+            restore_s1(target);
             let _ = target.submit(target_seed);
         }
     }

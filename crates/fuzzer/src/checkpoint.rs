@@ -48,8 +48,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Checkpoint format version. Bump on any layout change; loaders
-/// reject other versions instead of guessing.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// reject other versions instead of guessing. (v2: guided checkpoints
+/// carry the promotion lineage, from which the snapshot-forest seed
+/// paths are rebuilt on resume.)
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Wrap an I/O error with the operation and path it happened on, keeping
 /// the original [`io::ErrorKind`] so callers can still match on it.
@@ -180,6 +182,17 @@ pub struct GuidedCheckpoint {
     pub promotions: u64,
     /// The promoted mutants, in promotion order.
     pub promoted: Vec<VmSeed>,
+    /// Promotion lineage, aligned with `promoted`: each entry is
+    /// `(base_index, extended)` — the mutation base's corpus index and
+    /// whether the promoted mutant ran to completion (a crashing
+    /// promotion inherits its base's state path instead of extending
+    /// it). Together with the rebuilt corpus this reconstructs every
+    /// entry's seed path, so a resumed run positions slots (and pins
+    /// forest nodes) exactly like the uninterrupted one. Note that
+    /// forest *configuration* is deliberately absent from both the
+    /// checkpoint and the fingerprint, like `jobs`/`chunk`: the forest
+    /// is a pure accelerator, so a run may resume with it toggled.
+    pub lineage: Vec<(usize, bool)>,
     /// Folded failure counters so far.
     pub failures: FailureStats,
     /// The crash corpus so far.
@@ -393,6 +406,7 @@ mod tests {
             seen: CoverageMap::new(),
             promotions: 0,
             promoted: Vec::new(),
+            lineage: Vec::new(),
             failures: FailureStats::default(),
             crashes: Corpus::new(),
             growth: vec![10, 10],

@@ -27,21 +27,28 @@
 //!   ([`crate::strategies::scheduled_mutant`], RNG =
 //!   `SmallRng(rng_seed ⊕ g)`) — and executes the batch on the shared
 //!   work-stealing executor ([`crate::executor`]): every worker builds
-//!   one private booted target and serves all the slots it steals on
-//!   it, resetting to the canonical `s1` state after **every** submit.
-//!   At the **generation barrier** the outcomes merge in slot order
-//!   against the generation-start coverage map: promotions append to
-//!   the corpus in slot order, crash records fold into the crash
-//!   corpus in slot order, and the growth curve records one point per
-//!   generation. Because the unconditional reset makes every slot
-//!   outcome an *exact* pure function of
-//!   `(corpus, coverage snapshot, rng_seed, g)` — no residual target
-//!   state leaks between the slots a worker serves — and the merge
-//!   order is defined, the serialized [`GuidedResult`] is
-//!   **byte-identical for any `jobs` count** — jobs=1 is the
-//!   reference semantics. The same law is what lets a panicked
-//!   worker's lost slots be re-executed byte-identically (see
-//!   RELIABILITY.md).
+//!   one private booted [`SlotContext`] and serves all the slots it
+//!   steals on it. Each slot **positions at its mutation base's
+//!   state** — `s1` plus the base's seed path ([`corpus_paths`]) — so
+//!   mutation resumes from where the promoted base left off instead of
+//!   rebooting to `s1`; with a snapshot forest
+//!   ([`crate::target::TargetFactory::forest`]) that positioning is an
+//!   O(delta) restore of the base's pinned node, without one it is a
+//!   root reset plus path replay — **state-identical by the forest
+//!   law**, so the forest is a pure accelerator. At the **generation
+//!   barrier** the outcomes merge in slot order against the
+//!   generation-start coverage map: promotions append to the corpus in
+//!   slot order, crash records fold into the crash corpus in slot
+//!   order, and the growth curve records one point per generation.
+//!   Because the from-scratch positioning makes every slot outcome an
+//!   *exact* pure function of
+//!   `(corpus, paths, coverage snapshot, rng_seed, g)` — no residual
+//!   target state leaks between the slots a worker serves — and the
+//!   merge order is defined, the serialized [`GuidedResult`] is
+//!   **byte-identical for any `jobs` count and with the forest on or
+//!   off** — jobs=1 without a forest is the reference semantics. The
+//!   same law is what lets a panicked worker's lost slots be
+//!   re-executed byte-identically (see RELIABILITY.md).
 
 use crate::checkpoint::{GuidedCheckpoint, CHECKPOINT_VERSION};
 use crate::corpus::{Corpus, CrashRecord};
@@ -50,6 +57,7 @@ use crate::failure::FailureStats;
 use crate::strategies::{mutate_with, scheduled_mutant, Strategy};
 use crate::target::{BootPlan, CrashVerdict, FuzzTarget, IrisHvTarget, TargetFactory};
 use crate::testcase::TestCase;
+use iris_core::forest::StateId;
 use iris_core::seed::VmSeed;
 use iris_core::trace::RecordedTrace;
 use iris_guest::workloads::Workload;
@@ -335,6 +343,9 @@ pub struct GenerationProgress<'a> {
     pub seen: &'a CoverageMap,
     /// The promoted mutants so far, in promotion order.
     pub promoted: &'a [VmSeed],
+    /// Promotion lineage, aligned with `promoted` (see
+    /// [`corpus_paths`]).
+    pub lineage: &'a [(usize, bool)],
     /// The growth curve so far (one point per completed generation).
     pub growth: &'a [u64],
 }
@@ -354,6 +365,7 @@ impl GenerationProgress<'_> {
             seen: self.seen.clone(),
             promotions: self.promotions,
             promoted: self.promoted.to_vec(),
+            lineage: self.lineage.to_vec(),
             failures: self.failures,
             crashes: self.crashes.clone(),
             growth: self.growth.to_vec(),
@@ -411,37 +423,141 @@ pub struct SlotRange {
     pub len: u64,
 }
 
-/// Execute one slot on a worker's private target: schedule the mutant
-/// per the slot law, submit it against the canonical `s1` state, and
-/// reset. Pure in `(corpus, seen, rng_seed, slot)` — **exactly**, not
-/// empirically: the unconditional reset discards whatever residual
-/// hypervisor/device state the submission accumulated, so a slot's
-/// outcome cannot depend on which other slots its worker happened to
-/// serve first. That independence is what the engine's partition law
-/// (byte-identical results for any `jobs`) and the executor's re-lease
-/// law (a panicked slot re-runs identically on a fresh context) rest
-/// on; with crash-only resets, rare state-sensitive mutants diverged
-/// across worker counts once budgets reached a few thousand slots.
-pub fn run_slot<T: FuzzTarget>(
-    target: &mut T,
-    corpus: &[VmSeed],
-    seen: &CoverageMap,
-    rng_seed: u64,
-    slot: u64,
-) -> SlotOutcome {
-    let scheduled = scheduled_mutant(corpus, rng_seed, slot);
-    let out = target.submit(&scheduled.mutant);
-    let crash = out.crash.map(|verdict| (verdict, scheduled.mutant.clone()));
-    target.reset();
-    let discovery =
-        (seen.new_lines_from(&out.coverage) > 0).then_some((scheduled.mutant, out.coverage));
-    SlotOutcome {
-        base_index: scheduled.base_index,
-        // lint:allow(panic-path-audit) -- scheduled.base_index was issued by the scheduler from this same corpus snapshot
-        reason: corpus[scheduled.base_index].reason,
-        area: scheduled.area,
-        crash,
-        discovery,
+/// The seed paths of a corpus assembled as `initial ++ promoted`,
+/// rebuilt from the promotion lineage. Entry `i`'s path is the sequence
+/// of corpus indices to replay from `s1` to reach the state entry `i`
+/// mutates from: initial entries mutate from `s1` itself (empty path),
+/// a promoted entry that ran to completion extends its base's path with
+/// its own index, and a crashing promotion inherits its base's path
+/// unchanged (a crashed state is not a useful mutation base). Shared
+/// with `crates/dist`, whose workers rebuild the same paths from the
+/// lineage the coordinator ships at each epoch.
+#[must_use]
+pub fn corpus_paths(initial_len: usize, lineage: &[(usize, bool)]) -> Vec<Vec<usize>> {
+    let mut paths: Vec<Vec<usize>> = vec![Vec::new(); initial_len];
+    for (k, (base, extended)) in lineage.iter().enumerate() {
+        let mut path = paths.get(*base).cloned().unwrap_or_default();
+        if *extended {
+            path.push(initial_len + k);
+        }
+        paths.push(path);
+    }
+    paths
+}
+
+/// Per-worker slot execution state: one private booted target plus the
+/// worker's cache of pinned forest nodes (corpus index → [`StateId`]).
+///
+/// [`SlotContext::run_slot`] executes one slot of a generation:
+/// position the target at the mutation base's state (the state reached
+/// by replaying the base's seed path from `s1` — see [`corpus_paths`]),
+/// submit the scheduled mutant, and report the outcome. The outcome is
+/// pure in `(corpus, paths, seen, rng_seed, slot)` — **exactly**, not
+/// empirically: positioning starts from an unconditional reset (or a
+/// forest restore, which is state-identical by the forest law), so a
+/// slot's outcome cannot depend on which other slots its worker
+/// happened to serve first. That independence is what the engine's
+/// partition law (byte-identical results for any `jobs`), the
+/// executor's re-lease law (a panicked slot re-runs identically on a
+/// fresh context), *and* the forest law (byte-identical results with
+/// the forest on or off, whatever was evicted) all rest on.
+#[derive(Debug)]
+pub struct SlotContext<T: FuzzTarget> {
+    target: T,
+    /// Whether the target has a live snapshot forest (probed once at
+    /// construction via `reset_to(ROOT)`).
+    forest: bool,
+    /// Pinned post-execution node per corpus index (`None` = never
+    /// pinned by this worker). A hit that fails to restore (evicted)
+    /// falls back to derive-and-re-pin.
+    nodes: Vec<Option<StateId>>,
+}
+
+impl<T: FuzzTarget> SlotContext<T> {
+    /// Boot a private target and probe its forest support.
+    pub fn new(mut target: T) -> Self {
+        target.boot();
+        let forest = target.reset_to(StateId::ROOT);
+        Self {
+            target,
+            forest,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Position the target at the state `path` names (the state after
+    /// replaying `corpus[path[0]], corpus[path[1]], ...` from `s1`).
+    fn position(&mut self, corpus: &[VmSeed], path: &[usize]) {
+        if self.forest {
+            self.position_pinned(corpus, path);
+        } else {
+            // lint:allow(slot-reset-law) -- this reset is unconditional per slot: every position() starts from s1; the branch selects the restore mechanism (replay vs forest), not whether to reset
+            self.target.reset();
+            for &ci in path {
+                if let Some(seed) = corpus.get(ci) {
+                    let _ = self.target.submit(seed);
+                }
+            }
+        }
+    }
+
+    /// Forest positioning: restore the path's last pinned node in
+    /// O(delta), deriving (and re-pinning) it from the path prefix on a
+    /// cache miss or after eviction — slower, never wrong.
+    fn position_pinned(&mut self, corpus: &[VmSeed], path: &[usize]) {
+        let Some((&last, prefix)) = path.split_last() else {
+            // lint:allow(slot-reset-law) -- unconditional per slot: the empty path IS s1; reset here is the forest-mode root restore, not conditional slot state
+            self.target.reset();
+            return;
+        };
+        if let Some(&Some(id)) = self.nodes.get(last) {
+            if self.target.reset_to(id) {
+                return;
+            }
+        }
+        self.position_pinned(corpus, prefix);
+        if let Some(seed) = corpus.get(last) {
+            let _ = self.target.submit(seed);
+        }
+        if let Some(id) = self.target.pin_state() {
+            if self.nodes.len() <= last {
+                self.nodes.resize(last + 1, None);
+            }
+            if let Some(slot) = self.nodes.get_mut(last) {
+                *slot = Some(id);
+            }
+        }
+    }
+
+    /// Execute one slot: schedule the mutant per the slot law, position
+    /// at the base's state, submit, and report. See the type docs for
+    /// the purity law this must (and does) uphold.
+    pub fn run_slot(
+        &mut self,
+        corpus: &[VmSeed],
+        paths: &[Vec<usize>],
+        seen: &CoverageMap,
+        rng_seed: u64,
+        slot: u64,
+    ) -> SlotOutcome {
+        let scheduled = scheduled_mutant(corpus, rng_seed, slot);
+        let path = paths
+            .get(scheduled.base_index)
+            .map(Vec::as_slice)
+            .unwrap_or_default();
+        self.position(corpus, path);
+        let out = self.target.submit(&scheduled.mutant);
+        let crash = out.crash.map(|verdict| (verdict, scheduled.mutant.clone()));
+        let discovery =
+            (seen.new_lines_from(&out.coverage) > 0).then_some((scheduled.mutant, out.coverage));
+        SlotOutcome {
+            base_index: scheduled.base_index,
+            // lint:allow(panic-path-audit) -- scheduled.base_index was issued by the scheduler from this same corpus snapshot
+            reason: corpus[scheduled.base_index].reason,
+            area: scheduled.area,
+            crash,
+            discovery,
+        }
     }
 }
 
@@ -466,6 +582,12 @@ pub struct SharedEngine {
     /// `config.generation` clamped to ≥ 1.
     generation: u64,
     corpus: Vec<VmSeed>,
+    /// Seed path per corpus entry (see [`corpus_paths`]): what a slot
+    /// replays (or forest-restores) to reach its base's state.
+    paths: Vec<Vec<usize>>,
+    /// Promotion lineage, aligned with `promoted`: `(base_index,
+    /// extended)` per promotion — the wire/checkpoint form of `paths`.
+    lineage: Vec<(usize, bool)>,
     seen: CoverageMap,
     baseline_lines: u64,
     failures: FailureStats,
@@ -493,11 +615,14 @@ impl SharedEngine {
             "guided engine requires a non-empty initial corpus"
         );
         let baseline_lines = baseline.lines();
+        let paths = vec![Vec::new(); corpus.len()];
         Self {
             workload: workload_of(trace),
             config,
             generation: config.generation.max(1),
             corpus,
+            paths,
+            lineage: Vec::new(),
             seen: baseline,
             baseline_lines,
             failures: FailureStats::default(),
@@ -540,12 +665,22 @@ impl SharedEngine {
             !corpus.is_empty(),
             "guided engine requires a non-empty initial corpus"
         );
+        let initial_len = corpus.len();
         corpus.extend(cp.promoted.iter().cloned());
+        assert!(
+            cp.lineage.len() == cp.promoted.len(),
+            "guided checkpoint lineage ({}) does not match its promotions ({})",
+            cp.lineage.len(),
+            cp.promoted.len()
+        );
+        let paths = corpus_paths(initial_len, &cp.lineage);
         Self {
             workload: workload_of(trace),
             config,
             generation,
             corpus,
+            paths,
+            lineage: cp.lineage,
             seen: cp.seen,
             baseline_lines: cp.baseline_lines,
             failures: cp.failures,
@@ -590,6 +725,21 @@ impl SharedEngine {
         &self.promoted
     }
 
+    /// Promotion lineage, aligned with [`SharedEngine::promoted`] —
+    /// what a remote worker (or a resumed run) feeds [`corpus_paths`]
+    /// to rebuild [`SharedEngine::paths`].
+    #[must_use]
+    pub fn lineage(&self) -> &[(usize, bool)] {
+        &self.lineage
+    }
+
+    /// Seed path per corpus entry, frozen for the current batch (see
+    /// [`corpus_paths`]).
+    #[must_use]
+    pub fn paths(&self) -> &[Vec<usize>] {
+        &self.paths
+    }
+
     /// The run's scheduling RNG seed (the slot law's `rng_seed`).
     #[must_use]
     pub fn rng_seed(&self) -> u64 {
@@ -627,6 +777,7 @@ impl SharedEngine {
         );
         for (offset, out) in outcomes.into_iter().enumerate() {
             let slot = self.next_slot + offset as u64;
+            let crashed = out.crash.is_some();
             self.failures
                 .record_kind(out.crash.as_ref().map(|(v, _)| v.kind));
             if let Some((verdict, seed)) = out.crash {
@@ -648,6 +799,16 @@ impl SharedEngine {
             if let Some((mutant, coverage)) = out.discovery {
                 if self.seen.new_lines_from(&coverage) > 0 {
                     self.seen.merge(&coverage);
+                    // The promoted entry's seed path: its base's path,
+                    // extended by its own corpus index when it ran to
+                    // completion (a crashed state is not a mutation
+                    // base — see corpus_paths).
+                    let mut path = self.paths.get(out.base_index).cloned().unwrap_or_default();
+                    if !crashed {
+                        path.push(self.corpus.len());
+                    }
+                    self.lineage.push((out.base_index, !crashed));
+                    self.paths.push(path);
                     self.promoted.push(mutant.clone());
                     self.corpus.push(mutant);
                     self.promotions += 1;
@@ -676,6 +837,7 @@ impl SharedEngine {
             failures: self.failures,
             seen: &self.seen,
             promoted: &self.promoted,
+            lineage: &self.lineage,
             growth: &self.growth,
         }
     }
@@ -821,27 +983,29 @@ where
         // while the batch runs — workers only read them.
         let items = vec![(); batch.len as usize];
         let gen_corpus = engine.corpus();
+        let gen_paths = engine.paths();
         let gen_seen = engine.seen();
         let outcomes = match crate::executor::run_indexed_ctx_with(
             &items,
             jobs,
             &options.policy,
             || {
-                // One private booted target per worker, serving every
-                // slot the worker steals this generation; crashes reset
-                // it (run_slot), so each slot starts from a state the
-                // submit contract makes equivalent to `s1`. A worker
-                // that panics is torn down and rebuilt here, and its
-                // slot re-executes byte-identically (the slot law is
-                // history-independent).
-                let mut target = factory.build(BootPlan::post_boot(trace));
-                target.boot();
-                target
+                // One private booted SlotContext per worker, serving
+                // every slot the worker steals this generation. Each
+                // slot positions at its base's state from scratch (an
+                // unconditional root reset, or a forest restore that is
+                // state-identical by the forest law), so no residual
+                // state leaks between the slots a worker serves. A
+                // worker that panics is torn down and rebuilt here, and
+                // its slot re-executes byte-identically (the slot law
+                // is history-independent; a rebuilt context merely
+                // starts with a cold node cache).
+                SlotContext::new(factory.build(BootPlan::post_boot(trace)))
             },
-            |target, index, ()| {
-                run_slot(
-                    target,
+            |ctx, index, ()| {
+                ctx.run_slot(
                     gen_corpus,
+                    gen_paths,
                     gen_seen,
                     config.rng_seed,
                     batch.start + index as u64,

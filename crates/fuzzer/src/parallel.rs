@@ -27,23 +27,35 @@
 //! idles: wall-clock is bounded by total mutants, not by the largest
 //! cell.
 //!
+//! When the factory enables the snapshot forest
+//! ([`TargetFactory::forest`]), workers trade the per-chunk rebuild for
+//! a **long-lived target per workload** (a prefix server): positioning
+//! at a test case's seed prefix restores the deepest pinned
+//! [`iris_core::forest::SnapshotForest`] node and replays only the
+//! remaining seeds — O(delta) instead of O(prefix) — and crash recovery
+//! inside a chunk restores the prefix node the same way. Pins are pure
+//! accelerators (an evicted node is re-derived by replay), so the two
+//! paths position targets in identical states.
+//!
 //! Determinism is a hard requirement: the mutant stream is a pure
 //! function of `(rng_seed, mutant_index)`, chunk outputs merge in a
 //! defined order, and folding is ordered by plan index — so the report
 //! (results, merged coverage, folded stats, deduplicated corpus) is
-//! byte-identical for **any** `(jobs, chunk)` combination, and
-//! identical to a sequential [`crate::campaign::Campaign`] loop over
-//! the same plan.
+//! byte-identical for **any** `(jobs, chunk)` combination and forest
+//! configuration, and identical to a sequential
+//! [`crate::campaign::Campaign`] loop over the same plan.
 
 use crate::campaign::{
-    assemble_test_case, run_mutant_range_with, run_test_case_with, ChunkOutput, TestCaseResult,
+    assemble_test_case, run_mutant_range_on, run_mutant_range_with, run_test_case_with,
+    ChunkOutput, TestCaseResult,
 };
 use crate::checkpoint::CampaignCheckpoint;
 use crate::corpus::Corpus;
 use crate::executor::{ExecutorError, RunPolicy};
 use crate::failure::FailureStats;
-use crate::target::{IrisHvTarget, TargetFactory};
+use crate::target::{BootPlan, FuzzTarget, IrisHvTarget, TargetFactory};
 use crate::testcase::{MutantRange, TestCase, DEFAULT_CHUNK};
+use iris_core::forest::StateId;
 use iris_core::trace::RecordedTrace;
 use iris_guest::workloads::Workload;
 use iris_hv::coverage::CoverageMap;
@@ -98,6 +110,116 @@ impl CampaignReport {
 impl Default for CampaignReport {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Forest-mode worker state for one workload: a long-lived target plus
+/// the pinned snapshot-forest node for each replayed seed-prefix
+/// length. Kept for the worker's whole run, so successive chunks over
+/// the same trace restore a pinned prefix instead of rebuilding the
+/// stack and replaying from scratch.
+struct PrefixServer<T> {
+    /// The long-lived target (built with a prefix-0 plan, so the forest
+    /// root is the trace's replay start state).
+    target: T,
+    /// `nodes[k]` pins the state after replaying `seeds[..k]`;
+    /// `nodes[0]` is the forest root. Every entry is a pure
+    /// accelerator: an evicted pin is a clean miss and the state is
+    /// re-derived by replaying from the deepest surviving ancestor.
+    nodes: Vec<Option<StateId>>,
+}
+
+impl<T: FuzzTarget> PrefixServer<T> {
+    /// Boot a freshly built target into a server (the target must come
+    /// from a prefix-0 plan, so the forest root is the state right
+    /// before `seeds[0]`).
+    fn new(mut target: T) -> PrefixServer<T> {
+        target.boot();
+        PrefixServer {
+            target,
+            nodes: vec![Some(StateId::ROOT)],
+        }
+    }
+
+    /// Run one chunk: position at the test case's seed prefix (pinned
+    /// node restore + remainder replay), then run the shared chunk core
+    /// with a `restore_s1` that re-positions the same way after a
+    /// crash. Byte-identical to [`run_mutant_range_with`], which boots
+    /// a fresh target to the same state.
+    fn run_chunk(
+        &mut self,
+        trace: &RecordedTrace,
+        testcase: &TestCase,
+        range: MutantRange,
+    ) -> ChunkOutput {
+        let Self { target, nodes } = self;
+        position(target, nodes, trace, testcase.seed_index);
+        run_mutant_range_on(
+            target,
+            &mut |t: &mut T| position(t, nodes, trace, testcase.seed_index),
+            trace,
+            testcase,
+            range,
+        )
+    }
+}
+
+/// Put `target` in the state right before `trace.seeds[prefix]`:
+/// restore the deepest surviving pinned ancestor and replay the rest,
+/// pinning each step so later work (crash recovery within this chunk,
+/// sibling test cases deeper in the same trace) restores in O(delta).
+/// The positioned state is byte-identical to a fresh
+/// [`BootPlan::for_test_case`] boot at `prefix` — a forest node's state
+/// is a pure function of the replayed prefix.
+///
+/// # Panics
+/// Panics if `prefix` is beyond the trace — a malformed plan, not a
+/// runtime condition.
+fn position<T: FuzzTarget>(
+    target: &mut T,
+    nodes: &mut Vec<Option<StateId>>,
+    trace: &RecordedTrace,
+    prefix: usize,
+) {
+    assert!(
+        prefix < trace.seeds.len(),
+        "seed prefix {prefix} beyond the trace's {} seeds",
+        trace.seeds.len()
+    );
+    if nodes.len() <= prefix {
+        nodes.resize(prefix + 1, None);
+    }
+    let mut from = prefix;
+    loop {
+        // lint:allow(panic-path-audit) -- nodes was resized to prefix+1 entries above and `from` only descends from prefix
+        if let Some(id) = nodes[from] {
+            if target.reset_to(id) {
+                break;
+            }
+            // Evicted under cap pressure (or no forest at all on this
+            // target): forget the stale pin and fall back one level.
+            // lint:allow(panic-path-audit) -- same bound as the read above
+            nodes[from] = None;
+        }
+        if from == 0 {
+            // The root itself: a plain reset *is* the prefix-0 state.
+            target.reset();
+            break;
+        }
+        from -= 1;
+    }
+    for k in from..prefix {
+        // lint:allow(panic-path-audit) -- k < prefix, asserted in range against trace.seeds above
+        let out = target.submit(&trace.seeds[k]);
+        debug_assert!(
+            out.crash.is_none(),
+            "prefix replay must be clean: {:?}",
+            out.crash
+        );
+        if let Some(id) = target.pin_state() {
+            // lint:allow(panic-path-audit) -- k + 1 <= prefix < nodes.len() after the resize above
+            nodes[k + 1] = Some(id);
+        }
     }
 }
 
@@ -380,38 +502,67 @@ impl<F: TargetFactory> ParallelCampaign<F> {
         let mut pending: Vec<ChunkOutput> = Vec::new();
         // lint:allow(panic-path-audit) -- skip is asserted <= plan.len() when the checkpoint is validated
         let mut mutants_done: u64 = plan[..skip].iter().map(|tc| tc.mutants as u64).sum();
-        let outcome = crate::executor::run_ordered_with(
-            &jobs_list,
-            self.jobs,
-            policy,
-            || (),
-            |(), _, &(tc_idx, range)| {
-                // lint:allow(panic-path-audit) -- tc_idx comes from enumerate() over plan
-                let tc = &plan[tc_idx];
-                run_mutant_range_with(factory, trace_of(tc), tc, range)
-            },
-            |job, out| {
-                mutants_done += out.range.len as u64;
-                // lint:allow(panic-path-audit) -- job is an index run_ordered_with issues over jobs_list
-                let tc_idx = jobs_list[job].0;
-                pending.push(out);
-                // lint:allow(panic-path-audit) -- span has plan.len() entries and tc_idx comes from enumerate() over plan
-                if pending.len() == span[tc_idx] {
-                    let (result, coverage) =
-                        // lint:allow(panic-path-audit) -- tc_idx comes from enumerate() over plan
-                        assemble_test_case(&plan[tc_idx], pending.drain(..), &mut report.corpus);
-                    report.fold_assembled(result, &coverage);
-                }
-                observe(
-                    CampaignProgress {
-                        mutants_done,
-                        mutants_total,
-                        results_folded: report.results.len(),
-                    },
-                    &report,
-                );
-            },
-        );
+        let mut sink = |job: usize, out: ChunkOutput| {
+            mutants_done += out.range.len as u64;
+            // lint:allow(panic-path-audit) -- job is an index run_ordered_with issues over jobs_list
+            let tc_idx = jobs_list[job].0;
+            pending.push(out);
+            // lint:allow(panic-path-audit) -- span has plan.len() entries and tc_idx comes from enumerate() over plan
+            if pending.len() == span[tc_idx] {
+                let (result, coverage) =
+                    // lint:allow(panic-path-audit) -- tc_idx comes from enumerate() over plan
+                    assemble_test_case(&plan[tc_idx], pending.drain(..), &mut report.corpus);
+                report.fold_assembled(result, &coverage);
+            }
+            observe(
+                CampaignProgress {
+                    mutants_done,
+                    mutants_total,
+                    results_folded: report.results.len(),
+                },
+                &report,
+            );
+        };
+        let outcome = if factory.forest().is_some() {
+            // Forest mode: persistent per-worker servers (one per
+            // workload) position via pinned nodes instead of booting a
+            // fresh stack per chunk. Byte-identical output either way —
+            // the conformance suite holds the two paths against each
+            // other.
+            crate::executor::run_ordered_with(
+                &jobs_list,
+                self.jobs,
+                policy,
+                BTreeMap::new,
+                |servers: &mut BTreeMap<Workload, PrefixServer<F::Target<'t>>>,
+                 _,
+                 &(tc_idx, range)| {
+                    // lint:allow(panic-path-audit) -- tc_idx comes from enumerate() over plan
+                    let tc = &plan[tc_idx];
+                    let trace = trace_of(tc);
+                    servers
+                        .entry(tc.workload)
+                        .or_insert_with(|| {
+                            PrefixServer::new(factory.build(BootPlan::for_test_case(trace, 0)))
+                        })
+                        .run_chunk(trace, tc, range)
+                },
+                &mut sink,
+            )
+        } else {
+            crate::executor::run_ordered_with(
+                &jobs_list,
+                self.jobs,
+                policy,
+                || (),
+                |(), _, &(tc_idx, range)| {
+                    // lint:allow(panic-path-audit) -- tc_idx comes from enumerate() over plan
+                    let tc = &plan[tc_idx];
+                    run_mutant_range_with(factory, trace_of(tc), tc, range)
+                },
+                &mut sink,
+            )
+        };
         match outcome {
             Ok(()) => Ok(report),
             // Folding is all-or-nothing per test case: the partial
@@ -561,6 +712,39 @@ mod tests {
                     "jobs={jobs} chunk={chunk} diverged from the sequential reference"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn forest_mode_report_is_byte_identical_to_forest_off() {
+        use crate::target::{Backend, ConfiguredBackend};
+        use iris_core::forest::ForestConfig;
+
+        let trace = boot_trace(100);
+        let plan = plan_over(&trace, 25);
+        let mut traces = BTreeMap::new();
+        traces.insert(iris_guest::workloads::Workload::OsBoot, trace);
+
+        let plain = ParallelCampaign::with_factory(2, ConfiguredBackend::new(Backend::Iris))
+            .run(&traces, &plan);
+        let baseline = serde_json::to_string(&plain).unwrap();
+        assert!(
+            plain.corpus.observed() > 0,
+            "the plan must exercise crash recovery"
+        );
+        // Tight node caps keep eviction pressure on: a stale pin must
+        // be a clean miss (re-derived by replay), never a wrong state.
+        for (jobs, cap) in [(1usize, ForestConfig::DEFAULT_CAP), (2, 3), (8, 1)] {
+            let forest = ParallelCampaign::with_factory(
+                jobs,
+                ConfiguredBackend::new(Backend::Iris).with_forest(Some(ForestConfig { cap })),
+            )
+            .run(&traces, &plan);
+            assert_eq!(
+                serde_json::to_string(&forest).unwrap(),
+                baseline,
+                "forest jobs={jobs} cap={cap} diverged from the forest-off reference"
+            );
         }
     }
 

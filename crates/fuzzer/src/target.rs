@@ -35,6 +35,7 @@
 
 use crate::corpus::{Corpus, CrashRecord};
 use crate::failure::{classify, FailureKind};
+use iris_core::forest::{ForestConfig, SnapshotForest, StateId};
 use iris_core::record::Recorder;
 use iris_core::replay::ReplayEngine;
 use iris_core::seed::VmSeed;
@@ -145,6 +146,31 @@ pub trait FuzzTarget {
     /// # Panics
     /// Panics if the target was never booted.
     fn reset(&mut self);
+
+    /// Pin the current state as a snapshot-forest node and return its
+    /// id, so a later [`FuzzTarget::reset_to`] can come back to it in
+    /// O(delta) instead of O(prefix) replay. `None` when the target has
+    /// no forest (the default — forest support is opt-in per backend).
+    ///
+    /// Drivers must treat pinned nodes as a **pure accelerator**: a
+    /// node's state is by construction the state reached by replaying
+    /// its seed path from `s1`, so any pin may be dropped (eviction)
+    /// and re-derived without changing results.
+    fn pin_state(&mut self) -> Option<StateId> {
+        None
+    }
+
+    /// Restore a previously pinned state in place. Returns `false` —
+    /// leaving the target untouched — when the target has no forest or
+    /// the node was evicted; the caller then re-derives the state via
+    /// [`FuzzTarget::reset`] + seed replay (slower, never wrong). A
+    /// SUT-fatal crash is recovered with a full reboot first, like
+    /// [`FuzzTarget::reset`]. This seam is what lets a future
+    /// `RemoteTarget` adopt the forest protocol without new driver
+    /// code.
+    fn reset_to(&mut self, _id: StateId) -> bool {
+        false
+    }
 }
 
 /// Builds private [`FuzzTarget`] instances — the seam the sharded
@@ -163,12 +189,32 @@ pub trait TargetFactory: Send + Sync {
 
     /// One-line description for the `targets` listing.
     fn description(&self) -> &'static str;
+
+    /// The snapshot-forest configuration instances built by this
+    /// factory enable (`None` = forest off, the default). Drivers use
+    /// this to decide whether persistent per-worker targets with pinned
+    /// states are worth keeping; either way reports must stay
+    /// byte-identical, because the forest is a pure accelerator.
+    fn forest(&self) -> Option<ForestConfig> {
+        None
+    }
+}
+
+/// How a booted [`HvTarget`] gets back to `s1`: one flat snapshot, or a
+/// copy-on-write forest rooted there (when [`TargetFactory::forest`] is
+/// configured).
+enum ResetState {
+    /// Classic single-snapshot restore.
+    Snapshot(Snapshot),
+    /// Snapshot forest: `s1` is the root; [`FuzzTarget::pin_state`] /
+    /// [`FuzzTarget::reset_to`] are live.
+    Forest(SnapshotForest),
 }
 
 struct HvStack {
     hv: Hypervisor,
     engine: ReplayEngine,
-    s1: Snapshot,
+    reset: ResetState,
 }
 
 /// A fuzz target over the in-tree hypervisor model: a dummy VM driven by
@@ -179,6 +225,7 @@ pub struct HvTarget<'t> {
     plan: BootPlan<'t>,
     ram_bytes: u64,
     faults: FaultInjection,
+    forest_cfg: Option<ForestConfig>,
     state: Option<HvStack>,
 }
 
@@ -189,6 +236,7 @@ impl std::fmt::Debug for HvTarget<'_> {
             .field("prefix", &self.plan.prefix)
             .field("ram_bytes", &self.ram_bytes)
             .field("faults", &self.faults)
+            .field("forest", &self.forest_cfg)
             .field("booted", &self.state.is_some())
             .finish()
     }
@@ -196,6 +244,17 @@ impl std::fmt::Debug for HvTarget<'_> {
 
 impl FuzzTarget for HvTarget<'_> {
     fn boot(&mut self) {
+        // A reboot in forest mode salvages the forest: boot is
+        // deterministic, so the freshly built stack *is* the root state
+        // and every pinned node stays restorable (the determinism law —
+        // a node is a pure function of `(trace, prefix, seed path)`).
+        let prior_forest = match self.state.take() {
+            Some(HvStack {
+                reset: ResetState::Forest(forest),
+                ..
+            }) => Some(forest),
+            _ => None,
+        };
         let mut hv = Hypervisor::new();
         hv.faults = self.faults;
         // Campaign drivers only consume Err/Crit console lines (the
@@ -215,8 +274,28 @@ impl FuzzTarget for HvTarget<'_> {
                 out.exit.crash
             );
         }
-        let s1 = Snapshot::take(&hv, dummy);
-        self.state = Some(HvStack { hv, engine, s1 });
+        let reset = match (self.forest_cfg, prior_forest) {
+            (Some(_), Some(mut forest)) => {
+                forest.rebooted();
+                hv.domains[dummy as usize]
+                    .memory
+                    .set_page_dirty_tracking(true);
+                ResetState::Forest(forest)
+            }
+            (Some(cfg), None) => match SnapshotForest::new(&hv, dummy, cfg) {
+                Some(forest) => {
+                    // Tracking starts *after* the root capture so the
+                    // dirty set measures divergence from `s1`.
+                    hv.domains[dummy as usize]
+                        .memory
+                        .set_page_dirty_tracking(true);
+                    ResetState::Forest(forest)
+                }
+                None => ResetState::Snapshot(Snapshot::take(&hv, dummy)),
+            },
+            (None, _) => ResetState::Snapshot(Snapshot::take(&hv, dummy)),
+        };
+        self.state = Some(HvStack { hv, engine, reset });
     }
 
     // Inlined so the per-submission `SubmitOutcome` move (the coverage
@@ -248,11 +327,47 @@ impl FuzzTarget for HvTarget<'_> {
         let st = self.state.as_mut().expect("boot() the target first");
         if st.hv.is_alive() {
             // A domain crash (or a clean state) restores from the
-            // snapshot in O(dirty state).
-            st.s1.restore_into(&mut st.hv, st.engine.domain);
+            // snapshot in O(dirty state) — or, in forest mode, walks
+            // back to the root in O(delta).
+            match &mut st.reset {
+                ResetState::Snapshot(s1) => s1.restore_into(&mut st.hv, st.engine.domain),
+                ResetState::Forest(forest) => {
+                    let ok = forest.restore_to(&mut st.hv, st.engine.domain, StateId::ROOT);
+                    debug_assert!(ok, "the forest root is never evicted");
+                }
+            }
         } else {
             // A hypervisor crash killed the whole stack; rebuild it.
             self.boot();
+        }
+    }
+
+    fn pin_state(&mut self) -> Option<StateId> {
+        let st = self.state.as_mut().expect("boot() the target first");
+        match &mut st.reset {
+            ResetState::Snapshot(_) => None,
+            ResetState::Forest(forest) => {
+                let id = forest.take_delta(&mut st.hv, st.engine.domain);
+                forest.evict_excess(&[id]);
+                Some(id)
+            }
+        }
+    }
+
+    fn reset_to(&mut self, id: StateId) -> bool {
+        if self.forest_cfg.is_none() {
+            return false;
+        }
+        let st = self.state.as_mut().expect("boot() the target first");
+        if !st.hv.is_alive() {
+            // SUT-fatal crash: rebuild the stack (which salvages the
+            // forest), then restore the pinned node from the root.
+            self.boot();
+        }
+        let st = self.state.as_mut().expect("boot() the target first");
+        match &mut st.reset {
+            ResetState::Snapshot(_) => false,
+            ResetState::Forest(forest) => forest.restore_to(&mut st.hv, st.engine.domain, id),
         }
     }
 }
@@ -286,6 +401,7 @@ fn build_hv_target(plan: BootPlan<'_>, ram_bytes: u64, faults: FaultInjection) -
         plan,
         ram_bytes,
         faults,
+        forest_cfg: None,
         state: None,
     }
 }
@@ -400,6 +516,66 @@ impl TargetFactory for Backend {
             Backend::Iris => IrisHvTarget::default().description(),
             Backend::Faulty => FaultyHvTarget::default().description(),
         }
+    }
+}
+
+/// A [`Backend`] plus runtime tuning — dummy-VM sizing and the optional
+/// snapshot forest. This is what the CLI hands to drivers once
+/// `--target`/`--forest`/`--forest-cap` are parsed; with `forest: None`
+/// it builds byte-for-byte the same targets as the bare [`Backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfiguredBackend {
+    /// Which registered backend to build.
+    pub backend: Backend,
+    /// Guest RAM for the dummy domain.
+    pub ram_bytes: u64,
+    /// Snapshot-forest configuration (`None` = classic single-snapshot
+    /// resets).
+    pub forest: Option<ForestConfig>,
+}
+
+impl ConfiguredBackend {
+    /// Default tuning for a backend: default RAM, forest off.
+    #[must_use]
+    pub fn new(backend: Backend) -> Self {
+        Self {
+            backend,
+            ram_bytes: crate::campaign::DEFAULT_RAM_BYTES,
+            forest: None,
+        }
+    }
+
+    /// Set (or clear) the snapshot-forest configuration.
+    #[must_use]
+    pub fn with_forest(mut self, forest: Option<ForestConfig>) -> Self {
+        self.forest = forest;
+        self
+    }
+}
+
+impl TargetFactory for ConfiguredBackend {
+    type Target<'t> = HvTarget<'t>;
+
+    fn build<'t>(&self, plan: BootPlan<'t>) -> HvTarget<'t> {
+        let faults = match self.backend {
+            Backend::Iris => FaultInjection::NONE,
+            Backend::Faulty => FaultInjection::planted(),
+        };
+        let mut target = build_hv_target(plan, self.ram_bytes, faults);
+        target.forest_cfg = self.forest;
+        target
+    }
+
+    fn name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    fn description(&self) -> &'static str {
+        self.backend.description()
+    }
+
+    fn forest(&self) -> Option<ForestConfig> {
+        self.forest
     }
 }
 
@@ -548,6 +724,70 @@ mod tests {
         let factory = IrisHvTarget::default();
         let mut target = factory.build(BootPlan::post_boot(&trace));
         let _ = target.submit(&trace.seeds[0]);
+    }
+
+    #[test]
+    fn forest_target_pins_and_restores_states() {
+        let trace = boot_trace(60);
+        let factory =
+            ConfiguredBackend::new(Backend::Iris).with_forest(Some(ForestConfig::default()));
+        assert!(factory.forest().is_some());
+        let mut target = factory.build(BootPlan::post_boot(&trace));
+        target.boot();
+        assert!(
+            target.reset_to(StateId::ROOT),
+            "the forest root is always restorable"
+        );
+
+        // Advance two seeds, pin, diverge, come back: the pinned state
+        // must reproduce the continuation byte-for-byte.
+        let _ = target.submit(&trace.seeds[0]);
+        let _ = target.submit(&trace.seeds[1]);
+        let pinned = target.pin_state().expect("forest mode pins states");
+        let expected = target.submit(&trace.seeds[2]);
+        target.reset();
+        let _ = target.submit(&trace.seeds[5]);
+        assert!(target.reset_to(pinned), "pinned node restores");
+        let again = target.submit(&trace.seeds[2]);
+        assert_eq!(expected.coverage, again.coverage);
+        assert_eq!(expected.crash, again.crash);
+    }
+
+    #[test]
+    fn forest_survives_a_sut_fatal_reboot() {
+        let trace = boot_trace(60);
+        let factory =
+            ConfiguredBackend::new(Backend::Iris).with_forest(Some(ForestConfig::default()));
+        let mut target = factory.build(BootPlan::post_boot(&trace));
+        target.boot();
+        let _ = target.submit(&trace.seeds[0]);
+        let pinned = target.pin_state().unwrap();
+        let expected = target.submit(&trace.seeds[1]);
+
+        // Kill the whole stack with an unhandled-exit mutant.
+        let mut fatal = trace.seeds[0].clone();
+        for pair in &mut fatal.reads {
+            if pair.0 == iris_vtx::fields::VmcsField::VmExitReason {
+                pair.1 = 11; // GETSEC: never configured to exit
+            }
+        }
+        let _ = target.submit(&fatal);
+        assert!(
+            target.reset_to(pinned),
+            "reboot salvages the forest and the pin survives"
+        );
+        let again = target.submit(&trace.seeds[1]);
+        assert_eq!(expected.coverage, again.coverage);
+    }
+
+    #[test]
+    fn forest_off_configured_backend_has_no_pins() {
+        let trace = boot_trace(20);
+        let factory = ConfiguredBackend::new(Backend::Iris);
+        let mut target = factory.build(BootPlan::post_boot(&trace));
+        target.boot();
+        assert_eq!(target.pin_state(), None);
+        assert!(!target.reset_to(StateId::ROOT));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! The `for_every_backend!` macro matches exhaustively on [`Backend`], so
 //! registering a new backend fails this file until the suite covers it.
 
+use iris_core::forest::{ForestConfig, StateId};
 use iris_core::trace::RecordedTrace;
 use iris_fuzzer::checkpoint::GuidedCheckpoint;
 use iris_fuzzer::executor::{quiet_injected_faults, FaultPlan, RunPolicy};
@@ -16,7 +17,8 @@ use iris_fuzzer::guided::{
 use iris_fuzzer::mutation::SeedArea;
 use iris_fuzzer::parallel::ParallelCampaign;
 use iris_fuzzer::target::{
-    record_trace, Backend, BootPlan, FaultyHvTarget, FuzzTarget, IrisHvTarget, TargetFactory,
+    record_trace, Backend, BootPlan, ConfiguredBackend, FaultyHvTarget, FuzzTarget, IrisHvTarget,
+    TargetFactory,
 };
 use iris_fuzzer::testcase::TestCase;
 use iris_guest::workloads::Workload;
@@ -311,6 +313,149 @@ fn guided_shared_reports_are_byte_identical_across_jobs() {
 }
 
 #[test]
+fn guided_shared_forest_reports_are_byte_identical_to_forest_off() {
+    // The snapshot-forest acceptance cross product: with the forest on,
+    // jobs ∈ {1, 2, 8} must serialize byte-identically to the classic
+    // forest-off jobs=1 reference on every registered backend — the
+    // forest changes replay cost, never report bytes. cap=3 and cap=1
+    // keep the LRU eviction path under pressure while doing it.
+    let trace = boot_trace(150);
+    for_every_backend!(|factory, backend| {
+        let cfg = GuidedConfig {
+            budget: 250,
+            generation: 48,
+            rng_seed: 7,
+            ..GuidedConfig::default()
+        };
+        let reference = run_guided_shared_with(&factory, &trace, cfg, 1);
+        assert!(
+            reference.promotions > 0,
+            "{backend:?}: the reference run must exercise promotion"
+        );
+        let baseline = serde_json::to_string(&reference).unwrap();
+        for (jobs, cap) in [(1usize, ForestConfig::DEFAULT_CAP), (2, 3), (8, 1)] {
+            let forest = ConfiguredBackend::new(backend).with_forest(Some(ForestConfig { cap }));
+            let r = run_guided_shared_with(&forest, &trace, cfg, jobs);
+            assert_eq!(
+                serde_json::to_string(&r).unwrap(),
+                baseline,
+                "{backend:?}: forest jobs={jobs} cap={cap} diverged from the forest-off reference"
+            );
+        }
+    });
+}
+
+#[test]
+fn campaign_forest_reports_are_byte_identical_to_forest_off() {
+    // The campaign twin: forest-mode prefix servers must fold to the
+    // same report bytes as the classic rebuild-per-chunk path for
+    // jobs ∈ {1, 2, 8}, on every registered backend, eviction pressure
+    // included.
+    let trace = boot_trace(120);
+    let mut plan = Vec::new();
+    for (reason, area) in [
+        (ExitReason::CrAccess, SeedArea::Vmcs), // crashy cell
+        (ExitReason::Cpuid, SeedArea::Gpr),
+        (ExitReason::IoInstruction, SeedArea::Vmcs),
+    ] {
+        plan.push(TestCase {
+            mutants: 45,
+            ..TestCase::new(
+                Workload::OsBoot,
+                find_seed(&trace, reason),
+                reason,
+                area,
+                0xFEED,
+            )
+        });
+    }
+
+    for_every_backend!(|factory, backend| {
+        let baseline = serde_json::to_string(
+            &ParallelCampaign::with_factory(1, factory).run_trace(&trace, &plan),
+        )
+        .unwrap();
+        for (jobs, cap) in [(1usize, ForestConfig::DEFAULT_CAP), (2, 2), (8, 1)] {
+            let forest = ConfiguredBackend::new(backend).with_forest(Some(ForestConfig { cap }));
+            let report = ParallelCampaign::with_factory(jobs, forest)
+                .with_chunk(7)
+                .run_trace(&trace, &plan);
+            assert_eq!(
+                serde_json::to_string(&report).unwrap(),
+                baseline,
+                "{backend:?}: forest jobs={jobs} cap={cap} diverged from the forest-off reference"
+            );
+        }
+    });
+}
+
+#[test]
+fn forest_resume_interoperates_with_forest_off_checkpoints() {
+    // Checkpoint fingerprints deliberately exclude the forest flag
+    // (RELIABILITY.md): a run interrupted without the forest must
+    // resume WITH it (and vice versa) to the same bytes as the
+    // uninterrupted reference — the promotion lineage in the v2
+    // checkpoint is what lets forest workers rebuild seed paths.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let trace = boot_trace(150);
+    for_every_backend!(|factory, backend| {
+        let cfg = GuidedConfig {
+            budget: 250,
+            generation: 48,
+            rng_seed: 7,
+            ..GuidedConfig::default()
+        };
+        let reference = run_guided_shared_with(&factory, &trace, cfg, 1);
+        let baseline = serde_json::to_string(&reference).unwrap();
+
+        // Interrupt a forest-off jobs=2 run at its second barrier…
+        let stop = AtomicBool::new(false);
+        let mut captured: Option<GuidedCheckpoint> = None;
+        run_guided_shared_session(
+            &factory,
+            &trace,
+            cfg,
+            2,
+            SharedRunOptions {
+                policy: RunPolicy {
+                    stop: Some(&stop),
+                    ..RunPolicy::default()
+                },
+                resume: None,
+            },
+            |p| {
+                captured = Some(p.checkpoint("forest-interop"));
+                if p.generation >= 2 {
+                    stop.store(true, Ordering::Relaxed);
+                }
+            },
+        )
+        .expect("interruption is not an error");
+
+        // …and resume it with the forest on, under eviction pressure.
+        let forest = ConfiguredBackend::new(backend).with_forest(Some(ForestConfig { cap: 2 }));
+        let resumed = run_guided_shared_session(
+            &forest,
+            &trace,
+            cfg,
+            2,
+            SharedRunOptions {
+                policy: RunPolicy::default(),
+                resume: captured,
+            },
+            |_| {},
+        )
+        .expect("resumed run completes");
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            baseline,
+            "{backend:?}: forest-on resume of a forest-off checkpoint diverged"
+        );
+    });
+}
+
+#[test]
 fn injected_worker_panics_leave_guided_results_byte_identical() {
     // The re-lease law: a worker panicking mid-generation loses its
     // claimed slot to the re-lease list, a fresh context re-runs it,
@@ -394,6 +539,105 @@ proptest! {
                 "{backend:?}: jobs={jobs} generation={generation} budget={budget} \
                  diverged from the jobs=1 reference"
             );
+        });
+    }
+
+    /// Arbitrary forest shapes restore byte-identically to a fresh
+    /// rebuild from s1: a random walk of submissions, pins, and
+    /// restores — depth and branching driven by the action list, LRU
+    /// eviction by the tight cap — must leave every surviving node
+    /// restoring to exactly the state a forest-off target reaches by
+    /// replaying that node's seed path from s1, on every registered
+    /// backend. (Node state is pure in the path; the delta encoding is
+    /// invisible.)
+    #[test]
+    fn forest_shapes_restore_byte_identically_to_rebuild_from_s1(
+        actions in proptest::collection::vec(any::<u8>(), 1..24),
+        cap in 1usize..5,
+    ) {
+        let trace = proptest_trace();
+        for_every_backend!(|factory, backend| {
+            let forest_factory =
+                ConfiguredBackend::new(backend).with_forest(Some(ForestConfig { cap }));
+            let mut target = forest_factory.build(BootPlan {
+                trace,
+                prefix: 0,
+                fast_forward: false,
+            });
+            target.boot();
+            // The model: each pin's seed path from s1, mirrored by the
+            // walk. A crash resets to the root (the empty path), like
+            // the drivers do.
+            let mut path: Vec<usize> = Vec::new();
+            let mut pins: Vec<(StateId, Vec<usize>)> = Vec::new();
+            for &a in &actions {
+                match a % 3 {
+                    0 => {
+                        let k = (a as usize / 3) % trace.seeds.len().min(40);
+                        if target.submit(&trace.seeds[k]).crash.is_some() {
+                            target.reset();
+                            path.clear();
+                        } else {
+                            path.push(k);
+                        }
+                    }
+                    1 => {
+                        if let Some(id) = target.pin_state() {
+                            pins.push((id, path.clone()));
+                        }
+                    }
+                    _ => {
+                        if pins.is_empty() {
+                            target.reset();
+                            path.clear();
+                        } else {
+                            let pick = (a as usize / 3) % pins.len();
+                            let (id, p) = pins[pick].clone();
+                            if target.reset_to(id) {
+                                path = p;
+                            } else {
+                                // Evicted under the tight cap — fall
+                                // back to the root, dropping the stale
+                                // pin from the model.
+                                pins.remove(pick);
+                                target.reset();
+                                path.clear();
+                            }
+                        }
+                    }
+                }
+            }
+            // Every pin that still restores must match the fresh
+            // rebuild-from-s1 reference for its path, probed by a
+            // submission from the restored state.
+            for (id, p) in pins {
+                if !target.reset_to(id) {
+                    continue; // evicted — nothing to compare
+                }
+                let probe = target.submit(&trace.seeds[0]);
+
+                let mut fresh = factory.build(BootPlan {
+                    trace,
+                    prefix: 0,
+                    fast_forward: false,
+                });
+                fresh.boot();
+                for &k in &p {
+                    let out = fresh.submit(&trace.seeds[k]);
+                    prop_assert!(
+                        out.crash.is_none(),
+                        "{backend:?}: model path replay crashed — walk bookkeeping is wrong"
+                    );
+                }
+                let reference = fresh.submit(&trace.seeds[0]);
+                prop_assert!(
+                    probe.coverage == reference.coverage
+                        && probe.crash == reference.crash
+                        && probe.cycles == reference.cycles,
+                    "{backend:?}: cap={cap} node {id:?} (path {p:?}) diverged from \
+                     the rebuild-from-s1 reference"
+                );
+            }
         });
     }
 

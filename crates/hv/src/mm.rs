@@ -14,7 +14,7 @@
 
 use iris_vtx::ept::{PAGE_SHIFT, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Failure of a guest memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,6 +45,13 @@ pub struct GuestMemory {
     /// via the EPT): when enabled, every `copy_to_guest` is logged.
     #[serde(skip)]
     dirty_log: Option<Vec<(u64, Vec<u8>)>>,
+    /// Page-granular dirty set for the snapshot forest: when enabled,
+    /// every mutation records the touched guest frame numbers, so a
+    /// copy-on-write delta capture only walks pages that could have
+    /// changed since the last [`GuestMemory::take_dirty_pages`] drain.
+    /// Ordered so delta captures iterate deterministically.
+    #[serde(skip)]
+    dirty_pages: Option<BTreeSet<u64>>,
 }
 
 impl GuestMemory {
@@ -56,6 +63,7 @@ impl GuestMemory {
             pages: BTreeMap::new(),
             ram_pages: ram_bytes >> PAGE_SHIFT,
             dirty_log: None,
+            dirty_pages: None,
         }
     }
 
@@ -90,6 +98,59 @@ impl GuestMemory {
         }
     }
 
+    /// Enable/disable page-granular dirty tracking (the snapshot
+    /// forest's write barrier). Enabling starts from an empty set: the
+    /// caller is expected to capture its reference state (the forest
+    /// root) first.
+    pub fn set_page_dirty_tracking(&mut self, enabled: bool) {
+        self.dirty_pages = if enabled { Some(BTreeSet::new()) } else { None };
+    }
+
+    /// Drain the set of guest frames touched since the last drain (or
+    /// since tracking was enabled). Empty when tracking is off.
+    #[must_use]
+    pub fn take_dirty_pages(&mut self) -> BTreeSet<u64> {
+        match &mut self.dirty_pages {
+            Some(set) => std::mem::take(set),
+            None => BTreeSet::new(),
+        }
+    }
+
+    /// Whether page-granular dirty tracking is currently enabled.
+    #[must_use]
+    pub fn page_dirty_tracking(&self) -> bool {
+        self.dirty_pages.is_some()
+    }
+
+    /// Raw read of one populated page (`None` when the frame is cold).
+    #[must_use]
+    pub fn page(&self, gfn: u64) -> Option<&[u8]> {
+        self.pages.get(&gfn).map(Vec::as_slice)
+    }
+
+    /// Overwrite (or populate) one whole page **without** marking it
+    /// dirty — the snapshot-forest restore path, which reconciles the
+    /// dirty set itself. `data` shorter than a page zero-fills the tail.
+    pub fn put_page(&mut self, gfn: u64, data: &[u8]) {
+        let page = self
+            .pages
+            .entry(gfn)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize]);
+        let n = data.len().min(PAGE_SIZE as usize);
+        if let (Some(dst), Some(src)) = (page.get_mut(..n), data.get(..n)) {
+            dst.copy_from_slice(src);
+        }
+        if let Some(tail) = page.get_mut(n..) {
+            tail.fill(0);
+        }
+    }
+
+    /// Depopulate one page **without** marking it dirty (forest restore
+    /// path, see [`GuestMemory::put_page`]).
+    pub fn drop_page(&mut self, gfn: u64) {
+        self.pages.remove(&gfn);
+    }
+
     /// `copy_to_guest`: write `data` at guest-physical `gpa`, populating
     /// RAM pages on demand.
     ///
@@ -106,12 +167,16 @@ impl GuestMemory {
             if !self.in_ram(gfn) {
                 return Err(GuestMemError::BadGfn { gfn });
             }
+            if let Some(set) = &mut self.dirty_pages {
+                set.insert(gfn);
+            }
             let page = self
                 .pages
                 .entry(gfn)
                 .or_insert_with(|| vec![0u8; PAGE_SIZE as usize]);
             let page_off = (addr & (PAGE_SIZE - 1)) as usize;
             let n = (PAGE_SIZE as usize - page_off).min(data.len() - off);
+            // lint:allow(panic-path-audit) -- page_off + n <= PAGE_SIZE and off + n <= data.len() by the min() above
             page[page_off..page_off + n].copy_from_slice(&data[off..off + n]);
             off += n;
         }
@@ -135,6 +200,7 @@ impl GuestMemory {
             };
             let page_off = (addr & (PAGE_SIZE - 1)) as usize;
             let n = (PAGE_SIZE as usize - page_off).min(buf.len() - off);
+            // lint:allow(panic-path-audit) -- off + n <= buf.len() and page_off + n <= PAGE_SIZE by the min() above
             buf[off..off + n].copy_from_slice(&page[page_off..page_off + n]);
             off += n;
         }
@@ -155,6 +221,9 @@ impl GuestMemory {
 
     /// Drop every populated page (fresh domain).
     pub fn wipe(&mut self) {
+        if let Some(set) = &mut self.dirty_pages {
+            set.extend(self.pages.keys().copied());
+        }
         self.pages.clear();
     }
 
@@ -166,7 +235,14 @@ impl GuestMemory {
     /// copies, not a full domain rebuild.
     pub fn restore_from(&mut self, src: &GuestMemory) {
         self.ram_pages = src.ram_pages;
-        self.pages.retain(|gfn, _| src.pages.contains_key(gfn));
+        let mut touched: Vec<u64> = Vec::new();
+        self.pages.retain(|gfn, _| {
+            let keep = src.pages.contains_key(gfn);
+            if !keep {
+                touched.push(*gfn);
+            }
+            keep
+        });
         for (gfn, page) in &src.pages {
             match self.pages.get_mut(gfn) {
                 // Compare before copying: the memcmp on clean pages is
@@ -175,15 +251,22 @@ impl GuestMemory {
                 Some(existing) => {
                     if existing != page {
                         existing.copy_from_slice(page);
+                        touched.push(*gfn);
                     }
                 }
                 None => {
                     self.pages.insert(*gfn, page.clone());
+                    touched.push(*gfn);
                 }
             }
         }
         if let Some(log) = &mut self.dirty_log {
             log.clear();
+        }
+        if let Some(set) = &mut self.dirty_pages {
+            // A restore rewrites these frames, so from the forest's view
+            // they are touched-since-last-sync like any other write.
+            set.extend(touched);
         }
     }
 }
@@ -243,6 +326,49 @@ mod tests {
         m.set_dirty_tracking(false);
         m.write_u64(0x300, 3).unwrap();
         assert!(m.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn page_dirty_tracking_records_touched_frames() {
+        let mut m = GuestMemory::new(1 << 16);
+        m.write_u64(0x100, 1).unwrap(); // untracked
+        m.set_page_dirty_tracking(true);
+        assert!(m.page_dirty_tracking());
+        m.write_u64(0x100, 2).unwrap();
+        m.copy_to_guest(0x1ffe, &[1, 2, 3, 4]).unwrap(); // spans gfn 1..=2
+        let dirty: Vec<u64> = m.take_dirty_pages().into_iter().collect();
+        assert_eq!(dirty, vec![0, 1, 2]);
+        assert!(m.take_dirty_pages().is_empty(), "drain resets");
+
+        // wipe marks every populated frame before dropping it.
+        m.wipe();
+        let dirty = m.take_dirty_pages();
+        assert!(dirty.contains(&0) && dirty.contains(&2));
+
+        // restore_from marks dropped, differing, and new frames.
+        let mut src = GuestMemory::new(1 << 16);
+        src.write_u64(0x3000, 3).unwrap();
+        m.write_u64(0x100, 9).unwrap();
+        let _ = m.take_dirty_pages();
+        m.restore_from(&src);
+        let dirty = m.take_dirty_pages();
+        assert!(dirty.contains(&0), "dropped frame marked");
+        assert!(dirty.contains(&3), "new frame marked");
+    }
+
+    #[test]
+    fn put_page_and_drop_page_bypass_dirty_marking() {
+        let mut m = GuestMemory::new(1 << 16);
+        m.set_page_dirty_tracking(true);
+        m.put_page(4, &[7u8; 16]); // short data zero-fills the tail
+        assert_eq!(m.read_u64(0x4000).unwrap(), 0x0707_0707_0707_0707);
+        assert_eq!(m.read_u64(0x4010).unwrap(), 0);
+        m.drop_page(4);
+        assert!(m.page(4).is_none());
+        assert!(
+            m.take_dirty_pages().is_empty(),
+            "forest restore path must not re-dirty frames"
+        );
     }
 
     #[test]

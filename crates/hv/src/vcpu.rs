@@ -75,7 +75,7 @@ impl HvmVcpu {
 }
 
 /// One virtual CPU.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HvVcpu {
     /// vCPU id within the domain.
     pub id: u32,

@@ -96,7 +96,7 @@ const DET_CORE_FILES: [&str; 7] = [
 
 /// Aggregation / merge modules: anywhere worker outputs are folded
 /// into a report, iteration order is part of the byte-identity law.
-const MERGE_FILES: [&str; 13] = [
+const MERGE_FILES: [&str; 15] = [
     "crates/fuzzer/src/parallel.rs",
     "crates/fuzzer/src/executor.rs",
     "crates/fuzzer/src/guided.rs",
@@ -117,11 +117,17 @@ const MERGE_FILES: [&str; 13] = [
     "crates/dist/src/worker.rs",
     "crates/dist/src/client.rs",
     "crates/dist/src/chaos.rs",
+    // The snapshot forest merges evicted nodes into their children and
+    // the dirty tracker folds page sets into deltas — both iterate maps
+    // whose order reaches restored state, so the byte-identity law
+    // applies exactly as it does to report merges.
+    "crates/core/src/forest.rs",
+    "crates/hv/src/mm.rs",
 ];
 
 /// Executor worker closures and slot/range run functions: the modules
 /// where a panic silently burns the worker-restart budget.
-const PANIC_SCOPE_FILES: [&str; 10] = [
+const PANIC_SCOPE_FILES: [&str; 12] = [
     "crates/fuzzer/src/executor.rs",
     "crates/fuzzer/src/guided.rs",
     "crates/fuzzer/src/campaign.rs",
@@ -139,6 +145,11 @@ const PANIC_SCOPE_FILES: [&str; 10] = [
     "crates/dist/src/worker.rs",
     "crates/dist/src/client.rs",
     "crates/dist/src/chaos.rs",
+    // Forest restores and page-level dirty tracking run inside every
+    // worker's reset path: an index panic there burns the restart
+    // budget on every mutant that reuses the poisoned node.
+    "crates/core/src/forest.rs",
+    "crates/hv/src/mm.rs",
 ];
 
 /// Slot/range execution modules for the unconditional-reset law.

@@ -203,6 +203,55 @@ fn dist_worker_and_chaos_scope_carries_merge_and_panic_rules() {
 }
 
 #[test]
+fn forest_scope_carries_merge_and_panic_rules() {
+    // PR 10 pulled the snapshot forest and the page-level dirty tracker
+    // into both scopes: map iteration there reaches restored bytes, and
+    // an index panic poisons every mutant that reuses the node. Both
+    // halves must be flagged under each newly scoped path…
+    let bad = fixture("forest_bad.rs");
+    for path in ["crates/core/src/forest.rs", "crates/hv/src/mm.rs"] {
+        let diags = lint_source_scoped(path, &bad);
+        let rules = rules_hit(&diags);
+        assert!(
+            rules.contains(&"no-unordered-merge"),
+            "HashMap delta fold under {path} must be flagged: {diags:?}"
+        );
+        assert!(
+            rules.contains(&"panic-path-audit"),
+            "panicking node/page access under {path} must be flagged: {diags:?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "panic-path-audit" && d.message.contains("unwrap")),
+            "{diags:?}"
+        );
+    }
+
+    // …and the ordered, fallible rewrite is clean under the same paths.
+    let good = fixture("forest_good.rs");
+    for path in ["crates/core/src/forest.rs", "crates/hv/src/mm.rs"] {
+        let diags = lint_source_scoped(path, &good);
+        assert!(diags.is_empty(), "{path}: {diags:?}");
+    }
+}
+
+#[test]
+fn forest_fixture_is_inert_outside_the_forest_scope() {
+    // The same source under an unscoped hv path draws no merge or
+    // panic findings — the forest coverage is scoping, not a global
+    // tightening.
+    let bad = fixture("forest_bad.rs");
+    let diags = lint_source_scoped("crates/hv/src/vmexit.rs", &bad);
+    assert!(
+        !rules_hit(&diags)
+            .iter()
+            .any(|r| *r == "no-unordered-merge" || *r == "panic-path-audit"),
+        "{diags:?}"
+    );
+}
+
+#[test]
 fn dist_fixture_is_inert_outside_the_dist_scope() {
     // The same source under a path outside both scopes draws no merge
     // or panic findings — the dist coverage is scoping, not a global

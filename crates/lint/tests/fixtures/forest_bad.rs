@@ -1,0 +1,32 @@
+//! Positive fixture for the snapshot-forest lint scope: an eviction
+//! that folds a victim node's page deltas through a hash container
+//! (iteration order leaks into the restored bytes) and a restore path
+//! that trusts node/page ids with panicking access.
+
+use std::collections::HashMap;
+
+pub fn collapse_into_children(victim: &Node, children: &mut [Node]) {
+    // The victim's deltas land under each child — but a HashMap walk
+    // applies them in hash order, so two runs can disagree about which
+    // page image survives an overlap.
+    let mut pages: HashMap<u64, PageDelta> = HashMap::new();
+    for (gfn, delta) in &victim.pages {
+        pages.insert(*gfn, delta.clone());
+    }
+    for child in children {
+        for (gfn, delta) in pages.iter() {
+            child.pages.entry(*gfn).or_insert_with(|| delta.clone());
+        }
+    }
+}
+
+pub fn restore_to(forest: &Forest, id: usize, ram: &mut [u8]) {
+    // Callers hand in a pinned StateId; indexing straight into the node
+    // table panics the worker on an evicted id instead of reporting the
+    // miss, and the unwrap on the page image does the same.
+    let node = forest.nodes[id];
+    for gfn in node.dirty() {
+        let image = node.page_image(gfn).unwrap();
+        ram[gfn as usize] = image;
+    }
+}

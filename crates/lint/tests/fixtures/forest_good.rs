@@ -1,0 +1,33 @@
+//! Negative fixture for the snapshot-forest lint scope: the same
+//! collapse and restore logic written lawfully — ordered containers
+//! where iteration reaches restored bytes, fallible access where the
+//! id came from a caller.
+
+use std::collections::BTreeMap;
+
+pub fn collapse_into_children(victim: &Node, children: &mut [Node]) {
+    // BTreeMap iteration is gfn order: every run applies overlapping
+    // deltas identically.
+    let mut pages: BTreeMap<u64, PageDelta> = BTreeMap::new();
+    for (gfn, delta) in &victim.pages {
+        pages.insert(*gfn, delta.clone());
+    }
+    for child in children {
+        for (gfn, delta) in &pages {
+            child.pages.entry(*gfn).or_insert_with(|| delta.clone());
+        }
+    }
+}
+
+pub fn restore_to(forest: &Forest, id: usize, ram: &mut [u8]) -> Option<()> {
+    // An evicted or foreign id is a recoverable miss, not a panic: the
+    // caller falls back to replaying from the root.
+    let node = forest.nodes.get(id)?;
+    for gfn in node.dirty() {
+        let image = node.page_image(gfn)?;
+        if let Some(slot) = ram.get_mut(gfn as usize) {
+            *slot = image;
+        }
+    }
+    Some(())
+}
